@@ -1,0 +1,352 @@
+//! FastFDs (Wyss, Giannella, Robertson 2001) — the FD discoverer the paper
+//! actually quotes for its `|Fd|` column (Table 6).
+//!
+//! Where TANE walks the attribute-set lattice, FastFDs works from
+//! **difference sets**: for every tuple pair, the set of attributes on
+//! which the pair *disagrees*. A minimal FD `X → A` corresponds exactly to
+//! a minimal **cover** of `D_A` — the family of difference sets containing
+//! `A`, each with `A` removed — because `X` determines `A` iff every pair
+//! that disagrees on `A` also disagrees somewhere in `X`.
+//!
+//! The implementation follows the original structure:
+//!
+//! 1. compute difference sets from tuple pairs that share at least one
+//!    stripped-partition class (pairs with empty agree sets can be skipped
+//!    for no LHS candidate... they still produce full difference sets,
+//!    which every non-empty `X` covers — handled implicitly);
+//! 2. per RHS attribute `A`, minimize `D_A` (drop supersets);
+//! 3. enumerate minimal covers depth-first, ordering attributes by how
+//!    many remaining difference sets they hit.
+//!
+//! Pair enumeration is `O(m²·n)`, which is FastFDs' documented weakness on
+//! tall tables; TANE ([`crate::fd`]) remains the scalable baseline. The
+//! two must produce identical minimal FD sets — the test-suite and
+//! `tests/cross_algorithm.rs` verify it.
+
+use ocdd_relation::{ColumnId, Relation};
+use std::time::{Duration, Instant};
+
+use crate::fd::Fd;
+
+/// Attribute-set bitmask (bit `i` = column `i`).
+type Mask = u128;
+
+#[inline]
+fn bit(col: ColumnId) -> Mask {
+    1u128 << col
+}
+
+fn members(set: Mask) -> impl Iterator<Item = ColumnId> {
+    (0..128usize).filter(move |&i| set & (1u128 << i) != 0)
+}
+
+/// Configuration for a FastFDs run.
+#[derive(Debug, Clone, Default)]
+pub struct FastFdsConfig {
+    /// Wall-clock budget; exceeding it returns partial results.
+    pub time_budget: Option<Duration>,
+}
+
+/// Output of a FastFDs run.
+#[derive(Debug, Clone)]
+pub struct FastFdsResult {
+    /// Minimal FDs, in `(lhs size, lhs, rhs)` order.
+    pub fds: Vec<Fd>,
+    /// Distinct minimized difference sets found.
+    pub difference_sets: usize,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// False when the budget stopped the run early.
+    pub complete: bool,
+}
+
+/// Compute the distinct difference sets of `rel` (excluding the empty set:
+/// duplicate tuple pairs carry no information).
+fn difference_sets(rel: &Relation, deadline: Option<Instant>, complete: &mut bool) -> Vec<Mask> {
+    let m = rel.num_rows();
+    let n = rel.num_columns();
+    let mut seen = std::collections::HashSet::new();
+    for p in 0..m {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            *complete = false;
+            break;
+        }
+        for q in (p + 1)..m {
+            let mut diff: Mask = 0;
+            for c in 0..n {
+                if rel.code(p, c) != rel.code(q, c) {
+                    diff |= bit(c);
+                }
+            }
+            if diff != 0 {
+                seen.insert(diff);
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// Keep only the minimal sets of a family (drop supersets). Sorting by
+/// cardinality first means each survivor only needs subset checks against
+/// earlier (smaller or equal) survivors.
+fn minimize(mut family: Vec<Mask>, deadline: Option<Instant>, complete: &mut bool) -> Vec<Mask> {
+    family.sort_unstable();
+    family.dedup();
+    family.sort_by_key(|s| s.count_ones());
+    let mut out: Vec<Mask> = Vec::new();
+    for (i, s) in family.iter().enumerate() {
+        if i.is_multiple_of(1024) && deadline.is_some_and(|d| Instant::now() >= d) {
+            *complete = false;
+            break;
+        }
+        if !out.iter().any(|&kept| kept & s == kept) {
+            out.push(*s);
+        }
+    }
+    out
+}
+
+/// Depth-first enumeration of the minimal covers of `sets` — the core of
+/// FastFDs. Completeness comes from the branching rule: every cover must
+/// hit the first still-uncovered difference set, so it suffices to branch
+/// on that set's members. Leaves are verified minimal (removing any chosen
+/// attribute must break the cover), and duplicates from different
+/// branching orders are deduplicated at the end.
+fn minimal_covers(sets: &[Mask], deadline: Option<Instant>, complete: &mut bool) -> Vec<Mask> {
+    let mut out = Vec::new();
+
+    fn is_cover(cand: Mask, sets: &[Mask]) -> bool {
+        sets.iter().all(|&s| s & cand != 0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        current: Mask,
+        sets: &[Mask],
+        out: &mut Vec<Mask>,
+        deadline: Option<Instant>,
+        complete: &mut bool,
+        nodes: &mut u64,
+    ) {
+        *nodes += 1;
+        if (*nodes).is_multiple_of(4096) && deadline.is_some_and(|d| Instant::now() >= d) {
+            *complete = false;
+        }
+        if !*complete {
+            return;
+        }
+        // First uncovered difference set, if any.
+        match sets.iter().find(|&&s| s & current == 0) {
+            None => {
+                // A cover; keep it only if minimal.
+                let minimal = members(current).all(|a| !is_cover(current & !bit(a), sets));
+                if minimal {
+                    out.push(current);
+                }
+            }
+            Some(&uncovered) => {
+                for a in members(uncovered) {
+                    rec(current | bit(a), sets, out, deadline, complete, nodes);
+                }
+            }
+        }
+    }
+    let mut nodes = 0u64;
+    rec(0, sets, &mut out, deadline, complete, &mut nodes);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Run FastFDs over `rel`, returning all minimal FDs.
+pub fn fastfds(rel: &Relation, config: &FastFdsConfig) -> FastFdsResult {
+    let start = Instant::now();
+    let n = rel.num_columns();
+    assert!(n <= 128, "FastFDs baseline supports up to 128 columns");
+    let deadline = config.time_budget.map(|d| start + d);
+    let mut complete = true;
+
+    let diffs = difference_sets(rel, deadline, &mut complete);
+    let mut fds: Vec<Fd> = Vec::new();
+
+    for a in 0..n {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            complete = false;
+            break;
+        }
+        // D_A: difference sets containing A, with A removed.
+        let d_a: Vec<Mask> = diffs
+            .iter()
+            .filter(|&&d| d & bit(a) != 0)
+            .map(|&d| d & !bit(a))
+            .collect();
+        if d_a.is_empty() {
+            // No pair ever disagrees on A: A is constant, ∅ → A.
+            fds.push(Fd {
+                lhs: Vec::new(),
+                rhs: a,
+            });
+            continue;
+        }
+        if d_a.contains(&0) {
+            // Some pair disagrees *only* on A: nothing determines A.
+            continue;
+        }
+        let minimized = minimize(d_a, deadline, &mut complete);
+        for cover in minimal_covers(&minimized, deadline, &mut complete) {
+            fds.push(Fd {
+                lhs: members(cover).collect(),
+                rhs: a,
+            });
+        }
+        if !complete {
+            break;
+        }
+    }
+
+    fds.sort_by(|a, b| (a.lhs.len(), &a.lhs, a.rhs).cmp(&(b.lhs.len(), &b.lhs, b.rhs)));
+    fds.dedup();
+    FastFdsResult {
+        difference_sets: diffs.len(),
+        fds,
+        elapsed: start.elapsed(),
+        complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocdd_relation::Value;
+
+    fn rel(cols: &[(&str, &[i64])]) -> Relation {
+        Relation::from_columns(
+            cols.iter()
+                .map(|(n, vals)| (n.to_string(), vals.iter().map(|&v| Value::Int(v)).collect()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn minimize_drops_supersets() {
+        let mut complete = true;
+        let fam = vec![0b111, 0b011, 0b110, 0b010];
+        assert_eq!(minimize(fam, None, &mut complete), vec![0b010]);
+        let fam = vec![0b101, 0b011];
+        let min = minimize(fam, None, &mut complete);
+        assert_eq!(min.len(), 2);
+        assert!(complete);
+    }
+
+    #[test]
+    fn covers_of_simple_family() {
+        // Sets {0,1} and {1,2}: minimal covers are {1} and {0,2}.
+        let mut complete = true;
+        let covers = minimal_covers(&[0b011, 0b110], None, &mut complete);
+        assert!(covers.contains(&0b010));
+        assert!(covers.contains(&0b101));
+        assert_eq!(covers.len(), 2);
+    }
+
+    #[test]
+    fn finds_key_and_constant() {
+        let r = rel(&[("id", &[1, 2, 3]), ("x", &[5, 5, 6]), ("k", &[9, 9, 9])]);
+        let result = fastfds(&r, &FastFdsConfig::default());
+        assert!(result.fds.contains(&Fd {
+            lhs: vec![0],
+            rhs: 1
+        }));
+        assert!(result.fds.contains(&Fd {
+            lhs: vec![],
+            rhs: 2
+        }));
+        assert!(result.complete);
+    }
+
+    #[test]
+    fn nothing_determines_a_lonely_disagreement() {
+        // Rows agree everywhere except column b: no FD with rhs b.
+        let r = rel(&[("a", &[1, 1]), ("b", &[5, 6])]);
+        let result = fastfds(&r, &FastFdsConfig::default());
+        assert!(!result.fds.iter().any(|fd| fd.rhs == 1));
+        // a is constant here, so the minimal FD for it is ∅ -> a.
+        assert!(result.fds.contains(&Fd {
+            lhs: vec![],
+            rhs: 0
+        }));
+        // A non-constant variant: a = [1,1,2], b = [5,6,7] — b is a key and
+        // nothing smaller determines a.
+        let r = rel(&[("a", &[1, 1, 2]), ("b", &[5, 6, 7])]);
+        let result = fastfds(&r, &FastFdsConfig::default());
+        assert!(result.fds.contains(&Fd {
+            lhs: vec![1],
+            rhs: 0
+        }));
+    }
+
+    #[test]
+    fn matches_tane_on_random_tables() {
+        use crate::fd::{tane, TaneConfig};
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = Relation::from_columns(
+                (0..5)
+                    .map(|c| {
+                        (
+                            format!("c{c}"),
+                            (0..16)
+                                .map(|_| Value::Int(rng.random_range(0..3)))
+                                .collect(),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let ff = fastfds(&r, &FastFdsConfig::default());
+            let tn = tane(&r, &TaneConfig::default());
+            assert_eq!(ff.fds, tn.fds, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_tane_on_paper_tables() {
+        use crate::fd::{tane, TaneConfig};
+        let numbers = ocdd_datasets::paper::numbers_table();
+        assert_eq!(
+            fastfds(&numbers, &FastFdsConfig::default()).fds,
+            tane(&numbers, &TaneConfig::default()).fds
+        );
+        let tax = ocdd_datasets::paper::tax_table();
+        assert_eq!(
+            fastfds(&tax, &FastFdsConfig::default()).fds,
+            tane(&tax, &TaneConfig::default()).fds
+        );
+    }
+
+    #[test]
+    fn budget_truncates() {
+        use std::time::Duration;
+        let r = rel(&[
+            ("a", &[1, 2, 3, 4, 5, 6, 7, 8]),
+            ("b", &[1, 1, 2, 2, 3, 3, 4, 4]),
+        ]);
+        let result = fastfds(
+            &r,
+            &FastFdsConfig {
+                time_budget: Some(Duration::ZERO),
+            },
+        );
+        assert!(!result.complete);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::from_columns(vec![]).unwrap();
+        let result = fastfds(&r, &FastFdsConfig::default());
+        assert!(result.fds.is_empty());
+        assert!(result.complete);
+    }
+}

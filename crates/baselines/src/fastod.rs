@@ -1,0 +1,461 @@
+//! FASTOD (Szlichta, Godfrey, Golab, Kargar, Srivastava): complete order
+//! dependency discovery over **set-based canonical forms**.
+//!
+//! Every order dependency maps to canonical dependencies of two shapes over
+//! an attribute-set *context* `X`:
+//!
+//! * `X: [] → A` — the FD `X → A` (within each equivalence class of `π_X`,
+//!   `A` is constant);
+//! * `X: A ~ B` — within each equivalence class of the context's
+//!   partition, attributes `A` and `B` are order compatible (no swap).
+//!
+//! The discovered set consists of the *minimal* canonical dependencies:
+//! FDs with no determining subset, and pair compatibilities with no valid
+//! sub-context. Our implementation computes the FD shape with the TANE
+//! lattice ([`crate::fd`]) and the OC shape with a per-pair breadth-first
+//! sweep over contexts, sharing one stripped-partition cache. This is a
+//! reformulation of FASTOD's candidate propagation with identical output;
+//! the worst case is the same `O(2^n)` in the number of attributes that the
+//! paper contrasts with OCDDISCOVER (§5.2.2, §6).
+//!
+//! This reimplementation is *correct* on the NUMBERS dataset where the
+//! reference implementation reported spurious dependencies (§5.2.2); the
+//! test-suite verifies agreement with brute force instead.
+
+use crate::fd::{tane, AttrSet, Fd, TaneConfig};
+use crate::partitions::StrippedPartition;
+use ocdd_relation::{ColumnId, Relation};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+#[inline]
+fn bit(col: ColumnId) -> AttrSet {
+    1u128 << col
+}
+
+fn members(set: AttrSet) -> impl Iterator<Item = ColumnId> {
+    (0..128usize).filter(move |&i| set & (1u128 << i) != 0)
+}
+
+/// A canonical order compatibility dependency `context: A ~ B`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalOcd {
+    /// Context attribute set, ascending.
+    pub context: Vec<ColumnId>,
+    /// First attribute of the pair (`a < b`).
+    pub a: ColumnId,
+    /// Second attribute of the pair.
+    pub b: ColumnId,
+}
+
+impl std::fmt::Display for CanonicalOcd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.context.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}: {} ~ {}", self.a, self.b)
+    }
+}
+
+/// Configuration for a FASTOD run.
+#[derive(Debug, Clone, Default)]
+pub struct FastodConfig {
+    /// Bound on context size for the OC sweep and LHS size for the FD
+    /// lattice. `None` = full.
+    pub max_level: Option<usize>,
+    /// Wall-clock budget; exceeding it returns partial results.
+    pub time_budget: Option<Duration>,
+    /// Abort after this many canonical-candidate checks.
+    pub max_checks: Option<u64>,
+}
+
+/// Output of a FASTOD run.
+#[derive(Debug, Clone)]
+pub struct FastodResult {
+    /// Minimal FDs (the FD-shaped canonical ODs).
+    pub fds: Vec<Fd>,
+    /// Minimal canonical OCDs.
+    pub ocds: Vec<CanonicalOcd>,
+    /// Canonical candidates checked (FD lattice nodes + OC contexts).
+    pub checks: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// False when a budget stopped the run early.
+    pub complete: bool,
+}
+
+impl FastodResult {
+    /// Total canonical dependencies (the `|Od|` column for FASTOD).
+    pub fn od_count(&self) -> usize {
+        self.fds.len() + self.ocds.len()
+    }
+}
+
+/// Check `context: a ~ b` — within each class of the context partition,
+/// sort by `(a, b)` and verify `b` never strictly decreases.
+fn pair_valid(rel: &Relation, context: &StrippedPartition, a: ColumnId, b: ColumnId) -> bool {
+    let ca = rel.codes(a);
+    let cb = rel.codes(b);
+    let mut scratch: Vec<(u32, u32)> = Vec::new();
+    for class in &context.classes {
+        scratch.clear();
+        scratch.extend(class.iter().map(|&r| (ca[r as usize], cb[r as usize])));
+        scratch.sort_unstable();
+        for w in scratch.windows(2) {
+            // Sorted by (a, b): a tie on `a` cannot decrease `b`, so any
+            // decrease in `b` is a genuine swap.
+            if w[1].1 < w[0].1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Lazily computed stripped partitions per attribute set.
+struct PartitionCache<'r> {
+    rel: &'r Relation,
+    cache: HashMap<AttrSet, StrippedPartition>,
+}
+
+impl<'r> PartitionCache<'r> {
+    fn new(rel: &'r Relation) -> PartitionCache<'r> {
+        let mut cache = HashMap::new();
+        cache.insert(0, StrippedPartition::unit(rel.num_rows()));
+        PartitionCache { rel, cache }
+    }
+
+    fn get(&mut self, set: AttrSet) -> &StrippedPartition {
+        if !self.cache.contains_key(&set) {
+            let highest = 127 - set.leading_zeros() as usize;
+            let rest = set & !bit(highest);
+            let single = StrippedPartition::for_column(self.rel, highest);
+            let combined = if rest == 0 {
+                single
+            } else {
+                self.get(rest);
+                self.cache[&rest].product(&single)
+            };
+            self.cache.insert(set, combined);
+        }
+        &self.cache[&set]
+    }
+}
+
+/// Run FASTOD over `rel`.
+pub fn fastod(rel: &Relation, config: &FastodConfig) -> FastodResult {
+    let start = Instant::now();
+    let n = rel.num_columns();
+    assert!(n <= 128, "FASTOD baseline supports up to 128 columns");
+    let deadline = config.time_budget.map(|d| start + d);
+    let max_checks = config.max_checks.unwrap_or(u64::MAX);
+
+    // FD-shaped canonical ODs via the TANE lattice.
+    let tane_result = tane(
+        rel,
+        &TaneConfig {
+            max_level: config.max_level,
+            time_budget: config.time_budget,
+        },
+    );
+    let fds = tane_result.fds;
+    let mut checks = tane_result.nodes_visited;
+    let mut complete = tane_result.complete;
+
+    // OC-shaped canonical ODs: per-pair minimal-context BFS.
+    let mut cache = PartitionCache::new(rel);
+    let mut ocds: Vec<CanonicalOcd> = Vec::new();
+
+    'pairs: for a in 0..n {
+        for b in (a + 1)..n {
+            // BFS over contexts in ascending-extension order: every context
+            // set is generated exactly once, smallest sets first.
+            let mut level: Vec<AttrSet> = vec![0];
+            let mut valid_contexts: Vec<AttrSet> = Vec::new();
+            let mut level_no = 0usize;
+            while !level.is_empty() {
+                if config.max_level.is_some_and(|max| level_no > max) {
+                    complete = false;
+                    break;
+                }
+                let mut next: Vec<AttrSet> = Vec::new();
+                for &k in &level {
+                    if checks >= max_checks || deadline.is_some_and(|d| Instant::now() >= d) {
+                        complete = false;
+                        break 'pairs;
+                    }
+                    // Minimality: a valid subset context implies this one.
+                    // (subset test, not an equality — clippy's `contains`
+                    // suggestion would change semantics)
+                    #[allow(clippy::manual_contains)]
+                    if valid_contexts.iter().any(|&v| v & k == v) {
+                        continue;
+                    }
+                    checks += 1;
+                    let partition = cache.get(k);
+                    if pair_valid(rel, partition, a, b) {
+                        valid_contexts.push(k);
+                        ocds.push(CanonicalOcd {
+                            context: members(k).collect(),
+                            a,
+                            b,
+                        });
+                    } else {
+                        // Extend with attributes above the current maximum
+                        // (canonical single-path set generation).
+                        let min_next = if k == 0 {
+                            0
+                        } else {
+                            128 - k.leading_zeros() as usize
+                        };
+                        for c in min_next..n {
+                            if c != a && c != b && k & bit(c) == 0 {
+                                next.push(k | bit(c));
+                            }
+                        }
+                    }
+                }
+                level = next;
+                level_no += 1;
+            }
+        }
+    }
+
+    ocds.sort_by(|x, y| {
+        (x.context.len(), &x.context, x.a, x.b).cmp(&(y.context.len(), &y.context, y.a, y.b))
+    });
+    ocds.dedup();
+    FastodResult {
+        fds,
+        ocds,
+        checks,
+        elapsed: start.elapsed(),
+        complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocdd_relation::{Relation, Value};
+
+    fn rel(cols: &[(&str, &[i64])]) -> Relation {
+        Relation::from_columns(
+            cols.iter()
+                .map(|(n, vals)| (n.to_string(), vals.iter().map(|&v| Value::Int(v)).collect()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// Brute-force minimal canonical OCDs for cross-checking.
+    fn brute_canonical_ocds(r: &Relation) -> Vec<CanonicalOcd> {
+        let n = r.num_columns();
+        let mut out = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let others: Vec<usize> = (0..n).filter(|&c| c != a && c != b).collect();
+                let mut valid_sets: Vec<AttrSet> = Vec::new();
+                // Enumerate contexts by increasing size.
+                let mut all_subsets: Vec<AttrSet> = vec![0];
+                for &c in &others {
+                    let mut grown: Vec<AttrSet> = all_subsets.iter().map(|&s| s | bit(c)).collect();
+                    all_subsets.append(&mut grown);
+                }
+                all_subsets.sort_by_key(|s| s.count_ones());
+                for k in all_subsets {
+                    // Subset test, not membership (see the main sweep).
+                    #[allow(clippy::manual_contains)]
+                    if valid_sets.iter().any(|&v| v & k == v) {
+                        continue;
+                    }
+                    let mut part = StrippedPartition::unit(r.num_rows());
+                    for c in members(k) {
+                        part = part.product(&StrippedPartition::for_column(r, c));
+                    }
+                    if pair_valid(r, &part, a, b) {
+                        valid_sets.push(k);
+                        out.push(CanonicalOcd {
+                            context: members(k).collect(),
+                            a,
+                            b,
+                        });
+                    }
+                }
+            }
+        }
+        out.sort_by(|x, y| {
+            (x.context.len(), &x.context, x.a, x.b).cmp(&(y.context.len(), &y.context, y.a, y.b))
+        });
+        out
+    }
+
+    #[test]
+    fn empty_context_pair_matches_global_ocd() {
+        // A ~ B globally (YES-style) => canonical OCD with empty context.
+        let r = rel(&[("a", &[1, 1, 2, 2, 3]), ("b", &[1, 2, 2, 3, 3])]);
+        let result = fastod(&r, &FastodConfig::default());
+        assert!(result
+            .ocds
+            .iter()
+            .any(|o| o.context.is_empty() && o.a == 0 && o.b == 1));
+    }
+
+    #[test]
+    fn contexted_pair_found_when_classes_are_compatible() {
+        // Swap between rows of different c-classes only.
+        let r = rel(&[
+            ("a", &[1, 2, 9, 10]),
+            ("b", &[5, 6, 1, 2]),
+            ("c", &[0, 0, 1, 1]),
+        ]);
+        let result = fastod(&r, &FastodConfig::default());
+        // Globally a~b fails (rows 1,2: a 2<9, b 6>1). Within c classes it
+        // holds: {0,1} increasing, {2,3} increasing.
+        assert!(result
+            .ocds
+            .iter()
+            .any(|o| o.context == vec![2] && o.a == 0 && o.b == 1));
+        assert!(!result
+            .ocds
+            .iter()
+            .any(|o| o.context.is_empty() && o.a == 0 && o.b == 1));
+    }
+
+    #[test]
+    fn matches_brute_force_canonical_set() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cols = 4;
+            let r = Relation::from_columns(
+                (0..cols)
+                    .map(|c| {
+                        (
+                            format!("c{c}"),
+                            (0..12)
+                                .map(|_| Value::Int(rng.random_range(0..3)))
+                                .collect(),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let result = fastod(&r, &FastodConfig::default());
+            assert_eq!(result.ocds, brute_canonical_ocds(&r), "seed {seed}");
+            assert!(result.complete);
+        }
+    }
+
+    #[test]
+    fn fd_side_matches_tane() {
+        use crate::fd::{tane, TaneConfig};
+        let r = rel(&[
+            ("a", &[1, 2, 3, 4]),
+            ("b", &[1, 1, 2, 2]),
+            ("c", &[5, 5, 5, 5]),
+        ]);
+        let fast = fastod(&r, &FastodConfig::default());
+        let t = tane(&r, &TaneConfig::default());
+        assert_eq!(fast.fds, t.fds);
+    }
+
+    #[test]
+    fn numbers_table_no_spurious_dependency() {
+        use ocdd_core::check::check_od_pairwise;
+        use ocdd_core::AttrList;
+        let r = ocdd_datasets::paper::numbers_table();
+        let result = fastod(&r, &FastodConfig::default());
+        // The reference implementation claimed [B] -> [AC]; it is invalid.
+        assert!(!check_od_pairwise(
+            &r,
+            &AttrList::from_slice(&[1]),
+            &AttrList::from_slice(&[0, 2])
+        ));
+        // [B] -> [AC] would require the FD B -> A; FASTOD must not report it.
+        assert!(!result.fds.iter().any(|fd| fd.lhs == vec![1] && fd.rhs == 0));
+        // And the canonical set must match brute force exactly.
+        assert_eq!(result.ocds, brute_canonical_ocds(&r));
+    }
+
+    #[test]
+    fn agrees_with_ocddiscover_on_global_singleton_pairs() {
+        use ocdd_core::{discover, DiscoveryConfig};
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 40..55u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = Relation::from_columns(
+                (0..3)
+                    .map(|c| {
+                        (
+                            format!("c{c}"),
+                            (0..12)
+                                .map(|_| Value::Int(rng.random_range(0..4)))
+                                .collect(),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let fast = fastod(&r, &FastodConfig::default());
+            let ours = discover(
+                &r,
+                &DiscoveryConfig {
+                    column_reduction: false,
+                    ..Default::default()
+                },
+            );
+            // Compare the set of globally order-compatible singleton pairs.
+            let fast_pairs: std::collections::HashSet<(usize, usize)> = fast
+                .ocds
+                .iter()
+                .filter(|o| o.context.is_empty())
+                .map(|o| (o.a, o.b))
+                .collect();
+            let our_pairs: std::collections::HashSet<(usize, usize)> = ours
+                .ocds
+                .iter()
+                .filter(|o| o.lhs.len() == 1 && o.rhs.len() == 1)
+                .map(|o| {
+                    let a = o.lhs.as_slice()[0];
+                    let b = o.rhs.as_slice()[0];
+                    (a.min(b), a.max(b))
+                })
+                .collect();
+            assert_eq!(fast_pairs, our_pairs, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn budget_stops_early_with_partial_results() {
+        let r = rel(&[
+            ("a", &[1, 2, 3, 4, 2, 1]),
+            ("b", &[4, 3, 2, 1, 3, 4]),
+            ("c", &[1, 2, 1, 2, 2, 1]),
+            ("d", &[2, 1, 2, 1, 1, 2]),
+        ]);
+        let result = fastod(
+            &r,
+            &FastodConfig {
+                max_checks: Some(5),
+                ..Default::default()
+            },
+        );
+        assert!(!result.complete);
+        assert!(result.checks >= 5);
+    }
+
+    #[test]
+    fn od_count_sums_components() {
+        let r = rel(&[("a", &[1, 2, 3]), ("b", &[1, 1, 2])]);
+        let result = fastod(&r, &FastodConfig::default());
+        assert_eq!(result.od_count(), result.fds.len() + result.ocds.len());
+        assert!(result.complete);
+    }
+}

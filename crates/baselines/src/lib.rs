@@ -1,0 +1,30 @@
+//! Baseline algorithms the paper compares OCDDISCOVER against (§5.2).
+//!
+//! * [`partitions`] — stripped partitions (`π̄`), the shared machinery of
+//!   TANE-style algorithms.
+//! * [`fd`] — TANE-style minimal functional dependency discovery (the
+//!   scalable FD baseline).
+//! * [`mod@fastfds`] — FastFDs (difference sets + minimal covers), the
+//!   algorithm the paper actually quotes for the `|Fd|` column; both FD
+//!   discoverers return the same complete minimal FD set (tested).
+//! * [`order`] — ORDER (Langer & Naumann): a levelwise lattice over OD
+//!   candidates with disjoint, duplicate-free attribute lists. Faithfully
+//!   incomplete: it cannot find dependencies with repeated attributes, so
+//!   it discovers nothing on the YES dataset.
+//! * [`mod@fastod`] — FASTOD (Szlichta et al.): complete OD discovery over
+//!   set-based canonical forms with `O(2^n)` worst case. Our
+//!   reimplementation is correct; the reference implementation's bug on
+//!   the NUMBERS dataset (§5.2.2) intentionally does not reproduce.
+
+#![warn(missing_docs)]
+pub mod fastfds;
+pub mod fastod;
+pub mod fd;
+pub mod order;
+pub mod partitions;
+
+pub use fastfds::{fastfds, FastFdsConfig, FastFdsResult};
+pub use fastod::{fastod, FastodConfig, FastodResult};
+pub use fd::{tane, TaneConfig, TaneResult};
+pub use order::{order_discover, OrderConfig, OrderResult};
+pub use partitions::StrippedPartition;

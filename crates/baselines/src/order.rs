@@ -1,0 +1,251 @@
+//! ORDER (Langer & Naumann, 2016): levelwise OD discovery over candidates
+//! with **disjoint, duplicate-free** attribute lists.
+//!
+//! ORDER traverses directed OD candidates `X → Y` breadth-first, steering
+//! by the violation kind the check reports:
+//!
+//! * **Valid** — emit the OD. LHS extensions `XA → Y` are implied (a longer
+//!   LHS only strengthens the premise) and are pruned; RHS extensions
+//!   `X → YB` are new candidates.
+//! * **Split** (FD component violated) — appending to the RHS can never fix
+//!   a split, so only LHS extensions `XA → Y` are generated.
+//! * **Swap** (order compatibility violated) — a strict swap survives any
+//!   extension on either side; the subtree is pruned entirely.
+//!
+//! Because left- and right-hand sides must stay disjoint, ORDER is
+//! *incomplete*: dependencies with repeated attributes, such as the
+//! `AB → B` (equivalently `A ~ B`) hidden in the YES dataset, are never
+//! found (§5.2.1). The test-suite pins this down.
+
+use ocdd_core::check::{check_od, CheckOutcome};
+use ocdd_core::deps::{AttrList, Od};
+use ocdd_relation::{ColumnId, Relation};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Configuration for an ORDER run.
+#[derive(Debug, Clone, Default)]
+pub struct OrderConfig {
+    /// Stop after this level (combined list length). `None` = full lattice.
+    pub max_level: Option<usize>,
+    /// Abort with partial results after this many candidate checks.
+    pub max_checks: Option<u64>,
+    /// Wall-clock budget (the paper's 5-hour threshold).
+    pub time_budget: Option<Duration>,
+}
+
+/// Output of an ORDER run.
+#[derive(Debug, Clone)]
+pub struct OrderResult {
+    /// Minimal ODs with disjoint sides, in level order.
+    pub ods: Vec<Od>,
+    /// Candidate checks performed.
+    pub checks: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// False when a budget stopped the run early.
+    pub complete: bool,
+}
+
+/// Run ORDER over `rel`.
+pub fn order_discover(rel: &Relation, config: &OrderConfig) -> OrderResult {
+    let start = Instant::now();
+    let n = rel.num_columns();
+    let deadline = config.time_budget.map(|d| start + d);
+    let max_checks = config.max_checks.unwrap_or(u64::MAX);
+
+    let mut ods: Vec<Od> = Vec::new();
+    let mut checks = 0u64;
+    let mut complete = true;
+
+    // Level 2 seeds: all ordered pairs (directions matter for ODs).
+    let mut level: Vec<(AttrList, AttrList)> = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                level.push((AttrList::single(a), AttrList::single(b)));
+            }
+        }
+    }
+
+    let mut level_no = 2usize;
+    'outer: while !level.is_empty() {
+        if config.max_level.is_some_and(|max| level_no > max) {
+            complete = false;
+            break;
+        }
+        let mut next: Vec<(AttrList, AttrList)> = Vec::new();
+        for (x, y) in &level {
+            if checks >= max_checks || deadline.is_some_and(|d| Instant::now() >= d) {
+                complete = false;
+                break 'outer;
+            }
+            checks += 1;
+            let unused = || {
+                (0..n)
+                    .filter(|&a| !x.contains(a) && !y.contains(a))
+                    .collect::<Vec<ColumnId>>()
+            };
+            match check_od(rel, x, y) {
+                CheckOutcome::Valid => {
+                    ods.push(Od::new(x.clone(), y.clone()));
+                    for b in unused() {
+                        next.push((x.clone(), y.with_appended(b)));
+                    }
+                }
+                CheckOutcome::Split { .. } => {
+                    for a in unused() {
+                        next.push((x.with_appended(a), y.clone()));
+                    }
+                }
+                CheckOutcome::Swap { .. } => {} // dead subtree
+            }
+        }
+        // Dedup: a candidate can be generated along several paths.
+        let mut seen: HashSet<(AttrList, AttrList)> = HashSet::with_capacity(next.len());
+        next.retain(|c| seen.insert(c.clone()));
+        level = next;
+        level_no += 1;
+    }
+
+    ods.sort_by(|a, b| {
+        (a.lhs.len() + a.rhs.len(), &a.lhs, &a.rhs).cmp(&(
+            b.lhs.len() + b.rhs.len(),
+            &b.lhs,
+            &b.rhs,
+        ))
+    });
+    ods.dedup();
+    OrderResult {
+        ods,
+        checks,
+        elapsed: start.elapsed(),
+        complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocdd_relation::Value;
+
+    fn rel(cols: &[(&str, &[i64])]) -> Relation {
+        Relation::from_columns(
+            cols.iter()
+                .map(|(n, vals)| (n.to_string(), vals.iter().map(|&v| Value::Int(v)).collect()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_single_column_ods() {
+        let r = rel(&[("a", &[1, 2, 3, 4]), ("b", &[1, 1, 2, 2])]);
+        let result = order_discover(&r, &OrderConfig::default());
+        assert!(result.complete);
+        let texts: Vec<String> = result.ods.iter().map(|o| o.to_string()).collect();
+        assert!(texts.contains(&"[0] -> [1]".to_string()));
+        assert!(!texts.contains(&"[1] -> [0]".to_string()));
+    }
+
+    #[test]
+    fn finds_composite_lhs_od() {
+        // Neither a nor b alone orders c, but [a,b] does.
+        let r = rel(&[
+            ("a", &[1, 1, 2, 2]),
+            ("b", &[1, 2, 1, 2]),
+            ("c", &[1, 2, 3, 4]),
+        ]);
+        let result = order_discover(&r, &OrderConfig::default());
+        let texts: Vec<String> = result.ods.iter().map(|o| o.to_string()).collect();
+        assert!(
+            texts.contains(&"[0,1] -> [2]".to_string()),
+            "found: {texts:?}"
+        );
+    }
+
+    #[test]
+    fn incomplete_on_yes_dataset() {
+        // The headline incompleteness: ORDER finds nothing on YES.
+        let r = rel(&[("a", &[1, 1, 2, 2, 3]), ("b", &[1, 2, 2, 3, 3])]);
+        let result = order_discover(&r, &OrderConfig::default());
+        assert!(result.complete);
+        assert!(
+            result.ods.is_empty(),
+            "ORDER must miss AB <-> BA: {:?}",
+            result.ods
+        );
+    }
+
+    #[test]
+    fn nothing_on_no_dataset() {
+        let r = rel(&[("a", &[1, 2, 3, 3, 4]), ("b", &[4, 5, 6, 7, 1])]);
+        let result = order_discover(&r, &OrderConfig::default());
+        assert!(result.ods.is_empty());
+    }
+
+    #[test]
+    fn swap_prunes_subtree() {
+        // Pure swaps everywhere: exactly the seed checks, nothing deeper.
+        let r = rel(&[("a", &[1, 2]), ("b", &[2, 1])]);
+        let result = order_discover(&r, &OrderConfig::default());
+        assert_eq!(result.checks, 2);
+        assert!(result.ods.is_empty());
+    }
+
+    #[test]
+    fn all_emitted_ods_hold_and_have_disjoint_sides() {
+        use ocdd_core::check::check_od_pairwise;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = Relation::from_columns(
+            (0..4)
+                .map(|c| {
+                    (
+                        format!("c{c}"),
+                        (0..20)
+                            .map(|_| Value::Int(rng.random_range(0..3)))
+                            .collect(),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let result = order_discover(&r, &OrderConfig::default());
+        for od in &result.ods {
+            assert!(od.lhs.is_disjoint(&od.rhs), "{od}");
+            assert!(od.lhs.is_duplicate_free() && od.rhs.is_duplicate_free());
+            assert!(
+                check_od_pairwise(&r, &od.lhs, &od.rhs),
+                "{od} does not hold"
+            );
+        }
+    }
+
+    #[test]
+    fn check_budget_stops_early() {
+        let r = rel(&[
+            ("a", &[1, 1, 2, 2]),
+            ("b", &[1, 2, 1, 2]),
+            ("c", &[1, 2, 3, 4]),
+        ]);
+        let result = order_discover(
+            &r,
+            &OrderConfig {
+                max_checks: Some(3),
+                ..Default::default()
+            },
+        );
+        assert!(!result.complete);
+        assert!(result.checks <= 3);
+    }
+
+    #[test]
+    fn constant_column_is_ordered_by_everything() {
+        let r = rel(&[("a", &[1, 2, 3]), ("k", &[7, 7, 7])]);
+        let result = order_discover(&r, &OrderConfig::default());
+        let texts: Vec<String> = result.ods.iter().map(|o| o.to_string()).collect();
+        assert!(texts.contains(&"[0] -> [1]".to_string()));
+    }
+}

@@ -1,0 +1,47 @@
+//! Benchmarks for the stripped-partition machinery shared by the TANE and
+//! FASTOD baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocdd_baselines::{fastod, tane, FastodConfig, StrippedPartition, TaneConfig};
+use ocdd_datasets::{ColumnSpec, Dataset, RowScale, TableSpec};
+use std::hint::black_box;
+
+fn bench_partition_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitions");
+    for rows in [10_000usize, 100_000] {
+        let rel = TableSpec::new(
+            vec![
+                ("a", ColumnSpec::RandomInt { distinct: 100 }),
+                ("b", ColumnSpec::RandomInt { distinct: 100 }),
+            ],
+            rows,
+        )
+        .generate(3);
+        group.bench_with_input(BenchmarkId::new("for_column", rows), &rel, |b, rel| {
+            b.iter(|| black_box(StrippedPartition::for_column(rel, 0)))
+        });
+        let pa = StrippedPartition::for_column(&rel, 0);
+        let pb = StrippedPartition::for_column(&rel, 1);
+        group.bench_with_input(BenchmarkId::new("product", rows), &rows, |b, _| {
+            b.iter(|| black_box(pa.product(&pb)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let rel = Dataset::Hepatitis.generate(RowScale::Default);
+    group.bench_function("tane_hepatitis", |b| {
+        b.iter(|| black_box(tane(&rel, &TaneConfig::default())))
+    });
+    let small = Dataset::Numbers.generate(RowScale::Default);
+    group.bench_function("fastod_numbers", |b| {
+        b.iter(|| black_box(fastod(&small, &FastodConfig::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_ops, bench_baselines);
+criterion_main!(benches);

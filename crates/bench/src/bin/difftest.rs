@@ -1,0 +1,171 @@
+//! Differential tester: hammer OCDDISCOVER, FASTOD, TANE, FastFDs and the
+//! brute-force oracles with random relations and report any disagreement.
+//!
+//! ```text
+//! difftest [--cases N] [--rows R] [--cols C] [--domain D] [--seed S]
+//! ```
+//!
+//! Exit code 0 = no mismatches. Each mismatch prints the offending seed so
+//! it can be replayed; the generation is fully deterministic.
+
+use ocdd_baselines::{fastfds, fastod, tane, FastFdsConfig, FastodConfig, TaneConfig};
+use ocdd_core::brute::{brute_force_minimal_fds, brute_force_minimal_ocds};
+use ocdd_core::check::check_od_pairwise;
+use ocdd_core::{discover, DiscoveryConfig, Ocd};
+use ocdd_relation::{Relation, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+struct Options {
+    cases: u64,
+    rows: usize,
+    cols: usize,
+    domain: i64,
+    seed: u64,
+}
+
+fn parse() -> Options {
+    let mut opts = Options {
+        cases: 200,
+        rows: 14,
+        cols: 4,
+        domain: 3,
+        seed: 0,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut val = |name: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--cases" => opts.cases = val("--cases").parse().expect("number"),
+            "--rows" => opts.rows = val("--rows").parse().expect("number"),
+            "--cols" => opts.cols = val("--cols").parse().expect("number"),
+            "--domain" => opts.domain = val("--domain").parse().expect("number"),
+            "--seed" => opts.seed = val("--seed").parse().expect("number"),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn random_relation(seed: u64, rows: usize, cols: usize, domain: i64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Relation::from_columns(
+        (0..cols)
+            .map(|c| {
+                (
+                    format!("c{c}"),
+                    (0..rows)
+                        .map(|_| Value::Int(rng.random_range(0..domain)))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+    .expect("columns have equal length")
+}
+
+fn main() {
+    let opts = parse();
+    let mut mismatches = 0u64;
+
+    for case in 0..opts.cases {
+        let seed = opts.seed.wrapping_add(case);
+        let rel = random_relation(seed, opts.rows, opts.cols, opts.domain);
+
+        // 1. FD discoverers vs brute force.
+        let tane_fds: HashSet<_> = tane(&rel, &TaneConfig::default())
+            .fds
+            .into_iter()
+            .map(|fd| (fd.lhs, fd.rhs))
+            .collect();
+        let ff_fds: HashSet<_> = fastfds(&rel, &FastFdsConfig::default())
+            .fds
+            .into_iter()
+            .map(|fd| (fd.lhs, fd.rhs))
+            .collect();
+        let brute_fds: HashSet<_> = brute_force_minimal_fds(&rel, opts.cols)
+            .into_iter()
+            .collect();
+        if tane_fds != brute_fds {
+            mismatches += 1;
+            eprintln!("seed {seed}: TANE != brute-force FDs");
+        }
+        if ff_fds != brute_fds {
+            mismatches += 1;
+            eprintln!("seed {seed}: FastFDs != brute-force FDs");
+        }
+
+        // 2. OCDDISCOVER soundness + singleton agreement with FASTOD.
+        let ours = discover(
+            &rel,
+            &DiscoveryConfig {
+                column_reduction: false,
+                ..DiscoveryConfig::default()
+            },
+        );
+        for od in &ours.ods {
+            if !check_od_pairwise(&rel, &od.lhs, &od.rhs) {
+                mismatches += 1;
+                eprintln!("seed {seed}: ocddiscover emitted spurious OD {od}");
+            }
+        }
+        let brute_ocds: HashSet<Ocd> = brute_force_minimal_ocds(&rel, 1).into_iter().collect();
+        let our_singleton_ocds: HashSet<Ocd> = ours
+            .ocds
+            .iter()
+            .filter(|o| o.lhs.len() == 1 && o.rhs.len() == 1)
+            .map(Ocd::canonical)
+            .collect();
+        if our_singleton_ocds != brute_ocds {
+            mismatches += 1;
+            eprintln!("seed {seed}: singleton OCDs disagree with brute force");
+        }
+
+        let fast = fastod(&rel, &FastodConfig::default());
+        let fast_pairs: HashSet<(usize, usize)> = fast
+            .ocds
+            .iter()
+            .filter(|o| o.context.is_empty())
+            .map(|o| (o.a, o.b))
+            .collect();
+        let our_pairs: HashSet<(usize, usize)> = our_singleton_ocds
+            .iter()
+            .map(|o| {
+                let a = o.lhs.as_slice()[0];
+                let b = o.rhs.as_slice()[0];
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        if fast_pairs != our_pairs {
+            mismatches += 1;
+            eprintln!("seed {seed}: FASTOD empty-context pairs != ocddiscover");
+        }
+
+        if (case + 1) % 50 == 0 {
+            eprintln!(
+                "[difftest] {}/{} cases, {mismatches} mismatches",
+                case + 1,
+                opts.cases
+            );
+        }
+    }
+
+    if mismatches == 0 {
+        println!("difftest: {} cases, all algorithms agree", opts.cases);
+    } else {
+        println!(
+            "difftest: {mismatches} MISMATCHES over {} cases",
+            opts.cases
+        );
+        std::process::exit(1);
+    }
+}

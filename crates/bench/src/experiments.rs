@@ -1,0 +1,747 @@
+//! The experiment implementations, one function per table/figure.
+//!
+//! Absolute numbers differ from the paper (different hardware and synthetic
+//! stand-in data); each function's doc comment names the *shape* claim the
+//! experiment verifies. EXPERIMENTS.md records paper-vs-measured.
+
+use crate::report::{fmt_duration, Report};
+use ocdd_baselines::{
+    fastfds, fastod, order_discover, tane, FastFdsConfig, FastodConfig, OrderConfig, TaneConfig,
+};
+use ocdd_core::entropy::rank_columns;
+use ocdd_core::expand::expanded_od_count;
+use ocdd_core::{discover, DiscoveryConfig, ParallelMode};
+use ocdd_datasets::{Dataset, RowScale};
+use ocdd_relation::Relation;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Row-count multiplier applied to large datasets (small paper tables
+    /// always run at full size). `--full` overrides to 1.0.
+    pub scale: f64,
+    /// Use the paper's full row counts.
+    pub full: bool,
+    /// Per-algorithm-run wall-clock budget (the paper used 5 hours; the
+    /// default here keeps the whole suite laptop-sized).
+    pub budget: Duration,
+    /// Thread counts for the multithreading experiment.
+    pub threads: Vec<usize>,
+    /// Repetitions per measurement (the paper averages 5).
+    pub reps: usize,
+    /// Random column samples per column count (the paper uses 50).
+    pub samples: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            scale: 0.1,
+            full: false,
+            budget: Duration::from_secs(10),
+            threads: vec![1, 2, 4, 8],
+            reps: 1,
+            samples: 10,
+            seed: 42,
+        }
+    }
+}
+
+impl ExpOptions {
+    fn effective_rows(&self, ds: Dataset) -> usize {
+        let default = ds.default_rows();
+        if self.full || default <= 2_000 {
+            return default;
+        }
+        (((default as f64) * self.scale) as usize).clamp(2_000, default)
+    }
+
+    fn load(&self, ds: Dataset) -> Relation {
+        ds.generate(RowScale::Rows(self.effective_rows(ds)))
+    }
+}
+
+fn discovery_config(budget: Duration) -> DiscoveryConfig {
+    DiscoveryConfig {
+        time_budget: Some(budget),
+        ..DiscoveryConfig::default()
+    }
+}
+
+fn mark(complete: bool) -> &'static str {
+    if complete {
+        ""
+    } else {
+        "†"
+    }
+}
+
+/// **Table 6** — per-dataset comparison of TANE (`|Fd|`), ORDER, FASTOD and
+/// OCDDISCOVER.
+///
+/// Shape claims: OCDDISCOVER completes wherever ORDER does and is faster on
+/// dependency-rich data; it finds OCDs that ORDER misses (YES row); FLIGHT
+/// exceeds any budget for every algorithm.
+pub fn run_table6(opts: &ExpOptions) -> Report {
+    let mut report = Report::new(
+        "Table 6 — datasets and execution statistics",
+        vec![
+            "dataset",
+            "rows",
+            "cols",
+            "|Fd| tane",
+            "|Fd| fastfds",
+            "order |Od|",
+            "order time",
+            "fastod |Od|",
+            "fastod time",
+            "ocdd |Ocd|",
+            "ocdd |Od|",
+            "ocdd expanded",
+            "ocdd checks",
+            "ocdd time",
+        ],
+    );
+    for &ds in Dataset::all() {
+        eprintln!("[table6] generating {}", ds.name());
+        let rel = opts.load(ds);
+
+        eprintln!("[table6] {}: tane", ds.name());
+        let tane_res = tane(
+            &rel,
+            &TaneConfig {
+                time_budget: Some(opts.budget),
+                max_level: None,
+            },
+        );
+        // FastFDs is O(rows²): run it only where that is tractable, with
+        // the same budget (the paper's |Fd| numbers come from FastFDs).
+        let fastfds_cell = if rel.num_rows() <= 5_000 {
+            let res = fastfds(
+                &rel,
+                &FastFdsConfig {
+                    time_budget: Some(opts.budget),
+                },
+            );
+            format!("{}{}", res.fds.len(), mark(res.complete))
+        } else {
+            "—".to_owned()
+        };
+        eprintln!("[table6] {}: order", ds.name());
+        let order_res = order_discover(
+            &rel,
+            &OrderConfig {
+                time_budget: Some(opts.budget),
+                ..OrderConfig::default()
+            },
+        );
+        eprintln!("[table6] {}: fastod", ds.name());
+        let fast_res = fastod(
+            &rel,
+            &FastodConfig {
+                time_budget: Some(opts.budget),
+                ..FastodConfig::default()
+            },
+        );
+        eprintln!("[table6] {}: ocddiscover", ds.name());
+        let ours = discover(&rel, &discovery_config(opts.budget));
+
+        report.push_row(vec![
+            ds.name().to_owned(),
+            rel.num_rows().to_string(),
+            rel.num_columns().to_string(),
+            format!("{}{}", tane_res.fds.len(), mark(tane_res.complete)),
+            fastfds_cell,
+            format!("{}{}", order_res.ods.len(), mark(order_res.complete)),
+            fmt_duration(order_res.elapsed),
+            format!("{}{}", fast_res.od_count(), mark(fast_res.complete)),
+            fmt_duration(fast_res.elapsed),
+            format!("{}{}", ours.ocd_count(), mark(ours.complete)),
+            ours.od_count().to_string(),
+            expanded_od_count(&ours).to_string(),
+            ours.checks.to_string(),
+            fmt_duration(ours.elapsed),
+        ]);
+    }
+    report.note(format!(
+        "† = stopped at the {:?} per-run budget (partial results), mirroring the paper's 5h limit.",
+        opts.budget
+    ));
+    report.note("Synthetic stand-ins: absolute counts differ from the paper; see DESIGN.md §4.");
+    report
+}
+
+/// **Figure 2** — row scalability on LINEITEM and NCVOTER (20 random
+/// columns): runtime grows close to linearly with the row count.
+pub fn run_fig2(opts: &ExpOptions) -> Report {
+    let mut report = Report::new(
+        "Figure 2 — row scalability",
+        vec![
+            "dataset", "fraction", "rows", "avg time", "ocds", "ods", "checks",
+        ],
+    );
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let cases: Vec<(String, Relation)> = vec![
+        ("lineitem".to_owned(), opts.load(Dataset::Lineitem)),
+        ("ncvoter(20cols)".to_owned(), {
+            let full = opts.load(Dataset::Ncvoter);
+            let mut cols: Vec<usize> = (0..full.num_columns()).collect();
+            cols.shuffle(&mut rng);
+            cols.truncate(20);
+            cols.sort_unstable();
+            full.project(&cols).expect("columns in range")
+        }),
+    ];
+
+    for (name, base) in &cases {
+        for step in 1..=10usize {
+            let rows = base.num_rows() * step / 10;
+            let sample = base.head(rows);
+            let mut total = Duration::ZERO;
+            let mut last = None;
+            for _ in 0..opts.reps.max(1) {
+                let res = discover(&sample, &discovery_config(opts.budget));
+                total += res.elapsed;
+                last = Some(res);
+            }
+            let res = last.expect("at least one rep");
+            report.push_row(vec![
+                name.clone(),
+                format!("{}%", step * 10),
+                rows.to_string(),
+                fmt_duration(total / opts.reps.max(1) as u32),
+                res.ocd_count().to_string(),
+                res.od_count().to_string(),
+                res.checks.to_string(),
+            ]);
+        }
+    }
+    report.note("Expected shape: near-linear growth in rows (O(m log m) checker dominates).");
+    report
+}
+
+/// Column scalability core shared by Figures 3 and 4: average discovery
+/// time over random column samples of increasing width.
+fn column_scalability(ds: Dataset, opts: &ExpOptions, title: &str) -> Report {
+    let mut report = Report::new(
+        title,
+        vec!["cols", "avg time", "avg checks", "avg deps", "samples"],
+    );
+    let rel = opts.load(ds);
+    let n = rel.num_columns();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    for c in 2..=n {
+        let mut total = Duration::ZERO;
+        let mut checks = 0u64;
+        let mut deps = 0u64;
+        let samples = opts.samples.max(1);
+        for _ in 0..samples {
+            let mut cols: Vec<usize> = (0..n).collect();
+            cols.shuffle(&mut rng);
+            cols.truncate(c);
+            let projected = rel.project(&cols).expect("columns in range");
+            let res = discover(&projected, &discovery_config(opts.budget));
+            total += res.elapsed;
+            checks += res.checks;
+            deps += (res.ocd_count() + res.od_count()) as u64;
+        }
+        report.push_row(vec![
+            c.to_string(),
+            fmt_duration(total / samples as u32),
+            (checks / samples as u64).to_string(),
+            (deps / samples as u64).to_string(),
+            samples.to_string(),
+        ]);
+    }
+    report.note("Expected shape: growth with column count, driven by the number of valid OCDs.");
+    report
+}
+
+/// **Figure 3** — column scalability on HEPATITIS.
+pub fn run_fig3(opts: &ExpOptions) -> Report {
+    column_scalability(
+        Dataset::Hepatitis,
+        opts,
+        "Figure 3 — column scalability (HEPATITIS)",
+    )
+}
+
+/// **Figure 4** — column scalability on HORSE.
+pub fn run_fig4(opts: &ExpOptions) -> Report {
+    column_scalability(
+        Dataset::Horse,
+        opts,
+        "Figure 4 — column scalability (HORSE)",
+    )
+}
+
+/// **Figure 5** — single-run column scalability on HORSE with the number
+/// of discovered dependencies: a quasi-constant column joining the sample
+/// inflates both the dependency count and the runtime (log scale in the
+/// paper).
+pub fn run_fig5(opts: &ExpOptions) -> Report {
+    let mut report = Report::new(
+        "Figure 5 — single-run column scalability with dependency counts (HORSE)",
+        vec!["cols", "added column", "distinct", "time", "deps", "checks"],
+    );
+    let rel = opts.load(Dataset::Horse);
+    let n = rel.num_columns();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for c in 2..=n {
+        let cols = &order[..c];
+        let projected = rel.project(cols).expect("columns in range");
+        let res = discover(&projected, &discovery_config(opts.budget));
+        let added = cols[c - 1];
+        report.push_row(vec![
+            c.to_string(),
+            rel.meta(added).name.clone(),
+            rel.meta(added).distinct.to_string(),
+            format!("{}{}", fmt_duration(res.elapsed), mark(res.complete)),
+            (res.ocd_count() + res.od_count()).to_string(),
+            res.checks.to_string(),
+        ]);
+    }
+    report.note(
+        "Expected shape: jumps in deps/time when low-distinct (quasi-constant) columns join.",
+    );
+    report
+}
+
+/// **Figure 6 + Table 8** — multithreaded scalability on LETTER, LINEITEM
+/// and DBTESMA.
+///
+/// Shape claims: all three speed up with threads; DBTESMA gains most (many
+/// more checks to spread over queues).
+///
+/// Two measurements per (dataset, thread-count):
+/// * **measured** wall-clock of the static-queue run — meaningful only on
+///   a machine with that many cores;
+/// * **simulated** time from per-branch cost profiling
+///   ([`ocdd_core::profile_branches`]): the level-2 branches are assigned
+///   round-robin to K queues exactly like the real scheduler, and the
+///   simulated parallel time is `reduction + max queue load`. This is the
+///   speedup the partitioning achieves independent of the host's core
+///   count (single-core CI boxes measure flat wall-clock).
+pub fn run_fig6(opts: &ExpOptions) -> Report {
+    let mut report = Report::new(
+        "Figure 6 / Table 8 — multithreaded scalability",
+        vec![
+            "dataset",
+            "threads",
+            "measured",
+            "measured norm",
+            "simulated",
+            "simulated norm",
+            "checks",
+        ],
+    );
+    for &ds in &[Dataset::Letter, Dataset::Lineitem, Dataset::Dbtesma] {
+        let rel = opts.load(ds);
+        let config = DiscoveryConfig {
+            time_budget: Some(opts.budget),
+            ..DiscoveryConfig::default()
+        };
+        // Per-branch cost profile drives the simulation.
+        let (reduction_time, branches) = ocdd_core::profile_branches(&rel, &config);
+        let total_branch: Duration = branches.iter().map(|b| b.elapsed).sum();
+        let sim_time = |k: usize| -> Duration {
+            let k = k.max(1);
+            let mut queues = vec![Duration::ZERO; k];
+            for (i, b) in branches.iter().enumerate() {
+                queues[i % k] += b.elapsed;
+            }
+            // The reduction's pairwise checks are also spread over the k
+            // workers (columns_reduction_with_threads), hence the division.
+            reduction_time / k as u32 + queues.into_iter().max().unwrap_or(Duration::ZERO)
+        };
+        let sim_base = reduction_time + total_branch;
+
+        let mut base: Option<Duration> = None;
+        for &t in &opts.threads {
+            let mode = if t <= 1 {
+                ParallelMode::Sequential
+            } else {
+                ParallelMode::StaticQueues(t)
+            };
+            let mut total = Duration::ZERO;
+            let mut checks = 0;
+            for _ in 0..opts.reps.max(1) {
+                let res = discover(
+                    &rel,
+                    &DiscoveryConfig {
+                        mode,
+                        ..config.clone()
+                    },
+                );
+                total += res.elapsed;
+                checks = res.checks;
+            }
+            let avg = total / opts.reps.max(1) as u32;
+            let base_time = *base.get_or_insert(avg);
+            let sim = if t <= 1 { sim_base } else { sim_time(t) };
+            report.push_row(vec![
+                ds.name().to_owned(),
+                t.to_string(),
+                fmt_duration(avg),
+                format!("{:.3}", avg.as_secs_f64() / base_time.as_secs_f64()),
+                fmt_duration(sim),
+                format!("{:.3}", sim.as_secs_f64() / sim_base.as_secs_f64()),
+                checks.to_string(),
+            ]);
+        }
+    }
+    report.note(
+        "Normalized to the single-thread time per dataset (Figure 6's y-axis). \
+         The simulated columns replay the measured per-branch costs through the \
+         static round-robin queue assignment of §4.2.2; on a multi-core host the \
+         measured columns approach them.",
+    );
+    report.note(format!(
+        "Host parallelism while measuring: {} core(s).",
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+    ));
+    report
+}
+
+/// **Figure 7** — entropy-guided column addition on FLIGHT: adding the
+/// first quasi-constant columns (those with the fewest distinct values,
+/// added last in decreasing-entropy order) blows the runtime up by orders
+/// of magnitude.
+pub fn run_fig7(opts: &ExpOptions) -> Report {
+    let mut report = Report::new(
+        "Figure 7 — columns added by decreasing entropy (FLIGHT_1K)",
+        vec![
+            "cols",
+            "last added",
+            "distinct",
+            "time",
+            "complete",
+            "checks",
+        ],
+    );
+    let rel = opts.load(Dataset::Flight1k);
+    let ranked = rank_columns(&rel);
+    let order: Vec<usize> = ranked.iter().map(|r| r.column).collect();
+    let mut consecutive_budget_hits = 0;
+    for c in 2..=order.len() {
+        let cols = &order[..c];
+        let projected = rel.project(cols).expect("columns in range");
+        let res = discover(&projected, &discovery_config(opts.budget));
+        let added = cols[c - 1];
+        report.push_row(vec![
+            c.to_string(),
+            rel.meta(added).name.clone(),
+            rel.meta(added).distinct.to_string(),
+            fmt_duration(res.elapsed),
+            res.complete.to_string(),
+            res.checks.to_string(),
+        ]);
+        consecutive_budget_hits = if res.complete {
+            0
+        } else {
+            consecutive_budget_hits + 1
+        };
+        if consecutive_budget_hits >= 3 {
+            report.note(format!(
+                "Stopped at {c} columns after 3 consecutive budget hits — the quasi-constant \
+                 blow-up the paper reports between columns 50 and 52."
+            ));
+            break;
+        }
+    }
+    report
+        .note("Expected shape: completes while columns are diverse; explodes once distinct ≤ ~4.");
+    report
+}
+
+/// **Ablations** — the design choices DESIGN.md calls out, measured on
+/// DBTESMA_1K and HORSE:
+///
+/// * faithful re-sort per candidate vs the cached-prefix refinement
+///   (the optimization §5.3.1 leaves out of scope);
+/// * per-level candidate dedup on vs off;
+/// * column reduction on vs off;
+/// * sequential vs static queues vs rayon scheduling.
+pub fn run_ablation(opts: &ExpOptions) -> Report {
+    let mut report = Report::new(
+        "Ablations — design-choice measurements",
+        vec!["dataset", "variant", "time", "checks", "ocds", "ods"],
+    );
+    let run =
+        |name: &str, ds: Dataset, rel: &Relation, config: &DiscoveryConfig, report: &mut Report| {
+            let mut total = Duration::ZERO;
+            let mut last = None;
+            for _ in 0..opts.reps.max(1) {
+                let res = discover(rel, config);
+                total += res.elapsed;
+                last = Some(res);
+            }
+            let res = last.expect("at least one rep");
+            report.push_row(vec![
+                ds.name().to_owned(),
+                name.to_owned(),
+                fmt_duration(total / opts.reps.max(1) as u32),
+                res.checks.to_string(),
+                res.ocd_count().to_string(),
+                res.od_count().to_string(),
+            ]);
+        };
+    for &ds in &[Dataset::Dbtesma1k, Dataset::Horse] {
+        let rel = opts.load(ds);
+        let base = discovery_config(opts.budget);
+        run("baseline (paper-faithful)", ds, &rel, &base, &mut report);
+        run(
+            "sort cache (prefix refinement)",
+            ds,
+            &rel,
+            &DiscoveryConfig {
+                checker: ocdd_core::CheckerBackend::PrefixCache,
+                ..base.clone()
+            },
+            &mut report,
+        );
+        run(
+            "sorted partitions (§5.3.1)",
+            ds,
+            &rel,
+            &DiscoveryConfig {
+                checker: ocdd_core::CheckerBackend::SortedPartitions,
+                ..base.clone()
+            },
+            &mut report,
+        );
+        run(
+            "dedup off",
+            ds,
+            &rel,
+            &DiscoveryConfig {
+                dedup_candidates: false,
+                ..base.clone()
+            },
+            &mut report,
+        );
+        run(
+            "column reduction off",
+            ds,
+            &rel,
+            &DiscoveryConfig {
+                column_reduction: false,
+                ..base.clone()
+            },
+            &mut report,
+        );
+        run(
+            "static queues ×4",
+            ds,
+            &rel,
+            &DiscoveryConfig {
+                mode: ParallelMode::StaticQueues(4),
+                ..base.clone()
+            },
+            &mut report,
+        );
+        run(
+            "rayon ×4",
+            ds,
+            &rel,
+            &DiscoveryConfig {
+                mode: ParallelMode::Rayon(4),
+                ..base.clone()
+            },
+            &mut report,
+        );
+    }
+    report.note("All variants must report identical ocds/ods (dedup/reduction change only work).");
+    report.note(
+        "Column-reduction-off changes counts: equivalent/constant columns re-enter the search.",
+    );
+    report
+}
+
+/// **Tables 5(a)/5(b)** — the YES/NO completeness demonstration: ORDER
+/// finds nothing on either; OCDDISCOVER finds `A ~ B` (i.e. `AB ↔ BA`) on
+/// YES and, correctly, nothing on NO.
+pub fn run_yesno(opts: &ExpOptions) -> Report {
+    let mut report = Report::new(
+        "Tables 5(a)/(b) — YES/NO completeness demonstration",
+        vec!["dataset", "algorithm", "found"],
+    );
+    for &ds in &[Dataset::Yes, Dataset::No] {
+        let rel = ds.generate(RowScale::Default);
+        eprintln!("[table6] {}: ocddiscover", ds.name());
+        let ours = discover(&rel, &discovery_config(opts.budget));
+        let ocd_text = if ours.ocds.is_empty() {
+            "-".to_owned()
+        } else {
+            ours.ocds
+                .iter()
+                .map(|o| o.display(&rel))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        report.push_row(vec![
+            ds.name().to_owned(),
+            "ocddiscover".to_owned(),
+            ocd_text,
+        ]);
+
+        let order_res = order_discover(&rel, &OrderConfig::default());
+        let od_text = if order_res.ods.is_empty() {
+            "-".to_owned()
+        } else {
+            order_res
+                .ods
+                .iter()
+                .map(|o| o.display(&rel))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        report.push_row(vec![ds.name().to_owned(), "order".to_owned(), od_text]);
+
+        let fast = fastod(&rel, &FastodConfig::default());
+        let fast_text = if fast.ocds.is_empty() {
+            "-".to_owned()
+        } else {
+            fast.ocds
+                .iter()
+                .map(|o| o.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        report.push_row(vec![ds.name().to_owned(), "fastod".to_owned(), fast_text]);
+    }
+    report.note("ORDER misses A ~ B on YES (repeated-attribute OD AB -> B); OCDDISCOVER finds it.");
+    report
+}
+
+/// **Table 7** — the NUMBERS relation: the reference FASTOD reported the
+/// spurious OD `[B] → [AC]`; our reimplementation and OCDDISCOVER agree
+/// it is invalid.
+pub fn run_numbers(opts: &ExpOptions) -> Report {
+    use ocdd_core::check::check_od_pairwise;
+    use ocdd_core::AttrList;
+
+    let mut report = Report::new(
+        "Table 7 — NUMBERS correctness check",
+        vec!["check", "result"],
+    );
+    let rel = Dataset::Numbers.generate(RowScale::Default);
+    let spurious = check_od_pairwise(
+        &rel,
+        &AttrList::from_slice(&[1]),
+        &AttrList::from_slice(&[0, 2]),
+    );
+    report.push_row(vec![
+        "[B] -> [A,C] valid in the data".into(),
+        spurious.to_string(),
+    ]);
+
+    let fast = fastod(&rel, &FastodConfig::default());
+    report.push_row(vec![
+        "our fastod reports FD B -> A".into(),
+        fast.fds
+            .iter()
+            .any(|fd| fd.lhs == vec![1] && fd.rhs == 0)
+            .to_string(),
+    ]);
+    report.push_row(vec![
+        "fastod canonical ODs".into(),
+        fast.od_count().to_string(),
+    ]);
+
+    let ours = discover(&rel, &discovery_config(opts.budget));
+    report.push_row(vec![
+        "ocddiscover OCDs".into(),
+        ours.ocd_count().to_string(),
+    ]);
+    report.push_row(vec!["ocddiscover ODs".into(), ours.od_count().to_string()]);
+    report.note("The reference implementation's bug (§5.2.2) does not reproduce: both algorithms reject [B] -> [AC].");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            scale: 0.001,
+            budget: Duration::from_millis(400),
+            threads: vec![1, 2],
+            samples: 2,
+            reps: 1,
+            ..ExpOptions::default()
+        }
+    }
+
+    #[test]
+    fn yesno_report_shape() {
+        let r = run_yesno(&tiny());
+        assert_eq!(r.rows.len(), 6);
+        // OCDDISCOVER finds A ~ B on YES; ORDER finds nothing.
+        let ocdd_yes = &r.rows[0];
+        assert_eq!(ocdd_yes[1], "ocddiscover");
+        assert!(ocdd_yes[2].contains("[A] ~ [B]"), "got {:?}", ocdd_yes[2]);
+        let order_yes = &r.rows[1];
+        assert_eq!(order_yes[2], "-");
+        // On NO, nobody finds anything.
+        assert_eq!(r.rows[3][2], "-");
+        assert_eq!(r.rows[4][2], "-");
+    }
+
+    #[test]
+    fn numbers_report_rejects_spurious_od() {
+        let r = run_numbers(&tiny());
+        assert_eq!(r.rows[0][1], "false", "[B] -> [AC] must be invalid");
+        assert_eq!(r.rows[1][1], "false", "our fastod must not report B -> A");
+    }
+
+    #[test]
+    fn fig6_normalized_starts_at_one() {
+        let r = run_fig6(&tiny());
+        // First row per dataset has normalized 1.000.
+        let letters: Vec<&Vec<String>> = r.rows.iter().filter(|row| row[0] == "letter").collect();
+        assert_eq!(letters[0][3], "1.000");
+        assert_eq!(letters.len(), 2);
+    }
+
+    #[test]
+    fn effective_rows_respects_scale_and_full() {
+        let opts = tiny();
+        assert_eq!(opts.effective_rows(Dataset::Yes), 5);
+        // 0.001 × 6,001,215 = 6,001 — above the 2,000-row floor.
+        assert_eq!(opts.effective_rows(Dataset::Lineitem), 6_001);
+        let tinier = ExpOptions {
+            scale: 0.0001,
+            ..tiny()
+        };
+        assert_eq!(
+            tinier.effective_rows(Dataset::Lineitem),
+            2_000,
+            "clamped at minimum"
+        );
+        let full = ExpOptions {
+            full: true,
+            ..tiny()
+        };
+        assert_eq!(full.effective_rows(Dataset::Hepatitis), 155);
+    }
+
+    #[test]
+    fn fig5_report_covers_all_columns() {
+        let r = run_fig5(&tiny());
+        assert_eq!(r.rows.len(), 28); // 2..=29 columns
+        assert_eq!(r.rows[0][0], "2");
+    }
+}

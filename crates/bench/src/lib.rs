@@ -1,0 +1,15 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§5). See DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+//!
+//! Each experiment is a library function returning a [`report::Report`]
+//! (so the test-suite can run it at tiny scale); the `experiments` binary
+//! parses CLI flags, calls the functions, prints the report as a markdown
+//! table and writes a TSV next to it.
+
+#![warn(missing_docs)]
+pub mod experiments;
+pub mod report;
+
+pub use experiments::ExpOptions;
+pub use report::Report;

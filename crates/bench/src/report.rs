@@ -1,0 +1,160 @@
+//! Tabular experiment reports: markdown rendering and TSV export.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple rectangular report: a title, column headers and string rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Human-readable title (e.g. `"Table 6 — dataset comparison"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes appended below the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Create an empty report.
+    pub fn new(title: impl Into<String>, headers: Vec<&str>) -> Report {
+        Report {
+            title: title.into(),
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity mismatch in report"
+        );
+        self.rows.push(row);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}\n", self.title);
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let render_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", render_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "| {} |", sep.join(" | "));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "\n> {note}");
+        }
+        out
+    }
+
+    /// Render as tab-separated values (header row included).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join("\t"));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join("\t"));
+        }
+        out
+    }
+
+    /// Write the TSV form to `dir/<slug>.tsv`.
+    pub fn write_tsv(&self, dir: &Path, slug: &str) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{slug}.tsv"));
+        std::fs::write(&path, self.to_tsv())?;
+        Ok(path)
+    }
+}
+
+/// Format a duration in adaptive units (µs / ms / s).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn markdown_renders_aligned_table() {
+        let mut r = Report::new("T", vec!["a", "long_header"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        r.note("a note");
+        let md = r.to_markdown();
+        assert!(md.contains("## T"));
+        assert!(md.contains("| a | long_header |"));
+        assert!(md.contains("| 1 | 2           |"));
+        assert!(md.contains("> a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("T", vec!["a", "b"]);
+        r.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let mut r = Report::new("T", vec!["a", "b"]);
+        r.push_row(vec!["1".into(), "x y".into()]);
+        assert_eq!(r.to_tsv(), "a\tb\n1\tx y\n");
+    }
+
+    #[test]
+    fn tsv_written_to_disk() {
+        let mut r = Report::new("T", vec!["a"]);
+        r.push_row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("ocdd_report_test");
+        let path = r.write_tsv(&dir, "t").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n1\n");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -1,0 +1,563 @@
+//! Approximate order dependencies: dependencies that hold after removing a
+//! bounded fraction of rows.
+//!
+//! The FD literature the paper builds on (§6) uses the `g3` error — the
+//! minimum fraction of tuples whose removal makes the dependency exact.
+//! Both components of an OD admit an exact, efficient `g3`:
+//!
+//! * **Order compatibility** (`X ~ Y`, swap violations): after sorting the
+//!   rows by `(X, Y)`, a subset of rows is swap-free **iff** its `Y`
+//!   projection is non-decreasing in that order (ties on `X` are sorted by
+//!   `Y`, so they can never decrease). The largest such subset is the
+//!   longest non-decreasing subsequence, computable in `O(m log m)` by
+//!   patience sorting.
+//! * **Functional dependency** (`X → Y` as sets, split violations): within
+//!   each `X`-equivalence class, keep the most frequent `Y`-projection;
+//!   everything else must go.
+//!
+//! An approximate OD holds at tolerance `ε` when both error components are
+//! at most `ε·m`. (The exact joint minimum removal is NP-hard in general;
+//! reporting the two components separately is the standard practice and an
+//! upper bound of at most their sum.)
+//!
+//! [`discover_approximate`] runs the OCDDISCOVER traversal with the exact
+//! validity test replaced by the ε-test. Because an approximate dependency
+//! is *not* downward closed (a superset list can repair a violation by
+//! reordering ties), the Theorem 3.7 pruning becomes a heuristic here —
+//! the trade-off every approximate levelwise discoverer makes; the
+//! documentation and tests pin the behaviour down.
+
+use crate::config::DiscoveryConfig;
+use crate::deps::{AttrList, Ocd, Od};
+use ocdd_relation::sort::{cmp_rows, sort_index_by};
+use ocdd_relation::Relation;
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Error decomposition of an OD candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OdError {
+    /// Minimum rows to remove to eliminate every swap (order
+    /// compatibility component), exact.
+    pub swap_removals: usize,
+    /// Minimum rows to remove to eliminate every split (FD component),
+    /// exact.
+    pub split_removals: usize,
+    /// Total rows in the instance.
+    pub rows: usize,
+}
+
+impl OdError {
+    /// The `g3`-style error of the order-compatibility component.
+    pub fn swap_error(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.swap_removals as f64 / self.rows as f64
+        }
+    }
+
+    /// The `g3`-style error of the FD component.
+    pub fn split_error(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.split_removals as f64 / self.rows as f64
+        }
+    }
+
+    /// Whether the OD holds approximately at tolerance `epsilon`
+    /// (both components within budget).
+    pub fn holds_at(&self, epsilon: f64) -> bool {
+        self.swap_error() <= epsilon && self.split_error() <= epsilon
+    }
+
+    /// Exact dependency (no removals needed).
+    pub fn is_exact(&self) -> bool {
+        self.swap_removals == 0 && self.split_removals == 0
+    }
+}
+
+/// Length of the longest non-decreasing subsequence (patience sorting,
+/// `O(m log m)`).
+fn longest_nondecreasing_subsequence(seq: &[u64]) -> usize {
+    // tails[k] = smallest possible tail of a non-decreasing subsequence of
+    // length k+1.
+    let mut tails: Vec<u64> = Vec::new();
+    for &v in seq {
+        // First tail strictly greater than v gets replaced (non-decreasing,
+        // so equal tails extend).
+        let pos = tails.partition_point(|&t| t <= v);
+        if pos == tails.len() {
+            tails.push(v);
+        } else {
+            tails[pos] = v;
+        }
+    }
+    tails.len()
+}
+
+/// Rank of each row's `cols` projection as a single `u64` (dense rank over
+/// the lexicographic order of projections).
+fn projection_ranks(rel: &Relation, cols: &AttrList) -> Vec<u64> {
+    let index = sort_index_by(rel, cols.as_slice());
+    let mut ranks = vec![0u64; rel.num_rows()];
+    let mut rank = 0u64;
+    for (pos, &row) in index.iter().enumerate() {
+        if pos > 0
+            && cmp_rows(rel, cols.as_slice(), index[pos - 1] as usize, row as usize)
+                != std::cmp::Ordering::Equal
+        {
+            rank += 1;
+        }
+        ranks[row as usize] = rank;
+    }
+    ranks
+}
+
+/// Compute the exact error decomposition of the OD `lhs → rhs`.
+pub fn od_error(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> OdError {
+    let m = rel.num_rows();
+    if m == 0 {
+        return OdError {
+            swap_removals: 0,
+            split_removals: 0,
+            rows: 0,
+        };
+    }
+    let lhs_rank = projection_ranks(rel, lhs);
+    let rhs_rank = projection_ranks(rel, rhs);
+
+    // Swap component: sort by (lhs, rhs), take LNDS of the rhs ranks.
+    let mut order: Vec<u32> = (0..m as u32).collect();
+    order.sort_unstable_by_key(|&r| (lhs_rank[r as usize], rhs_rank[r as usize]));
+    let rhs_seq: Vec<u64> = order.iter().map(|&r| rhs_rank[r as usize]).collect();
+    let swap_removals = m - longest_nondecreasing_subsequence(&rhs_seq);
+
+    // Split component: per lhs class, keep the plurality rhs projection.
+    let mut class_counts: HashMap<(u64, u64), usize> = HashMap::new();
+    let mut class_totals: HashMap<u64, usize> = HashMap::new();
+    for r in 0..m {
+        *class_counts.entry((lhs_rank[r], rhs_rank[r])).or_insert(0) += 1;
+        *class_totals.entry(lhs_rank[r]).or_insert(0) += 1;
+    }
+    let mut best: HashMap<u64, usize> = HashMap::new();
+    for (&(l, _), &count) in &class_counts {
+        let entry = best.entry(l).or_insert(0);
+        *entry = (*entry).max(count);
+    }
+    let split_removals = class_totals.iter().map(|(l, &total)| total - best[l]).sum();
+
+    OdError {
+        swap_removals,
+        split_removals,
+        rows: m,
+    }
+}
+
+/// Error of the OCD `x ~ y` (swap component of `XY → YX`; the split
+/// component is structurally zero there, see Theorem 4.1 discussion).
+pub fn ocd_error(rel: &Relation, x: &AttrList, y: &AttrList) -> OdError {
+    od_error(rel, &x.concat(y), &y.concat(x))
+}
+
+/// The rows whose removal makes `lhs → rhs` exact: the complement of the
+/// longest non-decreasing subsequence (swap side) plus every minority row
+/// inside an LHS class that disagrees with the class plurality (split
+/// side). Row ids are returned sorted and deduplicated.
+///
+/// This is the "repair set" a data-cleaning tool would surface: the
+/// witnesses are exact for each component (see [`od_error`]), and removing
+/// them always yields an instance on which the OD holds.
+pub fn removal_witnesses(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> Vec<u32> {
+    let m = rel.num_rows();
+    if m == 0 {
+        return Vec::new();
+    }
+    let lhs_rank = projection_ranks(rel, lhs);
+    let rhs_rank = projection_ranks(rel, rhs);
+
+    let mut witnesses: Vec<u32> = Vec::new();
+
+    // Swap side: patience sorting with predecessor links recovers one
+    // longest non-decreasing subsequence; everything outside it goes.
+    let mut order: Vec<u32> = (0..m as u32).collect();
+    order.sort_unstable_by_key(|&r| (lhs_rank[r as usize], rhs_rank[r as usize]));
+    let seq: Vec<u64> = order.iter().map(|&r| rhs_rank[r as usize]).collect();
+    let mut tails: Vec<usize> = Vec::new(); // positions into seq
+    let mut prev: Vec<Option<usize>> = vec![None; seq.len()];
+    for (pos, &v) in seq.iter().enumerate() {
+        let insert = tails.partition_point(|&t| seq[t] <= v);
+        if insert > 0 {
+            prev[pos] = Some(tails[insert - 1]);
+        }
+        if insert == tails.len() {
+            tails.push(pos);
+        } else {
+            tails[insert] = pos;
+        }
+    }
+    let mut keep = vec![false; seq.len()];
+    let mut cursor = tails.last().copied();
+    while let Some(p) = cursor {
+        keep[p] = true;
+        cursor = prev[p];
+    }
+    for (pos, &kept) in keep.iter().enumerate() {
+        if !kept {
+            witnesses.push(order[pos]);
+        }
+    }
+
+    // Split side: rows disagreeing with their LHS class plurality.
+    let mut counts: HashMap<(u64, u64), usize> = HashMap::new();
+    for r in 0..m {
+        *counts.entry((lhs_rank[r], rhs_rank[r])).or_insert(0) += 1;
+    }
+    let mut best: HashMap<u64, (usize, u64)> = HashMap::new();
+    for (&(l, y), &count) in &counts {
+        let entry = best.entry(l).or_insert((0, 0));
+        // Deterministic tie-break: prefer the smaller rhs rank.
+        if count > entry.0 || (count == entry.0 && y < entry.1) {
+            *entry = (count, y);
+        }
+    }
+    for r in 0..m {
+        if best[&lhs_rank[r]].1 != rhs_rank[r] {
+            witnesses.push(r as u32);
+        }
+    }
+
+    witnesses.sort_unstable();
+    witnesses.dedup();
+    witnesses
+}
+
+/// An OCD together with its measured error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproximateOcd {
+    /// The dependency.
+    pub ocd: Ocd,
+    /// Swap error in `[0, 1]`.
+    pub error: f64,
+}
+
+/// Output of an approximate discovery run.
+#[derive(Debug, Clone, Default)]
+pub struct ApproximateResult {
+    /// OCDs holding at the tolerance, with their measured errors.
+    pub ocds: Vec<ApproximateOcd>,
+    /// ODs holding at the tolerance.
+    pub ods: Vec<Od>,
+    /// Candidate checks performed.
+    pub checks: u64,
+    /// False when a budget stopped the run early.
+    pub complete: bool,
+}
+
+/// OCDDISCOVER with the ε-tolerant validity test. `epsilon` is the allowed
+/// row-removal fraction per component.
+///
+/// Pruning caveat: levelwise pruning of failed candidates is heuristic for
+/// approximate dependencies (see module docs); with `epsilon = 0` the run
+/// is exact and equivalent to [`crate::discover`]'s candidate tree.
+pub fn discover_approximate(
+    rel: &Relation,
+    config: &DiscoveryConfig,
+    epsilon: f64,
+) -> ApproximateResult {
+    let start = Instant::now();
+    let deadline = config.time_budget.map(|d| start + d);
+    let max_checks = config.max_checks.unwrap_or(u64::MAX);
+
+    // Approximate runs skip column reduction: near-constant columns are
+    // precisely what ε-tolerance is for.
+    let universe: Vec<usize> = (0..rel.num_columns()).collect();
+    let mut out = ApproximateResult {
+        complete: true,
+        ..ApproximateResult::default()
+    };
+
+    let mut level: Vec<(AttrList, AttrList)> = Vec::new();
+    for (i, &a) in universe.iter().enumerate() {
+        for &b in &universe[i + 1..] {
+            level.push((AttrList::single(a), AttrList::single(b)));
+        }
+    }
+
+    let mut level_no = 2usize;
+    'outer: while !level.is_empty() {
+        if config.max_level.is_some_and(|max| level_no > max) {
+            out.complete = false;
+            break;
+        }
+        let mut next = Vec::new();
+        for (x, y) in &level {
+            if out.checks >= max_checks || deadline.is_some_and(|d| Instant::now() >= d) {
+                out.complete = false;
+                break 'outer;
+            }
+            out.checks += 1;
+            let err = ocd_error(rel, x, y);
+            if err.swap_error() > epsilon {
+                continue;
+            }
+            out.ocds.push(ApproximateOcd {
+                ocd: Ocd::new(x.clone(), y.clone()),
+                error: err.swap_error(),
+            });
+
+            let unused: Vec<usize> = universe
+                .iter()
+                .copied()
+                .filter(|&a| !x.contains(a) && !y.contains(a))
+                .collect();
+            out.checks += 1;
+            if od_error(rel, x, y).holds_at(epsilon) {
+                out.ods.push(Od::new(x.clone(), y.clone()));
+            } else {
+                for &a in &unused {
+                    next.push((x.with_appended(a), y.clone()));
+                }
+            }
+            out.checks += 1;
+            if od_error(rel, y, x).holds_at(epsilon) {
+                out.ods.push(Od::new(y.clone(), x.clone()));
+            } else {
+                for &a in &unused {
+                    next.push((x.clone(), y.with_appended(a)));
+                }
+            }
+        }
+        let mut seen: HashSet<(AttrList, AttrList)> = HashSet::with_capacity(next.len());
+        next.retain(|c| seen.insert(c.clone()));
+        level = next;
+        level_no += 1;
+    }
+
+    out.ocds.sort_by(|a, b| a.ocd.cmp(&b.ocd));
+    out.ods.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocdd_relation::Value;
+
+    fn rel(cols: &[(&str, &[i64])]) -> Relation {
+        Relation::from_columns(
+            cols.iter()
+                .map(|(n, vals)| (n.to_string(), vals.iter().map(|&v| Value::Int(v)).collect()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn l(ids: &[usize]) -> AttrList {
+        AttrList::from_slice(ids)
+    }
+
+    #[test]
+    fn lnds_basics() {
+        assert_eq!(longest_nondecreasing_subsequence(&[]), 0);
+        assert_eq!(longest_nondecreasing_subsequence(&[1, 2, 2, 3]), 4);
+        assert_eq!(longest_nondecreasing_subsequence(&[3, 2, 1]), 1);
+        assert_eq!(longest_nondecreasing_subsequence(&[1, 3, 2, 4]), 3);
+        assert_eq!(longest_nondecreasing_subsequence(&[2, 2, 1, 1, 2]), 3);
+    }
+
+    #[test]
+    fn exact_dependency_has_zero_error() {
+        let r = rel(&[("a", &[1, 2, 3, 4]), ("b", &[1, 1, 2, 2])]);
+        let err = od_error(&r, &l(&[0]), &l(&[1]));
+        assert!(err.is_exact());
+        assert_eq!(err.swap_error(), 0.0);
+    }
+
+    #[test]
+    fn single_swap_costs_one_row() {
+        // One outlier: removing it makes a -> b exact.
+        let r = rel(&[("a", &[1, 2, 3, 4, 5]), ("b", &[1, 2, 3, 9, 5])]);
+        let err = od_error(&r, &l(&[0]), &l(&[1]));
+        assert_eq!(err.swap_removals, 1);
+        assert_eq!(err.split_removals, 0);
+        assert!(err.holds_at(0.2));
+        assert!(!err.holds_at(0.1));
+    }
+
+    #[test]
+    fn split_error_counts_minority_rows() {
+        // a=1 twice with b 5 and 6: one row must go.
+        let r = rel(&[("a", &[1, 1, 2]), ("b", &[5, 6, 7])]);
+        let err = od_error(&r, &l(&[0]), &l(&[1]));
+        assert_eq!(err.split_removals, 1);
+    }
+
+    #[test]
+    fn error_zero_iff_checker_valid() {
+        use crate::check::check_od;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let vals = |rng: &mut StdRng| -> Vec<i64> {
+                (0..12).map(|_| rng.random_range(0..4)).collect()
+            };
+            let (va, vb) = (vals(&mut rng), vals(&mut rng));
+            let r = rel(&[("a", &va), ("b", &vb)]);
+            for (x, y) in [(l(&[0]), l(&[1])), (l(&[1]), l(&[0]))] {
+                let err = od_error(&r, &x, &y);
+                assert_eq!(
+                    err.is_exact(),
+                    check_od(&r, &x, &y).is_valid(),
+                    "seed {seed}: error {err:?} vs checker on {x} -> {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_error_matches_brute_force_minimum() {
+        // Brute-force minimal removal for the OCD on tiny relations: try
+        // all subsets, find the largest swap-free one.
+        use crate::check::check_od_pairwise;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..25u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rows = 7usize;
+            let va: Vec<i64> = (0..rows).map(|_| rng.random_range(0..3)).collect();
+            let vb: Vec<i64> = (0..rows).map(|_| rng.random_range(0..3)).collect();
+            let r = rel(&[("a", &va), ("b", &vb)]);
+            let err = ocd_error(&r, &l(&[0]), &l(&[1]));
+
+            let mut best_keep = 0usize;
+            for mask in 0u32..(1 << rows) {
+                let keep: Vec<usize> = (0..rows).filter(|i| mask & (1 << i) != 0).collect();
+                if keep.len() <= best_keep {
+                    continue;
+                }
+                let sub = Relation::from_columns(vec![
+                    (
+                        "a".to_string(),
+                        keep.iter().map(|&i| Value::Int(va[i])).collect(),
+                    ),
+                    (
+                        "b".to_string(),
+                        keep.iter().map(|&i| Value::Int(vb[i])).collect(),
+                    ),
+                ])
+                .unwrap();
+                let xy = l(&[0]).concat(&l(&[1]));
+                let yx = l(&[1]).concat(&l(&[0]));
+                if check_od_pairwise(&sub, &xy, &yx) && check_od_pairwise(&sub, &yx, &xy) {
+                    best_keep = keep.len();
+                }
+            }
+            assert_eq!(err.swap_removals, rows - best_keep, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn approximate_discovery_tolerates_outliers() {
+        // 30 clean monotone rows + 1 outlier: exact discovery drops the
+        // dependency, ε = 0.05 keeps it.
+        let mut va: Vec<i64> = (0..30).collect();
+        let mut vb: Vec<i64> = (0..30).map(|i| i * 2).collect();
+        va.push(31);
+        vb.push(0); // outlier swap
+        let r = rel(&[("a", &va), ("b", &vb)]);
+
+        let exact = discover_approximate(&r, &DiscoveryConfig::default(), 0.0);
+        assert!(exact.ods.is_empty());
+        let approx = discover_approximate(&r, &DiscoveryConfig::default(), 0.05);
+        assert_eq!(approx.ods.len(), 2, "a -> b and b -> a at tolerance");
+        assert!(approx.ocds[0].error > 0.0);
+    }
+
+    #[test]
+    fn epsilon_zero_matches_exact_discovery_on_ocds() {
+        use crate::{discover, DiscoveryConfig};
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cols: Vec<(String, Vec<Value>)> = (0..3)
+                .map(|c| {
+                    (
+                        format!("c{c}"),
+                        (0..14)
+                            .map(|_| Value::Int(rng.random_range(0..3)))
+                            .collect(),
+                    )
+                })
+                .collect();
+            let r = Relation::from_columns(cols).unwrap();
+            let exact = discover(
+                &r,
+                &DiscoveryConfig {
+                    column_reduction: false,
+                    ..DiscoveryConfig::default()
+                },
+            );
+            let approx = discover_approximate(&r, &DiscoveryConfig::default(), 0.0);
+            let exact_set: std::collections::HashSet<Ocd> =
+                exact.ocds.iter().map(Ocd::canonical).collect();
+            let approx_set: std::collections::HashSet<Ocd> =
+                approx.ocds.iter().map(|a| a.ocd.canonical()).collect();
+            assert_eq!(exact_set, approx_set, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn witnesses_repair_the_dependency() {
+        use crate::check::check_od;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..25u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let va: Vec<i64> = (0..12).map(|_| rng.random_range(0..4)).collect();
+            let vb: Vec<i64> = (0..12).map(|_| rng.random_range(0..4)).collect();
+            let r = rel(&[("a", &va), ("b", &vb)]);
+            let witnesses = removal_witnesses(&r, &l(&[0]), &l(&[1]));
+            // Remove the witnesses and recheck: the OD must now hold.
+            let keep: Vec<usize> = (0..12)
+                .filter(|&i| !witnesses.contains(&(i as u32)))
+                .collect();
+            let repaired = rel(&[
+                ("a", &keep.iter().map(|&i| va[i]).collect::<Vec<_>>()),
+                ("b", &keep.iter().map(|&i| vb[i]).collect::<Vec<_>>()),
+            ]);
+            assert!(
+                check_od(&repaired, &l(&[0]), &l(&[1])).is_valid(),
+                "seed {seed}: witnesses {witnesses:?} did not repair a -> b"
+            );
+        }
+    }
+
+    #[test]
+    fn witnesses_empty_for_exact_dependency() {
+        let r = rel(&[("a", &[1, 2, 3]), ("b", &[1, 2, 2])]);
+        assert!(removal_witnesses(&r, &l(&[0]), &l(&[1])).is_empty());
+    }
+
+    #[test]
+    fn witness_count_matches_error_components_for_pure_cases() {
+        // Pure swap case, no splits: witness count equals swap_removals.
+        let r = rel(&[("a", &[1, 2, 3, 4]), ("b", &[1, 2, 9, 4])]);
+        let err = od_error(&r, &l(&[0]), &l(&[1]));
+        assert_eq!(err.split_removals, 0);
+        let w = removal_witnesses(&r, &l(&[0]), &l(&[1]));
+        assert_eq!(w.len(), err.swap_removals);
+    }
+
+    #[test]
+    fn empty_relation_is_trivially_exact() {
+        let r = rel(&[("a", &[]), ("b", &[])]);
+        let err = od_error(&r, &l(&[0]), &l(&[1]));
+        assert!(err.is_exact());
+        assert!(err.holds_at(0.0));
+    }
+}

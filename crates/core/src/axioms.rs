@@ -1,0 +1,443 @@
+//! The `J_OD` axiom system for order dependencies (Table 3 of the paper,
+//! after Szlichta et al.) as executable inference rules, plus a bounded
+//! forward-closure engine.
+//!
+//! The rules are *syntactic*: they transform dependencies into dependencies
+//! that are logically implied on every instance. The test-suite verifies
+//! soundness empirically: whenever a premise holds on a relation, the
+//! conclusion produced by the rule holds too.
+//!
+//! Implemented rules:
+//!
+//! * **AX1 Reflexivity** — `XY → X` for every split of a list.
+//! * **AX2 Prefix** — `X → Y ⟹ ZX → ZY`.
+//! * **AX3 Normalization** — repeated attributes after their first
+//!   occurrence can be dropped: `ABA ↔ AB` (see
+//!   [`crate::deps::AttrList::normalized`]).
+//! * **AX4 Transitivity** — `X → Y, Y → Z ⟹ X → Z`.
+//! * **AX5 Suffix** — `X → Y ⟹ X → YX`.
+//!
+//! Derived rules used in the paper's proofs:
+//!
+//! * **Downward closure for OCDs** (Theorem 3.6) — `XY ~ ZV ⟹ X ~ Z`
+//!   whose contrapositive is the pruning rule (Theorem 3.7).
+//! * **Theorem 3.8** — `X ~ Y ⟺ XY → Y`.
+//! * **Theorem 3.9 (pruning)** — `X → Y ⟹ XZ ~ Y` for any `Z` disjoint
+//!   from `X` and `Y`.
+
+use crate::deps::{AttrList, Od};
+use ocdd_relation::ColumnId;
+use std::collections::HashSet;
+
+/// AX1 Reflexivity: all dependencies `XY → X` obtainable by splitting
+/// `list` into a prefix and a suffix (including the empty prefix).
+pub fn reflexivity(list: &AttrList) -> Vec<Od> {
+    (0..=list.len())
+        .map(|k| Od::new(list.clone(), AttrList::from_slice(&list.as_slice()[..k])))
+        .collect()
+}
+
+/// AX2 Prefix: from `X → Y` derive `ZX → ZY`.
+pub fn prefix(od: &Od, z: &AttrList) -> Od {
+    Od::new(z.concat(&od.lhs), z.concat(&od.rhs))
+}
+
+/// AX3 Normalization applied to both sides of a dependency.
+pub fn normalize(od: &Od) -> Od {
+    Od::new(od.lhs.normalized(), od.rhs.normalized())
+}
+
+/// AX4 Transitivity: from `X → Y` and `Y → Z` derive `X → Z`
+/// (returns `None` when the middle lists do not match).
+pub fn transitivity(a: &Od, b: &Od) -> Option<Od> {
+    (a.rhs == b.lhs).then(|| Od::new(a.lhs.clone(), b.rhs.clone()))
+}
+
+/// AX5 Suffix: from `X → Y` derive `X → YX`.
+pub fn suffix(od: &Od) -> Od {
+    Od::new(od.lhs.clone(), od.rhs.concat(&od.lhs))
+}
+
+/// Theorem 3.8: the OCD `X ~ Y` is equivalent to the OD `XY → Y`.
+pub fn ocd_as_od(x: &AttrList, y: &AttrList) -> Od {
+    Od::new(x.concat(y), y.clone())
+}
+
+/// The Shift theorem (used throughout the §3.3 proofs): from the order
+/// equivalence `Y ↔ Z` derive `XY ↔ XZ` for any prefix list `X` — the
+/// Prefix axiom applied to both directions. Returns the two ODs of the
+/// derived equivalence.
+pub fn shift(y: &AttrList, z: &AttrList, x: &AttrList) -> [Od; 2] {
+    [
+        prefix(&Od::new(y.clone(), z.clone()), x),
+        prefix(&Od::new(z.clone(), y.clone()), x),
+    ]
+}
+
+/// The Replace theorem (Theorem 6 of Szlichta et al., used by column
+/// reduction §4.1): given the single-attribute equivalence `a ↔ b`,
+/// substitute every occurrence of `a` by `b` in a dependency. The result
+/// is implied whenever the original holds together with the equivalence.
+pub fn replace_attr(od: &Od, a: ocdd_relation::ColumnId, b: ocdd_relation::ColumnId) -> Od {
+    let subst = |l: &AttrList| {
+        AttrList::from(
+            l.as_slice()
+                .iter()
+                .map(|&c| if c == a { b } else { c })
+                .collect::<Vec<_>>(),
+        )
+    };
+    Od::new(subst(&od.lhs), subst(&od.rhs))
+}
+
+/// Downward closure for OCDs (Theorem 3.6): from `XY ~ ZV` infer `X ~ Z`
+/// for every prefix pair. Returns all `(prefix of x, prefix of z)` pairs
+/// implied (excluding empty prefixes, which are trivial).
+pub fn ocd_downward_closure(x: &AttrList, z: &AttrList) -> Vec<(AttrList, AttrList)> {
+    let mut out = Vec::new();
+    for i in 1..=x.len() {
+        for j in 1..=z.len() {
+            out.push((
+                AttrList::from_slice(&x.as_slice()[..i]),
+                AttrList::from_slice(&z.as_slice()[..j]),
+            ));
+        }
+    }
+    out
+}
+
+/// A bounded forward-closure engine over the `J_OD` rules.
+///
+/// Saturates a set of ODs under normalization, transitivity, suffix,
+/// reflexivity and single-attribute prefix steps, keeping only
+/// dependencies whose sides stay within `max_len` attributes. This is not
+/// a decision procedure for OD implication (which is co-NP-complete, §6)
+/// but is sufficient to mechanically recover the derivations used in the
+/// paper's examples and tests.
+#[derive(Debug)]
+pub struct OdClosure {
+    universe: Vec<ColumnId>,
+    max_len: usize,
+    known: HashSet<Od>,
+}
+
+impl OdClosure {
+    /// Create a closure engine over the attribute `universe`, bounding all
+    /// list lengths by `max_len`.
+    pub fn new(universe: Vec<ColumnId>, max_len: usize) -> OdClosure {
+        OdClosure {
+            universe,
+            max_len,
+            known: HashSet::new(),
+        }
+    }
+
+    /// Add a base dependency (normalized before storing).
+    pub fn insert(&mut self, od: Od) {
+        let od = normalize(&od);
+        if od.lhs.len() <= self.max_len && od.rhs.len() <= self.max_len {
+            self.known.insert(od);
+        }
+    }
+
+    /// Saturate under the rules until no new dependency appears.
+    pub fn saturate(&mut self) {
+        loop {
+            let mut fresh: Vec<Od> = Vec::new();
+            let consider = |od: Od, fresh: &mut Vec<Od>, known: &HashSet<Od>| {
+                let od = normalize(&od);
+                if od.lhs.len() <= self.max_len
+                    && od.rhs.len() <= self.max_len
+                    && !known.contains(&od)
+                {
+                    fresh.push(od);
+                }
+            };
+
+            for od in &self.known {
+                // Suffix.
+                consider(suffix(od), &mut fresh, &self.known);
+                // Reflexivity on both sides' lists.
+                for refl in reflexivity(&od.lhs).into_iter().chain(reflexivity(&od.rhs)) {
+                    consider(refl, &mut fresh, &self.known);
+                }
+                // Single-attribute prefix.
+                for &z in &self.universe {
+                    consider(prefix(od, &AttrList::single(z)), &mut fresh, &self.known);
+                }
+                // Transitivity with every other known dependency.
+                for other in &self.known {
+                    if let Some(t) = transitivity(od, other) {
+                        consider(t, &mut fresh, &self.known);
+                    }
+                }
+            }
+
+            if fresh.is_empty() {
+                break;
+            }
+            self.known.extend(fresh);
+        }
+    }
+
+    /// Whether `od` is in the (saturated) closure, up to normalization.
+    pub fn contains(&self, od: &Od) -> bool {
+        self.known.contains(&normalize(od))
+    }
+
+    /// Number of dependencies currently known.
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// True when no dependency is known.
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_od_pairwise;
+    use ocdd_relation::{Relation, Value};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn l(ids: &[usize]) -> AttrList {
+        AttrList::from_slice(ids)
+    }
+
+    fn random_relation(seed: u64, rows: usize, cols: usize, domain: i64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Relation::from_columns(
+            (0..cols)
+                .map(|c| {
+                    (
+                        format!("c{c}"),
+                        (0..rows)
+                            .map(|_| Value::Int(rng.random_range(0..domain)))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reflexivity_produces_prefix_ods() {
+        let ods = reflexivity(&l(&[0, 1, 2]));
+        assert_eq!(ods.len(), 4);
+        assert!(ods.iter().any(|od| od.to_string() == "[0,1,2] -> [0,1]"));
+        assert!(ods.iter().any(|od| od.to_string() == "[0,1,2] -> []"));
+    }
+
+    #[test]
+    fn rule_shapes() {
+        let od = Od::new(l(&[0]), l(&[1]));
+        assert_eq!(prefix(&od, &l(&[2])).to_string(), "[2,0] -> [2,1]");
+        assert_eq!(suffix(&od).to_string(), "[0] -> [1,0]");
+        let od2 = Od::new(l(&[1]), l(&[2]));
+        assert_eq!(transitivity(&od, &od2).unwrap().to_string(), "[0] -> [2]");
+        assert!(transitivity(&od2, &od).is_none());
+        assert_eq!(
+            normalize(&Od::new(l(&[0, 1, 0]), l(&[2, 2]))).to_string(),
+            "[0,1] -> [2]"
+        );
+    }
+
+    /// Soundness: on random instances, whenever the premises of a rule
+    /// hold, the rule's conclusion holds too.
+    #[test]
+    fn rules_are_sound_on_random_data() {
+        for seed in 0..30u64 {
+            let rel = random_relation(seed, 12, 3, 3);
+            let lists = [
+                l(&[0]),
+                l(&[1]),
+                l(&[2]),
+                l(&[0, 1]),
+                l(&[1, 2]),
+                l(&[2, 0]),
+                l(&[0, 1, 2]),
+            ];
+            for x in &lists {
+                for y in &lists {
+                    let premise = Od::new(x.clone(), y.clone());
+                    if !check_od_pairwise(&rel, &premise.lhs, &premise.rhs) {
+                        continue;
+                    }
+                    // Suffix.
+                    let s = suffix(&premise);
+                    assert!(
+                        check_od_pairwise(&rel, &s.lhs, &s.rhs),
+                        "suffix unsound: {premise} => {s} (seed {seed})"
+                    );
+                    // Prefix with each single attribute.
+                    for z in 0..3 {
+                        let p = prefix(&premise, &AttrList::single(z));
+                        assert!(
+                            check_od_pairwise(&rel, &p.lhs, &p.rhs),
+                            "prefix unsound: {premise} => {p} (seed {seed})"
+                        );
+                    }
+                    // Normalization in both directions.
+                    let n = normalize(&premise);
+                    assert!(check_od_pairwise(&rel, &n.lhs, &n.rhs));
+                }
+            }
+            // Reflexivity is unconditionally valid.
+            for refl in reflexivity(&l(&[0, 1, 2])) {
+                assert!(check_od_pairwise(&rel, &refl.lhs, &refl.rhs));
+            }
+        }
+    }
+
+    #[test]
+    fn transitivity_sound_on_random_data() {
+        for seed in 0..30u64 {
+            let rel = random_relation(seed, 10, 3, 2);
+            let lists = [l(&[0]), l(&[1]), l(&[2]), l(&[0, 1]), l(&[1, 2])];
+            for x in &lists {
+                for y in &lists {
+                    for z in &lists {
+                        let a = Od::new(x.clone(), y.clone());
+                        let b = Od::new(y.clone(), z.clone());
+                        if check_od_pairwise(&rel, &a.lhs, &a.rhs)
+                            && check_od_pairwise(&rel, &b.lhs, &b.rhs)
+                        {
+                            let t = transitivity(&a, &b).unwrap();
+                            assert!(
+                                check_od_pairwise(&rel, &t.lhs, &t.rhs),
+                                "transitivity unsound (seed {seed}): {a}, {b} => {t}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_3_8_equivalence_on_random_data() {
+        use crate::check::check_ocd;
+        for seed in 0..50u64 {
+            let rel = random_relation(seed, 10, 2, 3);
+            let (x, y) = (l(&[0]), l(&[1]));
+            let ocd_holds = check_ocd(&rel, &x, &y).is_valid();
+            let od = ocd_as_od(&x, &y);
+            let od_holds = check_od_pairwise(&rel, &od.lhs, &od.rhs);
+            assert_eq!(ocd_holds, od_holds, "Theorem 3.8 violated at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn downward_closure_theorem_3_6_on_random_data() {
+        use crate::check::check_ocd;
+        for seed in 0..40u64 {
+            let rel = random_relation(seed, 10, 4, 3);
+            let (xy, zv) = (l(&[0, 1]), l(&[2, 3]));
+            if check_ocd(&rel, &xy, &zv).is_valid() {
+                for (px, pz) in ocd_downward_closure(&xy, &zv) {
+                    assert!(
+                        check_ocd(&rel, &px, &pz).is_valid(),
+                        "downward closure violated at seed {seed}: {px} ~ {pz}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_3_9_pruning_rule_on_random_data() {
+        use crate::check::check_ocd;
+        // X -> Y valid  ==>  XZ ~ Y valid for any fresh Z.
+        for seed in 0..60u64 {
+            let rel = random_relation(seed, 10, 3, 2);
+            let (x, y, z) = (l(&[0]), l(&[1]), 2usize);
+            if check_od_pairwise(&rel, &x, &y) {
+                let xz = x.with_appended(z);
+                assert!(
+                    check_ocd(&rel, &xz, &y).is_valid(),
+                    "Theorem 3.9 violated at seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closure_recovers_transitive_chain() {
+        let mut closure = OdClosure::new(vec![0, 1, 2], 2);
+        closure.insert(Od::new(l(&[0]), l(&[1])));
+        closure.insert(Od::new(l(&[1]), l(&[2])));
+        closure.saturate();
+        assert!(closure.contains(&Od::new(l(&[0]), l(&[2]))));
+        // Suffix consequence: [0] -> [1,0].
+        assert!(closure.contains(&Od::new(l(&[0]), l(&[1, 0]))));
+        // Reflexivity consequence: [1,0] -> [1].
+        assert!(closure.contains(&Od::new(l(&[1, 0]), l(&[1]))));
+        assert!(!closure.is_empty());
+    }
+
+    #[test]
+    fn closure_derives_order_equivalence_consequences() {
+        // From A -> B and B -> A, the closure should contain AB <-> BA
+        // (both directions), the Replace-style consequences.
+        let mut closure = OdClosure::new(vec![0, 1], 2);
+        closure.insert(Od::new(l(&[0]), l(&[1])));
+        closure.insert(Od::new(l(&[1]), l(&[0])));
+        closure.saturate();
+        assert!(closure.contains(&Od::new(l(&[0, 1]), l(&[1, 0]))));
+        assert!(closure.contains(&Od::new(l(&[1, 0]), l(&[0, 1]))));
+        assert!(closure.contains(&Od::new(l(&[0]), l(&[1, 0]))));
+    }
+
+    #[test]
+    fn shift_and_replace_are_sound_on_random_data() {
+        use crate::check::check_od_pairwise;
+        for seed in 0..30u64 {
+            let rel = random_relation(seed, 12, 3, 3);
+            let (y, z, x) = (l(&[0]), l(&[1]), l(&[2]));
+            // Shift: premise Y <-> Z.
+            if check_od_pairwise(&rel, &y, &z) && check_od_pairwise(&rel, &z, &y) {
+                for od in shift(&y, &z, &x) {
+                    assert!(
+                        check_od_pairwise(&rel, &od.lhs, &od.rhs),
+                        "shift unsound at seed {seed}: {od}"
+                    );
+                }
+            }
+            // Replace: premise a <-> b plus an OD mentioning a.
+            let (a, b) = (0usize, 1usize);
+            let a_l = AttrList::single(a);
+            let b_l = AttrList::single(b);
+            if check_od_pairwise(&rel, &a_l, &b_l) && check_od_pairwise(&rel, &b_l, &a_l) {
+                let od = Od::new(l(&[a, 2]), l(&[2]));
+                if check_od_pairwise(&rel, &od.lhs, &od.rhs) {
+                    let replaced = replace_attr(&od, a, b);
+                    assert!(
+                        check_od_pairwise(&rel, &replaced.lhs, &replaced.rhs),
+                        "replace unsound at seed {seed}: {od} => {replaced}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replace_substitutes_all_occurrences() {
+        let od = Od::new(l(&[0, 2, 0]), l(&[0, 1]));
+        assert_eq!(replace_attr(&od, 0, 5).to_string(), "[5,2,5] -> [5,1]");
+    }
+
+    #[test]
+    fn closure_respects_length_bound() {
+        let mut closure = OdClosure::new(vec![0, 1, 2, 3], 2);
+        closure.insert(Od::new(l(&[0]), l(&[1])));
+        closure.saturate();
+        for od in &closure.known {
+            assert!(od.lhs.len() <= 2 && od.rhs.len() <= 2);
+        }
+    }
+}

@@ -1,0 +1,641 @@
+//! Bidirectional ("polarized") order dependencies — the generalization the
+//! paper's related work points to (§6, citing Szlichta et al.): each
+//! attribute in a list carries its own sort direction, as in
+//! `ORDER BY price ASC, discount DESC`.
+//!
+//! Everything from the unidirectional theory lifts: the lexicographic
+//! operator `⪯` is still a total preorder when each marked attribute
+//! compares through its own direction, so the single-check reduction of
+//! Theorem 4.1 (`X ~ Y ⟺ XY → YX`) and the split/swap taxonomy carry
+//! over verbatim. Two new phenomena appear:
+//!
+//! * **global polarity symmetry** — flipping every direction in both lists
+//!   preserves validity (`p ⪯ q` becomes `q ⪯ p` on both sides), so
+//!   candidates are canonicalized with their first mark ascending;
+//! * **reverse equivalence** — a column can be order equivalent to the
+//!   *descending* version of another (`A ↔ B↓`, e.g. `rank` vs `score`),
+//!   which the bidirectional column reduction detects by running Tarjan
+//!   over the digraph of all `2n` marked attributes.
+
+use crate::check::CheckOutcome;
+use crate::config::DiscoveryConfig;
+use ocdd_relation::{ColumnId, Relation};
+use std::cmp::Ordering;
+use std::collections::HashSet;
+use std::fmt;
+use std::time::Instant;
+
+/// Sort direction of one attribute inside a marked list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Ascending (the unidirectional default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flipped(self) -> Direction {
+        match self {
+            Direction::Asc => Direction::Desc,
+            Direction::Desc => Direction::Asc,
+        }
+    }
+}
+
+/// One marked attribute `A↑` / `A↓`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Mark {
+    /// The column.
+    pub column: ColumnId,
+    /// Its sort direction.
+    pub direction: Direction,
+}
+
+impl Mark {
+    /// Ascending mark.
+    pub fn asc(column: ColumnId) -> Mark {
+        Mark {
+            column,
+            direction: Direction::Asc,
+        }
+    }
+
+    /// Descending mark.
+    pub fn desc(column: ColumnId) -> Mark {
+        Mark {
+            column,
+            direction: Direction::Desc,
+        }
+    }
+
+    /// The same column with the opposite direction.
+    pub fn flipped(self) -> Mark {
+        Mark {
+            column: self.column,
+            direction: self.direction.flipped(),
+        }
+    }
+}
+
+impl fmt::Display for Mark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arrow = match self.direction {
+            Direction::Asc => "+",
+            Direction::Desc => "-",
+        };
+        write!(f, "{}{arrow}", self.column)
+    }
+}
+
+/// A list of marked attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MarkedList(Vec<Mark>);
+
+impl MarkedList {
+    /// Single-mark list.
+    pub fn single(mark: Mark) -> MarkedList {
+        MarkedList(vec![mark])
+    }
+
+    /// Build from marks.
+    pub fn from_marks(marks: Vec<Mark>) -> MarkedList {
+        MarkedList(marks)
+    }
+
+    /// The marks in list order.
+    pub fn as_slice(&self) -> &[Mark] {
+        &self.0
+    }
+
+    /// List length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty list.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether the *column* (either polarity) occurs in the list.
+    pub fn contains_column(&self, col: ColumnId) -> bool {
+        self.0.iter().any(|m| m.column == col)
+    }
+
+    /// Concatenation.
+    pub fn concat(&self, other: &MarkedList) -> MarkedList {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        MarkedList(v)
+    }
+
+    /// Append one mark.
+    pub fn with_appended(&self, mark: Mark) -> MarkedList {
+        let mut v = self.0.clone();
+        v.push(mark);
+        MarkedList(v)
+    }
+
+    /// Flip every direction (the global polarity symmetry).
+    pub fn flipped(&self) -> MarkedList {
+        MarkedList(self.0.iter().map(|m| m.flipped()).collect())
+    }
+}
+
+impl fmt::Display for MarkedList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, m) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A bidirectional OCD `X ~ Y` between marked lists.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BidiOcd {
+    /// One side.
+    pub lhs: MarkedList,
+    /// The other side.
+    pub rhs: MarkedList,
+}
+
+impl fmt::Display for BidiOcd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ~ {}", self.lhs, self.rhs)
+    }
+}
+
+/// A bidirectional OD `X → Y` between marked lists.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BidiOd {
+    /// Left-hand side.
+    pub lhs: MarkedList,
+    /// Right-hand side.
+    pub rhs: MarkedList,
+}
+
+impl fmt::Display for BidiOd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.lhs, self.rhs)
+    }
+}
+
+/// Compare rows `a`, `b` on a marked list (direction-aware lexicographic).
+#[inline]
+pub fn cmp_rows_marked(rel: &Relation, list: &MarkedList, a: usize, b: usize) -> Ordering {
+    for m in list.as_slice() {
+        let ca = rel.code(a, m.column);
+        let cb = rel.code(b, m.column);
+        let ord = match m.direction {
+            Direction::Asc => ca.cmp(&cb),
+            Direction::Desc => cb.cmp(&ca),
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Check the bidirectional OD `lhs → rhs` by index sort + adjacent scan
+/// (the direction-aware analogue of [`crate::check::check_od`]).
+pub fn check_bidi_od(rel: &Relation, lhs: &MarkedList, rhs: &MarkedList) -> CheckOutcome {
+    let mut index: Vec<u32> = (0..rel.num_rows() as u32).collect();
+    index.sort_by(|&a, &b| cmp_rows_marked(rel, lhs, a as usize, b as usize));
+    for w in index.windows(2) {
+        let (p, q) = (w[0] as usize, w[1] as usize);
+        match cmp_rows_marked(rel, rhs, p, q) {
+            Ordering::Less => {
+                if cmp_rows_marked(rel, lhs, p, q) == Ordering::Equal {
+                    return CheckOutcome::Split {
+                        row_a: w[0],
+                        row_b: w[1],
+                    };
+                }
+            }
+            Ordering::Greater => {
+                return if cmp_rows_marked(rel, lhs, p, q) == Ordering::Equal {
+                    CheckOutcome::Split {
+                        row_a: w[0],
+                        row_b: w[1],
+                    }
+                } else {
+                    CheckOutcome::Swap {
+                        row_a: w[0],
+                        row_b: w[1],
+                    }
+                };
+            }
+            Ordering::Equal => {}
+        }
+    }
+    CheckOutcome::Valid
+}
+
+/// Check the bidirectional OCD `x ~ y` via the single check `XY → YX`
+/// (Theorem 4.1 lifts: the proof only needs `⪯` to be total per list).
+pub fn check_bidi_ocd(rel: &Relation, x: &MarkedList, y: &MarkedList) -> CheckOutcome {
+    check_bidi_od(rel, &x.concat(y), &y.concat(x))
+}
+
+/// Output of a bidirectional discovery run.
+#[derive(Debug, Clone, Default)]
+pub struct BidiResult {
+    /// Minimal bidirectional OCDs (canonical polarity: first mark Asc).
+    pub ocds: Vec<BidiOcd>,
+    /// Bidirectional ODs between disjoint marked lists.
+    pub ods: Vec<BidiOd>,
+    /// Constant columns (direction-independent).
+    pub constants: Vec<ColumnId>,
+    /// Marked-attribute equivalence classes (representative first). A class
+    /// may mix polarities: `[A↑, B↓]` means `A ↔ B↓`.
+    pub equivalence_classes: Vec<Vec<Mark>>,
+    /// Candidate checks performed.
+    pub checks: u64,
+    /// False when a budget stopped the run early.
+    pub complete: bool,
+}
+
+/// Bidirectional column reduction: Tarjan SCC over the digraph of the `2n`
+/// marked attributes (only ascending sources need checking — the flipped
+/// edges follow from the polarity symmetry).
+fn bidi_reduction(
+    rel: &Relation,
+    checks: &mut u64,
+) -> (Vec<ColumnId>, Vec<ColumnId>, Vec<Vec<Mark>>) {
+    let n = rel.num_columns();
+    let mut constants = Vec::new();
+    let mut live: Vec<ColumnId> = Vec::new();
+    for c in 0..n {
+        if rel.meta(c).is_constant() {
+            constants.push(c);
+        } else {
+            live.push(c);
+        }
+    }
+
+    // Node ids: 2*i (asc), 2*i + 1 (desc) over live columns.
+    let k = live.len();
+    let node = |i: usize, d: Direction| 2 * i + usize::from(d == Direction::Desc);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); 2 * k];
+    for i in 0..k {
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            for dir in [Direction::Asc, Direction::Desc] {
+                *checks += 1;
+                let valid = check_bidi_od(
+                    rel,
+                    &MarkedList::single(Mark::asc(live[i])),
+                    &MarkedList::single(Mark {
+                        column: live[j],
+                        direction: dir,
+                    }),
+                )
+                .is_valid();
+                if valid {
+                    // A↑ → B^d, and by symmetry A↓ → B^(flip d).
+                    adj[node(i, Direction::Asc)].push(node(j, dir));
+                    adj[node(i, Direction::Desc)].push(node(j, dir.flipped()));
+                }
+            }
+        }
+    }
+
+    let sccs = crate::reduction::strongly_connected_components(&adj);
+    let mut classes: Vec<Vec<Mark>> = Vec::new();
+    let mut removed: HashSet<ColumnId> = HashSet::new();
+    let mut kept: Vec<ColumnId> = Vec::new();
+    // Visit components; each contains marked attrs. A component and its
+    // mirror (all marks flipped) are the same fact — keep the one whose
+    // smallest member is ascending.
+    let mut sorted_sccs: Vec<Vec<Mark>> = sccs
+        .into_iter()
+        .map(|comp| {
+            let mut marks: Vec<Mark> = comp
+                .into_iter()
+                .map(|nd| Mark {
+                    column: live[nd / 2],
+                    direction: if nd % 2 == 0 {
+                        Direction::Asc
+                    } else {
+                        Direction::Desc
+                    },
+                })
+                .collect();
+            marks.sort();
+            marks
+        })
+        .collect();
+    sorted_sccs.sort();
+    for marks in sorted_sccs {
+        let rep = marks[0];
+        if rep.direction == Direction::Desc {
+            continue; // mirror of an ascending-rooted component
+        }
+        if removed.contains(&rep.column) || kept.contains(&rep.column) {
+            continue;
+        }
+        kept.push(rep.column);
+        for m in &marks[1..] {
+            removed.insert(m.column);
+        }
+        if marks.len() > 1 {
+            classes.push(marks);
+        }
+    }
+    kept.retain(|c| !removed.contains(c));
+    kept.sort_unstable();
+    (kept, constants, classes)
+}
+
+/// Discover bidirectional OCDs/ODs breadth-first, mirroring Algorithm 1
+/// with direction-marked candidates. The polarity symmetry halves the seed
+/// space (the left seed mark is always ascending); extensions try both
+/// polarities of each unused column, so each level multiplies by `2×` per
+/// appended attribute — the documented cost of the generalization.
+pub fn discover_bidirectional(rel: &Relation, config: &DiscoveryConfig) -> BidiResult {
+    let start = Instant::now();
+    let mut checks = 0u64;
+    let (universe, constants, equivalence_classes) = bidi_reduction(rel, &mut checks);
+
+    let deadline = config.time_budget.map(|d| start + d);
+    let max_checks = config.max_checks.unwrap_or(u64::MAX);
+    let mut complete = true;
+
+    let mut ocds: Vec<BidiOcd> = Vec::new();
+    let mut ods: Vec<BidiOd> = Vec::new();
+
+    // Seeds: (Ai↑, Aj↑) and (Ai↑, Aj↓) for i < j.
+    let mut level: Vec<(MarkedList, MarkedList)> = Vec::new();
+    for (i, &a) in universe.iter().enumerate() {
+        for &b in &universe[i + 1..] {
+            for dir in [Direction::Asc, Direction::Desc] {
+                level.push((
+                    MarkedList::single(Mark::asc(a)),
+                    MarkedList::single(Mark {
+                        column: b,
+                        direction: dir,
+                    }),
+                ));
+            }
+        }
+    }
+
+    let mut level_no = 2usize;
+    'outer: while !level.is_empty() {
+        if config.max_level.is_some_and(|max| level_no > max) {
+            complete = false;
+            break;
+        }
+        let mut next: Vec<(MarkedList, MarkedList)> = Vec::new();
+        for (x, y) in &level {
+            if checks >= max_checks || deadline.is_some_and(|d| Instant::now() >= d) {
+                complete = false;
+                break 'outer;
+            }
+            checks += 1;
+            if !check_bidi_ocd(rel, x, y).is_valid() {
+                continue;
+            }
+            ocds.push(BidiOcd {
+                lhs: x.clone(),
+                rhs: y.clone(),
+            });
+
+            let unused: Vec<ColumnId> = universe
+                .iter()
+                .copied()
+                .filter(|&a| !x.contains_column(a) && !y.contains_column(a))
+                .collect();
+
+            checks += 1;
+            if check_bidi_od(rel, x, y).is_valid() {
+                ods.push(BidiOd {
+                    lhs: x.clone(),
+                    rhs: y.clone(),
+                });
+            } else {
+                for &a in &unused {
+                    for dir in [Direction::Asc, Direction::Desc] {
+                        next.push((
+                            x.with_appended(Mark {
+                                column: a,
+                                direction: dir,
+                            }),
+                            y.clone(),
+                        ));
+                    }
+                }
+            }
+            checks += 1;
+            if check_bidi_od(rel, y, x).is_valid() {
+                ods.push(BidiOd {
+                    lhs: y.clone(),
+                    rhs: x.clone(),
+                });
+            } else {
+                for &a in &unused {
+                    for dir in [Direction::Asc, Direction::Desc] {
+                        next.push((
+                            x.clone(),
+                            y.with_appended(Mark {
+                                column: a,
+                                direction: dir,
+                            }),
+                        ));
+                    }
+                }
+            }
+        }
+        let mut seen: HashSet<(MarkedList, MarkedList)> = HashSet::with_capacity(next.len());
+        next.retain(|c| seen.insert(c.clone()));
+        level = next;
+        level_no += 1;
+    }
+
+    ocds.sort_by(|a, b| {
+        (a.lhs.len() + a.rhs.len(), &a.lhs, &a.rhs).cmp(&(
+            b.lhs.len() + b.rhs.len(),
+            &b.lhs,
+            &b.rhs,
+        ))
+    });
+    ods.sort_by(|a, b| {
+        (a.lhs.len() + a.rhs.len(), &a.lhs, &a.rhs).cmp(&(
+            b.lhs.len() + b.rhs.len(),
+            &b.lhs,
+            &b.rhs,
+        ))
+    });
+
+    BidiResult {
+        ocds,
+        ods,
+        constants,
+        equivalence_classes,
+        checks,
+        complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocdd_relation::Value;
+
+    fn rel(cols: &[(&str, &[i64])]) -> Relation {
+        Relation::from_columns(
+            cols.iter()
+                .map(|(n, vals)| (n.to_string(), vals.iter().map(|&v| Value::Int(v)).collect()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn descending_od_detected() {
+        // b is strictly decreasing in a: a↑ -> b↓ holds, a↑ -> b↑ fails.
+        let r = rel(&[("a", &[1, 2, 3, 4]), ("b", &[9, 7, 5, 2])]);
+        let a_up = MarkedList::single(Mark::asc(0));
+        let b_up = MarkedList::single(Mark::asc(1));
+        let b_down = MarkedList::single(Mark::desc(1));
+        assert!(check_bidi_od(&r, &a_up, &b_down).is_valid());
+        assert!(!check_bidi_od(&r, &a_up, &b_up).is_valid());
+    }
+
+    #[test]
+    fn global_polarity_flip_preserves_validity() {
+        let r = rel(&[("a", &[1, 2, 2, 4]), ("b", &[8, 5, 5, 1])]);
+        let x = MarkedList::single(Mark::asc(0));
+        let y = MarkedList::single(Mark::desc(1));
+        let valid = check_bidi_od(&r, &x, &y).is_valid();
+        let flipped = check_bidi_od(&r, &x.flipped(), &y.flipped()).is_valid();
+        assert_eq!(valid, flipped);
+    }
+
+    #[test]
+    fn theorem_4_1_lifts_to_marked_lists() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let vals = |rng: &mut StdRng| -> Vec<i64> {
+                (0..10).map(|_| rng.random_range(0..4)).collect()
+            };
+            let (va, vb) = (vals(&mut rng), vals(&mut rng));
+            let r = rel(&[("a", &va), ("b", &vb)]);
+            for dir in [Direction::Asc, Direction::Desc] {
+                let x = MarkedList::single(Mark::asc(0));
+                let y = MarkedList::single(Mark {
+                    column: 1,
+                    direction: dir,
+                });
+                let xy = x.concat(&y);
+                let yx = y.concat(&x);
+                assert_eq!(
+                    check_bidi_od(&r, &xy, &yx).is_valid(),
+                    check_bidi_od(&r, &yx, &xy).is_valid(),
+                    "seed {seed} dir {dir:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_equivalence_collapses_in_reduction() {
+        // b = -a: a↑ <-> b↓.
+        let r = rel(&[
+            ("a", &[3, 1, 4, 2]),
+            ("b", &[-3, -1, -4, -2]),
+            ("c", &[1, 2, 2, 1]),
+        ]);
+        let result = discover_bidirectional(&r, &DiscoveryConfig::default());
+        assert_eq!(result.equivalence_classes.len(), 1);
+        let class = &result.equivalence_classes[0];
+        assert!(class.contains(&Mark::asc(0)));
+        assert!(class.contains(&Mark::desc(1)));
+    }
+
+    #[test]
+    fn mixed_polarity_ocd_found() {
+        // a and b trend oppositely with independent ties: a↑ ~ b↓ but no OD.
+        // Backbone: a non-decreasing, b non-increasing.
+        let r = rel(&[("a", &[1, 1, 2, 2, 3, 3]), ("b", &[9, 8, 8, 5, 5, 5])]);
+        let result = discover_bidirectional(&r, &DiscoveryConfig::default());
+        let found = result.ocds.iter().any(|o| {
+            o.lhs == MarkedList::single(Mark::asc(0)) && o.rhs == MarkedList::single(Mark::desc(1))
+        });
+        assert!(found, "a+ ~ b- expected, got {:?}", result.ocds);
+        // The ascending pairing must NOT appear.
+        let asc_pair = result.ocds.iter().any(|o| {
+            o.lhs == MarkedList::single(Mark::asc(0)) && o.rhs == MarkedList::single(Mark::asc(1))
+        });
+        assert!(!asc_pair);
+    }
+
+    #[test]
+    fn unidirectional_results_are_a_special_case() {
+        use crate::{discover, DiscoveryConfig};
+        // On data with only ascending structure, the bidirectional search
+        // must find every unidirectional OCD (as all-Asc marked lists).
+        let r = rel(&[
+            ("a", &[1, 1, 2, 2, 3]),
+            ("b", &[1, 2, 2, 3, 3]),
+            ("c", &[5, 3, 1, 4, 2]),
+        ]);
+        let uni = discover(&r, &DiscoveryConfig::default());
+        let bidi = discover_bidirectional(&r, &DiscoveryConfig::default());
+        for ocd in &uni.ocds {
+            let lhs =
+                MarkedList::from_marks(ocd.lhs.as_slice().iter().map(|&c| Mark::asc(c)).collect());
+            let rhs =
+                MarkedList::from_marks(ocd.rhs.as_slice().iter().map(|&c| Mark::asc(c)).collect());
+            assert!(
+                bidi.ocds
+                    .iter()
+                    .any(|o| (o.lhs == lhs && o.rhs == rhs) || (o.lhs == rhs && o.rhs == lhs)),
+                "missing all-asc {ocd}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_respected() {
+        let r = rel(&[
+            ("a", &[1, 2, 3, 4, 5, 6]),
+            ("b", &[2, 1, 4, 3, 6, 5]),
+            ("c", &[6, 5, 4, 3, 2, 1]),
+            ("d", &[1, 3, 2, 5, 4, 6]),
+        ]);
+        let result = discover_bidirectional(
+            &r,
+            &DiscoveryConfig {
+                max_checks: Some(10),
+                ..DiscoveryConfig::default()
+            },
+        );
+        assert!(!result.complete);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Mark::asc(3).to_string(), "3+");
+        assert_eq!(Mark::desc(1).to_string(), "1-");
+        let list = MarkedList::from_marks(vec![Mark::asc(0), Mark::desc(2)]);
+        assert_eq!(list.to_string(), "[0+,2-]");
+        let ocd = BidiOcd {
+            lhs: list.clone(),
+            rhs: MarkedList::single(Mark::asc(1)),
+        };
+        assert_eq!(ocd.to_string(), "[0+,2-] ~ [1+]");
+    }
+}

@@ -1,0 +1,238 @@
+//! Brute-force ground truth: enumerate and validate dependencies directly
+//! from the pairwise definitions (Definitions 2.2 and 2.4).
+//!
+//! Exponential in the number of attributes and quadratic in rows — only
+//! usable on small relations, which is exactly what the test-suite needs to
+//! validate the discovery algorithms (ours and the baselines) against.
+
+use crate::check::check_od_pairwise;
+use crate::deps::{AttrList, Ocd, Od};
+use ocdd_relation::{ColumnId, Relation};
+
+/// All duplicate-free attribute lists over `universe` with length in
+/// `1..=max_len` (the `k`-permutations of §3.2).
+pub fn all_lists(universe: &[ColumnId], max_len: usize) -> Vec<AttrList> {
+    let mut out = Vec::new();
+    let mut current: Vec<ColumnId> = Vec::new();
+    fn rec(
+        universe: &[ColumnId],
+        max_len: usize,
+        current: &mut Vec<ColumnId>,
+        out: &mut Vec<AttrList>,
+    ) {
+        if !current.is_empty() {
+            out.push(AttrList::from_slice(current));
+        }
+        if current.len() == max_len {
+            return;
+        }
+        for &a in universe {
+            if !current.contains(&a) {
+                current.push(a);
+                rec(universe, max_len, current, out);
+                current.pop();
+            }
+        }
+    }
+    rec(universe, max_len, &mut current, &mut out);
+    out
+}
+
+/// All valid ODs `X → Y` with duplicate-free sides up to `max_len`,
+/// excluding trivial ones where `Y` is a prefix of `X` (those hold by
+/// Reflexivity on every instance). Sides may overlap.
+pub fn brute_force_ods(rel: &Relation, max_len: usize) -> Vec<Od> {
+    let universe: Vec<ColumnId> = (0..rel.num_columns()).collect();
+    let lists = all_lists(&universe, max_len);
+    let mut out = Vec::new();
+    for x in &lists {
+        for y in &lists {
+            if y.as_slice().len() <= x.as_slice().len() && x.as_slice()[..y.len()] == *y.as_slice()
+            {
+                continue; // trivial by reflexivity
+            }
+            if check_od_pairwise(rel, x, y) {
+                out.push(Od::new(x.clone(), y.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// All valid *minimal-form* OCDs `X ~ Y` (duplicate-free disjoint sides,
+/// Definition 3.4) up to `max_len` per side, in canonical orientation.
+pub fn brute_force_minimal_ocds(rel: &Relation, max_len: usize) -> Vec<Ocd> {
+    let universe: Vec<ColumnId> = (0..rel.num_columns()).collect();
+    let lists = all_lists(&universe, max_len);
+    let mut out = Vec::new();
+    for x in &lists {
+        for y in &lists {
+            if x >= y || !x.is_disjoint(y) {
+                continue;
+            }
+            let ocd = Ocd::new(x.clone(), y.clone());
+            let xy = x.concat(y);
+            let yx = y.concat(x);
+            // X ~ Y  iff  XY -> YX (Theorem 4.1); use the pairwise checker
+            // as an independent reference.
+            if check_od_pairwise(rel, &xy, &yx) && check_od_pairwise(rel, &yx, &xy) {
+                out.push(ocd.canonical());
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// All valid minimal FDs `X → A` over attribute *sets* with `|X| ≤ max_lhs`
+/// (used to cross-check the FD baseline). Minimal means no proper subset of
+/// `X` determines `A`.
+pub fn brute_force_minimal_fds(rel: &Relation, max_lhs: usize) -> Vec<(Vec<ColumnId>, ColumnId)> {
+    let n = rel.num_columns();
+    let m = rel.num_rows();
+    let holds = |lhs: &[ColumnId], rhs: ColumnId| -> bool {
+        for p in 0..m {
+            for q in (p + 1)..m {
+                let eq_lhs = lhs.iter().all(|&c| rel.code(p, c) == rel.code(q, c));
+                if eq_lhs && rel.code(p, rhs) != rel.code(q, rhs) {
+                    return false;
+                }
+            }
+        }
+        true
+    };
+
+    // Enumerate attribute subsets by increasing size.
+    let mut subsets: Vec<Vec<ColumnId>> = vec![vec![]];
+    for size in 1..=max_lhs.min(n) {
+        let mut stack: Vec<Vec<ColumnId>> = vec![vec![]];
+        while let Some(cur) = stack.pop() {
+            if cur.len() == size {
+                subsets.push(cur);
+                continue;
+            }
+            let start = cur.last().map_or(0, |&l| l + 1);
+            for a in start..n {
+                let mut next = cur.clone();
+                next.push(a);
+                stack.push(next);
+            }
+        }
+    }
+    subsets.sort_by_key(|s| (s.len(), s.clone()));
+
+    let mut out: Vec<(Vec<ColumnId>, ColumnId)> = Vec::new();
+    for rhs in 0..n {
+        for lhs in &subsets {
+            if lhs.contains(&rhs) {
+                continue;
+            }
+            // Minimality: skip if a known smaller FD for rhs is a subset.
+            let covered = out
+                .iter()
+                .any(|(known, a)| *a == rhs && known.iter().all(|k| lhs.contains(k)));
+            if covered {
+                continue;
+            }
+            if holds(lhs, rhs) {
+                out.push((lhs.clone(), rhs));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocdd_relation::{Relation, Value};
+
+    fn rel(cols: &[(&str, &[i64])]) -> Relation {
+        Relation::from_columns(
+            cols.iter()
+                .map(|(n, vals)| (n.to_string(), vals.iter().map(|&v| Value::Int(v)).collect()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_lists_counts_k_permutations() {
+        // S(3) with max_len 3: 3 + 6 + 6 = 15 lists.
+        assert_eq!(all_lists(&[0, 1, 2], 3).len(), 15);
+        assert_eq!(all_lists(&[0, 1, 2], 1).len(), 3);
+        assert_eq!(all_lists(&[0, 1, 2, 3], 2).len(), 4 + 12);
+        assert!(all_lists(&[], 2).is_empty());
+    }
+
+    #[test]
+    fn lists_are_duplicate_free() {
+        for list in all_lists(&[0, 1, 2], 3) {
+            assert!(list.is_duplicate_free());
+        }
+    }
+
+    #[test]
+    fn brute_ods_on_monotone_pair() {
+        let r = rel(&[("a", &[1, 2, 3]), ("b", &[4, 5, 6])]);
+        let ods = brute_force_ods(&r, 2);
+        // a <-> b: both [a] -> [b] and [b] -> [a] present.
+        let texts: Vec<String> = ods.iter().map(|o| o.to_string()).collect();
+        assert!(texts.contains(&"[0] -> [1]".to_string()));
+        assert!(texts.contains(&"[1] -> [0]".to_string()));
+        // Trivial prefix ODs like [0,1] -> [0] are excluded.
+        assert!(!texts.contains(&"[0,1] -> [0]".to_string()));
+    }
+
+    #[test]
+    fn brute_minimal_ocds_on_yes_style_table() {
+        // Split both ways, no swap: A ~ B holds, no ODs.
+        let r = rel(&[("a", &[1, 1, 2, 2, 3]), ("b", &[1, 2, 2, 3, 3])]);
+        let ocds = brute_force_minimal_ocds(&r, 1);
+        assert_eq!(ocds.len(), 1);
+        assert_eq!(ocds[0].to_string(), "[0] ~ [1]");
+        let ods = brute_force_ods(&r, 1);
+        assert!(ods.is_empty());
+    }
+
+    #[test]
+    fn brute_ocds_empty_on_swapped_pair() {
+        let r = rel(&[("a", &[1, 2]), ("b", &[2, 1])]);
+        assert!(brute_force_minimal_ocds(&r, 2).is_empty());
+    }
+
+    #[test]
+    fn brute_fds_find_key() {
+        // a is a key: a -> b and a -> c minimally.
+        let r = rel(&[("a", &[1, 2, 3]), ("b", &[5, 5, 6]), ("c", &[7, 8, 7])]);
+        let fds = brute_force_minimal_fds(&r, 2);
+        assert!(fds.contains(&(vec![0], 1)));
+        assert!(fds.contains(&(vec![0], 2)));
+        // b,c together identify rows: (5,7),(5,8),(6,7) all distinct -> bc -> a.
+        assert!(fds.contains(&(vec![1, 2], 0)));
+        // But not b alone.
+        assert!(!fds.contains(&(vec![1], 0)));
+    }
+
+    #[test]
+    fn brute_fds_respect_minimality() {
+        let r = rel(&[("a", &[1, 2, 3]), ("b", &[4, 5, 6]), ("c", &[1, 1, 2])]);
+        let fds = brute_force_minimal_fds(&r, 2);
+        // a -> c holds with |lhs|=1, so {a,b} -> c must not be reported.
+        assert!(fds.contains(&(vec![0], 2)));
+        assert!(!fds
+            .iter()
+            .any(|(lhs, rhs)| *rhs == 2 && lhs.len() > 1 && lhs.contains(&0)));
+    }
+
+    #[test]
+    fn constant_column_fd_from_empty_set() {
+        let r = rel(&[("a", &[1, 2]), ("k", &[9, 9])]);
+        let fds = brute_force_minimal_fds(&r, 1);
+        assert!(
+            fds.contains(&(vec![], 1)),
+            "constant is determined by the empty set"
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! Candidate checking (§4.3 of the paper).
+//!
+//! The checker validates an OD candidate `X → Y` by sorting a row index on
+//! `X` (`generateIndex`, Algorithm 2) and scanning adjacent rows. Because
+//! the index groups `X`-equal rows contiguously and the lexicographic order
+//! on `Y` is total, a single adjacent-pair scan classifies the candidate:
+//!
+//! * a pair with equal `X` but different `Y` is a **split** (the functional
+//!   dependency component is violated, Theorem 2.5 terminology);
+//! * a pair with strictly increasing `X` but decreasing `Y` is a **swap**
+//!   (the order compatibility component is violated);
+//! * otherwise the OD holds.
+//!
+//! An OCD candidate `X ~ Y` is validated with the *single* OD check
+//! `XY → YX` (Theorem 4.1). Ties on `XY` imply equality on every attribute
+//! of `X` and `Y`, so an OCD check can only produce `Valid` or `Swap`.
+//!
+//! The scan exits early at the first violation (the paper's early
+//! termination), so invalid candidates are usually much cheaper than valid
+//! ones. Worst case is `O(m log m + m·|Y|)` comparisons for `m` rows.
+
+use crate::deps::AttrList;
+use ocdd_relation::sort::{cmp_rows, refine_index, sort_index_by};
+use ocdd_relation::{ColumnId, Relation};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Outcome of checking an OD candidate `X → Y` against an instance, with a
+/// witness pair of rows for violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The dependency holds on the instance.
+    Valid,
+    /// Split: the witness rows agree on `X` but differ on `Y`
+    /// (`X → Y` as an FD over sets is violated).
+    Split {
+        /// First witness row id.
+        row_a: u32,
+        /// Second witness row id.
+        row_b: u32,
+    },
+    /// Swap: the witness rows strictly increase on `X` but strictly
+    /// decrease on `Y`.
+    Swap {
+        /// First witness row id (smaller on `X`).
+        row_a: u32,
+        /// Second witness row id.
+        row_b: u32,
+    },
+}
+
+impl CheckOutcome {
+    /// True when the dependency holds.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        matches!(self, CheckOutcome::Valid)
+    }
+}
+
+/// Classify adjacent pairs of `index` (pre-sorted by `lhs`) against `rhs`.
+fn scan_sorted(rel: &Relation, lhs: &[ColumnId], rhs: &[ColumnId], index: &[u32]) -> CheckOutcome {
+    for w in index.windows(2) {
+        let (p, q) = (w[0] as usize, w[1] as usize);
+        match cmp_rows(rel, rhs, p, q) {
+            Ordering::Less => {
+                // Y strictly increases; only fine if X strictly increased too.
+                if cmp_rows(rel, lhs, p, q) == Ordering::Equal {
+                    return CheckOutcome::Split {
+                        row_a: w[0],
+                        row_b: w[1],
+                    };
+                }
+            }
+            Ordering::Greater => {
+                // Y strictly decreases: split if X tied, swap otherwise.
+                return if cmp_rows(rel, lhs, p, q) == Ordering::Equal {
+                    CheckOutcome::Split {
+                        row_a: w[0],
+                        row_b: w[1],
+                    }
+                } else {
+                    CheckOutcome::Swap {
+                        row_a: w[0],
+                        row_b: w[1],
+                    }
+                };
+            }
+            Ordering::Equal => {}
+        }
+    }
+    CheckOutcome::Valid
+}
+
+/// Check the OD candidate `lhs → rhs` by index sort + adjacent scan.
+pub fn check_od(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> CheckOutcome {
+    let index = sort_index_by(rel, lhs.as_slice());
+    scan_sorted(rel, lhs.as_slice(), rhs.as_slice(), &index)
+}
+
+/// Check the OCD candidate `x ~ y` via the single OD check `XY → YX`
+/// (Theorem 4.1).
+pub fn check_ocd(rel: &Relation, x: &AttrList, y: &AttrList) -> CheckOutcome {
+    let xy = x.concat(y);
+    let yx = y.concat(x);
+    check_od(rel, &xy, &yx)
+}
+
+/// A memoizing checker that caches sorted indexes per LHS prefix.
+///
+/// The faithful algorithm re-sorts the relation for every candidate. Since
+/// a candidate's LHS `XY` shares the prefix `X` with its parent's `X…`
+/// lists, caching the permutation for each prefix and *refining* it
+/// ([`refine_index`]) amortizes most of the `O(m log m)` sort. This is the
+/// optimization the paper leaves as out of scope (§5.3.1, "sorted
+/// partitions"); it is off by default and measured by the ablation bench.
+pub struct SortCache<'r> {
+    rel: &'r Relation,
+    cache: HashMap<Vec<ColumnId>, Arc<Vec<u32>>>,
+    /// Number of cache hits (full or prefix), for ablation reporting.
+    pub hits: u64,
+    /// Number of full sorts performed.
+    pub misses: u64,
+}
+
+impl<'r> SortCache<'r> {
+    /// Create an empty cache over `rel`.
+    pub fn new(rel: &'r Relation) -> SortCache<'r> {
+        SortCache {
+            rel,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Sorted index for `cols`, reusing the longest cached prefix.
+    pub fn index_for(&mut self, cols: &[ColumnId]) -> Arc<Vec<u32>> {
+        if let Some(idx) = self.cache.get(cols) {
+            self.hits += 1;
+            return Arc::clone(idx);
+        }
+        // Longest cached proper prefix.
+        let mut best: usize = 0;
+        for len in (1..cols.len()).rev() {
+            if self.cache.contains_key(&cols[..len]) {
+                best = len;
+                break;
+            }
+        }
+        let index = if best > 0 {
+            self.hits += 1;
+            let base = Arc::clone(&self.cache[&cols[..best]]);
+            Arc::new(refine_index(self.rel, &base, &cols[..best], &cols[best..]))
+        } else {
+            self.misses += 1;
+            Arc::new(sort_index_by(self.rel, cols))
+        };
+        self.cache.insert(cols.to_vec(), Arc::clone(&index));
+        index
+    }
+
+    /// Check `lhs → rhs` using the cache.
+    pub fn check_od(&mut self, lhs: &AttrList, rhs: &AttrList) -> CheckOutcome {
+        let index = self.index_for(lhs.as_slice());
+        scan_sorted(self.rel, lhs.as_slice(), rhs.as_slice(), &index)
+    }
+
+    /// Check `x ~ y` using the cache (single check `XY → YX`).
+    pub fn check_ocd(&mut self, x: &AttrList, y: &AttrList) -> CheckOutcome {
+        let xy = x.concat(y);
+        let yx = y.concat(x);
+        self.check_od(&xy, &yx)
+    }
+}
+
+/// Reference checker: validate `lhs → rhs` by the pairwise Definition 2.2
+/// (`O(m²)`); used by tests and the brute-force ground truth.
+pub fn check_od_pairwise(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> bool {
+    let m = rel.num_rows();
+    for p in 0..m {
+        for q in 0..m {
+            if cmp_rows(rel, lhs.as_slice(), p, q) != Ordering::Greater
+                && cmp_rows(rel, rhs.as_slice(), p, q) == Ordering::Greater
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocdd_relation::{Relation, Value};
+
+    fn rel(cols: &[(&str, &[i64])]) -> Relation {
+        Relation::from_columns(
+            cols.iter()
+                .map(|(n, vals)| (n.to_string(), vals.iter().map(|&v| Value::Int(v)).collect()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn l(ids: &[usize]) -> AttrList {
+        AttrList::from_slice(ids)
+    }
+
+    #[test]
+    fn valid_od_on_monotone_columns() {
+        let r = rel(&[("a", &[1, 2, 3, 4]), ("b", &[10, 20, 20, 40])]);
+        assert!(check_od(&r, &l(&[0]), &l(&[1])).is_valid());
+        // b -> a fails: b has a tie (rows 1,2) where a differs -> split.
+        assert!(matches!(
+            check_od(&r, &l(&[1]), &l(&[0])),
+            CheckOutcome::Split { .. }
+        ));
+    }
+
+    #[test]
+    fn swap_detected_with_witness() {
+        let r = rel(&[("a", &[1, 2, 3]), ("b", &[1, 3, 2])]);
+        match check_od(&r, &l(&[0]), &l(&[1])) {
+            CheckOutcome::Swap { row_a, row_b } => {
+                // Witness rows must actually form a swap.
+                assert!(r.code(row_a as usize, 0) < r.code(row_b as usize, 0));
+                assert!(r.code(row_a as usize, 1) > r.code(row_b as usize, 1));
+            }
+            other => panic!("expected swap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_detected_with_witness() {
+        let r = rel(&[("a", &[1, 1, 2]), ("b", &[5, 6, 7])]);
+        match check_od(&r, &l(&[0]), &l(&[1])) {
+            CheckOutcome::Split { row_a, row_b } => {
+                assert_eq!(r.code(row_a as usize, 0), r.code(row_b as usize, 0));
+                assert_ne!(r.code(row_a as usize, 1), r.code(row_b as usize, 1));
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ocd_check_matches_definition() {
+        // income ~ savings from Table 1 of the paper.
+        let r = rel(&[
+            ("income", &[35_000, 40_000, 40_000, 55_000, 60_000, 80_000]),
+            ("savings", &[3_000, 4_000, 3_800, 6_500, 6_500, 10_000]),
+        ]);
+        // income ~ savings fails: rows 2,3 (40000,3800),(40000,4000)? No —
+        // check: XY -> YX must hold. Sorting by (income,savings):
+        // (35000,3000),(40000,3800),(40000,4000),(55000,6500),(60000,6500),(80000,10000)
+        // (savings,income) sequence: (3000,35000),(3800,40000),(4000,40000),
+        // (6500,55000),(6500,60000),(10000,80000) — non-decreasing => valid.
+        assert!(check_ocd(&r, &l(&[0]), &l(&[1])).is_valid());
+    }
+
+    #[test]
+    fn ocd_never_reports_split() {
+        // a and b have a genuine swap.
+        let r = rel(&[("a", &[1, 2]), ("b", &[2, 1])]);
+        match check_ocd(&r, &l(&[0]), &l(&[1])) {
+            CheckOutcome::Swap { .. } => {}
+            other => panic!("expected swap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn theorem_4_1_single_check_equals_both_directions() {
+        // X ~ Y  iff  XY -> YX  iff both XY -> YX and YX -> XY.
+        let cases: Vec<Relation> = vec![
+            rel(&[("a", &[1, 2, 3, 3]), ("b", &[4, 5, 6, 7])]),
+            rel(&[("a", &[1, 2, 3]), ("b", &[3, 2, 1])]),
+            rel(&[("a", &[1, 1, 2]), ("b", &[9, 9, 1])]),
+        ];
+        for r in &cases {
+            let (x, y) = (l(&[0]), l(&[1]));
+            let xy = x.concat(&y);
+            let yx = y.concat(&x);
+            let fwd = check_od(r, &xy, &yx).is_valid();
+            let bwd = check_od(r, &yx, &xy).is_valid();
+            assert_eq!(fwd, bwd, "Theorem 4.1: the two directions must agree");
+            assert_eq!(check_ocd(r, &x, &y).is_valid(), fwd && bwd);
+        }
+    }
+
+    #[test]
+    fn fast_checker_matches_pairwise_reference() {
+        // Exhaustive over small relations: every 2-column relation with
+        // values in {0,1,2} and 4 rows.
+        let mut count = 0;
+        for bits_a in 0..81u32 {
+            for bits_b in [0u32, 7, 27, 45, 80] {
+                let dec = |mut bits: u32| -> Vec<i64> {
+                    let mut v = Vec::new();
+                    for _ in 0..4 {
+                        v.push((bits % 3) as i64);
+                        bits /= 3;
+                    }
+                    v
+                };
+                let (va, vb) = (dec(bits_a), dec(bits_b));
+                let r = rel(&[("a", &va), ("b", &vb)]);
+                for (x, y) in [
+                    (l(&[0]), l(&[1])),
+                    (l(&[1]), l(&[0])),
+                    (l(&[0, 1]), l(&[1, 0])),
+                ] {
+                    assert_eq!(
+                        check_od(&r, &x, &y).is_valid(),
+                        check_od_pairwise(&r, &x, &y),
+                        "mismatch on {va:?} {vb:?} for {x} -> {y}"
+                    );
+                    count += 1;
+                }
+            }
+        }
+        assert!(count > 1000);
+    }
+
+    #[test]
+    fn empty_and_singleton_relations_are_trivially_valid() {
+        let r = rel(&[("a", &[]), ("b", &[])]);
+        assert!(check_od(&r, &l(&[0]), &l(&[1])).is_valid());
+        let r = rel(&[("a", &[5]), ("b", &[7])]);
+        assert!(check_od(&r, &l(&[0]), &l(&[1])).is_valid());
+        assert!(check_ocd(&r, &l(&[0]), &l(&[1])).is_valid());
+    }
+
+    #[test]
+    fn empty_lhs_orders_only_constants() {
+        let r = rel(&[("a", &[1, 2]), ("c", &[7, 7])]);
+        // [] -> [c] holds (constant), [] -> [a] fails (split on empty list).
+        assert!(check_od(&r, &AttrList::empty(), &l(&[1])).is_valid());
+        assert!(matches!(
+            check_od(&r, &AttrList::empty(), &l(&[0])),
+            CheckOutcome::Split { .. }
+        ));
+    }
+
+    #[test]
+    fn sort_cache_agrees_with_uncached() {
+        let r = rel(&[
+            ("a", &[3, 1, 4, 1, 5, 9, 2, 6]),
+            ("b", &[2, 7, 1, 8, 2, 8, 1, 8]),
+            ("c", &[1, 1, 2, 2, 3, 3, 4, 4]),
+        ]);
+        let mut cache = SortCache::new(&r);
+        let lists = [
+            (l(&[0]), l(&[1])),
+            (l(&[0, 1]), l(&[2])),
+            (l(&[0, 2]), l(&[1])),
+            (l(&[2, 0]), l(&[1])),
+            (l(&[0, 1]), l(&[2])), // repeat: full cache hit
+        ];
+        for (x, y) in &lists {
+            assert_eq!(cache.check_od(x, y), check_od(&r, x, y));
+            assert_eq!(
+                cache.check_ocd(x, y).is_valid(),
+                check_ocd(&r, x, y).is_valid()
+            );
+        }
+        assert!(cache.hits >= 1, "prefix reuse expected");
+    }
+
+    #[test]
+    fn nulls_first_semantics_in_checks() {
+        let r = Relation::from_columns(vec![
+            (
+                "a".to_string(),
+                vec![Value::Null, Value::Int(1), Value::Int(2)],
+            ),
+            (
+                "b".to_string(),
+                vec![Value::Int(0), Value::Int(5), Value::Int(9)],
+            ),
+        ])
+        .unwrap();
+        // NULL sorts first and b is increasing along that order.
+        assert!(check_od(&r, &l(&[0]), &l(&[1])).is_valid());
+    }
+}

@@ -1,0 +1,332 @@
+//! Attribute lists and dependency types, in the paper's notation (Table 2).
+//!
+//! * [`AttrList`] — a list of attributes `X = [A, B, ...]` (order matters,
+//!   unlike the attribute *sets* of functional dependencies).
+//! * [`Od`] — an order dependency `X → Y` (Definition 2.2).
+//! * [`Ocd`] — an order compatibility dependency `X ~ Y` (Definition 2.4).
+//! * [`OrderEquivalence`] — `X ↔ Y` (both `X → Y` and `Y → X`).
+
+use ocdd_relation::{ColumnId, Relation};
+use std::fmt;
+
+/// An ordered list of attributes (column ids).
+///
+/// Lists used by the discovery algorithm never contain a repeated attribute
+/// (minimality, Definition 3.3); this is an invariant maintained by the
+/// candidate generator, not enforced by the type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrList(Vec<ColumnId>);
+
+impl AttrList {
+    /// The empty list `[]`.
+    pub fn empty() -> AttrList {
+        AttrList(Vec::new())
+    }
+
+    /// A single-attribute list `[a]`.
+    pub fn single(a: ColumnId) -> AttrList {
+        AttrList(vec![a])
+    }
+
+    /// Build from a slice of column ids.
+    pub fn from_slice(cols: &[ColumnId]) -> AttrList {
+        AttrList(cols.to_vec())
+    }
+
+    /// The attributes in list order.
+    #[inline]
+    pub fn as_slice(&self) -> &[ColumnId] {
+        &self.0
+    }
+
+    /// List length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty list.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether attribute `a` occurs in the list.
+    #[inline]
+    pub fn contains(&self, a: ColumnId) -> bool {
+        self.0.contains(&a)
+    }
+
+    /// New list with `a` appended on the right: `XA`.
+    pub fn with_appended(&self, a: ColumnId) -> AttrList {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(a);
+        AttrList(v)
+    }
+
+    /// Concatenation `XY` (shorthand for `X ◦ Y` in the paper).
+    pub fn concat(&self, other: &AttrList) -> AttrList {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        AttrList(v)
+    }
+
+    /// Normalization (AX3): remove every occurrence of an attribute after
+    /// its first, e.g. `ABA -> AB`. Returns a list order equivalent to
+    /// `self` on every instance.
+    pub fn normalized(&self) -> AttrList {
+        let mut seen = Vec::new();
+        let mut out = Vec::with_capacity(self.0.len());
+        for &a in &self.0 {
+            if !seen.contains(&a) {
+                seen.push(a);
+                out.push(a);
+            }
+        }
+        AttrList(out)
+    }
+
+    /// True if no attribute repeats within the list.
+    pub fn is_duplicate_free(&self) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, a)| !self.0[..i].contains(a))
+    }
+
+    /// True if `self` and `other` share no attribute.
+    pub fn is_disjoint(&self, other: &AttrList) -> bool {
+        self.0.iter().all(|a| !other.contains(*a))
+    }
+
+    /// Render with column names from `rel`, e.g. `[income,tax]`.
+    pub fn display<'a>(&'a self, rel: &'a Relation) -> impl fmt::Display + 'a {
+        NamedList { list: self, rel }
+    }
+}
+
+impl fmt::Display for AttrList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+struct NamedList<'a> {
+    list: &'a AttrList,
+    rel: &'a Relation,
+}
+
+impl fmt::Display for NamedList<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, &a) in self.list.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", self.rel.meta(a).name)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<ColumnId>> for AttrList {
+    fn from(v: Vec<ColumnId>) -> Self {
+        AttrList(v)
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrList {
+    type Item = &'a ColumnId;
+    type IntoIter = std::slice::Iter<'a, ColumnId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// An order dependency `X → Y`: ordering by `X` also orders by `Y`
+/// (Definition 2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Od {
+    /// Left-hand side list.
+    pub lhs: AttrList,
+    /// Right-hand side list.
+    pub rhs: AttrList,
+}
+
+impl Od {
+    /// Construct `lhs → rhs`.
+    pub fn new(lhs: AttrList, rhs: AttrList) -> Od {
+        Od { lhs, rhs }
+    }
+
+    /// Render with column names.
+    pub fn display<'a>(&'a self, rel: &'a Relation) -> String {
+        format!("{} -> {}", self.lhs.display(rel), self.rhs.display(rel))
+    }
+}
+
+impl fmt::Display for Od {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.lhs, self.rhs)
+    }
+}
+
+/// An order compatibility dependency `X ~ Y` (Definition 2.4), equivalent to
+/// the order equivalence `XY ↔ YX`.
+///
+/// OCDs are commutative; [`Ocd::canonical`] picks the orientation with the
+/// lexicographically smaller side first so that sets of OCDs deduplicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ocd {
+    /// One side of the dependency.
+    pub lhs: AttrList,
+    /// The other side.
+    pub rhs: AttrList,
+}
+
+impl Ocd {
+    /// Construct `lhs ~ rhs`.
+    pub fn new(lhs: AttrList, rhs: AttrList) -> Ocd {
+        Ocd { lhs, rhs }
+    }
+
+    /// Commutative canonical form (smaller side first).
+    pub fn canonical(&self) -> Ocd {
+        if self.lhs <= self.rhs {
+            self.clone()
+        } else {
+            Ocd {
+                lhs: self.rhs.clone(),
+                rhs: self.lhs.clone(),
+            }
+        }
+    }
+
+    /// This OCD is *minimal* (Definition 3.4) when both sides are
+    /// duplicate-free lists and the sides are disjoint. (Minimality of each
+    /// side as an attribute list additionally requires the absence of
+    /// embedded order equivalences, which is instance-dependent and
+    /// guaranteed by column reduction for single attributes.)
+    pub fn is_syntactically_minimal(&self) -> bool {
+        self.lhs.is_duplicate_free()
+            && self.rhs.is_duplicate_free()
+            && self.lhs.is_disjoint(&self.rhs)
+    }
+
+    /// Render with column names.
+    pub fn display<'a>(&'a self, rel: &'a Relation) -> String {
+        format!("{} ~ {}", self.lhs.display(rel), self.rhs.display(rel))
+    }
+}
+
+impl fmt::Display for Ocd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ~ {}", self.lhs, self.rhs)
+    }
+}
+
+/// An order equivalence `X ↔ Y`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OrderEquivalence {
+    /// One side.
+    pub lhs: AttrList,
+    /// The other side.
+    pub rhs: AttrList,
+}
+
+impl fmt::Display for OrderEquivalence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <-> {}", self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(ids: &[usize]) -> AttrList {
+        AttrList::from_slice(ids)
+    }
+
+    #[test]
+    fn concat_and_append() {
+        let x = l(&[0, 1]);
+        let y = l(&[2]);
+        assert_eq!(x.concat(&y), l(&[0, 1, 2]));
+        assert_eq!(x.with_appended(5), l(&[0, 1, 5]));
+        assert_eq!(AttrList::empty().concat(&y), y);
+    }
+
+    #[test]
+    fn normalization_drops_later_duplicates() {
+        // ABA -> AB (the paper's example after Definition 3.3)
+        assert_eq!(l(&[0, 1, 0]).normalized(), l(&[0, 1]));
+        assert_eq!(l(&[0, 1, 2]).normalized(), l(&[0, 1, 2]));
+        assert_eq!(l(&[3, 3, 3]).normalized(), l(&[3]));
+        assert_eq!(AttrList::empty().normalized(), AttrList::empty());
+    }
+
+    #[test]
+    fn duplicate_free_and_disjoint() {
+        assert!(l(&[0, 1, 2]).is_duplicate_free());
+        assert!(!l(&[0, 1, 0]).is_duplicate_free());
+        assert!(l(&[0, 1]).is_disjoint(&l(&[2, 3])));
+        assert!(!l(&[0, 1]).is_disjoint(&l(&[1, 2])));
+        assert!(AttrList::empty().is_disjoint(&l(&[0])));
+    }
+
+    #[test]
+    fn ocd_canonical_is_orientation_independent() {
+        let a = Ocd::new(l(&[1]), l(&[0]));
+        let b = Ocd::new(l(&[0]), l(&[1]));
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(b.canonical(), b);
+    }
+
+    #[test]
+    fn syntactic_minimality() {
+        assert!(Ocd::new(l(&[0]), l(&[1, 2])).is_syntactically_minimal());
+        assert!(!Ocd::new(l(&[0]), l(&[0, 2])).is_syntactically_minimal());
+        assert!(!Ocd::new(l(&[0, 0]), l(&[1])).is_syntactically_minimal());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(l(&[0, 2]).to_string(), "[0,2]");
+        assert_eq!(Od::new(l(&[0]), l(&[1])).to_string(), "[0] -> [1]");
+        assert_eq!(Ocd::new(l(&[0]), l(&[1])).to_string(), "[0] ~ [1]");
+        let eq = OrderEquivalence {
+            lhs: l(&[0]),
+            rhs: l(&[1]),
+        };
+        assert_eq!(eq.to_string(), "[0] <-> [1]");
+    }
+
+    #[test]
+    fn named_display_uses_schema() {
+        use ocdd_relation::{Relation, Value};
+        let rel = Relation::from_columns(vec![
+            ("income".to_string(), vec![Value::Int(1)]),
+            ("tax".to_string(), vec![Value::Int(2)]),
+        ])
+        .unwrap();
+        let od = Od::new(l(&[0]), l(&[1]));
+        assert_eq!(od.display(&rel), "[income] -> [tax]");
+    }
+
+    #[test]
+    fn attr_list_iteration() {
+        let x = l(&[4, 2, 7]);
+        let collected: Vec<usize> = (&x).into_iter().copied().collect();
+        assert_eq!(collected, vec![4, 2, 7]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Interestingness-guided discovery (§5.4).
+//!
+//! Quasi-constant columns (few distinct values) blow up the candidate tree:
+//! they participate in a huge number of valid OCDs without being pruned by
+//! column reduction. The paper measures column diversity with Shannon
+//! entropy (Definition 5.1) and proposes restricting discovery to the most
+//! diverse columns. This module packages that strategy.
+
+use crate::config::DiscoveryConfig;
+use crate::results::DiscoveryResult;
+use crate::search::discover;
+use ocdd_relation::stats::{all_column_stats, columns_by_decreasing_entropy, ColumnStats};
+use ocdd_relation::{ColumnId, Relation};
+
+/// A column ranked by interestingness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedColumn {
+    /// Column id in the original relation.
+    pub column: ColumnId,
+    /// Column name.
+    pub name: String,
+    /// Shannon entropy (nats).
+    pub entropy: f64,
+    /// Distinct value count.
+    pub distinct: usize,
+}
+
+/// Rank all columns by decreasing entropy.
+pub fn rank_columns(rel: &Relation) -> Vec<RankedColumn> {
+    let stats: Vec<ColumnStats> = all_column_stats(rel);
+    let mut ranked: Vec<RankedColumn> = stats
+        .into_iter()
+        .map(|s| RankedColumn {
+            column: s.column,
+            name: rel.meta(s.column).name.clone(),
+            entropy: s.entropy,
+            distinct: s.distinct,
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.entropy
+            .partial_cmp(&a.entropy)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.column.cmp(&b.column))
+    });
+    ranked
+}
+
+/// The `k` most diverse (highest-entropy) columns.
+pub fn top_k_columns(rel: &Relation, k: usize) -> Vec<ColumnId> {
+    columns_by_decreasing_entropy(rel)
+        .into_iter()
+        .take(k)
+        .collect()
+}
+
+/// Identify quasi-constant columns: non-constant columns with at most
+/// `max_distinct` distinct values. These are the columns §5.3.2/§5.4
+/// blames for the candidate-tree blow-up.
+pub fn quasi_constant_columns(rel: &Relation, max_distinct: usize) -> Vec<ColumnId> {
+    (0..rel.num_columns())
+        .filter(|&c| {
+            let d = rel.meta(c).distinct;
+            d > 1 && d <= max_distinct
+        })
+        .collect()
+}
+
+/// Result of an entropy-guided run: the projection used plus the discovery
+/// output over it. Column ids inside `result` refer to `projection`
+/// positions; `selected` maps them back to the original relation.
+#[derive(Debug)]
+pub struct GuidedDiscovery {
+    /// Original ids of the selected columns, in projection order.
+    pub selected: Vec<ColumnId>,
+    /// Discovery output over the projected relation.
+    pub result: DiscoveryResult,
+}
+
+/// Discover dependencies over only the `k` most diverse columns.
+pub fn discover_top_k(
+    rel: &Relation,
+    k: usize,
+    config: &DiscoveryConfig,
+) -> ocdd_relation::Result<GuidedDiscovery> {
+    let selected = top_k_columns(rel, k);
+    let projected = rel.project(&selected)?;
+    let result = discover(&projected, config);
+    Ok(GuidedDiscovery { selected, result })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocdd_relation::{Relation, Value};
+
+    fn wide_relation() -> Relation {
+        Relation::from_columns(vec![
+            ("key".to_string(), (0..8).map(Value::Int).collect()),
+            (
+                "quasi".to_string(),
+                vec![0, 0, 0, 1, 1, 1, 1, 1]
+                    .into_iter()
+                    .map(Value::Int)
+                    .collect(),
+            ),
+            ("konst".to_string(), vec![Value::Int(3); 8]),
+            (
+                "mid".to_string(),
+                vec![0, 0, 1, 1, 2, 2, 3, 3]
+                    .into_iter()
+                    .map(Value::Int)
+                    .collect(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ranking_is_by_entropy_desc() {
+        let ranked = rank_columns(&wide_relation());
+        let names: Vec<&str> = ranked.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["key", "mid", "quasi", "konst"]);
+        assert!(ranked[0].entropy > ranked[1].entropy);
+        assert_eq!(ranked[3].entropy, 0.0);
+    }
+
+    #[test]
+    fn top_k_selects_most_diverse() {
+        let r = wide_relation();
+        assert_eq!(top_k_columns(&r, 2), vec![0, 3]);
+        assert_eq!(top_k_columns(&r, 0), Vec::<usize>::new());
+        // k larger than the column count returns everything.
+        assert_eq!(top_k_columns(&r, 10).len(), 4);
+    }
+
+    #[test]
+    fn quasi_constant_detection() {
+        let r = wide_relation();
+        // max_distinct = 3: "quasi" (2 distinct) qualifies; "konst" is
+        // constant (excluded); "mid" has 4 distinct (excluded).
+        assert_eq!(quasi_constant_columns(&r, 3), vec![1]);
+        assert_eq!(quasi_constant_columns(&r, 4), vec![1, 3]);
+    }
+
+    #[test]
+    fn guided_discovery_runs_on_projection() {
+        let r = wide_relation();
+        let guided = discover_top_k(&r, 2, &DiscoveryConfig::default()).unwrap();
+        assert_eq!(guided.selected, vec![0, 3]);
+        // "key" orders "mid" in the projection: OD [0] -> [1] there.
+        assert!(guided
+            .result
+            .ods
+            .iter()
+            .any(|od| od.to_string() == "[0] -> [1]"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Expansion of a reduced discovery result into the full set of order
+//! dependencies (§5.2 of the paper).
+//!
+//! OCDDISCOVER reports its results over the *reduced* attribute universe:
+//! constant columns are removed, order-equivalent columns are collapsed to
+//! one representative, and valid ODs prune derivable OCDs. To compare
+//! against ORDER and FASTOD, the paper expands the result back:
+//!
+//! * each OCD `X ~ Y` stands for the order equivalence `XY ↔ YX` and, by
+//!   Theorem 3.8, for the repeated-attribute ODs `XY → Y` and `YX → X`;
+//! * each member of an order-equivalence class can replace its
+//!   representative in any dependency (Replace theorem);
+//! * a constant column `C` is ordered by the empty list: `[] → [C]`, hence
+//!   by every attribute list.
+//!
+//! The number of expanded ODs can be enormous (tens of millions on
+//! FLIGHT-like data), so the count is computed arithmetically by
+//! [`expanded_od_count`] and materialization ([`expanded_ods`]) takes a
+//! limit.
+
+use crate::deps::{AttrList, Od};
+use crate::results::DiscoveryResult;
+use ocdd_relation::ColumnId;
+use std::collections::HashMap;
+
+/// The four ODs a single OCD `X ~ Y` stands for: the order equivalence
+/// `XY ↔ YX` plus the Theorem 3.8 forms `XY → Y` and `YX → X`.
+pub fn ods_of_ocd(x: &AttrList, y: &AttrList) -> [Od; 4] {
+    let xy = x.concat(y);
+    let yx = y.concat(x);
+    [
+        Od::new(xy.clone(), yx.clone()),
+        Od::new(yx.clone(), xy.clone()),
+        Od::new(xy, y.clone()),
+        Od::new(yx, x.clone()),
+    ]
+}
+
+/// Map each column to the members of its order-equivalence class
+/// (representatives map to the full class, untouched columns to themselves).
+fn class_members(result: &DiscoveryResult) -> HashMap<ColumnId, Vec<ColumnId>> {
+    let mut map: HashMap<ColumnId, Vec<ColumnId>> = HashMap::new();
+    for class in &result.equivalence_classes {
+        map.insert(class[0], class.clone());
+    }
+    for &attr in &result.reduced_attributes {
+        map.entry(attr).or_insert_with(|| vec![attr]);
+    }
+    map
+}
+
+/// Number of substitution variants of a dependency over `attrs`: the
+/// product of the class sizes of its distinct attributes.
+fn variant_count(
+    attrs: impl Iterator<Item = ColumnId>,
+    classes: &HashMap<ColumnId, Vec<ColumnId>>,
+) -> u64 {
+    let mut seen = Vec::new();
+    let mut product = 1u64;
+    for a in attrs {
+        if !seen.contains(&a) {
+            seen.push(a);
+            let size = classes.get(&a).map_or(1, Vec::len) as u64;
+            product = product.saturating_mul(size);
+        }
+    }
+    product
+}
+
+/// Count the ODs the reduced result stands for, without materializing them.
+///
+/// The tally, mirroring how the paper's `|Od|` column counts:
+/// * 4 ODs per discovered OCD (see [`ods_of_ocd`]) × substitution variants;
+/// * 1 OD per discovered disjoint-side OD × substitution variants;
+/// * all ordered pairs within every order-equivalence class;
+/// * 1 OD `[] → [C]` per constant column.
+pub fn expanded_od_count(result: &DiscoveryResult) -> u64 {
+    let classes = class_members(result);
+    let mut count = 0u64;
+
+    for ocd in &result.ocds {
+        let attrs = ocd.lhs.as_slice().iter().chain(ocd.rhs.as_slice()).copied();
+        count = count.saturating_add(4 * variant_count(attrs, &classes));
+    }
+    for od in &result.ods {
+        let attrs = od.lhs.as_slice().iter().chain(od.rhs.as_slice()).copied();
+        count = count.saturating_add(variant_count(attrs, &classes));
+    }
+    for class in &result.equivalence_classes {
+        let k = class.len() as u64;
+        count = count.saturating_add(k * (k - 1));
+    }
+    count = count.saturating_add(result.constants.len() as u64);
+    count
+}
+
+/// Enumerate substitution variants of `list` under the class map. Each
+/// occurrence of a representative can be replaced independently
+/// (per-occurrence replacement — use [`expanded_ods`] for the consistent
+/// whole-dependency substitution of the Replace theorem).
+pub fn list_variants(list: &AttrList, classes: &HashMap<ColumnId, Vec<ColumnId>>) -> Vec<AttrList> {
+    let slots: Vec<&Vec<ColumnId>> = list
+        .as_slice()
+        .iter()
+        .map(|a| classes.get(a).expect("attribute has a class entry"))
+        .collect();
+    let mut out: Vec<Vec<ColumnId>> = vec![Vec::new()];
+    for slot in slots {
+        let mut next = Vec::with_capacity(out.len() * slot.len());
+        for prefix in &out {
+            for &member in slot {
+                let mut v = prefix.clone();
+                v.push(member);
+                next.push(v);
+            }
+        }
+        out = next;
+    }
+    out.into_iter().map(AttrList::from).collect()
+}
+
+/// Materialize up to `limit` expanded ODs.
+///
+/// Substitution variants of the same base dependency are consistent across
+/// sides: the occurrence of a class representative on the left and right is
+/// replaced by the same member (the Replace theorem substitutes an
+/// attribute everywhere at once).
+pub fn expanded_ods(result: &DiscoveryResult, limit: usize) -> Vec<Od> {
+    let classes = class_members(result);
+    let mut out: Vec<Od> = Vec::new();
+
+    // Consistent substitution: enumerate assignments per distinct attribute.
+    let emit_variants = |lhs: &AttrList, rhs: &AttrList, out: &mut Vec<Od>| {
+        let mut distinct: Vec<ColumnId> = Vec::new();
+        for &a in lhs.as_slice().iter().chain(rhs.as_slice()) {
+            if !distinct.contains(&a) {
+                distinct.push(a);
+            }
+        }
+        // Cartesian product of class members per distinct attribute.
+        let mut assignments: Vec<HashMap<ColumnId, ColumnId>> = vec![HashMap::new()];
+        for &a in &distinct {
+            let members = classes.get(&a).cloned().unwrap_or_else(|| vec![a]);
+            let mut next = Vec::with_capacity(assignments.len() * members.len());
+            for asg in &assignments {
+                for &m in &members {
+                    let mut asg = asg.clone();
+                    asg.insert(a, m);
+                    next.push(asg);
+                }
+            }
+            assignments = next;
+        }
+        for asg in assignments {
+            if out.len() >= limit {
+                return;
+            }
+            let map = |l: &AttrList| {
+                AttrList::from(
+                    l.as_slice()
+                        .iter()
+                        .map(|a| *asg.get(a).unwrap_or(a))
+                        .collect::<Vec<_>>(),
+                )
+            };
+            out.push(Od::new(map(lhs), map(rhs)));
+        }
+    };
+
+    for ocd in &result.ocds {
+        for od in ods_of_ocd(&ocd.lhs, &ocd.rhs) {
+            if out.len() >= limit {
+                return out;
+            }
+            emit_variants(&od.lhs, &od.rhs, &mut out);
+        }
+    }
+    for od in &result.ods {
+        if out.len() >= limit {
+            return out;
+        }
+        emit_variants(&od.lhs, &od.rhs, &mut out);
+    }
+    for class in &result.equivalence_classes {
+        for &a in class {
+            for &b in class {
+                if a != b {
+                    if out.len() >= limit {
+                        return out;
+                    }
+                    out.push(Od::new(AttrList::single(a), AttrList::single(b)));
+                }
+            }
+        }
+    }
+    for &c in &result.constants {
+        if out.len() >= limit {
+            return out;
+        }
+        out.push(Od::new(AttrList::empty(), AttrList::single(c)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::Ocd;
+
+    fn l(ids: &[usize]) -> AttrList {
+        AttrList::from_slice(ids)
+    }
+
+    #[test]
+    fn ocd_expands_to_four_ods() {
+        let [a, b, c, d] = ods_of_ocd(&l(&[0]), &l(&[1]));
+        assert_eq!(a.to_string(), "[0,1] -> [1,0]");
+        assert_eq!(b.to_string(), "[1,0] -> [0,1]");
+        assert_eq!(c.to_string(), "[0,1] -> [1]");
+        assert_eq!(d.to_string(), "[1,0] -> [0]");
+    }
+
+    #[test]
+    fn count_without_classes() {
+        let result = DiscoveryResult {
+            ocds: vec![Ocd::new(l(&[0]), l(&[1]))],
+            ods: vec![Od::new(l(&[0]), l(&[2]))],
+            constants: vec![3],
+            reduced_attributes: vec![0, 1, 2],
+            ..DiscoveryResult::default()
+        };
+        // 4 (OCD) + 1 (OD) + 0 (no classes) + 1 (constant) = 6.
+        assert_eq!(expanded_od_count(&result), 6);
+        let ods = expanded_ods(&result, usize::MAX);
+        assert_eq!(ods.len(), 6);
+    }
+
+    #[test]
+    fn class_substitution_multiplies_counts() {
+        // Class {1, 4}: every dependency mentioning 1 doubles.
+        let result = DiscoveryResult {
+            ocds: vec![Ocd::new(l(&[0]), l(&[1]))],
+            ods: vec![],
+            equivalence_classes: vec![vec![1, 4]],
+            reduced_attributes: vec![0, 1, 2],
+            ..DiscoveryResult::default()
+        };
+        // OCD: 4 ODs × 2 variants = 8; class pairs: 2. Total 10.
+        assert_eq!(expanded_od_count(&result), 10);
+        let ods = expanded_ods(&result, usize::MAX);
+        assert_eq!(ods.len(), 10);
+        // A variant with 4 substituted for 1 must appear.
+        assert!(ods.iter().any(|od| od.to_string() == "[0,4] -> [4,0]"));
+        // Substitution is consistent across sides: never 1 on one side and
+        // 4 on the other within the same variant of the equivalence pair.
+        assert!(!ods.iter().any(|od| od.to_string() == "[0,1] -> [4,0]"));
+    }
+
+    #[test]
+    fn limit_caps_materialization() {
+        let result = DiscoveryResult {
+            ocds: vec![Ocd::new(l(&[0]), l(&[1])), Ocd::new(l(&[0]), l(&[2]))],
+            reduced_attributes: vec![0, 1, 2],
+            ..DiscoveryResult::default()
+        };
+        assert_eq!(expanded_ods(&result, 3).len(), 3);
+        assert_eq!(expanded_od_count(&result), 8);
+    }
+
+    #[test]
+    fn list_variants_enumerates_products() {
+        let mut classes = HashMap::new();
+        classes.insert(0, vec![0, 5]);
+        classes.insert(1, vec![1]);
+        let vars = list_variants(&l(&[0, 1]), &classes);
+        assert_eq!(vars.len(), 2);
+        assert!(vars.contains(&l(&[0, 1])));
+        assert!(vars.contains(&l(&[5, 1])));
+    }
+
+    #[test]
+    fn empty_result_expands_to_nothing() {
+        let result = DiscoveryResult::default();
+        assert_eq!(expanded_od_count(&result), 0);
+        assert!(expanded_ods(&result, 100).is_empty());
+    }
+}

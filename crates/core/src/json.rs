@@ -1,0 +1,189 @@
+//! Hand-rolled JSON export of discovery results (no serde dependency).
+//!
+//! The output is a stable, documented schema for downstream tooling:
+//!
+//! ```json
+//! {
+//!   "rows": 6, "columns": 5, "complete": true,
+//!   "checks": 87, "elapsed_ms": 0.41,
+//!   "constants": ["flag"],
+//!   "equivalence_classes": [["income", "tax"]],
+//!   "ocds": [{"lhs": ["income"], "rhs": ["savings"]}],
+//!   "ods":  [{"lhs": ["income"], "rhs": ["bracket"]}]
+//! }
+//! ```
+
+use crate::deps::AttrList;
+use crate::results::DiscoveryResult;
+use ocdd_relation::Relation;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn name_array(list: &AttrList, rel: &Relation) -> String {
+    let names: Vec<String> = list
+        .as_slice()
+        .iter()
+        .map(|&c| format!("\"{}\"", escape(&rel.meta(c).name)))
+        .collect();
+    format!("[{}]", names.join(","))
+}
+
+/// Serialize a [`DiscoveryResult`] to JSON, resolving column ids to names
+/// through `rel`.
+pub fn result_to_json(result: &DiscoveryResult, rel: &Relation) -> String {
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"rows\":{},\"columns\":{},\"complete\":{},\"checks\":{},\"elapsed_ms\":{:.3},",
+        rel.num_rows(),
+        rel.num_columns(),
+        result.complete,
+        result.checks,
+        result.elapsed.as_secs_f64() * 1e3
+    );
+
+    let constants: Vec<String> = result
+        .constants
+        .iter()
+        .map(|&c| format!("\"{}\"", escape(&rel.meta(c).name)))
+        .collect();
+    let _ = write!(out, "\"constants\":[{}],", constants.join(","));
+
+    let classes: Vec<String> = result
+        .equivalence_classes
+        .iter()
+        .map(|class| {
+            let names: Vec<String> = class
+                .iter()
+                .map(|&c| format!("\"{}\"", escape(&rel.meta(c).name)))
+                .collect();
+            format!("[{}]", names.join(","))
+        })
+        .collect();
+    let _ = write!(out, "\"equivalence_classes\":[{}],", classes.join(","));
+
+    let ocds: Vec<String> = result
+        .ocds
+        .iter()
+        .map(|o| {
+            format!(
+                "{{\"lhs\":{},\"rhs\":{}}}",
+                name_array(&o.lhs, rel),
+                name_array(&o.rhs, rel)
+            )
+        })
+        .collect();
+    let _ = write!(out, "\"ocds\":[{}],", ocds.join(","));
+
+    let ods: Vec<String> = result
+        .ods
+        .iter()
+        .map(|o| {
+            format!(
+                "{{\"lhs\":{},\"rhs\":{}}}",
+                name_array(&o.lhs, rel),
+                name_array(&o.rhs, rel)
+            )
+        })
+        .collect();
+    let _ = write!(out, "\"ods\":[{}]", ods.join(","));
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{discover, DiscoveryConfig};
+    use ocdd_relation::Value;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb"), "a\\nb");
+        assert_eq!(escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn json_shape_on_tax_like_table() {
+        let rel = Relation::from_columns(vec![
+            (
+                "income".to_string(),
+                vec![1, 2, 2, 3].into_iter().map(Value::Int).collect(),
+            ),
+            (
+                "tax".to_string(),
+                vec![10, 20, 20, 30].into_iter().map(Value::Int).collect(),
+            ),
+            ("flag".to_string(), vec![Value::Int(0); 4]),
+        ])
+        .unwrap();
+        let result = discover(&rel, &DiscoveryConfig::default());
+        let json = result_to_json(&result, &rel);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"constants\":[\"flag\"]"), "{json}");
+        assert!(
+            json.contains("\"equivalence_classes\":[[\"income\",\"tax\"]]"),
+            "{json}"
+        );
+        assert!(json.contains("\"complete\":true"));
+    }
+
+    #[test]
+    fn json_is_parseable_by_a_naive_validator() {
+        // Bracket/quote balance check — catches structural mistakes without
+        // a JSON dependency.
+        let rel = Relation::from_columns(vec![(
+            "weird \"name\"\n".to_string(),
+            vec![Value::Int(1), Value::Int(2)],
+        )])
+        .unwrap();
+        let result = discover(&rel, &DiscoveryConfig::default());
+        let json = result_to_json(&result, &rel);
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+}

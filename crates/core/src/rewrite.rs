@@ -1,0 +1,344 @@
+//! `ORDER BY` clause simplification — the paper's §1 motivating
+//! application of order dependencies in query optimization.
+//!
+//! A sort key is redundant when the keys kept before it already determine
+//! its order: given `income → bracket` and `income ↔ tax`, the clause
+//! `ORDER BY income, bracket, tax` reduces to `ORDER BY income`.
+//!
+//! Two simplifiers are provided:
+//!
+//! * [`simplify_with_data`] — *instance-backed*: a key is dropped when the
+//!   kept prefix provably orders it **on this instance** (one sorted scan
+//!   per key). This is the strongest rewrite but only sound for the data
+//!   at hand.
+//! * [`simplify_with_result`] — *dependency-backed*: uses only a
+//!   [`DiscoveryResult`] (constants, equivalence classes, ODs), so the
+//!   rewrite is sound for any instance satisfying those dependencies —
+//!   what a real optimizer with a dependency catalogue would do.
+//!
+//! Both return the kept keys plus a [`DropReason`] per removed key, and
+//! both are conservative: a key is only dropped with a justification.
+
+use crate::check::check_od;
+use crate::deps::AttrList;
+use crate::results::DiscoveryResult;
+use ocdd_relation::{ColumnId, Relation};
+
+/// Why a sort key was removed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DropReason {
+    /// The column is constant.
+    Constant,
+    /// The kept prefix orders the column (witnessed on the instance).
+    OrderedByPrefix {
+        /// The prefix of kept keys that orders the dropped key.
+        prefix: Vec<ColumnId>,
+    },
+    /// The column is order equivalent to an earlier kept key.
+    EquivalentTo {
+        /// The earlier kept key.
+        kept: ColumnId,
+    },
+    /// A discovered OD `lhs → [key]` applies: `lhs` is a prefix of the
+    /// kept keys.
+    ByDiscoveredOd {
+        /// The OD's left-hand side.
+        lhs: Vec<ColumnId>,
+    },
+}
+
+/// Result of a clause simplification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimplifiedOrderBy {
+    /// Kept sort keys, in clause order.
+    pub kept: Vec<ColumnId>,
+    /// Removed keys with their justification.
+    pub dropped: Vec<(ColumnId, DropReason)>,
+}
+
+impl SimplifiedOrderBy {
+    /// Render the simplified clause with column names.
+    pub fn display(&self, rel: &Relation) -> String {
+        let names: Vec<&str> = self
+            .kept
+            .iter()
+            .map(|&c| rel.meta(c).name.as_str())
+            .collect();
+        format!("ORDER BY {}", names.join(", "))
+    }
+}
+
+/// Instance-backed simplification: drop key `K` when the kept prefix `P`
+/// satisfies `P → [K]` on `rel` (or `K` is constant).
+pub fn simplify_with_data(rel: &Relation, keys: &[ColumnId]) -> SimplifiedOrderBy {
+    let mut kept: Vec<ColumnId> = Vec::new();
+    let mut dropped = Vec::new();
+    for &key in keys {
+        if rel.meta(key).is_constant() {
+            dropped.push((key, DropReason::Constant));
+            continue;
+        }
+        let prefix = AttrList::from_slice(&kept);
+        if !kept.is_empty() && check_od(rel, &prefix, &AttrList::single(key)).is_valid() {
+            dropped.push((
+                key,
+                DropReason::OrderedByPrefix {
+                    prefix: kept.clone(),
+                },
+            ));
+        } else {
+            kept.push(key);
+        }
+    }
+    SimplifiedOrderBy { kept, dropped }
+}
+
+/// Dependency-backed simplification from a [`DiscoveryResult`].
+///
+/// Sound rewrites used, in order of preference:
+/// 1. `key` is a recorded constant;
+/// 2. `key` is order equivalent to an already-kept key (Replace theorem);
+/// 3. a discovered OD `U → [key']` applies, where `key'` is `key`'s class
+///    representative and `U` (over representatives) is a *prefix* of the
+///    kept keys — prefix ODs extend to longer sort prefixes (`U → V`
+///    implies `UW → V` by Prefix/Transitivity).
+pub fn simplify_with_result(result: &DiscoveryResult, keys: &[ColumnId]) -> SimplifiedOrderBy {
+    let rep = |col: ColumnId| -> ColumnId {
+        for class in &result.equivalence_classes {
+            if class.contains(&col) {
+                return class[0];
+            }
+        }
+        col
+    };
+
+    let mut kept: Vec<ColumnId> = Vec::new();
+    let mut dropped = Vec::new();
+    'keys: for &key in keys {
+        if result.constants.contains(&key) {
+            dropped.push((key, DropReason::Constant));
+            continue;
+        }
+        // Equivalent to an earlier kept key?
+        for &k in &kept {
+            if rep(k) == rep(key) {
+                dropped.push((key, DropReason::EquivalentTo { kept: k }));
+                continue 'keys;
+            }
+        }
+        // Discovered OD whose LHS is a prefix of the kept keys (over
+        // representatives)?
+        let kept_reps: Vec<ColumnId> = kept.iter().map(|&k| rep(k)).collect();
+        let key_rep = rep(key);
+        for od in &result.ods {
+            let matches_rhs = od.rhs.as_slice() == [key_rep];
+            let lhs = od.lhs.as_slice();
+            let is_prefix = lhs.len() <= kept_reps.len() && kept_reps[..lhs.len()] == *lhs;
+            if matches_rhs && is_prefix {
+                dropped.push((key, DropReason::ByDiscoveredOd { lhs: lhs.to_vec() }));
+                continue 'keys;
+            }
+        }
+        kept.push(key);
+    }
+    SimplifiedOrderBy { kept, dropped }
+}
+
+/// Direction-aware simplification for clauses mixing `ASC` and `DESC`
+/// keys (e.g. `ORDER BY ship_date ASC, priority DESC`), using the
+/// bidirectional checker: a key is dropped when the kept *marked* prefix
+/// orders it on the instance, or when its column is constant.
+pub fn simplify_marked_with_data(
+    rel: &Relation,
+    keys: &[crate::bidirectional::Mark],
+) -> (
+    Vec<crate::bidirectional::Mark>,
+    Vec<(crate::bidirectional::Mark, DropReason)>,
+) {
+    use crate::bidirectional::{check_bidi_od, MarkedList};
+    let mut kept: Vec<crate::bidirectional::Mark> = Vec::new();
+    let mut dropped = Vec::new();
+    for &key in keys {
+        if rel.meta(key.column).is_constant() {
+            dropped.push((key, DropReason::Constant));
+            continue;
+        }
+        let prefix = MarkedList::from_marks(kept.clone());
+        if !kept.is_empty() && check_bidi_od(rel, &prefix, &MarkedList::single(key)).is_valid() {
+            dropped.push((
+                key,
+                DropReason::OrderedByPrefix {
+                    prefix: kept.iter().map(|m| m.column).collect(),
+                },
+            ));
+        } else {
+            kept.push(key);
+        }
+    }
+    (kept, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{discover, DiscoveryConfig};
+    use ocdd_relation::sort::sort_index_by;
+    use ocdd_relation::{Relation, Value};
+
+    fn rel(cols: &[(&str, &[i64])]) -> Relation {
+        Relation::from_columns(
+            cols.iter()
+                .map(|(n, vals)| (n.to_string(), vals.iter().map(|&v| Value::Int(v)).collect()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn tax() -> Relation {
+        rel(&[
+            ("income", &[35, 40, 40, 55, 60, 80]),
+            ("savings", &[3, 4, 3, 6, 6, 10]),
+            ("bracket", &[1, 1, 1, 2, 2, 3]),
+            ("tax", &[5, 6, 6, 8, 9, 14]),
+        ])
+    }
+
+    #[test]
+    fn data_backed_drops_determined_keys() {
+        let r = tax();
+        // ORDER BY income, bracket, tax -> ORDER BY income.
+        let simplified = simplify_with_data(&r, &[0, 2, 3]);
+        assert_eq!(simplified.kept, vec![0]);
+        assert_eq!(simplified.dropped.len(), 2);
+        assert!(matches!(
+            simplified.dropped[0].1,
+            DropReason::OrderedByPrefix { .. }
+        ));
+    }
+
+    #[test]
+    fn data_backed_keeps_independent_keys() {
+        let r = tax();
+        // savings is not ordered by income (split at 40).
+        let simplified = simplify_with_data(&r, &[0, 1]);
+        assert_eq!(simplified.kept, vec![0, 1]);
+        assert!(simplified.dropped.is_empty());
+    }
+
+    #[test]
+    fn constant_keys_always_dropped() {
+        let r = rel(&[("a", &[1, 2, 3]), ("k", &[9, 9, 9])]);
+        let simplified = simplify_with_data(&r, &[1, 0]);
+        assert_eq!(simplified.kept, vec![0]);
+        assert_eq!(simplified.dropped, vec![(1, DropReason::Constant)]);
+        // Dependency-backed agrees.
+        let result = discover(&r, &DiscoveryConfig::default());
+        let s2 = simplify_with_result(&result, &[1, 0]);
+        assert_eq!(s2.kept, vec![0]);
+    }
+
+    #[test]
+    fn result_backed_uses_equivalences_and_ods() {
+        let r = tax();
+        let result = discover(&r, &DiscoveryConfig::default());
+        // income <-> tax, income -> bracket.
+        let simplified = simplify_with_result(&result, &[0, 2, 3]);
+        assert_eq!(simplified.kept, vec![0]);
+        assert!(simplified
+            .dropped
+            .iter()
+            .any(|(c, r)| *c == 2 && matches!(r, DropReason::ByDiscoveredOd { .. })));
+        assert!(simplified
+            .dropped
+            .iter()
+            .any(|(c, r)| *c == 3 && matches!(r, DropReason::EquivalentTo { kept: 0 })));
+    }
+
+    #[test]
+    fn rewrites_preserve_sort_order() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = Relation::from_columns(
+                (0..4)
+                    .map(|c| {
+                        (
+                            format!("c{c}"),
+                            (0..15)
+                                .map(|_| Value::Int(rng.random_range(0..3)))
+                                .collect(),
+                        )
+                    })
+                    .collect::<Vec<(String, Vec<Value>)>>(),
+            )
+            .unwrap();
+            let keys = [0usize, 1, 2, 3];
+            for simplified in [
+                simplify_with_data(&r, &keys),
+                simplify_with_result(&discover(&r, &DiscoveryConfig::default()), &keys),
+            ] {
+                let full = sort_index_by(&r, &keys);
+                let reduced = sort_index_by(&r, &simplified.kept);
+                // The reduced clause must induce the same total preorder:
+                // check pairwise order agreement along the full index.
+                for w in full.windows(2) {
+                    use ocdd_relation::sort::cmp_rows;
+                    let a = w[0] as usize;
+                    let b = w[1] as usize;
+                    // If the full clause strictly orders a before b, the
+                    // reduced clause must not order b strictly before a.
+                    assert_ne!(
+                        cmp_rows(&r, &simplified.kept, a, b),
+                        std::cmp::Ordering::Greater,
+                        "seed {seed}: rewrite broke the order (kept {:?})",
+                        simplified.kept
+                    );
+                }
+                let _ = reduced;
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders_clause() {
+        let r = tax();
+        let s = simplify_with_data(&r, &[0, 2]);
+        assert_eq!(s.display(&r), "ORDER BY income");
+    }
+
+    #[test]
+    fn marked_simplifier_handles_desc_keys() {
+        use crate::bidirectional::Mark;
+        // score descending orders rank ascending: ORDER BY score DESC, rank
+        // reduces to ORDER BY score DESC.
+        let r = rel(&[("score", &[90, 85, 85, 70, 60]), ("rank", &[1, 2, 2, 4, 5])]);
+        let keys = [Mark::desc(0), Mark::asc(1)];
+        let (kept, dropped) = simplify_marked_with_data(&r, &keys);
+        assert_eq!(kept, vec![Mark::desc(0)]);
+        assert_eq!(dropped.len(), 1);
+        // The ascending clause cannot drop anything (swap direction).
+        let keys = [Mark::asc(0), Mark::asc(1)];
+        let (kept, _) = simplify_marked_with_data(&r, &keys);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn marked_simplifier_agrees_with_plain_on_all_asc() {
+        use crate::bidirectional::Mark;
+        let r = tax();
+        let plain = simplify_with_data(&r, &[0, 2, 3]);
+        let (kept, _) = simplify_marked_with_data(&r, &[Mark::asc(0), Mark::asc(2), Mark::asc(3)]);
+        assert_eq!(
+            plain.kept,
+            kept.iter().map(|m| m.column).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_clause_is_noop() {
+        let r = tax();
+        let s = simplify_with_data(&r, &[]);
+        assert!(s.kept.is_empty() && s.dropped.is_empty());
+    }
+}

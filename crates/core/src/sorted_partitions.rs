@@ -1,0 +1,345 @@
+//! Sorted-partition candidate checking — the linear-row-scaling method the
+//! paper points at but leaves out of scope (§5.3.1: *"Previous work …
+//! performs the check of dependency candidates with sorted partitions
+//! computed from the data. This method could have been re-implemented in
+//! our approach as well"*).
+//!
+//! A [`SortedPartition`] of an attribute list `X` is the sequence of
+//! `X`-equivalence classes **in `X`-sorted order**. Once available, an OD
+//! check `X → Y` is a single linear pass — no per-candidate sort:
+//!
+//! * **split** — some class is not constant on `Y`;
+//! * **swap** — the lexicographic maximum of a class's `Y` projection
+//!   exceeds the minimum of the next class's.
+//!
+//! Partitions are built once per column and *refined* incrementally: the
+//! sorted partition of `XA` is obtained from `X`'s by reordering each class
+//! by `A` and splitting it — `O(m log g)` for class size `g`, and `O(m)`
+//! when classes are small. A [`PartitionChecker`] memoizes partitions per
+//! list prefix, so sibling candidates sharing a prefix pay for it once.
+
+use crate::check::CheckOutcome;
+use crate::deps::AttrList;
+use ocdd_relation::{ColumnId, Relation};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Equivalence classes of an attribute list, ordered by the list's
+/// lexicographic order. Row ids within a class are in arbitrary order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedPartition {
+    /// Concatenated row ids, class by class.
+    rows: Vec<u32>,
+    /// Start offset of each class within `rows` (plus a final sentinel).
+    offsets: Vec<u32>,
+}
+
+impl SortedPartition {
+    /// The partition of the empty list: a single class with every row.
+    pub fn unit(num_rows: usize) -> SortedPartition {
+        SortedPartition {
+            rows: (0..num_rows as u32).collect(),
+            offsets: vec![0, num_rows as u32],
+        }
+    }
+
+    /// Build the partition of a single column from its rank codes.
+    pub fn for_column(rel: &Relation, col: ColumnId) -> SortedPartition {
+        SortedPartition::unit(rel.num_rows()).refined(rel, col)
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Iterate the classes in sorted order.
+    pub fn classes(&self) -> impl Iterator<Item = &[u32]> {
+        self.offsets
+            .windows(2)
+            .map(|w| &self.rows[w[0] as usize..w[1] as usize])
+    }
+
+    /// Refine by one more column: each class is reordered by `col`'s rank
+    /// codes and split at rank changes. The result is the sorted partition
+    /// of `X ++ [col]` when `self` is the partition of `X`.
+    pub fn refined(&self, rel: &Relation, col: ColumnId) -> SortedPartition {
+        let codes = rel.codes(col);
+        let mut rows = Vec::with_capacity(self.rows.len());
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        offsets.push(0u32);
+        let mut scratch: Vec<u32> = Vec::new();
+        for class in self.classes() {
+            scratch.clear();
+            scratch.extend_from_slice(class);
+            scratch.sort_unstable_by_key(|&r| codes[r as usize]);
+            for (i, &r) in scratch.iter().enumerate() {
+                if i > 0 && codes[r as usize] != codes[scratch[i - 1] as usize] {
+                    offsets.push(rows.len() as u32);
+                }
+                rows.push(r);
+            }
+            offsets.push(rows.len() as u32);
+        }
+        // `offsets` may end without the final boundary when the last class
+        // was empty; normalize.
+        if *offsets.last().expect("at least the leading 0") != rows.len() as u32 {
+            offsets.push(rows.len() as u32);
+        }
+        offsets.dedup();
+        SortedPartition { rows, offsets }
+    }
+
+    /// Check the OD `X → rhs` where `self` is the sorted partition of `X`:
+    /// one linear pass classifying the outcome.
+    pub fn check_od(&self, rel: &Relation, rhs: &AttrList) -> CheckOutcome {
+        let rhs_cols = rhs.as_slice();
+        // Lexicographic compare of two rows on rhs via codes.
+        let cmp = |a: u32, b: u32| {
+            for &c in rhs_cols {
+                let (ca, cb) = (rel.code(a as usize, c), rel.code(b as usize, c));
+                if ca != cb {
+                    return ca.cmp(&cb);
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+
+        let mut prev_class_max: Option<u32> = None;
+        for class in self.classes() {
+            let Some((&first, rest)) = class.split_first() else {
+                continue;
+            };
+            // Split: every row of the class must equal `first` on rhs.
+            for &r in rest {
+                if cmp(first, r) != std::cmp::Ordering::Equal {
+                    return CheckOutcome::Split {
+                        row_a: first,
+                        row_b: r,
+                    };
+                }
+            }
+            // Swap: the previous class's rhs must not exceed this one's.
+            if let Some(prev) = prev_class_max {
+                if cmp(prev, first) == std::cmp::Ordering::Greater {
+                    return CheckOutcome::Swap {
+                        row_a: prev,
+                        row_b: first,
+                    };
+                }
+            }
+            prev_class_max = Some(first);
+        }
+        CheckOutcome::Valid
+    }
+}
+
+/// Memoizing checker over sorted partitions, keyed by list prefix.
+pub struct PartitionChecker<'r> {
+    rel: &'r Relation,
+    cache: HashMap<Vec<ColumnId>, Arc<SortedPartition>>,
+    /// Partitions built by refinement (cache hits on the parent).
+    pub refinements: u64,
+    /// Partitions built from scratch (column base cases).
+    pub base_builds: u64,
+}
+
+impl<'r> PartitionChecker<'r> {
+    /// Create an empty checker over `rel`.
+    pub fn new(rel: &'r Relation) -> PartitionChecker<'r> {
+        let mut cache = HashMap::new();
+        cache.insert(Vec::new(), Arc::new(SortedPartition::unit(rel.num_rows())));
+        PartitionChecker {
+            rel,
+            cache,
+            refinements: 0,
+            base_builds: 0,
+        }
+    }
+
+    /// The sorted partition of `cols`, built by refining the longest cached
+    /// prefix.
+    pub fn partition_for(&mut self, cols: &[ColumnId]) -> Arc<SortedPartition> {
+        if let Some(p) = self.cache.get(cols) {
+            return Arc::clone(p);
+        }
+        let parent = self.partition_for(&cols[..cols.len() - 1]);
+        if cols.len() == 1 {
+            self.base_builds += 1;
+        } else {
+            self.refinements += 1;
+        }
+        let refined = Arc::new(parent.refined(self.rel, cols[cols.len() - 1]));
+        self.cache.insert(cols.to_vec(), Arc::clone(&refined));
+        refined
+    }
+
+    /// Check `lhs → rhs` through the partition cache.
+    pub fn check_od(&mut self, lhs: &AttrList, rhs: &AttrList) -> CheckOutcome {
+        let partition = self.partition_for(lhs.as_slice());
+        partition.check_od(self.rel, rhs)
+    }
+
+    /// Check the OCD `x ~ y` via the single check `XY → YX` (Theorem 4.1).
+    pub fn check_ocd(&mut self, x: &AttrList, y: &AttrList) -> CheckOutcome {
+        let xy = x.concat(y);
+        let yx = y.concat(x);
+        self.check_od(&xy, &yx)
+    }
+
+    /// Number of cached partitions.
+    pub fn cached(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_od;
+    use ocdd_relation::Value;
+
+    fn rel(cols: &[(&str, &[i64])]) -> Relation {
+        Relation::from_columns(
+            cols.iter()
+                .map(|(n, vals)| (n.to_string(), vals.iter().map(|&v| Value::Int(v)).collect()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn l(ids: &[usize]) -> AttrList {
+        AttrList::from_slice(ids)
+    }
+
+    #[test]
+    fn single_column_partition_orders_classes() {
+        let r = rel(&[("a", &[3, 1, 2, 1])]);
+        let p = SortedPartition::for_column(&r, 0);
+        assert_eq!(p.num_classes(), 3);
+        let classes: Vec<Vec<u32>> = p
+            .classes()
+            .map(|c| {
+                let mut v = c.to_vec();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        assert_eq!(classes, vec![vec![1, 3], vec![2], vec![0]]);
+    }
+
+    #[test]
+    fn refinement_matches_direct_build() {
+        let r = rel(&[("a", &[1, 1, 2, 2, 1]), ("b", &[2, 1, 2, 1, 1])]);
+        let pa = SortedPartition::for_column(&r, 0);
+        let pab = pa.refined(&r, 1);
+        // Classes of [a, b] in lexicographic order:
+        // (1,1)->rows 1,4; (1,2)->row 0; (2,1)->row 3; (2,2)->row 2.
+        let classes: Vec<Vec<u32>> = pab
+            .classes()
+            .map(|c| {
+                let mut v = c.to_vec();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        assert_eq!(classes, vec![vec![1, 4], vec![0], vec![3], vec![2]]);
+    }
+
+    #[test]
+    fn check_agrees_with_sort_based_checker() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cols: Vec<(String, Vec<Value>)> = (0..3)
+                .map(|c| {
+                    (
+                        format!("c{c}"),
+                        (0..15)
+                            .map(|_| Value::Int(rng.random_range(0..4)))
+                            .collect(),
+                    )
+                })
+                .collect();
+            let r = Relation::from_columns(cols).unwrap();
+            let mut checker = PartitionChecker::new(&r);
+            let lists = [
+                l(&[0]),
+                l(&[1]),
+                l(&[2]),
+                l(&[0, 1]),
+                l(&[1, 2]),
+                l(&[2, 0]),
+            ];
+            for x in &lists {
+                for y in &lists {
+                    assert_eq!(
+                        checker.check_od(x, y).is_valid(),
+                        check_od(&r, x, y).is_valid(),
+                        "seed {seed}: {x} -> {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ocd_check_agrees_with_core() {
+        use crate::check::check_ocd;
+        let r = rel(&[("a", &[1, 1, 2, 2, 3]), ("b", &[1, 2, 2, 3, 3])]);
+        let mut checker = PartitionChecker::new(&r);
+        assert_eq!(
+            checker.check_ocd(&l(&[0]), &l(&[1])).is_valid(),
+            check_ocd(&r, &l(&[0]), &l(&[1])).is_valid()
+        );
+        assert!(checker.check_ocd(&l(&[0]), &l(&[1])).is_valid());
+    }
+
+    #[test]
+    fn witnesses_are_genuine() {
+        let r = rel(&[("a", &[1, 1, 2]), ("b", &[5, 6, 1])]);
+        let mut checker = PartitionChecker::new(&r);
+        match checker.check_od(&l(&[0]), &l(&[1])) {
+            CheckOutcome::Split { row_a, row_b } => {
+                assert_eq!(r.code(row_a as usize, 0), r.code(row_b as usize, 0));
+                assert_ne!(r.code(row_a as usize, 1), r.code(row_b as usize, 1));
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_reuses_prefixes() {
+        let r = rel(&[
+            ("a", &[1, 2, 1, 2]),
+            ("b", &[1, 1, 2, 2]),
+            ("c", &[1, 2, 3, 4]),
+        ]);
+        let mut checker = PartitionChecker::new(&r);
+        checker.check_od(&l(&[0, 1]), &l(&[2]));
+        checker.check_od(&l(&[0, 2]), &l(&[1]));
+        // [0] built once (base), [0,1] and [0,2] by refinement.
+        assert_eq!(checker.base_builds, 1);
+        assert_eq!(checker.refinements, 2);
+        assert_eq!(checker.cached(), 4); // [], [0], [0,1], [0,2]
+    }
+
+    #[test]
+    fn empty_relation_is_trivially_valid() {
+        let r = rel(&[("a", &[]), ("b", &[])]);
+        let mut checker = PartitionChecker::new(&r);
+        assert!(checker.check_od(&l(&[0]), &l(&[1])).is_valid());
+    }
+
+    #[test]
+    fn unit_partition_detects_constants() {
+        let r = rel(&[("a", &[1, 2]), ("k", &[5, 5])]);
+        let unit = SortedPartition::unit(2);
+        assert!(
+            unit.check_od(&r, &l(&[1])).is_valid(),
+            "[] -> constant holds"
+        );
+        assert!(!unit.check_od(&r, &l(&[0])).is_valid());
+    }
+}

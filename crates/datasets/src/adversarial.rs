@@ -1,0 +1,147 @@
+//! Adversarial and extreme-case relations used by tests and benches.
+//!
+//! These pin down the boundary behaviour the paper argues about in §3.1
+//! (size of the minimal representation) and §3.2 (the factorial candidate
+//! space):
+//!
+//! * [`all_equivalent`] — every column order equivalent to every other:
+//!   the minimal representation is `n − 1` equivalence facts while the set
+//!   of valid ODs is `O(n²)` (§3.1's compression argument);
+//! * [`all_order_compatible`] — one big co-monotone block with no ODs
+//!   inside: the candidate tree degenerates to the factorial worst case;
+//! * [`swap_dense`] — pairwise swaps everywhere: every level-2 candidate
+//!   dies immediately, the best case for pruning;
+//! * [`all_constant`] — column reduction removes everything.
+
+use crate::synthetic::{ColumnSpec, TableSpec};
+use ocdd_relation::Relation;
+
+/// `n` columns that are all strictly monotone transforms of one key:
+/// a single order-equivalence class of size `n`.
+pub fn all_equivalent(n: usize, rows: usize, seed: u64) -> Relation {
+    let mut cols: Vec<(&str, ColumnSpec)> = vec![("c0", ColumnSpec::Key)];
+    for i in 1..n {
+        let name: &'static str = Box::leak(format!("c{i}").into_boxed_str());
+        cols.push((
+            name,
+            ColumnSpec::EquivalentTo {
+                source: 0,
+                scale: 1 + i as i64,
+                offset: i as i64,
+            },
+        ));
+    }
+    TableSpec::new(cols, rows).generate(seed)
+}
+
+/// `n` columns forming one mutually order-compatible block with independent
+/// tie structure (no ODs, all OCDs): the factorial-tree worst case.
+pub fn all_order_compatible(n: usize, rows: usize, distinct: usize, seed: u64) -> Relation {
+    let mut cols: Vec<(&str, ColumnSpec)> = vec![("c0", ColumnSpec::SortedInt { distinct })];
+    for i in 1..n {
+        let name: &'static str = Box::leak(format!("c{i}").into_boxed_str());
+        cols.push((
+            name,
+            ColumnSpec::CoMonotoneWith {
+                source: 0,
+                distinct: distinct + i,
+            },
+        ));
+    }
+    TableSpec::new(cols, rows).generate(seed)
+}
+
+/// `n` independent high-cardinality random columns: swaps everywhere, the
+/// whole tree prunes at level 2.
+pub fn swap_dense(n: usize, rows: usize, seed: u64) -> Relation {
+    let cols: Vec<(&str, ColumnSpec)> = (0..n)
+        .map(|i| {
+            let name: &'static str = Box::leak(format!("c{i}").into_boxed_str());
+            (
+                name,
+                ColumnSpec::RandomInt {
+                    distinct: rows.max(4),
+                },
+            )
+        })
+        .collect();
+    TableSpec::new(cols, rows).generate(seed)
+}
+
+/// `n` constant columns.
+pub fn all_constant(n: usize, rows: usize) -> Relation {
+    let cols: Vec<(&str, ColumnSpec)> = (0..n)
+        .map(|i| {
+            let name: &'static str = Box::leak(format!("c{i}").into_boxed_str());
+            (name, ColumnSpec::Constant(i as i64))
+        })
+        .collect();
+    TableSpec::new(cols, rows).generate(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocdd_core::{check_ocd, check_od, discover, AttrList, DiscoveryConfig};
+
+    #[test]
+    fn all_equivalent_collapses_to_one_class() {
+        let rel = all_equivalent(6, 40, 1);
+        let result = discover(&rel, &DiscoveryConfig::default());
+        assert_eq!(result.equivalence_classes, vec![(0..6).collect::<Vec<_>>()]);
+        // §3.1: the minimal representation is n-1 facts…
+        assert_eq!(result.equivalences().len(), 5);
+        // …standing for n(n-1) = 30 single-column ODs.
+        use ocdd_core::expand::expanded_od_count;
+        assert_eq!(expanded_od_count(&result), 30);
+        // And the search itself had nothing left to do.
+        assert!(result.ocds.is_empty());
+        assert_eq!(result.reduced_attributes, vec![0]);
+    }
+
+    #[test]
+    fn all_order_compatible_has_all_pairwise_ocds_and_no_ods() {
+        let rel = all_order_compatible(4, 60, 10, 2);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(
+                    check_ocd(&rel, &AttrList::single(i), &AttrList::single(j)).is_valid(),
+                    "c{i} ~ c{j} must hold"
+                );
+                assert!(!check_od(&rel, &AttrList::single(i), &AttrList::single(j)).is_valid());
+                assert!(!check_od(&rel, &AttrList::single(j), &AttrList::single(i)).is_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn block_tree_grows_superlinearly_in_block_width() {
+        // The §3.2 argument made concrete: checks explode with block width.
+        let checks = |n: usize| {
+            let rel = all_order_compatible(n, 50, 8, 3);
+            discover(&rel, &DiscoveryConfig::default()).checks
+        };
+        let (c3, c5) = (checks(3), checks(5));
+        assert!(c5 > 4 * c3, "expected superlinear growth, got {c3} -> {c5}");
+    }
+
+    #[test]
+    fn swap_dense_prunes_everything_at_level_2() {
+        let rel = swap_dense(6, 80, 4);
+        let result = discover(&rel, &DiscoveryConfig::default());
+        assert!(result.ocds.is_empty());
+        assert!(result.ods.is_empty());
+        // Reduction (n·(n-1)) + level-2 seeds (n·(n-1)/2 OCD checks only,
+        // no OD checks since every OCD fails).
+        assert_eq!(result.checks, 30 + 15);
+    }
+
+    #[test]
+    fn all_constant_reduces_to_nothing() {
+        let rel = all_constant(5, 20);
+        let result = discover(&rel, &DiscoveryConfig::default());
+        assert_eq!(result.constants, vec![0, 1, 2, 3, 4]);
+        assert_eq!(result.checks, 0, "no live columns, no checks");
+        assert!(result.complete);
+    }
+}

@@ -1,0 +1,34 @@
+//! Datasets for the OCDDISCOVER reproduction.
+//!
+//! Two families:
+//!
+//! * [`paper`] — the exact small tables printed in the paper (Table 1 tax
+//!   data, the YES/NO relations of Table 5, the NUMBERS relation of
+//!   Table 7).
+//! * Synthetic stand-ins for the evaluation datasets of §5.1 (the HPI
+//!   repeatability datasets and TPC-H LINEITEM are external resources; the
+//!   generators reproduce each dataset's *shape* — row/column counts, the
+//!   mix of keys, correlated columns, categoricals, quasi-constants,
+//!   constants and NULLs — which is what drives the experiments'
+//!   behaviour). See DESIGN.md §4 for the substitution rationale.
+//!
+//! All generators are deterministic given a seed, so experiments are
+//! reproducible run to run.
+//!
+//! ```
+//! use ocdd_datasets::{Dataset, RowScale};
+//!
+//! let rel = Dataset::Hepatitis.generate(RowScale::Default);
+//! assert_eq!(rel.num_columns(), 20);
+//! assert_eq!(rel.num_rows(), 155);
+//! ```
+
+#![warn(missing_docs)]
+pub mod adversarial;
+pub mod paper;
+pub mod registry;
+pub mod synthetic;
+pub mod tpch;
+
+pub use registry::{Dataset, RowScale};
+pub use synthetic::{ColumnSpec, TableSpec};

@@ -1,0 +1,157 @@
+//! The exact example relations printed in the paper.
+
+use ocdd_relation::{Relation, RelationBuilder, Value};
+
+/// Table 1: the tax-information relation motivating the paper.
+///
+/// Holding dependencies include `income → bracket`, `income ↔ tax`,
+/// and the OCD `income ~ savings`.
+pub fn tax_table() -> Relation {
+    let mut b = RelationBuilder::new(vec!["name", "income", "savings", "bracket", "tax"]);
+    let rows: [(&str, i64, i64, i64, i64); 6] = [
+        ("T. Green", 35_000, 3_000, 1, 5_250),
+        ("J. Smith", 40_000, 4_000, 1, 6_000),
+        ("J. Doe", 40_000, 3_800, 1, 6_000),
+        ("S. Black", 55_000, 6_500, 2, 8_500),
+        ("W. White", 60_000, 6_500, 2, 9_500),
+        ("M. Darrel", 80_000, 10_000, 3, 14_000),
+    ];
+    for (name, income, savings, bracket, tax) in rows {
+        b.push_row(vec![
+            Value::Str(name.to_owned()),
+            Value::Int(income),
+            Value::Int(savings),
+            Value::Int(bracket),
+            Value::Int(tax),
+        ])
+        .expect("fixed arity");
+    }
+    b.finish()
+}
+
+/// The YES relation (Table 5 (a)): neither `A → B` nor `B → A` holds
+/// (splits in both directions) yet `A ~ B` does, i.e. `AB ↔ BA` and
+/// `AB → B`. ORDER cannot discover any dependency here; OCDDISCOVER finds
+/// `A ~ B`.
+pub fn yes_table() -> Relation {
+    two_col(&[(1, 1), (1, 2), (2, 2), (2, 3), (3, 3)])
+}
+
+/// The NO relation (Table 5 (b)): no OD and no OCD holds between `A` and
+/// `B` — splits in both directions *and* a swap.
+pub fn no_table() -> Relation {
+    two_col(&[(1, 4), (2, 5), (3, 6), (3, 7), (4, 1)])
+}
+
+fn two_col(rows: &[(i64, i64)]) -> Relation {
+    let mut b = RelationBuilder::new(vec!["A", "B"]);
+    for &(a, bv) in rows {
+        b.push_row(vec![Value::Int(a), Value::Int(bv)])
+            .expect("fixed arity");
+    }
+    b.finish()
+}
+
+/// The NUMBERS relation (Table 7): a small numeric table on which the
+/// reference FASTOD implementation reported spurious dependencies such as
+/// `[B] → [AC]` (§5.2.2). The dependency is genuinely invalid here
+/// (sorting by `B` produces a swap on `(A,C)`), which the test-suite pins
+/// down for both our OCDDISCOVER and our FASTOD reimplementation.
+pub fn numbers_table() -> Relation {
+    let mut b = RelationBuilder::new(vec!["A", "B", "C", "D", "E"]);
+    let rows: [[i64; 5]; 6] = [
+        [1, 3, 1, 1, 1],
+        [2, 3, 2, 2, 2],
+        [3, 2, 2, 2, 3],
+        [3, 1, 2, 3, 4],
+        [4, 4, 2, 4, 5],
+        [4, 5, 3, 2, 6],
+    ];
+    for row in rows {
+        b.push_row(row.into_iter().map(Value::Int).collect())
+            .expect("fixed arity");
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocdd_core::{check_ocd, check_od, AttrList, CheckOutcome};
+
+    fn l(ids: &[usize]) -> AttrList {
+        AttrList::from_slice(ids)
+    }
+
+    #[test]
+    fn tax_table_dependencies_match_the_paper() {
+        let r = tax_table();
+        let income = r.column_id("income").unwrap();
+        let bracket = r.column_id("bracket").unwrap();
+        let tax = r.column_id("tax").unwrap();
+        let savings = r.column_id("savings").unwrap();
+        // income -> bracket, income <-> tax.
+        assert!(check_od(&r, &l(&[income]), &l(&[bracket])).is_valid());
+        assert!(check_od(&r, &l(&[income]), &l(&[tax])).is_valid());
+        assert!(check_od(&r, &l(&[tax]), &l(&[income])).is_valid());
+        // income ~ savings but income does not order savings (split at 40k).
+        assert!(check_ocd(&r, &l(&[income]), &l(&[savings])).is_valid());
+        assert!(matches!(
+            check_od(&r, &l(&[income]), &l(&[savings])),
+            CheckOutcome::Split { .. }
+        ));
+        // tax -> bracket follows transitively and holds directly on data.
+        assert!(check_od(&r, &l(&[tax]), &l(&[bracket])).is_valid());
+    }
+
+    #[test]
+    fn yes_table_properties() {
+        let r = yes_table();
+        // Neither direction of the OD holds…
+        assert!(!check_od(&r, &l(&[0]), &l(&[1])).is_valid());
+        assert!(!check_od(&r, &l(&[1]), &l(&[0])).is_valid());
+        // …both failures are splits, not swaps…
+        assert!(matches!(
+            check_od(&r, &l(&[0]), &l(&[1])),
+            CheckOutcome::Split { .. }
+        ));
+        assert!(matches!(
+            check_od(&r, &l(&[1]), &l(&[0])),
+            CheckOutcome::Split { .. }
+        ));
+        // …so the OCD holds: AB <-> BA and AB -> B.
+        assert!(check_ocd(&r, &l(&[0]), &l(&[1])).is_valid());
+        assert!(check_od(&r, &l(&[0, 1]), &l(&[1])).is_valid());
+    }
+
+    #[test]
+    fn no_table_properties() {
+        let r = no_table();
+        assert!(!check_od(&r, &l(&[0]), &l(&[1])).is_valid());
+        assert!(!check_od(&r, &l(&[1]), &l(&[0])).is_valid());
+        // A swap exists, so not even the OCD holds.
+        assert!(matches!(
+            check_ocd(&r, &l(&[0]), &l(&[1])),
+            CheckOutcome::Swap { .. }
+        ));
+        assert!(!check_od(&r, &l(&[0, 1]), &l(&[1])).is_valid());
+    }
+
+    #[test]
+    fn numbers_table_b_does_not_order_ac() {
+        let r = numbers_table();
+        let (a, b, c) = (0usize, 1usize, 2usize);
+        // The reference FASTOD's spurious claim: [B] -> [A,C]. It is false.
+        assert!(!check_od(&r, &l(&[b]), &l(&[a, c])).is_valid());
+    }
+
+    #[test]
+    fn table_shapes() {
+        assert_eq!(tax_table().num_rows(), 6);
+        assert_eq!(tax_table().num_columns(), 5);
+        assert_eq!(yes_table().num_rows(), 5);
+        assert_eq!(no_table().num_rows(), 5);
+        assert_eq!(numbers_table().num_columns(), 5);
+        assert_eq!(numbers_table().num_rows(), 6);
+    }
+}

@@ -1,0 +1,681 @@
+//! The dataset registry: one entry per dataset of Table 6, each mapped to a
+//! deterministic generator reproducing the dataset's shape (see DESIGN.md
+//! §4 for the substitution rationale).
+
+use crate::paper;
+use crate::synthetic::{ColumnSpec, TableSpec};
+use crate::tpch;
+use ocdd_relation::Relation;
+
+/// Row-count selector for dataset generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowScale {
+    /// The row count reported in Table 6 of the paper.
+    Default,
+    /// An explicit row count (generators cap the paper tables at their
+    /// fixed sizes).
+    Rows(usize),
+    /// A fraction of the default row count (used by the Figure 2 row
+    /// scalability sweep).
+    Fraction(f64),
+}
+
+impl RowScale {
+    fn resolve(self, default_rows: usize) -> usize {
+        match self {
+            RowScale::Default => default_rows,
+            RowScale::Rows(n) => n,
+            RowScale::Fraction(f) => ((default_rows as f64) * f.clamp(0.0, 1.0)) as usize,
+        }
+    }
+}
+
+/// The datasets of the paper's evaluation (Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// DBTESMA data-generator output: 250,000 × 30, dependency-rich.
+    Dbtesma,
+    /// First 1,000 rows of DBTESMA (the trimmed version of §5.2.2).
+    Dbtesma1k,
+    /// FLIGHT with 1,000 rows × 109 columns: constants and quasi-constants
+    /// make the candidate tree explode (never completes within the limit).
+    Flight1k,
+    /// HEPATITIS: 155 × 20 categorical/medical data with NULLs.
+    Hepatitis,
+    /// HORSE (colic): 300 × 29, mixed types, many NULLs, dependency-rich.
+    Horse,
+    /// LETTER recognition features: 20,000 × 17, essentially dependency-free.
+    Letter,
+    /// TPC-H LINEITEM: 6,001,215 × 16.
+    Lineitem,
+    /// NCVOTER trimmed to 1,000 rows × 19 columns.
+    Ncvoter1k,
+    /// Full NCVOTER: 938,084 × 94 (experiments use 20-column samples).
+    Ncvoter,
+    /// The YES relation of Table 5 (a).
+    Yes,
+    /// The NO relation of Table 5 (b).
+    No,
+    /// The NUMBERS relation of Table 7.
+    Numbers,
+}
+
+impl Dataset {
+    /// All datasets in Table 6 row order.
+    pub fn all() -> &'static [Dataset] {
+        &[
+            Dataset::Dbtesma,
+            Dataset::Dbtesma1k,
+            Dataset::Flight1k,
+            Dataset::Hepatitis,
+            Dataset::Horse,
+            Dataset::Letter,
+            Dataset::Lineitem,
+            Dataset::Ncvoter1k,
+            Dataset::Ncvoter,
+            Dataset::Yes,
+            Dataset::No,
+            Dataset::Numbers,
+        ]
+    }
+
+    /// Canonical lowercase name (as used by the experiment harness CLI).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Dbtesma => "dbtesma",
+            Dataset::Dbtesma1k => "dbtesma_1k",
+            Dataset::Flight1k => "flight_1k",
+            Dataset::Hepatitis => "hepatitis",
+            Dataset::Horse => "horse",
+            Dataset::Letter => "letter",
+            Dataset::Lineitem => "lineitem",
+            Dataset::Ncvoter1k => "ncvoter_1k",
+            Dataset::Ncvoter => "ncvoter",
+            Dataset::Yes => "yes",
+            Dataset::No => "no",
+            Dataset::Numbers => "numbers",
+        }
+    }
+
+    /// Look a dataset up by its [`Dataset::name`].
+    pub fn by_name(name: &str) -> Option<Dataset> {
+        Dataset::all().iter().copied().find(|d| d.name() == name)
+    }
+
+    /// Row count reported in Table 6.
+    pub fn default_rows(&self) -> usize {
+        match self {
+            Dataset::Dbtesma => 250_000,
+            Dataset::Dbtesma1k => 1_000,
+            Dataset::Flight1k => 1_000,
+            Dataset::Hepatitis => 155,
+            Dataset::Horse => 300,
+            Dataset::Letter => 20_000,
+            Dataset::Lineitem => tpch::LINEITEM_FULL_ROWS,
+            Dataset::Ncvoter1k => 1_000,
+            Dataset::Ncvoter => 938_084,
+            Dataset::Yes | Dataset::No => 5,
+            Dataset::Numbers => 6,
+        }
+    }
+
+    /// Column count reported in Table 6.
+    pub fn default_columns(&self) -> usize {
+        match self {
+            Dataset::Dbtesma | Dataset::Dbtesma1k => 30,
+            Dataset::Flight1k => 109,
+            Dataset::Hepatitis => 20,
+            Dataset::Horse => 29,
+            Dataset::Letter => 17,
+            Dataset::Lineitem => 16,
+            Dataset::Ncvoter1k => 19,
+            Dataset::Ncvoter => 94,
+            Dataset::Yes | Dataset::No => 2,
+            Dataset::Numbers => 5,
+        }
+    }
+
+    /// Whether the paper reports this dataset as exceeding the 5-hour time
+    /// limit for OCDDISCOVER (partial results in Table 6).
+    pub fn exceeds_time_limit(&self) -> bool {
+        matches!(self, Dataset::Flight1k | Dataset::Ncvoter)
+    }
+
+    /// Generate the relation at the requested scale (deterministic).
+    pub fn generate(&self, scale: RowScale) -> Relation {
+        let rows = scale.resolve(self.default_rows());
+        match self {
+            Dataset::Yes => paper::yes_table(),
+            Dataset::No => paper::no_table(),
+            Dataset::Numbers => paper::numbers_table(),
+            Dataset::Lineitem => tpch::lineitem(rows, 0x11ae),
+            Dataset::Dbtesma => dbtesma_spec(rows).generate(0xdbe5),
+            Dataset::Dbtesma1k => dbtesma_spec(rows).generate(0xdbe5),
+            Dataset::Flight1k => flight_spec(rows).generate(0xf1a7),
+            Dataset::Hepatitis => hepatitis_spec(rows).generate(0x4e9a),
+            Dataset::Horse => horse_spec(rows).generate(0x4025),
+            Dataset::Letter => letter_spec(rows).generate(0x1e77),
+            Dataset::Ncvoter1k => ncvoter_spec(rows, 19).generate(0x9c01),
+            Dataset::Ncvoter => ncvoter_spec(rows, 94).generate(0x9c02),
+        }
+    }
+}
+
+/// DBTESMA-like: dependency-rich generator output. A co-monotone block and
+/// equivalence/ordering chains give the search many candidates to check —
+/// the property that makes DBTESMA the biggest winner from multithreading
+/// in Figure 6.
+fn dbtesma_spec(rows: usize) -> TableSpec {
+    let mut cols: Vec<(&str, ColumnSpec)> = vec![
+        ("id", ColumnSpec::Key),
+        (
+            "id_alias",
+            ColumnSpec::EquivalentTo {
+                source: 0,
+                scale: 2,
+                offset: 100,
+            },
+        ),
+        (
+            "grp",
+            ColumnSpec::OrderedBy {
+                source: 0,
+                coarseness: 50,
+            },
+        ),
+        (
+            "grp_wide",
+            ColumnSpec::OrderedBy {
+                source: 0,
+                coarseness: 500,
+            },
+        ),
+        // Three *independent* mutually-order-compatible blocks: heavy search
+        // branches land on 3 × C(4,2) = 18 different level-2 seeds, which is
+        // what makes DBTESMA the best thread-scaling dataset (Figure 6).
+        (
+            "blk1_a",
+            ColumnSpec::PermutedSorted {
+                group: 1,
+                distinct: 120,
+            },
+        ),
+        (
+            "blk1_b",
+            ColumnSpec::PermutedSorted {
+                group: 1,
+                distinct: 90,
+            },
+        ),
+        (
+            "blk1_c",
+            ColumnSpec::PermutedSorted {
+                group: 1,
+                distinct: 150,
+            },
+        ),
+        (
+            "blk1_d",
+            ColumnSpec::PermutedSorted {
+                group: 1,
+                distinct: 60,
+            },
+        ),
+        (
+            "blk2_a",
+            ColumnSpec::PermutedSorted {
+                group: 2,
+                distinct: 110,
+            },
+        ),
+        (
+            "blk2_b",
+            ColumnSpec::PermutedSorted {
+                group: 2,
+                distinct: 70,
+            },
+        ),
+        (
+            "blk2_c",
+            ColumnSpec::PermutedSorted {
+                group: 2,
+                distinct: 140,
+            },
+        ),
+        (
+            "blk2_d",
+            ColumnSpec::PermutedSorted {
+                group: 2,
+                distinct: 80,
+            },
+        ),
+        (
+            "blk3_a",
+            ColumnSpec::PermutedSorted {
+                group: 3,
+                distinct: 100,
+            },
+        ),
+        (
+            "blk3_b",
+            ColumnSpec::PermutedSorted {
+                group: 3,
+                distinct: 65,
+            },
+        ),
+        (
+            "blk3_c",
+            ColumnSpec::PermutedSorted {
+                group: 3,
+                distinct: 130,
+            },
+        ),
+        (
+            "blk3_d",
+            ColumnSpec::PermutedSorted {
+                group: 3,
+                distinct: 55,
+            },
+        ),
+        ("code", ColumnSpec::RandomInt { distinct: 64 }),
+        (
+            "code_eq",
+            ColumnSpec::EquivalentTo {
+                source: 16,
+                scale: 7,
+                offset: 3,
+            },
+        ),
+        ("flag_const", ColumnSpec::Constant(1)),
+    ];
+    for i in 0..11 {
+        let name: &'static str = Box::leak(format!("attr{i:02}").into_boxed_str());
+        cols.push((
+            name,
+            ColumnSpec::RandomInt {
+                distinct: 200 + i * 37,
+            },
+        ));
+    }
+    TableSpec::new(cols, rows)
+}
+
+/// FLIGHT-like: very wide, with constants and a block of low-cardinality
+/// co-monotone (quasi-constant) columns — the §5.4 pathology that makes the
+/// candidate tree explode.
+fn flight_spec(rows: usize) -> TableSpec {
+    let mut cols: Vec<(&str, ColumnSpec)> = Vec::with_capacity(109);
+    cols.push(("flight_id", ColumnSpec::Key));
+    // 12 constant columns (airline metadata repeated on every row).
+    for i in 0..12 {
+        let name: &'static str = Box::leak(format!("const{i:02}").into_boxed_str());
+        cols.push((name, ColumnSpec::Constant(i as i64)));
+    }
+    // A co-monotone block of 18 columns with 2–6 distinct values: pairwise
+    // order compatible, no ODs between them -> factorial subtree.
+    cols.push(("qc_anchor", ColumnSpec::SortedInt { distinct: 4 }));
+    for i in 0..17 {
+        let name: &'static str = Box::leak(format!("qc{i:02}").into_boxed_str());
+        cols.push((
+            name,
+            ColumnSpec::CoMonotoneWith {
+                source: 13,
+                distinct: 2 + i % 5,
+            },
+        ));
+    }
+    // Ordered chains (times: scheduled -> actual buckets).
+    cols.push(("sched_dep", ColumnSpec::SortedInt { distinct: 800 }));
+    cols.push((
+        "dep_hour",
+        ColumnSpec::OrderedBy {
+            source: 31,
+            coarseness: 30,
+        },
+    ));
+    cols.push((
+        "dep_ampm",
+        ColumnSpec::OrderedBy {
+            source: 31,
+            coarseness: 400,
+        },
+    ));
+    // Remaining columns: independent categoricals and numerics of varied
+    // cardinality, some with NULLs.
+    let mut idx = 0usize;
+    while cols.len() < 109 {
+        let name: &'static str = Box::leak(format!("f{idx:03}").into_boxed_str());
+        let spec = match idx % 4 {
+            0 => ColumnSpec::RandomInt {
+                distinct: 50 + idx * 11,
+            },
+            1 => ColumnSpec::RandomStr { distinct: 30 + idx },
+            2 => ColumnSpec::WithNulls {
+                inner: Box::new(ColumnSpec::RandomInt { distinct: 25 + idx }),
+                null_rate: 0.05,
+            },
+            _ => ColumnSpec::RandomInt { distinct: 500 },
+        };
+        cols.push((name, spec));
+        idx += 1;
+    }
+    TableSpec::new(cols, rows)
+}
+
+/// HEPATITIS-like: small, mostly low-cardinality categorical medical data
+/// with NULLs; random categoricals swap against each other, so the tree
+/// prunes early and discovery completes quickly.
+fn hepatitis_spec(rows: usize) -> TableSpec {
+    let mut cols: Vec<(&str, ColumnSpec)> = vec![
+        ("age", ColumnSpec::RandomInt { distinct: 60 }),
+        ("sex", ColumnSpec::RandomInt { distinct: 2 }),
+        (
+            "bilirubin",
+            ColumnSpec::WithNulls {
+                inner: Box::new(ColumnSpec::RandomInt { distinct: 40 }),
+                null_rate: 0.04,
+            },
+        ),
+        (
+            "bili_band",
+            ColumnSpec::OrderedBy {
+                source: 2,
+                coarseness: 8,
+            },
+        ),
+        (
+            "alk_phos",
+            ColumnSpec::WithNulls {
+                inner: Box::new(ColumnSpec::RandomInt { distinct: 80 }),
+                null_rate: 0.18,
+            },
+        ),
+        ("sgot", ColumnSpec::RandomInt { distinct: 70 }),
+        ("albumin", ColumnSpec::SortedInt { distinct: 25 }),
+        (
+            "protime",
+            ColumnSpec::CoMonotoneWith {
+                source: 6,
+                distinct: 30,
+            },
+        ),
+    ];
+    for i in 0..12 {
+        let name: &'static str = Box::leak(format!("sym{i:02}").into_boxed_str());
+        cols.push((
+            name,
+            ColumnSpec::WithNulls {
+                inner: Box::new(ColumnSpec::RandomInt { distinct: 2 }),
+                null_rate: 0.06,
+            },
+        ));
+    }
+    TableSpec::new(cols, rows)
+}
+
+/// HORSE-like (colic): 29 mixed columns, heavy NULLs, and enough planted
+/// order structure that ORDER/OCDDISCOVER find a few dozen dependencies.
+fn horse_spec(rows: usize) -> TableSpec {
+    let mut cols: Vec<(&str, ColumnSpec)> = vec![
+        ("hospital_id", ColumnSpec::Key),
+        (
+            "visit_no",
+            ColumnSpec::OrderedBy {
+                source: 0,
+                coarseness: 3,
+            },
+        ),
+        (
+            "rectal_temp",
+            ColumnSpec::WithNulls {
+                inner: Box::new(ColumnSpec::RandomInt { distinct: 40 }),
+                null_rate: 0.2,
+            },
+        ),
+        (
+            "pulse",
+            ColumnSpec::WithNulls {
+                inner: Box::new(ColumnSpec::RandomInt { distinct: 50 }),
+                null_rate: 0.08,
+            },
+        ),
+        (
+            "pulse_band",
+            ColumnSpec::OrderedBy {
+                source: 3,
+                coarseness: 10,
+            },
+        ),
+        ("resp_rate", ColumnSpec::SortedInt { distinct: 35 }),
+        (
+            "resp_band",
+            ColumnSpec::OrderedBy {
+                source: 5,
+                coarseness: 7,
+            },
+        ),
+        (
+            "packed_cell",
+            ColumnSpec::CoMonotoneWith {
+                source: 5,
+                distinct: 30,
+            },
+        ),
+        (
+            "total_protein",
+            ColumnSpec::CoMonotoneWith {
+                source: 5,
+                distinct: 25,
+            },
+        ),
+        (
+            "protein_x10",
+            ColumnSpec::EquivalentTo {
+                source: 8,
+                scale: 10,
+                offset: 0,
+            },
+        ),
+    ];
+    for i in 0..19 {
+        let name: &'static str = Box::leak(format!("clin{i:02}").into_boxed_str());
+        cols.push((
+            name,
+            ColumnSpec::WithNulls {
+                inner: Box::new(ColumnSpec::RandomInt {
+                    distinct: 3 + i % 4,
+                }),
+                null_rate: 0.15,
+            },
+        ));
+    }
+    TableSpec::new(cols, rows)
+}
+
+/// LETTER-like: 17 independent numeric feature columns — essentially no
+/// order dependencies, so discovery cost is dominated by the pairwise
+/// reduction checks.
+fn letter_spec(rows: usize) -> TableSpec {
+    let mut cols: Vec<(&str, ColumnSpec)> =
+        vec![("letter", ColumnSpec::RandomInt { distinct: 26 })];
+    for i in 0..16 {
+        let name: &'static str = Box::leak(format!("feat{i:02}").into_boxed_str());
+        cols.push((name, ColumnSpec::RandomInt { distinct: 16 }));
+    }
+    TableSpec::new(cols, rows)
+}
+
+/// NCVOTER-like: voter registration data — string-heavy, geographic
+/// ordering chains (zip → county), status quasi-constants.
+fn ncvoter_spec(rows: usize, columns: usize) -> TableSpec {
+    let mut cols: Vec<(&str, ColumnSpec)> = vec![
+        ("voter_id", ColumnSpec::Key),
+        (
+            "reg_date",
+            ColumnSpec::OrderedBy {
+                source: 0,
+                coarseness: 4,
+            },
+        ),
+        ("zip", ColumnSpec::SortedInt { distinct: 120 }),
+        (
+            "county_id",
+            ColumnSpec::OrderedBy {
+                source: 2,
+                coarseness: 12,
+            },
+        ),
+        (
+            "district",
+            ColumnSpec::OrderedBy {
+                source: 2,
+                coarseness: 30,
+            },
+        ),
+        (
+            "precinct",
+            ColumnSpec::CoMonotoneWith {
+                source: 2,
+                distinct: 90,
+            },
+        ),
+        ("status", ColumnSpec::QuasiConstant { distinct: 3 }),
+        ("party", ColumnSpec::RandomStr { distinct: 5 }),
+        ("last_name", ColumnSpec::RandomStr { distinct: 400 }),
+        ("first_name", ColumnSpec::RandomStr { distinct: 200 }),
+    ];
+    let mut idx = 0usize;
+    while cols.len() < columns {
+        let name: &'static str = Box::leak(format!("v{idx:03}").into_boxed_str());
+        let spec = match idx % 3 {
+            0 => ColumnSpec::RandomStr {
+                distinct: 60 + idx * 3,
+            },
+            1 => ColumnSpec::WithNulls {
+                inner: Box::new(ColumnSpec::RandomInt { distinct: 12 + idx }),
+                null_rate: 0.1,
+            },
+            _ => ColumnSpec::RandomInt { distinct: 300 },
+        };
+        cols.push((name, spec));
+        idx += 1;
+    }
+    TableSpec::new(cols, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_table_6() {
+        for &ds in Dataset::all() {
+            // Generate small instances to keep the test fast; column count
+            // must always match the paper.
+            let rows = ds.default_rows().min(200);
+            let rel = ds.generate(RowScale::Rows(rows));
+            assert_eq!(
+                rel.num_columns(),
+                ds.default_columns(),
+                "column count mismatch for {}",
+                ds.name()
+            );
+            let expected_rows = match ds {
+                Dataset::Yes | Dataset::No | Dataset::Numbers => ds.default_rows(),
+                _ => rows,
+            };
+            assert_eq!(
+                rel.num_rows(),
+                expected_rows,
+                "row count mismatch for {}",
+                ds.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for &ds in Dataset::all() {
+            assert_eq!(Dataset::by_name(ds.name()), Some(ds));
+        }
+        assert_eq!(Dataset::by_name("nope"), None);
+    }
+
+    #[test]
+    fn row_scale_resolution() {
+        assert_eq!(RowScale::Default.resolve(100), 100);
+        assert_eq!(RowScale::Rows(7).resolve(100), 7);
+        assert_eq!(RowScale::Fraction(0.3).resolve(1000), 300);
+        assert_eq!(
+            RowScale::Fraction(2.0).resolve(1000),
+            1000,
+            "fractions clamp to 1"
+        );
+    }
+
+    #[test]
+    fn flight_has_constants_and_quasi_constants() {
+        let rel = Dataset::Flight1k.generate(RowScale::Rows(300));
+        let constants = (0..rel.num_columns())
+            .filter(|&c| rel.meta(c).is_constant())
+            .count();
+        assert!(constants >= 12, "found {constants} constant columns");
+        let quasi = (0..rel.num_columns())
+            .filter(|&c| {
+                let d = rel.meta(c).distinct;
+                d > 1 && d <= 6
+            })
+            .count();
+        assert!(quasi >= 15, "found {quasi} quasi-constant columns");
+    }
+
+    #[test]
+    fn letter_is_dependency_free() {
+        use ocdd_core::{discover, DiscoveryConfig};
+        let rel = Dataset::Letter.generate(RowScale::Rows(2_000));
+        let result = discover(&rel, &DiscoveryConfig::default());
+        assert!(result.complete);
+        assert!(
+            result.ocds.is_empty(),
+            "letter should have no OCDs: {:?}",
+            result.ocds
+        );
+        assert!(result.equivalence_classes.is_empty());
+    }
+
+    #[test]
+    fn dbtesma_is_dependency_rich() {
+        use ocdd_core::{discover, DiscoveryConfig};
+        let rel = Dataset::Dbtesma1k.generate(RowScale::Default);
+        let result = discover(&rel, &DiscoveryConfig::default());
+        assert!(result.complete);
+        assert!(
+            !result.equivalence_classes.is_empty(),
+            "planted equivalences missing"
+        );
+        assert!(!result.ocds.is_empty(), "planted co-monotone block missing");
+        assert!(!result.constants.is_empty());
+        assert!(result.ods.len() >= 2, "planted OrderedBy chains missing");
+    }
+
+    #[test]
+    fn horse_has_planted_structure() {
+        use ocdd_core::{discover, DiscoveryConfig};
+        let rel = Dataset::Horse.generate(RowScale::Default);
+        let result = discover(&rel, &DiscoveryConfig::default());
+        assert!(result.complete);
+        assert!(!result.ods.is_empty());
+        assert!(!result.equivalence_classes.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_calls() {
+        let a = Dataset::Hepatitis.generate(RowScale::Default);
+        let b = Dataset::Hepatitis.generate(RowScale::Default);
+        for row in 0..a.num_rows() {
+            for col in 0..a.num_columns() {
+                assert_eq!(a.value(row, col), b.value(row, col));
+            }
+        }
+    }
+}

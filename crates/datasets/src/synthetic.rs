@@ -1,0 +1,448 @@
+//! Declarative synthetic table generation.
+//!
+//! A [`TableSpec`] lists one [`ColumnSpec`] per column; [`TableSpec::generate`]
+//! produces a deterministic [`Relation`] for a seed. The specs cover the
+//! structural ingredients that drive order dependency discovery:
+//!
+//! * **keys** and independent random columns (no dependencies),
+//! * **derived columns** that another column orders ([`ColumnSpec::OrderedBy`])
+//!   or is order equivalent to ([`ColumnSpec::EquivalentTo`]),
+//! * **co-monotone groups** that are order *compatible* without either
+//!   ordering the other ([`ColumnSpec::CoMonotoneWith`]) — the YES-table
+//!   pattern at scale,
+//! * **constants** and **quasi-constants** (the §5.3.2/§5.4 troublemakers),
+//! * string columns and NULL injection.
+//!
+//! Generation works on a sorted backbone and applies one global row shuffle
+//! at the end: order dependencies are invariant under row permutation, so
+//! this preserves the planted structure while producing realistic-looking
+//! tables.
+
+use ocdd_relation::{Relation, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Specification of one generated column.
+#[derive(Debug, Clone)]
+pub enum ColumnSpec {
+    /// Unique integers 0..rows, shuffled: a key column.
+    Key,
+    /// Independent uniform integers with the given number of distinct values.
+    RandomInt {
+        /// Domain size.
+        distinct: usize,
+    },
+    /// Independent random lowercase strings.
+    RandomStr {
+        /// Number of distinct strings to draw from.
+        distinct: usize,
+    },
+    /// The same value in every row.
+    Constant(i64),
+    /// A column with very few distinct values, heavily skewed toward the
+    /// first (the "quasi-constant" pattern; `distinct` ≥ 2).
+    QuasiConstant {
+        /// Number of distinct values.
+        distinct: usize,
+    },
+    /// A monotone non-decreasing function of an earlier column: the source
+    /// column *orders* this one (`source → this`), with ties introduced by
+    /// integer-dividing the source rank by `coarseness`.
+    OrderedBy {
+        /// Index of the source column within the spec list.
+        source: usize,
+        /// How many source ranks map to one output value (≥ 1).
+        coarseness: usize,
+    },
+    /// A strictly monotone transform of an earlier column: order
+    /// equivalent to it (`source ↔ this`).
+    EquivalentTo {
+        /// Index of the source column within the spec list.
+        source: usize,
+        /// Multiplier (must be positive).
+        scale: i64,
+        /// Additive offset.
+        offset: i64,
+    },
+    /// Co-monotone with an earlier column: both are non-decreasing along
+    /// the backbone with *independent* tie structure, so `this ~ source`
+    /// holds while neither orders the other (the YES pattern).
+    CoMonotoneWith {
+        /// Index of the source column within the spec list. The source must
+        /// itself be backbone-sorted (`SortedInt` or another co-monotone).
+        source: usize,
+        /// Number of distinct values.
+        distinct: usize,
+    },
+    /// Non-decreasing integers along the backbone with the given number of
+    /// distinct values; the anchor for co-monotone groups.
+    SortedInt {
+        /// Number of distinct values.
+        distinct: usize,
+    },
+    /// A sorted column viewed through a per-`group` row permutation:
+    /// columns sharing a `group` are mutually order compatible (they see
+    /// the same row order), while columns of different groups are mutually
+    /// random. This builds several *independent* co-monotone blocks in one
+    /// table — the pattern that spreads heavy search branches across many
+    /// seeds (used by the DBTESMA stand-in for the Figure 6 experiment).
+    PermutedSorted {
+        /// Group id; deterministic per (group, row count).
+        group: u64,
+        /// Number of distinct values.
+        distinct: usize,
+    },
+    /// Wrap another spec, replacing a fraction of cells with NULL.
+    WithNulls {
+        /// The wrapped column spec.
+        inner: Box<ColumnSpec>,
+        /// Probability of a NULL per cell, in `[0, 1]`.
+        null_rate: f64,
+    },
+}
+
+/// A whole-table specification: named columns plus a row count.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Column names and specs, in schema order.
+    pub columns: Vec<(String, ColumnSpec)>,
+    /// Number of rows to generate.
+    pub rows: usize,
+}
+
+impl TableSpec {
+    /// Build a spec from `(name, spec)` pairs.
+    pub fn new(columns: Vec<(&str, ColumnSpec)>, rows: usize) -> TableSpec {
+        TableSpec {
+            columns: columns
+                .into_iter()
+                .map(|(n, s)| (n.to_owned(), s))
+                .collect(),
+            rows,
+        }
+    }
+
+    /// Generate the relation deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = self.rows;
+        let mut raw: Vec<Vec<Value>> = Vec::with_capacity(self.columns.len());
+
+        for (_, spec) in &self.columns {
+            let col = generate_column(spec, rows, &raw, &mut rng);
+            raw.push(col);
+        }
+
+        // One global shuffle preserves every OD/OCD while hiding the
+        // sorted backbone.
+        let mut perm: Vec<usize> = (0..rows).collect();
+        perm.shuffle(&mut rng);
+        let named = self
+            .columns
+            .iter()
+            .zip(raw)
+            .map(|((name, _), col)| {
+                let shuffled: Vec<Value> = perm.iter().map(|&r| col[r].clone()).collect();
+                (name.clone(), shuffled)
+            })
+            .collect();
+        Relation::from_columns(named).expect("generator produces equal-length columns")
+    }
+}
+
+fn generate_column(
+    spec: &ColumnSpec,
+    rows: usize,
+    earlier: &[Vec<Value>],
+    rng: &mut StdRng,
+) -> Vec<Value> {
+    match spec {
+        ColumnSpec::Key => {
+            let mut vals: Vec<i64> = (0..rows as i64).collect();
+            vals.shuffle(rng);
+            vals.into_iter().map(Value::Int).collect()
+        }
+        ColumnSpec::RandomInt { distinct } => {
+            let d = (*distinct).max(1) as i64;
+            (0..rows)
+                .map(|_| Value::Int(rng.random_range(0..d)))
+                .collect()
+        }
+        ColumnSpec::RandomStr { distinct } => {
+            let d = (*distinct).max(1);
+            let pool: Vec<String> = (0..d)
+                .map(|i| format!("s{:06}", i * 7919 % 999_983))
+                .collect();
+            (0..rows)
+                .map(|_| Value::Str(pool[rng.random_range(0..d)].clone()))
+                .collect()
+        }
+        ColumnSpec::Constant(v) => vec![Value::Int(*v); rows],
+        ColumnSpec::QuasiConstant { distinct } => {
+            let d = (*distinct).max(2) as i64;
+            (0..rows)
+                .map(|_| {
+                    // ~90% of mass on value 0, remainder uniform.
+                    if rng.random_range(0..10) < 9 {
+                        Value::Int(0)
+                    } else {
+                        Value::Int(rng.random_range(1..d))
+                    }
+                })
+                .collect()
+        }
+        ColumnSpec::OrderedBy { source, coarseness } => {
+            let src = &earlier[*source];
+            let ranks = rank_of(src);
+            let c = (*coarseness).max(1) as i64;
+            ranks
+                .into_iter()
+                .map(|r| Value::Int(r as i64 / c))
+                .collect()
+        }
+        ColumnSpec::EquivalentTo {
+            source,
+            scale,
+            offset,
+        } => {
+            let src = &earlier[*source];
+            let ranks = rank_of(src);
+            let s = (*scale).max(1);
+            ranks
+                .into_iter()
+                .map(|r| Value::Int(r as i64 * s + offset))
+                .collect()
+        }
+        ColumnSpec::CoMonotoneWith { source, distinct } => {
+            // The source is assumed non-decreasing along the backbone, so a
+            // fresh sorted column is co-monotone with it by construction.
+            let _ = source; // documented coupling; values only need sortedness
+            sorted_column(rows, (*distinct).max(1), rng)
+        }
+        ColumnSpec::SortedInt { distinct } => sorted_column(rows, (*distinct).max(1), rng),
+        ColumnSpec::PermutedSorted { group, distinct } => {
+            let vals = sorted_column(rows, (*distinct).max(1), rng);
+            // The permutation depends only on (group, rows), so every
+            // column of the group sees the same row order.
+            let mut perm: Vec<usize> = (0..rows).collect();
+            let mut group_rng = StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15 ^ *group);
+            perm.shuffle(&mut group_rng);
+            perm.into_iter().map(|i| vals[i].clone()).collect()
+        }
+        ColumnSpec::WithNulls { inner, null_rate } => {
+            let mut vals = generate_column(inner, rows, earlier, rng);
+            for v in vals.iter_mut() {
+                if rng.random_range(0.0..1.0) < *null_rate {
+                    *v = Value::Null;
+                }
+            }
+            vals
+        }
+    }
+}
+
+/// Dense rank (0-based) of each row's value within the column.
+fn rank_of(col: &[Value]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..col.len()).collect();
+    order.sort_by(|&a, &b| col[a].cmp(&col[b]));
+    let mut ranks = vec![0usize; col.len()];
+    let mut rank = 0usize;
+    for (pos, &row) in order.iter().enumerate() {
+        if pos > 0 && col[order[pos - 1]] != col[row] {
+            rank += 1;
+        }
+        ranks[row] = rank;
+    }
+    ranks
+}
+
+/// A non-decreasing column of `rows` values over `distinct` classes with
+/// random class boundaries.
+fn sorted_column(rows: usize, distinct: usize, rng: &mut StdRng) -> Vec<Value> {
+    if rows == 0 {
+        return Vec::new();
+    }
+    let distinct = distinct.min(rows).max(1);
+    // Random cut points partition the rows into `distinct` runs.
+    let mut cuts: Vec<usize> = (0..distinct - 1)
+        .map(|_| rng.random_range(0..rows))
+        .collect();
+    cuts.sort_unstable();
+    let mut vals = Vec::with_capacity(rows);
+    let mut current = 0i64;
+    let mut cut_idx = 0;
+    for row in 0..rows {
+        while cut_idx < cuts.len() && cuts[cut_idx] <= row {
+            current += 1;
+            cut_idx += 1;
+        }
+        vals.push(Value::Int(current));
+    }
+    vals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocdd_core::{check_ocd, check_od, AttrList};
+
+    fn l(ids: &[usize]) -> AttrList {
+        AttrList::from_slice(ids)
+    }
+
+    #[test]
+    fn key_column_is_unique() {
+        let spec = TableSpec::new(vec![("k", ColumnSpec::Key)], 100);
+        let rel = spec.generate(1);
+        assert_eq!(rel.meta(0).distinct, 100);
+    }
+
+    #[test]
+    fn constant_and_quasi_constant_shapes() {
+        let spec = TableSpec::new(
+            vec![
+                ("c", ColumnSpec::Constant(42)),
+                ("q", ColumnSpec::QuasiConstant { distinct: 3 }),
+            ],
+            500,
+        );
+        let rel = spec.generate(2);
+        assert!(rel.meta(0).is_constant());
+        let q = rel.meta(1).distinct;
+        assert!(
+            (2..=3).contains(&q),
+            "quasi-constant has {q} distinct values"
+        );
+    }
+
+    #[test]
+    fn ordered_by_plants_an_od() {
+        let spec = TableSpec::new(
+            vec![
+                ("a", ColumnSpec::Key),
+                (
+                    "b",
+                    ColumnSpec::OrderedBy {
+                        source: 0,
+                        coarseness: 10,
+                    },
+                ),
+            ],
+            200,
+        );
+        let rel = spec.generate(3);
+        assert!(check_od(&rel, &l(&[0]), &l(&[1])).is_valid());
+        // b has ties, a is a key: the reverse cannot hold.
+        assert!(!check_od(&rel, &l(&[1]), &l(&[0])).is_valid());
+    }
+
+    #[test]
+    fn equivalent_to_plants_an_equivalence() {
+        let spec = TableSpec::new(
+            vec![
+                ("a", ColumnSpec::RandomInt { distinct: 50 }),
+                (
+                    "b",
+                    ColumnSpec::EquivalentTo {
+                        source: 0,
+                        scale: 3,
+                        offset: -7,
+                    },
+                ),
+            ],
+            300,
+        );
+        let rel = spec.generate(4);
+        assert!(check_od(&rel, &l(&[0]), &l(&[1])).is_valid());
+        assert!(check_od(&rel, &l(&[1]), &l(&[0])).is_valid());
+    }
+
+    #[test]
+    fn co_monotone_plants_ocd_without_od() {
+        let spec = TableSpec::new(
+            vec![
+                ("a", ColumnSpec::SortedInt { distinct: 20 }),
+                (
+                    "b",
+                    ColumnSpec::CoMonotoneWith {
+                        source: 0,
+                        distinct: 20,
+                    },
+                ),
+            ],
+            400,
+        );
+        let rel = spec.generate(5);
+        assert!(check_ocd(&rel, &l(&[0]), &l(&[1])).is_valid());
+        // With independent tie structure, neither side should order the
+        // other (overwhelmingly likely at these sizes).
+        assert!(!check_od(&rel, &l(&[0]), &l(&[1])).is_valid());
+        assert!(!check_od(&rel, &l(&[1]), &l(&[0])).is_valid());
+    }
+
+    #[test]
+    fn nulls_are_injected() {
+        let spec = TableSpec::new(
+            vec![(
+                "n",
+                ColumnSpec::WithNulls {
+                    inner: Box::new(ColumnSpec::RandomInt { distinct: 10 }),
+                    null_rate: 0.3,
+                },
+            )],
+            1000,
+        );
+        let rel = spec.generate(6);
+        assert!(rel.meta(0).has_nulls);
+        let nulls = (0..1000).filter(|&r| rel.value(r, 0).is_null()).count();
+        assert!(
+            (150..=450).contains(&nulls),
+            "null count {nulls} out of expected band"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = TableSpec::new(
+            vec![
+                ("a", ColumnSpec::Key),
+                ("b", ColumnSpec::RandomInt { distinct: 5 }),
+            ],
+            50,
+        );
+        let r1 = spec.generate(99);
+        let r2 = spec.generate(99);
+        for row in 0..50 {
+            for col in 0..2 {
+                assert_eq!(r1.value(row, col), r2.value(row, col));
+            }
+        }
+        // A different seed produces different data.
+        let r3 = spec.generate(100);
+        let same = (0..50).all(|row| r1.value(row, 0) == r3.value(row, 0));
+        assert!(!same);
+    }
+
+    #[test]
+    fn random_str_column_is_typed_str() {
+        use ocdd_relation::DataType;
+        let spec = TableSpec::new(vec![("s", ColumnSpec::RandomStr { distinct: 8 })], 100);
+        let rel = spec.generate(7);
+        assert_eq!(rel.meta(0).data_type, DataType::Str);
+        assert!(rel.meta(0).distinct <= 8);
+    }
+
+    #[test]
+    fn zero_rows_supported() {
+        let spec = TableSpec::new(
+            vec![
+                ("a", ColumnSpec::Key),
+                ("s", ColumnSpec::SortedInt { distinct: 4 }),
+            ],
+            0,
+        );
+        let rel = spec.generate(8);
+        assert_eq!(rel.num_rows(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! A TPC-H-like LINEITEM generator.
+//!
+//! The paper's row-scalability experiment (§5.3.1, Figure 2) runs on TPC-H
+//! LINEITEM with 6,001,215 rows and 16 columns. This generator reproduces
+//! the table's *structure*: the 16 columns with their real names and types,
+//! the key layout (orderkey/linenumber), the pricing arithmetic
+//! (`extendedprice = quantity × a part price`), date ordering
+//! (`shipdate ≤ commitdate ≤ receiptdate` correlations) and the
+//! low-cardinality flag/status columns. Absolute values are synthetic.
+
+use ocdd_relation::{Relation, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Number of columns in LINEITEM.
+pub const LINEITEM_COLUMNS: usize = 16;
+
+/// Full-scale row count used by the paper.
+pub const LINEITEM_FULL_ROWS: usize = 6_001_215;
+
+/// Generate a LINEITEM-like relation with `rows` rows.
+pub fn lineitem(rows: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut orderkey = Vec::with_capacity(rows);
+    let mut partkey = Vec::with_capacity(rows);
+    let mut suppkey = Vec::with_capacity(rows);
+    let mut linenumber = Vec::with_capacity(rows);
+    let mut quantity = Vec::with_capacity(rows);
+    let mut extendedprice = Vec::with_capacity(rows);
+    let mut discount = Vec::with_capacity(rows);
+    let mut tax = Vec::with_capacity(rows);
+    let mut returnflag = Vec::with_capacity(rows);
+    let mut linestatus = Vec::with_capacity(rows);
+    let mut shipdate = Vec::with_capacity(rows);
+    let mut commitdate = Vec::with_capacity(rows);
+    let mut receiptdate = Vec::with_capacity(rows);
+    let mut shipinstruct = Vec::with_capacity(rows);
+    let mut shipmode = Vec::with_capacity(rows);
+    let mut comment = Vec::with_capacity(rows);
+
+    const INSTRUCTS: [&str; 4] = [
+        "DELIVER IN PERSON",
+        "COLLECT COD",
+        "NONE",
+        "TAKE BACK RETURN",
+    ];
+    const MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+
+    let mut order = 1i64;
+    let mut line_in_order = 1i64;
+    for _ in 0..rows {
+        // 1–7 lines per order, like real TPC-H.
+        if line_in_order > rng.random_range(1..=7) {
+            order += 1;
+            line_in_order = 1;
+        }
+        let pk = rng.random_range(1..200_000i64);
+        let qty = rng.random_range(1..=50i64);
+        // Part price is a deterministic function of partkey, as in TPC-H.
+        let part_price = 90_000 + (pk % 20_000) * 10 + (pk / 10) % 1_000;
+        let eprice = qty * part_price;
+        let ship = rng.random_range(8_000..10_600i64); // days since epoch-ish
+        let commit = ship + rng.random_range(-30..60i64);
+        let receipt = ship + rng.random_range(1..=30i64);
+
+        orderkey.push(Value::Int(order));
+        partkey.push(Value::Int(pk));
+        suppkey.push(Value::Int(pk % 10_000 + 1));
+        linenumber.push(Value::Int(line_in_order));
+        quantity.push(Value::Int(qty));
+        extendedprice.push(Value::Int(eprice));
+        discount.push(Value::Int(rng.random_range(0..=10i64)));
+        tax.push(Value::Int(rng.random_range(0..=8i64)));
+        let rf = match rng.random_range(0..3) {
+            0 => "A",
+            1 => "N",
+            _ => "R",
+        };
+        returnflag.push(Value::Str(rf.to_owned()));
+        linestatus.push(Value::Str(if ship > 9_500 { "O" } else { "F" }.to_owned()));
+        shipdate.push(Value::Int(ship));
+        commitdate.push(Value::Int(commit));
+        receiptdate.push(Value::Int(receipt));
+        shipinstruct.push(Value::Str(INSTRUCTS[rng.random_range(0..4)].to_owned()));
+        shipmode.push(Value::Str(MODES[rng.random_range(0..7)].to_owned()));
+        comment.push(Value::Str(format!("c{}", rng.random_range(0..1_000_000))));
+        line_in_order += 1;
+    }
+
+    Relation::from_columns(vec![
+        ("l_orderkey".into(), orderkey),
+        ("l_partkey".into(), partkey),
+        ("l_suppkey".into(), suppkey),
+        ("l_linenumber".into(), linenumber),
+        ("l_quantity".into(), quantity),
+        ("l_extendedprice".into(), extendedprice),
+        ("l_discount".into(), discount),
+        ("l_tax".into(), tax),
+        ("l_returnflag".into(), returnflag),
+        ("l_linestatus".into(), linestatus),
+        ("l_shipdate".into(), shipdate),
+        ("l_commitdate".into(), commitdate),
+        ("l_receiptdate".into(), receiptdate),
+        ("l_shipinstruct".into(), shipinstruct),
+        ("l_shipmode".into(), shipmode),
+        ("l_comment".into(), comment),
+    ])
+    .expect("columns have equal length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_tpch() {
+        let rel = lineitem(100, 1);
+        assert_eq!(rel.num_columns(), LINEITEM_COLUMNS);
+        assert_eq!(rel.num_rows(), 100);
+        assert_eq!(rel.column_names()[0], "l_orderkey");
+        assert_eq!(rel.column_names()[15], "l_comment");
+    }
+
+    #[test]
+    fn orderkey_is_nondecreasing_and_linenumber_small() {
+        let rel = lineitem(500, 2);
+        let ok = rel.column_id("l_orderkey").unwrap();
+        for r in 1..rel.num_rows() {
+            assert!(rel.code(r - 1, ok) <= rel.code(r, ok));
+        }
+        let ln = rel.column_id("l_linenumber").unwrap();
+        assert!(rel.meta(ln).distinct <= 7);
+    }
+
+    #[test]
+    fn flag_columns_are_low_cardinality() {
+        let rel = lineitem(2000, 3);
+        assert!(rel.meta(rel.column_id("l_returnflag").unwrap()).distinct <= 3);
+        assert!(rel.meta(rel.column_id("l_linestatus").unwrap()).distinct <= 2);
+        assert!(rel.meta(rel.column_id("l_shipmode").unwrap()).distinct <= 7);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = lineitem(50, 7);
+        let b = lineitem(50, 7);
+        for r in 0..50 {
+            assert_eq!(a.value(r, 5), b.value(r, 5));
+        }
+    }
+}

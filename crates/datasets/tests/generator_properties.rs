@@ -1,0 +1,107 @@
+//! Property-based tests: the structural invariants every generated table
+//! must satisfy, for arbitrary seeds and sizes.
+
+use ocdd_core::{check_ocd, check_od, AttrList};
+use ocdd_datasets::{ColumnSpec, Dataset, RowScale, TableSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `OrderedBy` always plants a valid OD, for any seed and size.
+    #[test]
+    fn ordered_by_invariant(seed in 0u64..10_000, rows in 2usize..200, coarse in 1usize..20) {
+        let rel = TableSpec::new(
+            vec![
+                ("src", ColumnSpec::Key),
+                ("dst", ColumnSpec::OrderedBy { source: 0, coarseness: coarse }),
+            ],
+            rows,
+        )
+        .generate(seed);
+        prop_assert!(check_od(&rel, &AttrList::single(0), &AttrList::single(1)).is_valid());
+    }
+
+    /// `EquivalentTo` always plants a two-way OD.
+    #[test]
+    fn equivalent_to_invariant(seed in 0u64..10_000, rows in 2usize..200, scale in 1i64..50) {
+        let rel = TableSpec::new(
+            vec![
+                ("src", ColumnSpec::RandomInt { distinct: 30 }),
+                ("dst", ColumnSpec::EquivalentTo { source: 0, scale, offset: -5 }),
+            ],
+            rows,
+        )
+        .generate(seed);
+        prop_assert!(check_od(&rel, &AttrList::single(0), &AttrList::single(1)).is_valid());
+        prop_assert!(check_od(&rel, &AttrList::single(1), &AttrList::single(0)).is_valid());
+    }
+
+    /// Co-monotone columns are always order compatible, and columns in the
+    /// same `PermutedSorted` group likewise.
+    #[test]
+    fn co_monotone_invariant(seed in 0u64..10_000, rows in 2usize..200) {
+        let rel = TableSpec::new(
+            vec![
+                ("a", ColumnSpec::SortedInt { distinct: 12 }),
+                ("b", ColumnSpec::CoMonotoneWith { source: 0, distinct: 9 }),
+                ("p1", ColumnSpec::PermutedSorted { group: 9, distinct: 10 }),
+                ("p2", ColumnSpec::PermutedSorted { group: 9, distinct: 7 }),
+            ],
+            rows,
+        )
+        .generate(seed);
+        prop_assert!(check_ocd(&rel, &AttrList::single(0), &AttrList::single(1)).is_valid());
+        prop_assert!(check_ocd(&rel, &AttrList::single(2), &AttrList::single(3)).is_valid());
+    }
+
+    /// Constants are constant and keys are unique, at every size.
+    #[test]
+    fn constant_and_key_invariants(seed in 0u64..10_000, rows in 1usize..300) {
+        let rel = TableSpec::new(
+            vec![("k", ColumnSpec::Key), ("c", ColumnSpec::Constant(3))],
+            rows,
+        )
+        .generate(seed);
+        prop_assert_eq!(rel.meta(0).distinct, rows);
+        prop_assert!(rel.meta(1).is_constant());
+    }
+
+    /// Dataset generation is pure: same scale, same bytes.
+    #[test]
+    fn registry_generation_is_pure(rows in 5usize..60) {
+        for ds in [Dataset::Hepatitis, Dataset::Ncvoter1k] {
+            let a = ds.generate(RowScale::Rows(rows));
+            let b = ds.generate(RowScale::Rows(rows));
+            prop_assert_eq!(a.num_rows(), b.num_rows());
+            for r in 0..a.num_rows() {
+                for c in 0..a.num_columns() {
+                    prop_assert_eq!(a.value(r, c), b.value(r, c));
+                }
+            }
+        }
+    }
+
+    /// NULL injection respects the rate direction: more requested, more
+    /// observed (statistically, with generous slack).
+    #[test]
+    fn null_rates_are_ordered(seed in 0u64..1_000) {
+        let gen_nulls = |rate: f64| -> usize {
+            let rel = TableSpec::new(
+                vec![(
+                    "n",
+                    ColumnSpec::WithNulls {
+                        inner: Box::new(ColumnSpec::RandomInt { distinct: 10 }),
+                        null_rate: rate,
+                    },
+                )],
+                600,
+            )
+            .generate(seed);
+            (0..600).filter(|&r| rel.value(r, 0).is_null()).count()
+        };
+        let low = gen_nulls(0.05);
+        let high = gen_nulls(0.5);
+        prop_assert!(high > low, "high-rate nulls {high} <= low-rate nulls {low}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Rank-encoded columns.
+//!
+//! Every column of a [`crate::Relation`] is compiled to a vector of dense
+//! `u32` rank codes over the column's sorted distinct values (NULL, which
+//! sorts first, always gets code 0 when present). Order comparisons between
+//! two cells of the same column then reduce to integer comparisons, which is
+//! what makes the candidate checker's inner loop cheap.
+
+use crate::datatype::{infer_type, DataType};
+use crate::value::Value;
+
+/// Metadata describing one column of a relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMeta {
+    /// Column name (header).
+    pub name: String,
+    /// Inferred (or forced) data type used for ordering.
+    pub data_type: DataType,
+    /// Number of distinct values, counting NULL as one class.
+    pub distinct: usize,
+    /// Whether the column contains at least one NULL.
+    pub has_nulls: bool,
+}
+
+impl ColumnMeta {
+    /// A column is constant when every row carries the same value
+    /// (an empty column is constant by convention).
+    #[inline]
+    pub fn is_constant(&self) -> bool {
+        self.distinct <= 1
+    }
+}
+
+/// One rank-encoded column: codes plus the decoded dictionary.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Per-row dense rank codes; `codes[r] < codes[s]` iff row `r`'s value
+    /// sorts strictly before row `s`'s in this column.
+    pub codes: Vec<u32>,
+    /// Sorted distinct values; `dictionary[code]` decodes a rank.
+    pub dictionary: Vec<Value>,
+    /// Column metadata.
+    pub meta: ColumnMeta,
+}
+
+impl Column {
+    /// Rank-encode `values` under the given name.
+    ///
+    /// The caller is responsible for having homogenized the values first
+    /// (see [`crate::datatype::homogenize`]); encoding sorts whatever total
+    /// order the values currently have.
+    pub fn encode(name: impl Into<String>, values: Vec<Value>) -> Column {
+        let data_type = infer_type(values.iter());
+        let has_nulls = values.iter().any(Value::is_null);
+
+        // Sort indices by value to assign dense ranks in O(m log m).
+        let mut order: Vec<u32> = (0..values.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| values[a as usize].cmp(&values[b as usize]));
+
+        let mut codes = vec![0u32; values.len()];
+        let mut dictionary = Vec::new();
+        let mut rank = 0u32;
+        for (pos, &row) in order.iter().enumerate() {
+            let v = &values[row as usize];
+            if pos == 0 {
+                dictionary.push(v.clone());
+            } else {
+                let prev = &values[order[pos - 1] as usize];
+                if v != prev {
+                    rank += 1;
+                    dictionary.push(v.clone());
+                }
+            }
+            codes[row as usize] = rank;
+        }
+
+        let distinct = dictionary.len();
+        Column {
+            codes,
+            dictionary,
+            meta: ColumnMeta {
+                name: name.into(),
+                data_type,
+                distinct,
+                has_nulls,
+            },
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the column has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Decode the value of row `row`.
+    #[inline]
+    pub fn value(&self, row: usize) -> &Value {
+        &self.dictionary[self.codes[row] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn encode_assigns_dense_ranks_in_value_order() {
+        let col = Column::encode("a", ints(&[30, 10, 20, 10]));
+        assert_eq!(col.codes, vec![2, 0, 1, 0]);
+        assert_eq!(col.meta.distinct, 3);
+        assert_eq!(col.dictionary, ints(&[10, 20, 30]));
+    }
+
+    #[test]
+    fn encode_null_gets_rank_zero() {
+        let col = Column::encode("a", vec![Value::Int(5), Value::Null, Value::Int(1)]);
+        assert_eq!(col.codes[1], 0, "NULL sorts first");
+        assert!(col.meta.has_nulls);
+        assert_eq!(col.dictionary[0], Value::Null);
+    }
+
+    #[test]
+    fn encode_preserves_comparison_order() {
+        let values = vec![
+            Value::Str("b".into()),
+            Value::Null,
+            Value::Str("a".into()),
+            Value::Str("b".into()),
+        ];
+        let col = Column::encode("s", values.clone());
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                assert_eq!(
+                    values[i].cmp(&values[j]),
+                    col.codes[i].cmp(&col.codes[j]),
+                    "codes must mirror value order for rows {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_column_detected() {
+        let col = Column::encode("c", ints(&[7, 7, 7]));
+        assert!(col.meta.is_constant());
+        let col = Column::encode("c", vec![Value::Null, Value::Null]);
+        assert!(col.meta.is_constant());
+        let col = Column::encode("c", Vec::new());
+        assert!(col.meta.is_constant());
+    }
+
+    #[test]
+    fn value_decodes_original() {
+        let vals = vec![Value::Str("x".into()), Value::Int(3), Value::Null];
+        // Mixed columns are unusual but still encodable (typed Str overall).
+        let col = Column::encode("m", vals.clone());
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(col.value(i), v);
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_column_small_dictionary() {
+        let vals: Vec<Value> = (0..1000).map(|i| Value::Int(i % 3)).collect();
+        let col = Column::encode("q", vals);
+        assert_eq!(col.meta.distinct, 3);
+        assert_eq!(col.dictionary.len(), 3);
+        assert_eq!(col.len(), 1000);
+    }
+}

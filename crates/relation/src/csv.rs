@@ -1,0 +1,297 @@
+//! Minimal CSV reader/writer (RFC-4180 subset) — no external dependency.
+//!
+//! Supports quoted fields with embedded separators, quotes (`""` escape) and
+//! newlines; configurable separator and NULL tokens; optional header row.
+
+use crate::datatype::TypingMode;
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+use crate::value::Value;
+use std::io::Read;
+use std::path::Path;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field separator (default `,`).
+    pub separator: char,
+    /// Whether the first record is a header of column names (default true;
+    /// otherwise columns are named `col0`, `col1`, ...).
+    pub has_header: bool,
+    /// Tokens parsed as NULL (default: empty string, `?`, `NULL`).
+    pub null_tokens: Vec<String>,
+    /// Typing mode applied when building the relation.
+    pub typing: TypingMode,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            separator: ',',
+            has_header: true,
+            null_tokens: vec![String::new(), "?".to_owned(), "NULL".to_owned()],
+            typing: TypingMode::Infer,
+        }
+    }
+}
+
+/// Split raw CSV text into records of string fields.
+fn parse_records(text: &str, sep: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(Error::Csv {
+                            line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                c if c == sep => record.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    // Final record without trailing newline.
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Parse CSV text into a [`Relation`].
+pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<Relation> {
+    let records = parse_records(text, opts.separator)?;
+    let mut iter = records.into_iter();
+    let (names, first_data): (Vec<String>, Option<Vec<String>>) = if opts.has_header {
+        match iter.next() {
+            Some(h) => (h, None),
+            None => return Relation::from_columns_typed(vec![], opts.typing),
+        }
+    } else {
+        match iter.next() {
+            Some(first) => {
+                let names = (0..first.len()).map(|i| format!("col{i}")).collect();
+                (names, Some(first))
+            }
+            None => return Relation::from_columns_typed(vec![], opts.typing),
+        }
+    };
+
+    let arity = names.len();
+    let null_refs: Vec<&str> = opts.null_tokens.iter().map(String::as_str).collect();
+    let mut data: Vec<Vec<Value>> = vec![Vec::new(); arity];
+    let mut push = |record: Vec<String>, line: usize| -> Result<()> {
+        if record.len() != arity {
+            return Err(Error::Csv {
+                line,
+                message: format!("expected {arity} fields, found {}", record.len()),
+            });
+        }
+        for (col, tok) in record.into_iter().enumerate() {
+            data[col].push(Value::parse(&tok, &null_refs));
+        }
+        Ok(())
+    };
+
+    let mut line = if opts.has_header { 2 } else { 1 };
+    if let Some(first) = first_data {
+        push(first, line)?;
+        line += 1;
+    }
+    for record in iter {
+        push(record, line)?;
+        line += 1;
+    }
+
+    Relation::from_columns_typed(names.into_iter().zip(data).collect(), opts.typing)
+}
+
+/// Read a CSV file from disk.
+pub fn read_csv_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Relation> {
+    let mut text = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut text)?;
+    read_csv_str(&text, opts)
+}
+
+/// Quote a field if it contains the separator, quotes or newlines.
+fn quote_field(field: &str, sep: char) -> String {
+    if field.contains(sep) || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Serialize a relation back to CSV text (header included).
+pub fn write_csv(rel: &Relation) -> String {
+    let sep = ',';
+    let mut out = String::new();
+    let header: Vec<String> = rel
+        .column_names()
+        .iter()
+        .map(|n| quote_field(n, sep))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in 0..rel.num_rows() {
+        let fields: Vec<String> = (0..rel.num_columns())
+            .map(|c| quote_field(&rel.value(row, c).to_string(), sep))
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_parse_with_header() {
+        let r = read_csv_str("a,b\n1,x\n2,y\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.column_names(), vec!["a", "b"]);
+        assert_eq!(r.value(0, 0), &Value::Int(1));
+        assert_eq!(r.value(1, 1), &Value::Str("y".into()));
+    }
+
+    #[test]
+    fn no_header_names_columns() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let r = read_csv_str("1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(r.column_names(), vec!["col0", "col1"]);
+        assert_eq!(r.num_rows(), 2);
+    }
+
+    #[test]
+    fn quoted_fields_with_separator_and_quotes() {
+        let r = read_csv_str(
+            "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.value(0, 0), &Value::Str("x,y".into()));
+        assert_eq!(r.value(0, 1), &Value::Str("he said \"hi\"".into()));
+    }
+
+    #[test]
+    fn quoted_field_with_newline() {
+        let r = read_csv_str("a\n\"line1\nline2\"\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.value(0, 0), &Value::Str("line1\nline2".into()));
+    }
+
+    #[test]
+    fn null_tokens_become_null() {
+        let r = read_csv_str("a,b,c\n1,?,\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.value(0, 1), &Value::Null);
+        assert_eq!(r.value(0, 2), &Value::Null);
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let r = read_csv_str("a,b\r\n1,2\r\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.value(0, 1), &Value::Int(2));
+    }
+
+    #[test]
+    fn missing_final_newline_ok() {
+        let r = read_csv_str("a\n1\n2", &CsvOptions::default()).unwrap();
+        assert_eq!(r.num_rows(), 2);
+    }
+
+    #[test]
+    fn ragged_record_is_error() {
+        let err = read_csv_str("a,b\n1\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, Error::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(read_csv_str("a\n\"oops\n", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn empty_input_empty_relation() {
+        let r = read_csv_str("", &CsvOptions::default()).unwrap();
+        assert_eq!(r.num_columns(), 0);
+    }
+
+    #[test]
+    fn alternative_separator() {
+        let opts = CsvOptions {
+            separator: ';',
+            ..CsvOptions::default()
+        };
+        let r = read_csv_str("a;b\n1;2\n", &opts).unwrap();
+        assert_eq!(r.value(0, 1), &Value::Int(2));
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let src = "a,b\n1,x\n2,\"y,z\"\n";
+        let r = read_csv_str(src, &CsvOptions::default()).unwrap();
+        let text = write_csv(&r);
+        let r2 = read_csv_str(&text, &CsvOptions::default()).unwrap();
+        assert_eq!(r2.num_rows(), r.num_rows());
+        for row in 0..r.num_rows() {
+            for col in 0..r.num_columns() {
+                assert_eq!(r.value(row, col), r2.value(row, col));
+            }
+        }
+    }
+
+    #[test]
+    fn null_round_trips_as_empty() {
+        let r = read_csv_str("a\n?\n", &CsvOptions::default()).unwrap();
+        let text = write_csv(&r);
+        assert_eq!(text, "a\n\n");
+        let r2 = read_csv_str(&text, &CsvOptions::default()).unwrap();
+        assert_eq!(r2.value(0, 0), &Value::Null);
+    }
+}

@@ -1,0 +1,125 @@
+//! Text rendering of relations for CLI tools and examples.
+
+use crate::relation::Relation;
+
+/// Render the first `max_rows` rows of `rel` as an aligned text table
+/// (header, separator, rows; an ellipsis row when truncated).
+pub fn render_table(rel: &Relation, max_rows: usize) -> String {
+    let cols = rel.num_columns();
+    if cols == 0 {
+        return String::from("(empty relation)\n");
+    }
+    let shown = rel.num_rows().min(max_rows);
+
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown + 1);
+    cells.push(rel.column_names().iter().map(|s| s.to_string()).collect());
+    for row in 0..shown {
+        cells.push((0..cols).map(|c| rel.value(row, c).to_string()).collect());
+    }
+
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| cells.iter().map(|r| r[c].len()).max().unwrap_or(0))
+        .collect();
+
+    let mut out = String::new();
+    for (i, row) in cells.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(cell, w)| format!("{cell:<w$}"))
+            .collect();
+        out.push_str(line.join(" | ").trim_end());
+        out.push('\n');
+        if i == 0 {
+            let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            out.push_str(&sep.join("-+-"));
+            out.push('\n');
+        }
+    }
+    if shown < rel.num_rows() {
+        out.push_str(&format!("… ({} more rows)\n", rel.num_rows() - shown));
+    }
+    out
+}
+
+/// One-line summary: `name (rows×cols): col1:type, col2:type, …`.
+pub fn render_summary(rel: &Relation) -> String {
+    let cols: Vec<String> = rel
+        .schema()
+        .map(|m| {
+            format!(
+                "{}:{:?}{}",
+                m.name,
+                m.data_type,
+                if m.is_constant() { "=const" } else { "" }
+            )
+        })
+        .collect();
+    format!(
+        "{}×{}: {}",
+        rel.num_rows(),
+        rel.num_columns(),
+        cols.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::value::Value;
+
+    fn sample() -> Relation {
+        Relation::from_columns(vec![
+            (
+                "id".to_string(),
+                vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+            ),
+            (
+                "name".to_string(),
+                vec![
+                    Value::Str("ann".into()),
+                    Value::Null,
+                    Value::Str("bo".into()),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn renders_aligned_table() {
+        let text = render_table(&sample(), 10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "id | name");
+        assert!(lines[1].starts_with("---+"));
+        assert_eq!(lines[2], "1  | ann");
+        assert_eq!(lines[3], "2  |"); // NULL renders empty
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn truncation_adds_ellipsis() {
+        let text = render_table(&sample(), 1);
+        assert!(text.contains("… (2 more rows)"));
+    }
+
+    #[test]
+    fn empty_relation_renders_placeholder() {
+        let rel = Relation::from_columns(vec![]).unwrap();
+        assert_eq!(render_table(&rel, 5), "(empty relation)\n");
+    }
+
+    #[test]
+    fn summary_mentions_types_and_constants() {
+        let rel = Relation::from_columns(vec![
+            ("a".to_string(), vec![Value::Int(1), Value::Int(2)]),
+            ("k".to_string(), vec![Value::Int(9), Value::Int(9)]),
+        ])
+        .unwrap();
+        let s = render_summary(&rel);
+        assert!(s.starts_with("2×2:"));
+        assert!(s.contains("a:Int"));
+        assert!(s.contains("k:Int=const"));
+    }
+}

@@ -1,0 +1,294 @@
+//! The [`Relation`] type: an immutable, rank-encoded, column-major table.
+
+use crate::column::{Column, ColumnMeta};
+use crate::datatype::{homogenize, TypingMode};
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// Index of a column within a relation (attribute identifier).
+pub type ColumnId = usize;
+
+/// An immutable instance `r` of a relation `R`, stored column-major with
+/// rank-encoded cells.
+///
+/// Built through [`RelationBuilder`] (row-wise) or
+/// [`Relation::from_columns`] (column-wise).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Relation {
+    /// Build a relation from named value columns, homogenizing each column
+    /// under the given [`TypingMode`] before rank encoding.
+    ///
+    /// All columns must have the same length.
+    pub fn from_columns_typed(
+        named: Vec<(String, Vec<Value>)>,
+        mode: TypingMode,
+    ) -> Result<Relation> {
+        let num_rows = named.first().map_or(0, |(_, v)| v.len());
+        for (_, vals) in &named {
+            if vals.len() != num_rows {
+                return Err(Error::ArityMismatch {
+                    expected: num_rows,
+                    got: vals.len(),
+                });
+            }
+        }
+        let columns = named
+            .into_iter()
+            .map(|(name, mut vals)| {
+                homogenize(&mut vals, mode);
+                Column::encode(name, vals)
+            })
+            .collect();
+        Ok(Relation { columns, num_rows })
+    }
+
+    /// [`Relation::from_columns_typed`] with the default [`TypingMode::Infer`].
+    pub fn from_columns(named: Vec<(String, Vec<Value>)>) -> Result<Relation> {
+        Self::from_columns_typed(named, TypingMode::Infer)
+    }
+
+    /// Number of tuples `|r|`.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of attributes `|U|`.
+    #[inline]
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Metadata of column `col`.
+    #[inline]
+    pub fn meta(&self, col: ColumnId) -> &ColumnMeta {
+        &self.columns[col].meta
+    }
+
+    /// All column metadata in schema order.
+    pub fn schema(&self) -> impl Iterator<Item = &ColumnMeta> {
+        self.columns.iter().map(|c| &c.meta)
+    }
+
+    /// Rank code of cell `(row, col)`. The hot accessor: two loads, no branch.
+    #[inline(always)]
+    pub fn code(&self, row: usize, col: ColumnId) -> u32 {
+        self.columns[col].codes[row]
+    }
+
+    /// The full code vector of a column (for tight loops over one column).
+    #[inline]
+    pub fn codes(&self, col: ColumnId) -> &[u32] {
+        &self.columns[col].codes
+    }
+
+    /// Decode the original value of cell `(row, col)`.
+    #[inline]
+    pub fn value(&self, row: usize, col: ColumnId) -> &Value {
+        self.columns[col].value(row)
+    }
+
+    /// Find a column id by name.
+    pub fn column_id(&self, name: &str) -> Result<ColumnId> {
+        self.columns
+            .iter()
+            .position(|c| c.meta.name == name)
+            .ok_or_else(|| Error::UnknownColumn(name.to_owned()))
+    }
+
+    /// Column names in schema order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.meta.name.as_str()).collect()
+    }
+
+    /// A new relation containing only `cols` (in the given order), sharing
+    /// no storage with `self`. Used by the column-scalability experiments.
+    pub fn project(&self, cols: &[ColumnId]) -> Result<Relation> {
+        let mut columns = Vec::with_capacity(cols.len());
+        for &c in cols {
+            let col = self.columns.get(c).ok_or(Error::ColumnOutOfRange {
+                index: c,
+                len: self.columns.len(),
+            })?;
+            columns.push(col.clone());
+        }
+        Ok(Relation {
+            columns,
+            num_rows: self.num_rows,
+        })
+    }
+
+    /// A new relation containing only the first `n` rows.
+    /// Columns are re-encoded so ranks stay dense. Used by the
+    /// row-scalability experiments.
+    pub fn head(&self, n: usize) -> Relation {
+        let n = n.min(self.num_rows);
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let vals: Vec<Value> = (0..n).map(|r| c.value(r).clone()).collect();
+                Column::encode(c.meta.name.clone(), vals)
+            })
+            .collect();
+        Relation {
+            columns,
+            num_rows: n,
+        }
+    }
+}
+
+/// Row-wise builder for [`Relation`].
+#[derive(Debug)]
+pub struct RelationBuilder {
+    names: Vec<String>,
+    data: Vec<Vec<Value>>, // column-major
+    mode: TypingMode,
+}
+
+impl RelationBuilder {
+    /// Start a builder with the given column names.
+    pub fn new<S: Into<String>>(names: Vec<S>) -> RelationBuilder {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let data = names.iter().map(|_| Vec::new()).collect();
+        RelationBuilder {
+            names,
+            data,
+            mode: TypingMode::Infer,
+        }
+    }
+
+    /// Override the typing mode (default: [`TypingMode::Infer`]).
+    pub fn typing_mode(mut self, mode: TypingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Append one row.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.names.len() {
+            return Err(Error::ArityMismatch {
+                expected: self.names.len(),
+                got: row.len(),
+            });
+        }
+        for (col, v) in self.data.iter_mut().zip(row) {
+            col.push(v);
+        }
+        Ok(())
+    }
+
+    /// Finish building, consuming the builder.
+    pub fn finish(self) -> Relation {
+        let named = self.names.into_iter().zip(self.data).collect();
+        Relation::from_columns_typed(named, self.mode).expect("builder enforces equal lengths")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        let mut b = RelationBuilder::new(vec!["a", "b", "c"]);
+        b.push_row(vec![Value::Int(1), Value::Str("x".into()), Value::Int(7)])
+            .unwrap();
+        b.push_row(vec![Value::Int(3), Value::Str("y".into()), Value::Int(7)])
+            .unwrap();
+        b.push_row(vec![Value::Int(2), Value::Null, Value::Int(7)])
+            .unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let r = sample();
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.num_columns(), 3);
+        assert_eq!(r.value(0, 0), &Value::Int(1));
+        assert_eq!(r.value(2, 1), &Value::Null);
+        assert_eq!(r.column_names(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn builder_rejects_wrong_arity() {
+        let mut b = RelationBuilder::new(vec!["a", "b"]);
+        let err = b.push_row(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn codes_reflect_column_order() {
+        let r = sample();
+        // column a: values 1,3,2 -> codes 0,2,1
+        assert_eq!(r.codes(0), &[0, 2, 1]);
+        // column c is constant -> all codes 0
+        assert_eq!(r.codes(2), &[0, 0, 0]);
+        assert!(r.meta(2).is_constant());
+    }
+
+    #[test]
+    fn column_id_lookup() {
+        let r = sample();
+        assert_eq!(r.column_id("b").unwrap(), 1);
+        assert!(matches!(r.column_id("zz"), Err(Error::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let r = sample();
+        let p = r.project(&[2, 0]).unwrap();
+        assert_eq!(p.num_columns(), 2);
+        assert_eq!(p.column_names(), vec!["c", "a"]);
+        assert_eq!(p.value(1, 1), &Value::Int(3));
+        assert!(r.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn head_truncates_and_reencodes() {
+        let r = sample();
+        let h = r.head(2);
+        assert_eq!(h.num_rows(), 2);
+        // After truncation 'a' has values 1,3 -> dense codes 0,1.
+        assert_eq!(h.codes(0), &[0, 1]);
+        // head(n) with n > rows is a no-op copy.
+        assert_eq!(r.head(10).num_rows(), 3);
+    }
+
+    #[test]
+    fn from_columns_rejects_ragged_input() {
+        let named = vec![
+            ("a".to_string(), vec![Value::Int(1)]),
+            ("b".to_string(), vec![Value::Int(1), Value::Int(2)]),
+        ];
+        assert!(Relation::from_columns(named).is_err());
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::from_columns(vec![]).unwrap();
+        assert_eq!(r.num_rows(), 0);
+        assert_eq!(r.num_columns(), 0);
+    }
+
+    #[test]
+    fn force_lexicographic_changes_ordering() {
+        let named = vec![("n".to_string(), vec![Value::Int(10), Value::Int(9)])];
+        let nat = Relation::from_columns_typed(named.clone(), TypingMode::Infer).unwrap();
+        let lex = Relation::from_columns_typed(named, TypingMode::ForceLexicographic).unwrap();
+        // Natural: 9 < 10. Lexicographic: "10" < "9".
+        assert!(nat.code(1, 0) < nat.code(0, 0));
+        assert!(lex.code(0, 0) < lex.code(1, 0));
+    }
+}

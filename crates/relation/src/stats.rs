@@ -1,0 +1,154 @@
+//! Column statistics: distinct counts and the Shannon entropy of
+//! Definition 5.1, used by the quasi-constant analysis (§5.4).
+
+use crate::relation::{ColumnId, Relation};
+
+/// Aggregated statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column index.
+    pub column: ColumnId,
+    /// Number of distinct equivalence classes (NULL is one class).
+    pub distinct: usize,
+    /// Shannon entropy `H(A) = -Σ p log p` over value frequencies, in nats.
+    pub entropy: f64,
+    /// True if the column has a single equivalence class.
+    pub is_constant: bool,
+}
+
+/// Compute the Shannon entropy of column `col` (Definition 5.1).
+///
+/// Constant columns have entropy 0; an all-distinct column of `m` rows has
+/// entropy `ln m`.
+pub fn column_entropy(rel: &Relation, col: ColumnId) -> f64 {
+    let m = rel.num_rows();
+    if m == 0 {
+        return 0.0;
+    }
+    // Codes are dense ranks in [0, distinct), so a frequency table suffices.
+    let mut freq = vec![0usize; rel.meta(col).distinct.max(1)];
+    for &c in rel.codes(col) {
+        freq[c as usize] += 1;
+    }
+    let m = m as f64;
+    freq.iter()
+        .filter(|&&f| f > 0)
+        .map(|&f| {
+            let p = f as f64 / m;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Statistics for every column of `rel`.
+pub fn all_column_stats(rel: &Relation) -> Vec<ColumnStats> {
+    (0..rel.num_columns())
+        .map(|c| {
+            let meta = rel.meta(c);
+            ColumnStats {
+                column: c,
+                distinct: meta.distinct,
+                entropy: column_entropy(rel, c),
+                is_constant: meta.is_constant(),
+            }
+        })
+        .collect()
+}
+
+/// Column ids sorted by decreasing entropy (the order in which the Figure 7
+/// experiment adds columns; constant columns come last).
+pub fn columns_by_decreasing_entropy(rel: &Relation) -> Vec<ColumnId> {
+    let mut stats = all_column_stats(rel);
+    stats.sort_by(|a, b| {
+        b.entropy
+            .partial_cmp(&a.entropy)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.column.cmp(&b.column))
+    });
+    stats.into_iter().map(|s| s.column).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::value::Value;
+
+    fn one_col(vals: Vec<i64>) -> Relation {
+        Relation::from_columns(vec![(
+            "a".to_string(),
+            vals.into_iter().map(Value::Int).collect(),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn constant_column_entropy_zero() {
+        let r = one_col(vec![5, 5, 5, 5]);
+        assert_eq!(column_entropy(&r, 0), 0.0);
+    }
+
+    #[test]
+    fn all_distinct_entropy_is_log_m() {
+        let r = one_col(vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let h = column_entropy(&r, 0);
+        assert!((h - (8f64).ln()).abs() < 1e-12, "H = {h}");
+    }
+
+    #[test]
+    fn uniform_two_class_entropy_is_ln2() {
+        let r = one_col(vec![0, 1, 0, 1]);
+        assert!((column_entropy(&r, 0) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_entropy_below_uniform() {
+        let uniform = one_col(vec![0, 0, 1, 1]);
+        let skewed = one_col(vec![0, 0, 0, 1]);
+        assert!(column_entropy(&skewed, 0) < column_entropy(&uniform, 0));
+    }
+
+    #[test]
+    fn empty_relation_entropy_zero() {
+        let r = one_col(vec![]);
+        assert_eq!(column_entropy(&r, 0), 0.0);
+    }
+
+    #[test]
+    fn nulls_form_a_single_class() {
+        let r = Relation::from_columns(vec![(
+            "a".to_string(),
+            vec![Value::Null, Value::Null, Value::Int(1), Value::Int(1)],
+        )])
+        .unwrap();
+        assert!((column_entropy(&r, 0) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_ordering_ranks_diverse_columns_first() {
+        let r = Relation::from_columns(vec![
+            ("const".to_string(), vec![Value::Int(0); 6]),
+            ("diverse".to_string(), (0..6).map(Value::Int).collect()),
+            (
+                "quasi".to_string(),
+                vec![0, 0, 0, 0, 0, 1].into_iter().map(Value::Int).collect(),
+            ),
+        ])
+        .unwrap();
+        assert_eq!(columns_by_decreasing_entropy(&r), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn all_stats_cover_all_columns() {
+        let r = Relation::from_columns(vec![
+            ("a".to_string(), vec![Value::Int(1), Value::Int(2)]),
+            ("b".to_string(), vec![Value::Int(1), Value::Int(1)]),
+        ])
+        .unwrap();
+        let stats = all_column_stats(&r);
+        assert_eq!(stats.len(), 2);
+        assert!(!stats[0].is_constant);
+        assert!(stats[1].is_constant);
+        assert_eq!(stats[0].distinct, 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Data-quality workflow (§1's "order dependencies can be used as
+//! requirements or constraints"): treat a near-holding OD as an intended
+//! business rule and surface the violating rows for repair.
+//!
+//! ```text
+//! cargo run --example data_cleaning
+//! ```
+//!
+//! The pipeline: discover ε-approximate dependencies, then for each one
+//! compute the exact *repair set* — the rows whose removal (or correction)
+//! makes the rule hold — via `ocdd_core::approximate::removal_witnesses`.
+
+use ocddiscover::core::approximate::{discover_approximate, od_error, removal_witnesses};
+use ocddiscover::relation::pretty::render_table;
+use ocddiscover::{AttrList, DiscoveryConfig, Relation, Value};
+
+fn main() {
+    // An orders table where unit price scales with quantity bracket —
+    // except for two fat-fingered rows.
+    let quantity: Vec<i64> = vec![1, 2, 5, 8, 10, 12, 15, 20, 3, 18];
+    let bracket: Vec<i64> = vec![1, 1, 1, 2, 2, 2, 3, 3, 1, 3];
+    // Bulk pricing: higher brackets pay a higher per-unit logistics fee.
+    let mut unit_price: Vec<i64> = bracket.iter().map(|b| 50 + b * 10).collect();
+    // Corruptions: row 4 got bracket 3's fee; row 8 a stale price.
+    unit_price[4] = 80;
+    unit_price[8] = 45;
+
+    let rel = Relation::from_columns(vec![
+        (
+            "quantity".into(),
+            quantity.into_iter().map(Value::Int).collect(),
+        ),
+        (
+            "bracket".into(),
+            bracket.into_iter().map(Value::Int).collect(),
+        ),
+        (
+            "unit_price".into(),
+            unit_price.into_iter().map(Value::Int).collect(),
+        ),
+    ])
+    .unwrap();
+
+    println!("{}", render_table(&rel, 12));
+
+    // The intended rule: the bracket determines and orders the unit price.
+    let bracket_col = AttrList::single(rel.column_id("bracket").unwrap());
+    let price_col = AttrList::single(rel.column_id("unit_price").unwrap());
+    let err = od_error(&rel, &bracket_col, &price_col);
+    println!(
+        "bracket -> unit_price: swap error {:.2}, split error {:.2}",
+        err.swap_error(),
+        err.split_error()
+    );
+
+    // Discover everything that *almost* holds at 25% tolerance.
+    let approx = discover_approximate(&rel, &DiscoveryConfig::default(), 0.25);
+    println!("\nApproximate dependencies at ε = 0.25:");
+    for a in &approx.ocds {
+        println!("  {} (error {:.2})", a.ocd.display(&rel), a.error);
+    }
+
+    // Repair set for the price rule.
+    let witnesses = removal_witnesses(&rel, &bracket_col, &price_col);
+    println!("\nRows violating bracket -> unit_price (candidates for repair):");
+    for &row in &witnesses {
+        let r = row as usize;
+        println!(
+            "  row {row}: quantity={}, bracket={}, unit_price={}",
+            rel.value(r, 0),
+            rel.value(r, 1),
+            rel.value(r, 2)
+        );
+    }
+
+    // Verify the repair: dropping the witnesses makes the rule exact.
+    let keep: Vec<usize> = (0..rel.num_rows())
+        .filter(|r| !witnesses.contains(&(*r as u32)))
+        .collect();
+    let repaired = Relation::from_columns(
+        (0..rel.num_columns())
+            .map(|c| {
+                (
+                    rel.meta(c).name.clone(),
+                    keep.iter().map(|&r| rel.value(r, c).clone()).collect(),
+                )
+            })
+            .collect(),
+    )
+    .unwrap();
+    let fixed = od_error(&repaired, &bracket_col, &price_col);
+    assert!(fixed.is_exact());
+    println!(
+        "\nAfter removing {} rows the rule holds exactly ({} rows remain).",
+        witnesses.len(),
+        repaired.num_rows()
+    );
+}

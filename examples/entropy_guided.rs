@@ -1,0 +1,81 @@
+//! Entropy-guided discovery over a wide, quasi-constant-ridden table
+//! (§5.4 of the paper).
+//!
+//! FLIGHT-like tables make the full candidate tree explode: quasi-constant
+//! columns participate in a huge number of valid OCDs. The paper's
+//! proposal is to rank columns by Shannon entropy and profile only the
+//! most diverse ones. This example contrasts the two strategies.
+//!
+//! ```text
+//! cargo run --release --example entropy_guided
+//! ```
+
+use ocddiscover::core::entropy::{discover_top_k, quasi_constant_columns, rank_columns};
+use ocddiscover::datasets::{Dataset, RowScale};
+use ocddiscover::{discover, DiscoveryConfig};
+use std::time::Duration;
+
+fn main() {
+    // A 40-column slice of the FLIGHT-like generator keeps the demo quick
+    // while preserving the pathology (constants + quasi-constants).
+    let wide = Dataset::Flight1k.generate(RowScale::Rows(500));
+    let ranked = rank_columns(&wide);
+    let cols: Vec<usize> = ranked.iter().map(|r| r.column).take(40).collect();
+    let mut with_quasi = cols.clone();
+    // Re-add the lowest-entropy non-constant columns to make the point.
+    for q in quasi_constant_columns(&wide, 4) {
+        if !with_quasi.contains(&q) {
+            with_quasi.push(q);
+        }
+    }
+    let rel = wide.project(&with_quasi).expect("columns in range");
+    println!(
+        "Profiling a {}×{} slice of FLIGHT_1K",
+        rel.num_rows(),
+        rel.num_columns()
+    );
+
+    let quasi = quasi_constant_columns(&rel, 4);
+    println!(
+        "{} quasi-constant columns (≤4 distinct values)",
+        quasi.len()
+    );
+
+    // Strategy 1: full discovery under a small budget.
+    let budget = Duration::from_secs(3);
+    let full = discover(
+        &rel,
+        &DiscoveryConfig {
+            time_budget: Some(budget),
+            ..DiscoveryConfig::default()
+        },
+    );
+    println!(
+        "\nFull discovery with a {budget:?} budget: {} checks, complete = {} \
+         ({} OCDs, {} ODs so far)",
+        full.checks,
+        full.complete,
+        full.ocd_count(),
+        full.od_count()
+    );
+
+    // Strategy 2: entropy-guided top-k discovery.
+    for k in [10usize, 20] {
+        let guided =
+            discover_top_k(&rel, k, &DiscoveryConfig::default()).expect("projection in range");
+        println!(
+            "Top-{k} most diverse columns: {} checks in {:?}, complete = {} \
+             ({} OCDs, {} ODs)",
+            guided.result.checks,
+            guided.result.elapsed,
+            guided.result.complete,
+            guided.result.ocd_count(),
+            guided.result.od_count()
+        );
+    }
+
+    println!(
+        "\nTakeaway (Figure 7): diverse columns profile in milliseconds; the \
+         quasi-constant tail is what blows the tree up."
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: discover order dependencies in the paper's Table 1 (tax
+//! data) and print everything the algorithm reports.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ocddiscover::core::expand::{expanded_od_count, expanded_ods};
+use ocddiscover::datasets::paper::tax_table;
+use ocddiscover::{discover, DiscoveryConfig};
+
+fn main() {
+    let rel = tax_table();
+    println!(
+        "Relation: {} rows × {} columns",
+        rel.num_rows(),
+        rel.num_columns()
+    );
+    for meta in rel.schema() {
+        println!(
+            "  column {:<8} type {:?}, {} distinct{}",
+            meta.name,
+            meta.data_type,
+            meta.distinct,
+            if meta.is_constant() {
+                " (constant)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    let result = discover(&rel, &DiscoveryConfig::default());
+
+    println!("\nColumn reduction:");
+    for &c in &result.constants {
+        println!("  constant column: {}", rel.meta(c).name);
+    }
+    for class in &result.equivalence_classes {
+        let names: Vec<&str> = class.iter().map(|&c| rel.meta(c).name.as_str()).collect();
+        println!("  order-equivalent columns: {}", names.join(" <-> "));
+    }
+
+    println!("\nOrder compatibility dependencies (X ~ Y):");
+    for ocd in &result.ocds {
+        println!("  {}", ocd.display(&rel));
+    }
+
+    println!("\nOrder dependencies (X -> Y):");
+    for od in &result.ods {
+        println!("  {}", od.display(&rel));
+    }
+
+    println!(
+        "\nExpanded OD count (with equivalence substitution): {}",
+        expanded_od_count(&result)
+    );
+    println!("First expanded ODs:");
+    for od in expanded_ods(&result, 8) {
+        println!("  {}", od.display(&rel));
+    }
+
+    println!(
+        "\nStatistics: {} checks, {} candidates generated, {:?} elapsed, complete = {}",
+        result.checks, result.candidates_generated, result.elapsed, result.complete
+    );
+}

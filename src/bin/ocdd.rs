@@ -1,0 +1,357 @@
+//! `ocdd` — command-line order dependency profiler.
+//!
+//! ```text
+//! ocdd profile  <file.csv> [--algo ocdd|order|fastod|tane|bidi|approx]
+//!               [--threads N] [--lex] [--epsilon E] [--budget SECS]
+//!               [--top-k K] [--no-header] [--sep C] [--show-table] [--json]
+//! ocdd dataset  <name> [--rows N]         # emit a bundled dataset as CSV
+//! ocdd simplify <file.csv> --order-by a,b,c
+//! ocdd list                               # list bundled datasets
+//! ```
+
+use ocddiscover::baselines::{fastod, order_discover, tane, FastodConfig, OrderConfig, TaneConfig};
+use ocddiscover::core::approximate::discover_approximate;
+use ocddiscover::core::bidirectional::discover_bidirectional;
+use ocddiscover::core::entropy::discover_top_k;
+use ocddiscover::core::rewrite::simplify_with_data;
+use ocddiscover::datasets::{Dataset, RowScale};
+use ocddiscover::relation::pretty::{render_summary, render_table};
+use ocddiscover::relation::{write_csv, TypingMode};
+use ocddiscover::{discover, read_csv_path, CsvOptions, DiscoveryConfig, ParallelMode, Relation};
+use std::process::ExitCode;
+use std::time::Duration;
+
+#[cfg(unix)]
+unsafe fn libc_sigpipe_default() {
+    // Minimal FFI shim to avoid a libc dependency: SIGPIPE = 13, SIG_DFL = 0.
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe { signal(13, 0) };
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ocdd profile <file.csv> [--algo ocdd|order|fastod|tane|bidi|approx] \
+         [--threads N] [--lex] [--epsilon E] [--budget SECS] [--top-k K] \
+         [--no-header] [--sep C] [--show-table]\n  ocdd dataset <name> [--rows N]\n  \
+         ocdd simplify <file.csv> --order-by a,b,c\n  ocdd list"
+    );
+    ExitCode::from(2)
+}
+
+struct ProfileArgs {
+    path: String,
+    algo: String,
+    config: DiscoveryConfig,
+    csv: CsvOptions,
+    epsilon: f64,
+    top_k: Option<usize>,
+    show_table: bool,
+    json: bool,
+}
+
+fn parse_profile(args: &[String]) -> Option<ProfileArgs> {
+    let mut out = ProfileArgs {
+        path: String::new(),
+        algo: "ocdd".to_owned(),
+        config: DiscoveryConfig::default(),
+        csv: CsvOptions::default(),
+        epsilon: 0.01,
+        top_k: None,
+        show_table: false,
+        json: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--algo" => out.algo = iter.next()?.clone(),
+            "--threads" => {
+                let n: usize = iter.next()?.parse().ok()?;
+                out.config.mode = if n <= 1 {
+                    ParallelMode::Sequential
+                } else {
+                    ParallelMode::StaticQueues(n)
+                };
+            }
+            "--lex" => out.csv.typing = TypingMode::ForceLexicographic,
+            "--epsilon" => out.epsilon = iter.next()?.parse().ok()?,
+            "--budget" => {
+                let secs: f64 = iter.next()?.parse().ok()?;
+                out.config.time_budget = Some(Duration::from_secs_f64(secs));
+            }
+            "--top-k" => out.top_k = Some(iter.next()?.parse().ok()?),
+            "--no-header" => out.csv.has_header = false,
+            "--sep" => out.csv.separator = iter.next()?.chars().next()?,
+            "--show-table" => out.show_table = true,
+            "--json" => out.json = true,
+            other if out.path.is_empty() && !other.starts_with('-') => {
+                out.path = other.to_owned();
+            }
+            _ => return None,
+        }
+    }
+    (!out.path.is_empty()).then_some(out)
+}
+
+fn print_discovery(rel: &Relation, result: &ocddiscover::DiscoveryResult) {
+    for &c in &result.constants {
+        println!("constant    {}", rel.meta(c).name);
+    }
+    for class in &result.equivalence_classes {
+        let names: Vec<&str> = class.iter().map(|&c| rel.meta(c).name.as_str()).collect();
+        println!("equivalent  {}", names.join(" <-> "));
+    }
+    for ocd in &result.ocds {
+        println!("ocd         {}", ocd.display(rel));
+    }
+    for od in &result.ods {
+        println!("od          {}", od.display(rel));
+    }
+    println!(
+        "-- {} checks, {:?}, {}",
+        result.checks,
+        result.elapsed,
+        if result.complete {
+            "complete"
+        } else {
+            "PARTIAL (budget hit)"
+        }
+    );
+}
+
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let Some(p) = parse_profile(args) else {
+        return usage();
+    };
+    let rel = match read_csv_path(&p.path, &p.csv) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ocdd: cannot read {}: {e}", p.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    if !p.json {
+        println!("{}", render_summary(&rel));
+        if p.show_table {
+            println!("{}", render_table(&rel, 10));
+        }
+    }
+
+    match p.algo.as_str() {
+        "ocdd" => {
+            if let Some(k) = p.top_k {
+                let guided = discover_top_k(&rel, k, &p.config).expect("k within range");
+                let projected = rel.project(&guided.selected).expect("valid projection");
+                if p.json {
+                    println!(
+                        "{}",
+                        ocddiscover::core::json::result_to_json(&guided.result, &projected)
+                    );
+                } else {
+                    println!("(profiling the {k} most diverse columns)");
+                    print_discovery(&projected, &guided.result);
+                }
+            } else {
+                let result = discover(&rel, &p.config);
+                if p.json {
+                    println!("{}", ocddiscover::core::json::result_to_json(&result, &rel));
+                } else {
+                    print_discovery(&rel, &result);
+                }
+            }
+        }
+        "order" => {
+            let res = order_discover(
+                &rel,
+                &OrderConfig {
+                    time_budget: p.config.time_budget,
+                    ..OrderConfig::default()
+                },
+            );
+            for od in &res.ods {
+                println!("od          {}", od.display(&rel));
+            }
+            println!(
+                "-- {} checks, {:?}, {}",
+                res.checks,
+                res.elapsed,
+                if res.complete { "complete" } else { "PARTIAL" }
+            );
+        }
+        "fastod" => {
+            let res = fastod(
+                &rel,
+                &FastodConfig {
+                    time_budget: p.config.time_budget,
+                    ..FastodConfig::default()
+                },
+            );
+            for fd in &res.fds {
+                println!("fd          {fd}");
+            }
+            for ocd in &res.ocds {
+                println!("ocd         {ocd}");
+            }
+            println!(
+                "-- {} canonical deps, {} checks, {:?}, {}",
+                res.od_count(),
+                res.checks,
+                res.elapsed,
+                if res.complete { "complete" } else { "PARTIAL" }
+            );
+        }
+        "tane" => {
+            let res = tane(
+                &rel,
+                &TaneConfig {
+                    time_budget: p.config.time_budget,
+                    ..TaneConfig::default()
+                },
+            );
+            for fd in &res.fds {
+                println!("fd          {fd}");
+            }
+            println!("-- {} minimal FDs, {:?}", res.fds.len(), res.elapsed);
+        }
+        "bidi" => {
+            let res = discover_bidirectional(&rel, &p.config);
+            for class in &res.equivalence_classes {
+                let marks: Vec<String> = class.iter().map(|m| m.to_string()).collect();
+                println!("equivalent  {}", marks.join(" <-> "));
+            }
+            for ocd in &res.ocds {
+                println!("ocd         {ocd}");
+            }
+            for od in &res.ods {
+                println!("od          {od}");
+            }
+            println!(
+                "-- {} checks, {}",
+                res.checks,
+                if res.complete { "complete" } else { "PARTIAL" }
+            );
+        }
+        "approx" => {
+            let res = discover_approximate(&rel, &p.config, p.epsilon);
+            for aocd in &res.ocds {
+                println!("ocd (err {:.3})  {}", aocd.error, aocd.ocd);
+            }
+            for od in &res.ods {
+                println!("od              {od}");
+            }
+            println!(
+                "-- ε = {}, {} checks, {}",
+                p.epsilon,
+                res.checks,
+                if res.complete { "complete" } else { "PARTIAL" }
+            );
+        }
+        other => {
+            eprintln!("ocdd: unknown algorithm {other:?}");
+            return usage();
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_dataset(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    let Some(ds) = Dataset::by_name(name) else {
+        eprintln!("ocdd: unknown dataset {name:?} (try `ocdd list`)");
+        return ExitCode::FAILURE;
+    };
+    let mut rows = None;
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--rows" {
+            rows = iter.next().and_then(|v| v.parse().ok());
+        }
+    }
+    let scale = rows.map_or(RowScale::Default, RowScale::Rows);
+    print!("{}", write_csv(&ds.generate(scale)));
+    ExitCode::SUCCESS
+}
+
+fn cmd_simplify(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut keys: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--order-by" => {
+                keys = match iter.next() {
+                    Some(v) => v.split(',').map(|s| s.trim().to_owned()).collect(),
+                    None => return usage(),
+                };
+            }
+            other if !other.starts_with('-') => path = Some(other.to_owned()),
+            _ => return usage(),
+        }
+    }
+    let (Some(path), false) = (path, keys.is_empty()) else {
+        return usage();
+    };
+    let rel = match read_csv_path(&path, &CsvOptions::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ocdd: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ids: Vec<usize> = match keys
+        .iter()
+        .map(|k| rel.column_id(k))
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(ids) => ids,
+        Err(e) => {
+            eprintln!("ocdd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let simplified = simplify_with_data(&rel, &ids);
+    println!("original:   ORDER BY {}", keys.join(", "));
+    println!("simplified: {}", simplified.display(&rel));
+    for (col, reason) in &simplified.dropped {
+        println!("  dropped {}: {reason:?}", rel.meta(*col).name);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    // Downstream pipes (e.g. `ocdd dataset … | head`) may close stdout
+    // early; treat the resulting write failure as a clean exit rather than
+    // a panic by taking the default SIGPIPE disposition on Unix.
+    #[cfg(unix)]
+    unsafe {
+        // SAFETY: resetting a signal disposition before any I/O happens.
+        libc_sigpipe_default();
+    }
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("dataset") => cmd_dataset(&args[1..]),
+        Some("simplify") => cmd_simplify(&args[1..]),
+        Some("list") => {
+            for ds in Dataset::all() {
+                println!(
+                    "{:<12} {:>9} rows × {:>3} cols{}",
+                    ds.name(),
+                    ds.default_rows(),
+                    ds.default_columns(),
+                    if ds.exceeds_time_limit() {
+                        "  (exceeds time limits)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end tests of the `ocdd` CLI binary.
+
+use std::process::Command;
+
+fn ocdd(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ocdd"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn list_shows_all_datasets() {
+    let out = ocdd(&["list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for name in [
+        "dbtesma",
+        "flight_1k",
+        "hepatitis",
+        "horse",
+        "letter",
+        "lineitem",
+        "yes",
+        "no",
+        "numbers",
+    ] {
+        assert!(text.contains(name), "missing {name} in list output");
+    }
+}
+
+#[test]
+fn dataset_emits_csv() {
+    let out = ocdd(&["dataset", "yes"]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out), "A,B\n1,1\n1,2\n2,2\n2,3\n3,3\n");
+}
+
+#[test]
+fn dataset_rows_flag_truncates() {
+    let out = ocdd(&["dataset", "hepatitis", "--rows", "7"]);
+    assert!(out.status.success());
+    // Header plus 7 rows.
+    assert_eq!(stdout(&out).lines().count(), 8);
+}
+
+#[test]
+fn unknown_dataset_fails_cleanly() {
+    let out = ocdd(&["dataset", "nope"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+}
+
+#[test]
+fn profile_pipeline_finds_dependencies() {
+    let dir = std::env::temp_dir().join("ocdd_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("p.csv");
+    std::fs::write(&path, "a,b,c\n1,10,5\n2,20,5\n3,30,5\n").unwrap();
+    let out = ocdd(&["profile", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("constant    c"), "got: {text}");
+    assert!(text.contains("equivalent  a <-> b"), "got: {text}");
+    assert!(text.contains("complete"));
+}
+
+#[test]
+fn profile_every_algorithm_runs() {
+    let dir = std::env::temp_dir().join("ocdd_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("algos.csv");
+    std::fs::write(&path, "a,b\n1,1\n1,2\n2,2\n2,3\n3,3\n").unwrap();
+    for algo in ["ocdd", "order", "fastod", "tane", "bidi", "approx"] {
+        let out = ocdd(&["profile", path.to_str().unwrap(), "--algo", algo]);
+        assert!(out.status.success(), "algo {algo} failed: {:?}", out);
+    }
+}
+
+#[test]
+fn simplify_drops_redundant_keys() {
+    let dir = std::env::temp_dir().join("ocdd_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("s.csv");
+    std::fs::write(&path, "x,y\n1,10\n2,20\n3,30\n").unwrap();
+    let out = ocdd(&["simplify", path.to_str().unwrap(), "--order-by", "x,y"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("simplified: ORDER BY x"), "got: {text}");
+    assert!(text.contains("dropped y"));
+}
+
+#[test]
+fn missing_arguments_print_usage() {
+    let out = ocdd(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn dataset_round_trips_through_profile() {
+    // `ocdd dataset numbers` piped back through `ocdd profile` (via file).
+    let csv = stdout(&ocdd(&["dataset", "numbers"]));
+    let dir = std::env::temp_dir().join("ocdd_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("n.csv");
+    std::fs::write(&path, csv).unwrap();
+    let out = ocdd(&["profile", path.to_str().unwrap(), "--show-table"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("6×5"));
+    assert!(text.contains("ocd"));
+}
+
+#[test]
+fn profile_json_output_is_machine_readable() {
+    let dir = std::env::temp_dir().join("ocdd_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("j.csv");
+    std::fs::write(&path, "a,b\n1,10\n2,20\n3,30\n").unwrap();
+    let out = ocdd(&["profile", path.to_str().unwrap(), "--json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(
+        text.starts_with('{') && text.trim_end().ends_with('}'),
+        "got: {text}"
+    );
+    assert!(
+        text.contains("\"equivalence_classes\":[[\"a\",\"b\"]]"),
+        "got: {text}"
+    );
+}

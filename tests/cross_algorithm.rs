@@ -1,0 +1,165 @@
+//! Cross-algorithm agreement: OCDDISCOVER, ORDER, FASTOD and TANE must
+//! tell consistent stories on the same data.
+
+use ocddiscover::baselines::{fastod, order_discover, tane, FastodConfig, OrderConfig, TaneConfig};
+use ocddiscover::core::brute::brute_force_minimal_fds;
+use ocddiscover::core::check::check_od_pairwise;
+use ocddiscover::{discover, DiscoveryConfig, Relation, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+fn random_relation(seed: u64, rows: usize, cols: usize, domain: i64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Relation::from_columns(
+        (0..cols)
+            .map(|c| {
+                (
+                    format!("c{c}"),
+                    (0..rows)
+                        .map(|_| Value::Int(rng.random_range(0..domain)))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn global_singleton_ocds_agree_between_ocdd_and_fastod() {
+    for seed in 0..30u64 {
+        let rel = random_relation(seed, 15, 4, 3);
+        let ours = discover(
+            &rel,
+            &DiscoveryConfig {
+                column_reduction: false,
+                ..DiscoveryConfig::default()
+            },
+        );
+        let fast = fastod(&rel, &FastodConfig::default());
+
+        let ours_pairs: HashSet<(usize, usize)> = ours
+            .ocds
+            .iter()
+            .filter(|o| o.lhs.len() == 1 && o.rhs.len() == 1)
+            .map(|o| {
+                let a = o.lhs.as_slice()[0];
+                let b = o.rhs.as_slice()[0];
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        let fast_pairs: HashSet<(usize, usize)> = fast
+            .ocds
+            .iter()
+            .filter(|o| o.context.is_empty())
+            .map(|o| (o.a, o.b))
+            .collect();
+        assert_eq!(ours_pairs, fast_pairs, "seed {seed}");
+    }
+}
+
+#[test]
+fn order_ods_are_a_subset_of_valid_ods_and_found_by_ocdd() {
+    for seed in 0..20u64 {
+        let rel = random_relation(seed, 15, 3, 3);
+        let order_res = order_discover(&rel, &OrderConfig::default());
+        let ours = discover(
+            &rel,
+            &DiscoveryConfig {
+                column_reduction: false,
+                ..DiscoveryConfig::default()
+            },
+        );
+        for od in &order_res.ods {
+            // ORDER's output must hold on the data…
+            assert!(
+                check_od_pairwise(&rel, &od.lhs, &od.rhs),
+                "seed {seed}: {od}"
+            );
+            // …and the single-single ones must be in OCDDISCOVER's output.
+            if od.lhs.len() == 1 && od.rhs.len() == 1 {
+                assert!(
+                    ours.ods.contains(od),
+                    "seed {seed}: ORDER found {od} but ocddiscover did not"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ocdd_strictly_dominates_order_in_coverage() {
+    // On the YES pattern, OCDDISCOVER finds dependencies ORDER cannot.
+    let rel = ocddiscover::datasets::paper::yes_table();
+    let order_res = order_discover(&rel, &OrderConfig::default());
+    let ours = discover(&rel, &DiscoveryConfig::default());
+    assert!(order_res.ods.is_empty());
+    assert_eq!(ours.ocd_count(), 1);
+}
+
+#[test]
+fn tane_matches_brute_force_on_structured_tables() {
+    use ocddiscover::datasets::{ColumnSpec, TableSpec};
+    for seed in 0..8u64 {
+        let rel = TableSpec::new(
+            vec![
+                ("k", ColumnSpec::Key),
+                (
+                    "g",
+                    ColumnSpec::OrderedBy {
+                        source: 0,
+                        coarseness: 4,
+                    },
+                ),
+                ("c", ColumnSpec::Constant(1)),
+                ("r", ColumnSpec::RandomInt { distinct: 3 }),
+            ],
+            12,
+        )
+        .generate(seed);
+        let ours: HashSet<(Vec<usize>, usize)> = tane(&rel, &TaneConfig::default())
+            .fds
+            .into_iter()
+            .map(|fd| (fd.lhs, fd.rhs))
+            .collect();
+        let brute: HashSet<(Vec<usize>, usize)> =
+            brute_force_minimal_fds(&rel, 4).into_iter().collect();
+        assert_eq!(ours, brute, "seed {seed}");
+    }
+}
+
+#[test]
+fn fastod_fd_side_equals_tane_on_datasets() {
+    use ocddiscover::datasets::{Dataset, RowScale};
+    let rel = Dataset::Numbers.generate(RowScale::Default);
+    let t = tane(&rel, &TaneConfig::default());
+    let f = fastod(&rel, &FastodConfig::default());
+    assert_eq!(t.fds, f.fds);
+    assert!(t.complete && f.complete);
+}
+
+#[test]
+fn lexicographic_mode_changes_results_consistently() {
+    use ocddiscover::relation::TypingMode;
+    // 10 vs 9: natural order and lexicographic order disagree.
+    let named = vec![
+        (
+            "a".to_string(),
+            vec![Value::Int(9), Value::Int(10), Value::Int(11)],
+        ),
+        (
+            "b".to_string(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+        ),
+    ];
+    let natural = Relation::from_columns_typed(named.clone(), TypingMode::Infer).unwrap();
+    let lex = Relation::from_columns_typed(named, TypingMode::ForceLexicographic).unwrap();
+
+    let nat_res = discover(&natural, &DiscoveryConfig::default());
+    let lex_res = discover(&lex, &DiscoveryConfig::default());
+    // Naturally: a <-> b (both increasing). Lexicographically "10" < "11"
+    // < "9", so the equivalence breaks.
+    assert_eq!(nat_res.equivalence_classes, vec![vec![0, 1]]);
+    assert!(lex_res.equivalence_classes.is_empty());
+}

@@ -1,0 +1,237 @@
+//! Integration tests for the beyond-the-paper extensions: bidirectional
+//! ODs, approximate ODs, incremental discovery and the ORDER BY rewriter,
+//! exercised on the datasets crate.
+
+use ocddiscover::core::approximate::{discover_approximate, od_error};
+use ocddiscover::core::bidirectional::{
+    check_bidi_od, discover_bidirectional, Direction, Mark, MarkedList,
+};
+use ocddiscover::core::incremental::IncrementalDiscovery;
+use ocddiscover::core::rewrite::{simplify_with_data, simplify_with_result};
+use ocddiscover::datasets::paper::tax_table;
+use ocddiscover::datasets::{ColumnSpec, Dataset, RowScale, TableSpec};
+use ocddiscover::{discover, AttrList, DiscoveryConfig, Relation, Value};
+
+#[test]
+fn bidirectional_finds_rank_vs_score() {
+    // A leaderboard: higher score = lower (better) rank.
+    let score: Vec<i64> = vec![910, 850, 850, 720, 600];
+    let rank: Vec<i64> = vec![1, 2, 2, 4, 5];
+    let rel = Relation::from_columns(vec![
+        ("score".into(), score.into_iter().map(Value::Int).collect()),
+        ("rank".into(), rank.into_iter().map(Value::Int).collect()),
+    ])
+    .unwrap();
+
+    // The unidirectional algorithm sees nothing but swaps…
+    let uni = discover(&rel, &DiscoveryConfig::default());
+    assert!(uni.ocds.is_empty() && uni.equivalence_classes.is_empty());
+
+    // …the bidirectional one collapses score↑ <-> rank↓.
+    let bidi = discover_bidirectional(&rel, &DiscoveryConfig::default());
+    assert_eq!(bidi.equivalence_classes.len(), 1);
+    let class = &bidi.equivalence_classes[0];
+    assert!(class.contains(&Mark::asc(0)) && class.contains(&Mark::desc(1)));
+}
+
+#[test]
+fn bidirectional_on_lineitem_dates() {
+    // Derived column: days_until_ship = constant - shipdate would be the
+    // clean case; here we just check the checker on a planted pair.
+    let rel = TableSpec::new(
+        vec![
+            ("ship", ColumnSpec::Key),
+            (
+                "remaining",
+                ColumnSpec::EquivalentTo {
+                    source: 0,
+                    scale: 1,
+                    offset: 0,
+                },
+            ),
+        ],
+        50,
+    )
+    .generate(3);
+    // Negate "remaining" by checking the descending direction instead.
+    let ship_up = MarkedList::single(Mark::asc(0));
+    let rem_down = MarkedList::single(Mark {
+        column: 1,
+        direction: Direction::Desc,
+    });
+    // ship and remaining are equivalent ascending, so ship↑ -> remaining↓
+    // must NOT hold (it inverts), while ship↑ -> remaining↑ must.
+    assert!(!check_bidi_od(&rel, &ship_up, &rem_down).is_valid());
+    assert!(check_bidi_od(&rel, &ship_up, &MarkedList::single(Mark::asc(1))).is_valid());
+}
+
+#[test]
+fn approximate_survives_dirty_data() {
+    // Take the tax table's income -> bracket and corrupt one row.
+    let rel = tax_table();
+    let income = rel.column_id("income").unwrap();
+    let bracket = rel.column_id("bracket").unwrap();
+    assert!(od_error(&rel, &AttrList::single(income), &AttrList::single(bracket)).is_exact());
+
+    // Corrupt: append a high-income row misfiled into bracket 1.
+    let mut cols: Vec<(String, Vec<Value>)> = (0..rel.num_columns())
+        .map(|c| {
+            (
+                rel.meta(c).name.clone(),
+                (0..rel.num_rows())
+                    .map(|r| rel.value(r, c).clone())
+                    .collect(),
+            )
+        })
+        .collect();
+    cols[0].1.push(Value::Str("X. Err".into()));
+    cols[income].1.push(Value::Int(95_000));
+    cols[2].1.push(Value::Int(11_000)); // savings
+    cols[bracket].1.push(Value::Int(1)); // misfiled!
+    cols[4].1.push(Value::Int(15_000)); // tax
+    let dirty = Relation::from_columns(cols).unwrap();
+
+    let err = od_error(
+        &dirty,
+        &AttrList::single(income),
+        &AttrList::single(bracket),
+    );
+    assert!(!err.is_exact());
+    assert_eq!(err.swap_removals, 1);
+    // One bad row out of seven: ε = 0.15 tolerates it.
+    assert!(err.holds_at(0.15));
+
+    let approx = discover_approximate(&dirty, &DiscoveryConfig::default(), 0.15);
+    assert!(approx
+        .ods
+        .iter()
+        .any(|od| od.lhs == AttrList::single(income) && od.rhs == AttrList::single(bracket)));
+}
+
+#[test]
+fn incremental_matches_batch_on_generated_streams() {
+    let base = Dataset::Ncvoter1k.generate(RowScale::Rows(120));
+    let grown = Dataset::Ncvoter1k.generate(RowScale::Rows(160));
+    // Feed rows 120..160 of the larger instance as appended batches.
+    let inc = IncrementalDiscovery::new(&base, DiscoveryConfig::default());
+    // Note: base and grown share a generator seed but sorted-backbone
+    // columns differ between sizes, so rebuild batches from `grown`'s tail
+    // against `grown`'s head to keep a consistent stream.
+    let head = grown.head(120);
+    let mut inc2 = IncrementalDiscovery::new(&head, DiscoveryConfig::default());
+    let batch: Vec<Vec<Value>> = (120..160)
+        .map(|r| {
+            (0..grown.num_columns())
+                .map(|c| grown.value(r, c).clone())
+                .collect()
+        })
+        .collect();
+    inc2.append_rows(batch).unwrap();
+    let fresh = discover(inc2.relation(), &DiscoveryConfig::default());
+    assert_eq!(inc2.result().ocds, fresh.ocds);
+    assert_eq!(inc2.result().ods, fresh.ods);
+    assert_eq!(inc2.result().constants, fresh.constants);
+    assert_eq!(inc2.result().equivalence_classes, fresh.equivalence_classes);
+    drop(inc);
+}
+
+#[test]
+fn incremental_resume_recovers_unpruned_children() {
+    // Construct data where a -> b holds initially (so [aX] ~ [b] subtrees
+    // are pruned by Theorem 3.9) and is later broken by an append, making
+    // a longer OCD minimal.
+    let rel = Relation::from_columns(vec![
+        (
+            "a".into(),
+            vec![1, 2, 3, 4].into_iter().map(Value::Int).collect(),
+        ),
+        (
+            "b".into(),
+            vec![1, 1, 2, 2].into_iter().map(Value::Int).collect(),
+        ),
+        (
+            "c".into(),
+            vec![1, 2, 1, 2].into_iter().map(Value::Int).collect(),
+        ),
+    ])
+    .unwrap();
+    let mut inc = IncrementalDiscovery::new(&rel, DiscoveryConfig::default());
+    assert!(inc
+        .result()
+        .ods
+        .iter()
+        .any(|od| od.to_string() == "[0] -> [1]"));
+
+    // Append a row breaking a -> b via a split: a ties at 4, b differs.
+    let delta = inc
+        .append_rows(vec![vec![Value::Int(4), Value::Int(3), Value::Int(3)]])
+        .unwrap();
+    assert!(delta
+        .invalidated_ods
+        .iter()
+        .any(|od| od.to_string() == "[0] -> [1]"));
+    // The incremental state must equal a fresh batch run, including any
+    // dependencies that became minimal after the prune lifted.
+    let fresh = discover(inc.relation(), &DiscoveryConfig::default());
+    assert_eq!(inc.result().ocds, fresh.ocds);
+    assert_eq!(inc.result().ods, fresh.ods);
+}
+
+#[test]
+fn rewriter_agrees_between_data_and_catalogue_on_datasets() {
+    for &ds in &[Dataset::Dbtesma1k, Dataset::Ncvoter1k] {
+        let rel = ds.generate(RowScale::Rows(300));
+        let result = discover(&rel, &DiscoveryConfig::default());
+        // Simplify a clause over the first 5 columns.
+        let keys: Vec<usize> = (0..5.min(rel.num_columns())).collect();
+        let by_data = simplify_with_data(&rel, &keys);
+        let by_result = simplify_with_result(&result, &keys);
+        // The catalogue-backed rewrite is at most as aggressive as the
+        // data-backed one, and everything it drops the data confirms.
+        for (col, _) in &by_result.dropped {
+            assert!(
+                by_data.dropped.iter().any(|(c, _)| c == col),
+                "{}: catalogue dropped {col} but data does not justify it",
+                ds.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn approximate_epsilon_monotone() {
+    // Larger tolerance can only find more (or equal) dependencies.
+    // Level-capped: approximate trees explode fast on quasi-constant data.
+    let rel = Dataset::Horse.generate(RowScale::Rows(150));
+    let config = DiscoveryConfig {
+        max_level: Some(3),
+        ..DiscoveryConfig::default()
+    };
+    let tight = discover_approximate(&rel, &config, 0.0);
+    let loose = discover_approximate(&rel, &config, 0.05);
+    assert!(loose.ocds.len() >= tight.ocds.len());
+    let tight_set: std::collections::HashSet<String> = tight
+        .ocds
+        .iter()
+        .map(|a| a.ocd.canonical().to_string())
+        .collect();
+    for a in &tight.ocds {
+        let _ = a;
+    }
+    // Every exact (level-2) OCD appears among the loose ones.
+    for a in tight
+        .ocds
+        .iter()
+        .filter(|a| a.ocd.lhs.len() == 1 && a.ocd.rhs.len() == 1)
+    {
+        assert!(
+            loose
+                .ocds
+                .iter()
+                .any(|b| b.ocd.canonical() == a.ocd.canonical()),
+            "{} lost at higher epsilon",
+            a.ocd
+        );
+    }
+    drop(tight_set);
+}

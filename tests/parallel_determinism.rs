@@ -1,0 +1,77 @@
+//! Every execution mode must return exactly the same dependencies, checks
+//! and statistics — parallelism may only change wall-clock time.
+
+use ocddiscover::datasets::{Dataset, RowScale};
+use ocddiscover::{discover, DiscoveryConfig, ParallelMode};
+
+fn assert_same_results(ds: Dataset, rows: usize) {
+    let rel = ds.generate(RowScale::Rows(rows));
+    let seq = discover(&rel, &DiscoveryConfig::default());
+    assert!(seq.complete, "{} should complete at {rows} rows", ds.name());
+    for mode in [
+        ParallelMode::StaticQueues(2),
+        ParallelMode::StaticQueues(7),
+        ParallelMode::Rayon(3),
+    ] {
+        let par = discover(
+            &rel,
+            &DiscoveryConfig {
+                mode,
+                ..DiscoveryConfig::default()
+            },
+        );
+        assert_eq!(
+            seq.ocds,
+            par.ocds,
+            "{}: OCDs differ under {mode:?}",
+            ds.name()
+        );
+        assert_eq!(seq.ods, par.ods, "{}: ODs differ under {mode:?}", ds.name());
+        assert_eq!(seq.constants, par.constants);
+        assert_eq!(seq.equivalence_classes, par.equivalence_classes);
+        assert_eq!(seq.checks, par.checks, "{}: same candidate tree", ds.name());
+        assert_eq!(
+            seq.candidates_generated,
+            par.candidates_generated,
+            "{}: same generation count",
+            ds.name()
+        );
+    }
+}
+
+#[test]
+fn hepatitis_deterministic_across_modes() {
+    assert_same_results(Dataset::Hepatitis, 155);
+}
+
+#[test]
+fn horse_deterministic_across_modes() {
+    assert_same_results(Dataset::Horse, 300);
+}
+
+#[test]
+fn dbtesma_deterministic_across_modes() {
+    assert_same_results(Dataset::Dbtesma1k, 500);
+}
+
+#[test]
+fn ncvoter_deterministic_across_modes() {
+    assert_same_results(Dataset::Ncvoter1k, 400);
+}
+
+#[test]
+fn per_level_stats_agree_across_modes() {
+    let rel = Dataset::Horse.generate(RowScale::Rows(200));
+    let seq = discover(&rel, &DiscoveryConfig::default());
+    let par = discover(
+        &rel,
+        &DiscoveryConfig {
+            mode: ParallelMode::StaticQueues(4),
+            ..DiscoveryConfig::default()
+        },
+    );
+    assert_eq!(
+        seq.levels, par.levels,
+        "per-level stats must merge identically"
+    );
+}

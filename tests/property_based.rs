@@ -1,0 +1,242 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use ocddiscover::core::brute::all_lists;
+use ocddiscover::core::check::{check_od, check_od_pairwise};
+use ocddiscover::{discover, AttrList, DiscoveryConfig, Relation, Value};
+use proptest::prelude::*;
+
+/// Strategy: a small relation of `cols` integer columns with values in a
+/// narrow domain (ties and violations both likely).
+fn small_relation(cols: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec(prop::collection::vec(0i64..4, cols..=cols), 1..=max_rows).prop_map(
+        move |rows| {
+            let mut columns: Vec<(String, Vec<Value>)> =
+                (0..cols).map(|c| (format!("c{c}"), Vec::new())).collect();
+            for row in &rows {
+                for (c, &v) in row.iter().enumerate() {
+                    columns[c].1.push(Value::Int(v));
+                }
+            }
+            Relation::from_columns(columns).unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fast sorted-scan checker agrees with the pairwise definition on
+    /// every list pair (including overlapping and multi-attribute lists).
+    #[test]
+    fn checker_agrees_with_pairwise_definition(rel in small_relation(3, 12)) {
+        let lists = all_lists(&[0, 1, 2], 2);
+        for x in &lists {
+            for y in &lists {
+                prop_assert_eq!(
+                    check_od(&rel, x, y).is_valid(),
+                    check_od_pairwise(&rel, x, y),
+                    "lists {} -> {}", x, y
+                );
+            }
+        }
+    }
+
+    /// Discovery output is invariant under row permutation (order
+    /// dependencies are properties of the tuple *set*).
+    #[test]
+    fn discovery_invariant_under_row_shuffle(rel in small_relation(3, 12), seed in 0u64..1000) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..rel.num_rows()).collect();
+        perm.shuffle(&mut rng);
+        let shuffled = Relation::from_columns(
+            (0..rel.num_columns())
+                .map(|c| {
+                    (
+                        format!("c{c}"),
+                        perm.iter().map(|&r| rel.value(r, c).clone()).collect(),
+                    )
+                })
+                .collect(),
+        ).unwrap();
+
+        let a = discover(&rel, &DiscoveryConfig::default());
+        let b = discover(&shuffled, &DiscoveryConfig::default());
+        prop_assert_eq!(a.ocds, b.ocds);
+        prop_assert_eq!(a.ods, b.ods);
+        prop_assert_eq!(a.constants, b.constants);
+        prop_assert_eq!(a.equivalence_classes, b.equivalence_classes);
+    }
+
+    /// Every dependency discovery emits holds by the pairwise definition.
+    #[test]
+    fn discovery_is_sound(rel in small_relation(4, 10)) {
+        let result = discover(&rel, &DiscoveryConfig::default());
+        for od in &result.ods {
+            prop_assert!(check_od_pairwise(&rel, &od.lhs, &od.rhs), "OD {}", od);
+        }
+        for ocd in &result.ocds {
+            let xy = ocd.lhs.concat(&ocd.rhs);
+            let yx = ocd.rhs.concat(&ocd.lhs);
+            prop_assert!(check_od_pairwise(&rel, &xy, &yx), "OCD {}", ocd);
+            prop_assert!(check_od_pairwise(&rel, &yx, &xy), "OCD {}", ocd);
+            prop_assert!(ocd.is_syntactically_minimal(), "OCD {}", ocd);
+        }
+        // Constants really are constant; equivalences really are mutual ODs.
+        for &c in &result.constants {
+            prop_assert!(rel.meta(c).is_constant());
+        }
+        for class in &result.equivalence_classes {
+            let rep = AttrList::single(class[0]);
+            for &other in &class[1..] {
+                let o = AttrList::single(other);
+                prop_assert!(check_od_pairwise(&rel, &rep, &o));
+                prop_assert!(check_od_pairwise(&rel, &o, &rep));
+            }
+        }
+    }
+
+    /// Theorem 4.1 as a data property: `XY → YX` valid iff `YX → XY` valid.
+    #[test]
+    fn theorem_4_1_holds(rel in small_relation(2, 14)) {
+        let x = AttrList::single(0);
+        let y = AttrList::single(1);
+        let xy = x.concat(&y);
+        let yx = y.concat(&x);
+        prop_assert_eq!(
+            check_od(&rel, &xy, &yx).is_valid(),
+            check_od(&rel, &yx, &xy).is_valid()
+        );
+    }
+
+    /// Normalization (AX3) is semantics-preserving: a list and its
+    /// normalized form are order equivalent on every instance.
+    #[test]
+    fn normalization_preserves_order(rel in small_relation(3, 10), ids in prop::collection::vec(0usize..3, 1..5)) {
+        let list = AttrList::from(ids);
+        let norm = list.normalized();
+        prop_assert!(check_od_pairwise(&rel, &list, &norm));
+        prop_assert!(check_od_pairwise(&rel, &norm, &list));
+    }
+
+    /// Value parsing never loses the total order: codes mirror values.
+    #[test]
+    fn rank_codes_mirror_value_order(vals in prop::collection::vec(prop::option::of(-50i64..50), 1..30)) {
+        let values: Vec<Value> = vals.iter().map(|v| match v {
+            Some(i) => Value::Int(*i),
+            None => Value::Null,
+        }).collect();
+        let rel = Relation::from_columns(vec![("a".to_string(), values.clone())]).unwrap();
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                prop_assert_eq!(
+                    values[i].cmp(&values[j]),
+                    rel.code(i, 0).cmp(&rel.code(j, 0))
+                );
+            }
+        }
+    }
+
+    /// `head(n)` never invents dependencies that the checker would reject:
+    /// an OD valid on the full relation is valid on every prefix.
+    #[test]
+    fn ods_survive_row_removal(rel in small_relation(2, 16), keep in 1usize..16) {
+        let x = AttrList::single(0);
+        let y = AttrList::single(1);
+        if check_od(&rel, &x, &y).is_valid() {
+            let head = rel.head(keep.min(rel.num_rows()));
+            prop_assert!(check_od(&head, &x, &y).is_valid());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bidirectional checks are invariant under the global polarity flip.
+    #[test]
+    fn bidi_global_flip_invariance(rel in small_relation(3, 12)) {
+        use ocddiscover::core::bidirectional::{check_bidi_od, Direction, Mark, MarkedList};
+        for d0 in [Direction::Asc, Direction::Desc] {
+            for d1 in [Direction::Asc, Direction::Desc] {
+                let x = MarkedList::single(Mark { column: 0, direction: d0 });
+                let y = MarkedList::from_marks(vec![
+                    Mark { column: 1, direction: d1 },
+                    Mark { column: 2, direction: d0 },
+                ]);
+                prop_assert_eq!(
+                    check_bidi_od(&rel, &x, &y).is_valid(),
+                    check_bidi_od(&rel, &x.flipped(), &y.flipped()).is_valid()
+                );
+            }
+        }
+    }
+
+    /// All-ascending bidirectional checks agree with the unidirectional
+    /// checker on every list pair.
+    #[test]
+    fn bidi_asc_matches_unidirectional(rel in small_relation(3, 12)) {
+        use ocddiscover::core::bidirectional::{check_bidi_od, Mark, MarkedList};
+        let lists = all_lists(&[0, 1, 2], 2);
+        for x in &lists {
+            for y in &lists {
+                let mx = MarkedList::from_marks(
+                    x.as_slice().iter().map(|&c| Mark::asc(c)).collect(),
+                );
+                let my = MarkedList::from_marks(
+                    y.as_slice().iter().map(|&c| Mark::asc(c)).collect(),
+                );
+                prop_assert_eq!(
+                    check_bidi_od(&rel, &mx, &my).is_valid(),
+                    check_od(&rel, x, y).is_valid(),
+                    "lists {} -> {}", x, y
+                );
+            }
+        }
+    }
+
+    /// The approximate error is zero exactly when the checker validates,
+    /// and removal witnesses always repair the dependency.
+    #[test]
+    fn approx_error_and_witnesses_consistent(rel in small_relation(2, 14)) {
+        use ocddiscover::core::approximate::{od_error, removal_witnesses};
+        let x = AttrList::single(0);
+        let y = AttrList::single(1);
+        let err = od_error(&rel, &x, &y);
+        prop_assert_eq!(err.is_exact(), check_od(&rel, &x, &y).is_valid());
+
+        let witnesses = removal_witnesses(&rel, &x, &y);
+        let keep: Vec<usize> = (0..rel.num_rows())
+            .filter(|r| !witnesses.contains(&(*r as u32)))
+            .collect();
+        let repaired = Relation::from_columns(
+            (0..rel.num_columns())
+                .map(|c| {
+                    (
+                        format!("c{c}"),
+                        keep.iter().map(|&r| rel.value(r, c).clone()).collect(),
+                    )
+                })
+                .collect(),
+        ).unwrap();
+        prop_assert!(check_od(&repaired, &x, &y).is_valid());
+    }
+
+    /// Sorted-partition checking agrees with the sort-based checker.
+    #[test]
+    fn partition_checker_agrees(rel in small_relation(3, 12)) {
+        use ocddiscover::core::sorted_partitions::PartitionChecker;
+        let mut checker = PartitionChecker::new(&rel);
+        let lists = all_lists(&[0, 1, 2], 2);
+        for x in &lists {
+            for y in &lists {
+                prop_assert_eq!(
+                    checker.check_od(x, y).is_valid(),
+                    check_od(&rel, x, y).is_valid(),
+                    "lists {} -> {}", x, y
+                );
+            }
+        }
+    }
+}
