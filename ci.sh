@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo gate: format, lints, full test suite, criterion smoke run.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> criterion smoke (cargo bench -- --test)"
+cargo bench -p ocdd-bench -- --test
+
+echo "==> ci.sh: all green"

@@ -147,6 +147,38 @@ fn bench_checker_backends(c: &mut Criterion) {
             }
         })
     });
+    // Shared-cache variants: the second pass simulates a sibling worker
+    // arriving after the cache is warm.
+    group.bench_function("prefix_cache_shared_warm", |b| {
+        use ocdd_core::SharedPrefixCache;
+        use std::sync::Arc;
+        let shared = Arc::new(SharedPrefixCache::<Vec<u32>>::new(256 << 20));
+        let mut warm = SortCache::with_shared(&rel, Arc::clone(&shared));
+        for (x, y) in &workload {
+            bb(warm.check_od(x, y));
+        }
+        b.iter(|| {
+            let mut cache = SortCache::with_shared(&rel, Arc::clone(&shared));
+            for (x, y) in &workload {
+                bb(cache.check_od(x, y));
+            }
+        })
+    });
+    group.bench_function("sorted_partitions_shared_warm", |b| {
+        use ocdd_core::SharedPrefixCache;
+        use std::sync::Arc;
+        let shared = Arc::new(SharedPrefixCache::new(256 << 20));
+        let mut warm = PartitionChecker::with_shared(&rel, Arc::clone(&shared));
+        for (x, y) in &workload {
+            bb(warm.check_od(x, y));
+        }
+        b.iter(|| {
+            let mut checker = PartitionChecker::with_shared(&rel, Arc::clone(&shared));
+            for (x, y) in &workload {
+                bb(checker.check_od(x, y));
+            }
+        })
+    });
     group.finish();
 }
 

@@ -1,0 +1,31 @@
+//! Criterion timing of the check-heavy workload per backend × cache
+//! configuration. The same workload, run once with JSON output, backs
+//! `BENCH_check.json` via the `bench_check` binary; this bench provides
+//! the statistically sampled timings (and the ≥2× radix+shared-cache vs
+//! seed-comparator acceptance comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocdd_bench::check_throughput::{
+    run_spec, workload_candidates, workload_relation, DEFAULT_SPECS,
+};
+use std::hint::black_box;
+
+fn bench_check_throughput(c: &mut Criterion) {
+    // Criterion runs each config many times; 20k rows keeps a full
+    // sample set tractable while preserving the 100k-row kernel mix
+    // (the binary measures the full-size workload).
+    let rel = workload_relation(20_000, 11);
+    let candidates = workload_candidates(rel.num_columns());
+
+    let mut group = c.benchmark_group("check_throughput");
+    group.sample_size(10);
+    for &spec in DEFAULT_SPECS {
+        group.bench_function(spec.name, |b| {
+            b.iter(|| black_box(run_spec(&rel, &candidates, spec, 256 << 20)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check_throughput);
+criterion_main!(benches);

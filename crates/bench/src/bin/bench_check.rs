@@ -1,0 +1,90 @@
+//! `bench_check` — replay the check-heavy workload against every checker
+//! backend × cache configuration and write `BENCH_check.json`.
+//!
+//! ```text
+//! bench_check [--rows N] [--seed S] [--budget-mb MB] [--out PATH]
+//! ```
+//!
+//! The first configuration is the seed baseline (comparator re-sort per
+//! candidate); every other row reports `speedup_vs_seed` relative to it.
+
+use ocdd_bench::check_throughput::{
+    matrix_to_json, run_matrix, workload_candidates, workload_relation, DEFAULT_SPECS,
+};
+
+fn main() {
+    let mut rows: usize = 100_000;
+    let mut seed: u64 = 11;
+    let mut budget_mb: usize = 256;
+    let mut out = "BENCH_check.json".to_owned();
+
+    let usage = "usage: bench_check [--rows N] [--seed S] [--budget-mb MB] [--out PATH]";
+    let die = |msg: String| -> ! {
+        eprintln!("bench_check: {msg}\n{usage}");
+        std::process::exit(2);
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| die(format!("missing value after {}", args[i])))
+        };
+        let parse = |i: usize| {
+            need(i).parse().unwrap_or_else(|_| {
+                die(format!(
+                    "{} expects a number, got {:?}",
+                    args[i],
+                    args[i + 1]
+                ))
+            })
+        };
+        match args[i].as_str() {
+            "--rows" => rows = parse(i),
+            "--seed" => seed = parse(i) as u64,
+            "--budget-mb" => budget_mb = parse(i),
+            "--out" => out = need(i).clone(),
+            "--help" | "-h" => {
+                eprintln!("{usage}");
+                return;
+            }
+            other => die(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+
+    eprintln!("[bench_check] generating workload: {rows} rows");
+    let rel = workload_relation(rows, seed);
+    let candidates = workload_candidates(rel.num_columns());
+    eprintln!(
+        "[bench_check] {} columns, {} candidates ({} checks)",
+        rel.num_columns(),
+        candidates.len(),
+        candidates.len() * 3
+    );
+
+    let results = run_matrix(&rel, &candidates, DEFAULT_SPECS, budget_mb << 20);
+    let seed_cps = results[0].checks_per_sec();
+    for r in &results {
+        let cache = match &r.cache {
+            Some(c) => format!(
+                "  cache: {} hits / {} misses / {} evictions, {} KiB resident",
+                c.hits,
+                c.misses,
+                c.evictions,
+                c.resident_bytes >> 10
+            ),
+            None => String::new(),
+        };
+        eprintln!(
+            "[bench_check] {:28} {:>10.1} checks/s  ({:>6.2}x seed){cache}",
+            r.spec.name,
+            r.checks_per_sec(),
+            r.checks_per_sec() / seed_cps,
+        );
+    }
+
+    let json = matrix_to_json(&rel, candidates.len(), &results);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("[bench_check] wrote {out}");
+}

@@ -1,0 +1,437 @@
+//! Check-throughput harness: candidate-checks/sec per checker backend.
+//!
+//! The discovery loop spends almost all of its time validating candidates
+//! (sort + adjacent scan, §4.3), so this harness isolates exactly that: a
+//! fixed check-heavy synthetic workload (12 columns, 100k rows by default)
+//! replayed against every backend × cache configuration, including a
+//! *seed baseline* that sorts with the generic comparator path instead of
+//! the rank-code distribution kernels. The `bench_check` binary writes the
+//! results to `BENCH_check.json`; the `check_throughput` criterion bench
+//! runs the same workload under criterion for statistical timing.
+
+use ocdd_core::sorted_partitions::PartitionChecker;
+use ocdd_core::{AttrList, CacheStats, SharedPrefixCache, SortCache};
+use ocdd_datasets::{ColumnSpec, TableSpec};
+use ocdd_relation::sort::{cmp_rows, sort_index_by_comparator};
+use ocdd_relation::Relation;
+use std::cmp::Ordering;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The check-heavy table: a sorted backbone with two co-monotone chains
+/// (so deep candidates stay alive and checks run to completion), plus
+/// narrow, wide, constant and key columns covering every sort kernel
+/// (counting, packed radix, chained refinement).
+pub fn workload_relation(rows: usize, seed: u64) -> Relation {
+    TableSpec::new(
+        vec![
+            ("a", ColumnSpec::SortedInt { distinct: 5_000 }),
+            (
+                "b",
+                ColumnSpec::CoMonotoneWith {
+                    source: 0,
+                    distinct: 2_000,
+                },
+            ),
+            (
+                "c",
+                ColumnSpec::CoMonotoneWith {
+                    source: 0,
+                    distinct: 700,
+                },
+            ),
+            ("d", ColumnSpec::SortedInt { distinct: 250 }),
+            (
+                "e",
+                ColumnSpec::CoMonotoneWith {
+                    source: 3,
+                    distinct: 90,
+                },
+            ),
+            ("f", ColumnSpec::RandomInt { distinct: 4 }),
+            ("g", ColumnSpec::RandomInt { distinct: 64 }),
+            ("h", ColumnSpec::RandomInt { distinct: 1_000 }),
+            ("i", ColumnSpec::RandomInt { distinct: 30_000 }),
+            ("j", ColumnSpec::QuasiConstant { distinct: 3 }),
+            ("k", ColumnSpec::Constant(7)),
+            ("l", ColumnSpec::Key),
+        ],
+        rows,
+    )
+    .generate(seed)
+}
+
+/// The candidate workload: BFS-like contexts whose LHS lists share
+/// prefixes, exactly the access pattern [`SortCache`]/[`PartitionChecker`]
+/// amortize. Every candidate `(x, y)` is replayed as the three checks the
+/// search performs per surviving candidate: the OCD check `xy → yx`
+/// (Theorem 4.1) and both OD directions `x → y`, `y → x`.
+pub fn workload_candidates(num_cols: usize) -> Vec<(AttrList, AttrList)> {
+    let mut out = Vec::new();
+    // Level-1 contexts: all ordered singleton pairs.
+    for a in 0..num_cols {
+        for b in (a + 1)..num_cols {
+            out.push((AttrList::single(a), AttrList::single(b)));
+        }
+    }
+    // Deeper contexts rooted at the co-monotone chains: extensions of
+    // [0], [0,1], [3] — siblings share the sorted prefix.
+    for ctx in [vec![0usize], vec![0, 1], vec![3], vec![0, 1, 2]] {
+        for a in 0..num_cols {
+            if ctx.contains(&a) {
+                continue;
+            }
+            for b in (a + 1)..num_cols {
+                if ctx.contains(&b) {
+                    continue;
+                }
+                let mut x = ctx.clone();
+                x.push(a);
+                let mut y = ctx.clone();
+                y.push(b);
+                out.push((AttrList::from(x), AttrList::from(y)));
+            }
+        }
+    }
+    out
+}
+
+/// Number of individual OD checks one candidate expands to.
+pub const CHECKS_PER_CANDIDATE: u64 = 3;
+
+/// One backend × cache configuration to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Seed baseline: re-sort per candidate with the generic comparator
+    /// sort (the pre-kernel code path, kept as the differential oracle).
+    SeedComparator,
+    /// Re-sort per candidate with the rank-code distribution kernels.
+    ResortRadix,
+    /// Worker-private sorted-index prefix cache.
+    PrefixCache,
+    /// Run-wide [`SharedPrefixCache`] of sorted indexes.
+    PrefixCacheShared,
+    /// Worker-private sorted partitions (§5.3.1).
+    SortedPartitions,
+    /// Run-wide shared cache of sorted partitions.
+    SortedPartitionsShared,
+}
+
+/// A named configuration: backend plus worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// Stable identifier written to the JSON report.
+    pub name: &'static str,
+    /// Which checker backend to drive.
+    pub backend: Backend,
+    /// Number of worker threads splitting the candidate list.
+    pub workers: usize,
+}
+
+/// The default configuration matrix measured by the harness.
+pub const DEFAULT_SPECS: &[RunSpec] = &[
+    RunSpec {
+        name: "seed_resort_comparator",
+        backend: Backend::SeedComparator,
+        workers: 1,
+    },
+    RunSpec {
+        name: "resort_radix",
+        backend: Backend::ResortRadix,
+        workers: 1,
+    },
+    RunSpec {
+        name: "prefix_cache_private",
+        backend: Backend::PrefixCache,
+        workers: 1,
+    },
+    RunSpec {
+        name: "prefix_cache_shared_x4",
+        backend: Backend::PrefixCacheShared,
+        workers: 4,
+    },
+    RunSpec {
+        name: "sorted_partitions_private",
+        backend: Backend::SortedPartitions,
+        workers: 1,
+    },
+    RunSpec {
+        name: "sorted_partitions_shared_x4",
+        backend: Backend::SortedPartitionsShared,
+        workers: 4,
+    },
+];
+
+/// Measured outcome of replaying the workload under one [`RunSpec`].
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The spec that was run.
+    pub spec: RunSpec,
+    /// Total individual OD checks performed.
+    pub checks: u64,
+    /// Wall-clock time for the whole replay.
+    pub elapsed: Duration,
+    /// Shared-cache statistics, when the backend uses one.
+    pub cache: Option<CacheStats>,
+    /// How many checks returned `Valid` (a cross-backend sanity datum:
+    /// every configuration must agree).
+    pub valid: u64,
+}
+
+impl RunResult {
+    /// Candidate-checks per second.
+    pub fn checks_per_sec(&self) -> f64 {
+        self.checks as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Seed-baseline OD check: comparator sort + adjacent scan, no caching.
+/// Mirrors `check_od` but pins the sort to the comparator path so the
+/// measurement isolates the kernel speedup.
+fn check_od_comparator(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> bool {
+    let index = sort_index_by_comparator(rel, lhs.as_slice());
+    for w in index.windows(2) {
+        let (p, q) = (w[0] as usize, w[1] as usize);
+        match cmp_rows(rel, rhs.as_slice(), p, q) {
+            Ordering::Less => {
+                if cmp_rows(rel, lhs.as_slice(), p, q) == Ordering::Equal {
+                    return false;
+                }
+            }
+            Ordering::Greater => return false,
+            Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+/// The three checks the search performs per candidate, against a closure
+/// that validates one OD. Returns the number of `Valid` outcomes.
+fn replay<F: FnMut(&AttrList, &AttrList) -> bool>(
+    candidates: &[(AttrList, AttrList)],
+    mut check: F,
+) -> u64 {
+    let mut valid = 0u64;
+    for (x, y) in candidates {
+        let xy = x.concat(y);
+        let yx = y.concat(x);
+        for (lhs, rhs) in [(&xy, &yx), (x, y), (y, x)] {
+            if black_box(check(lhs, rhs)) {
+                valid += 1;
+            }
+        }
+    }
+    valid
+}
+
+/// Split `candidates` round-robin across `workers` threads, each running
+/// `make_check` to build its own checker, and sum the `Valid` counts.
+fn replay_parallel<C, F>(candidates: &[(AttrList, AttrList)], workers: usize, make_check: C) -> u64
+where
+    C: Fn() -> F + Sync,
+    F: FnMut(&AttrList, &AttrList) -> bool,
+{
+    if workers <= 1 {
+        return replay(candidates, make_check());
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let make_check = &make_check;
+                scope.spawn(move || {
+                    let mine: Vec<(AttrList, AttrList)> = candidates
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % workers == w)
+                        .map(|(_, c)| c.clone())
+                        .collect();
+                    replay(&mine, make_check())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+/// Replay the full workload under one configuration and time it.
+pub fn run_spec(
+    rel: &Relation,
+    candidates: &[(AttrList, AttrList)],
+    spec: RunSpec,
+    cache_budget_bytes: usize,
+) -> RunResult {
+    let start = Instant::now();
+    let mut cache_stats = None;
+    let valid = match spec.backend {
+        Backend::SeedComparator => replay_parallel(candidates, spec.workers, || {
+            |x: &AttrList, y: &AttrList| check_od_comparator(rel, x, y)
+        }),
+        Backend::ResortRadix => replay_parallel(candidates, spec.workers, || {
+            |x: &AttrList, y: &AttrList| ocdd_core::check::check_od(rel, x, y).is_valid()
+        }),
+        Backend::PrefixCache => replay_parallel(candidates, spec.workers, || {
+            let mut cache = SortCache::new(rel);
+            move |x: &AttrList, y: &AttrList| cache.check_od(x, y).is_valid()
+        }),
+        Backend::PrefixCacheShared => {
+            let shared = Arc::new(SharedPrefixCache::<Vec<u32>>::new(cache_budget_bytes));
+            let valid = replay_parallel(candidates, spec.workers, || {
+                let mut cache = SortCache::with_shared(rel, Arc::clone(&shared));
+                move |x: &AttrList, y: &AttrList| cache.check_od(x, y).is_valid()
+            });
+            cache_stats = Some(shared.stats());
+            valid
+        }
+        Backend::SortedPartitions => replay_parallel(candidates, spec.workers, || {
+            let mut checker = PartitionChecker::new(rel);
+            move |x: &AttrList, y: &AttrList| checker.check_od(x, y).is_valid()
+        }),
+        Backend::SortedPartitionsShared => {
+            let shared = Arc::new(SharedPrefixCache::new(cache_budget_bytes));
+            let valid = replay_parallel(candidates, spec.workers, || {
+                let mut checker = PartitionChecker::with_shared(rel, Arc::clone(&shared));
+                move |x: &AttrList, y: &AttrList| checker.check_od(x, y).is_valid()
+            });
+            cache_stats = Some(shared.stats());
+            valid
+        }
+    };
+    let elapsed = start.elapsed();
+    RunResult {
+        spec,
+        checks: candidates.len() as u64 * CHECKS_PER_CANDIDATE,
+        elapsed,
+        cache: cache_stats,
+        valid,
+    }
+}
+
+/// Run the whole matrix. Every configuration must agree on which checks
+/// are valid (asserted), and the first result is the seed baseline.
+pub fn run_matrix(
+    rel: &Relation,
+    candidates: &[(AttrList, AttrList)],
+    specs: &[RunSpec],
+    cache_budget_bytes: usize,
+) -> Vec<RunResult> {
+    let results: Vec<RunResult> = specs
+        .iter()
+        .map(|&spec| run_spec(rel, candidates, spec, cache_budget_bytes))
+        .collect();
+    if let Some(first) = results.first() {
+        for r in &results[1..] {
+            assert_eq!(
+                first.valid, r.valid,
+                "backend {:?} disagrees with {:?} on check outcomes",
+                r.spec.backend, first.spec.backend
+            );
+        }
+    }
+    results
+}
+
+/// Serialize the matrix to the `BENCH_check.json` schema:
+///
+/// ```json
+/// {
+///   "rows": 100000, "columns": 12, "candidates": 262, "checks_per_candidate": 3,
+///   "configs": [
+///     {"name": "seed_resort_comparator", "workers": 1, "checks": 786,
+///      "elapsed_ms": 1234.5, "checks_per_sec": 636.7, "speedup_vs_seed": 1.0,
+///      "cache": {"hits": 0, "misses": 0, "evictions": 0, "resident_bytes": 0}}
+///   ]
+/// }
+/// ```
+///
+/// `cache` is `null` for configurations without a shared cache;
+/// `speedup_vs_seed` is relative to the first (seed-baseline) entry.
+pub fn matrix_to_json(rel: &Relation, candidates_len: usize, results: &[RunResult]) -> String {
+    let seed_cps = results.first().map_or(0.0, RunResult::checks_per_sec);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"rows\": {}, \"columns\": {}, \"candidates\": {}, \"checks_per_candidate\": {},\n  \"configs\": [",
+        rel.num_rows(),
+        rel.num_columns(),
+        candidates_len,
+        CHECKS_PER_CANDIDATE,
+    );
+    for (i, r) in results.iter().enumerate() {
+        let cache = match &r.cache {
+            Some(c) => format!(
+                "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"resident_bytes\": {}, \"entries\": {}}}",
+                c.hits, c.misses, c.evictions, c.resident_bytes, c.entries
+            ),
+            None => "null".to_owned(),
+        };
+        let _ = write!(
+            out,
+            "{}\n    {{\"name\": \"{}\", \"workers\": {}, \"checks\": {}, \"elapsed_ms\": {:.3}, \"checks_per_sec\": {:.1}, \"speedup_vs_seed\": {:.3}, \"cache\": {}}}",
+            if i == 0 { "" } else { "," },
+            r.spec.name,
+            r.spec.workers,
+            r.checks,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.checks_per_sec(),
+            if seed_cps > 0.0 {
+                r.checks_per_sec() / seed_cps
+            } else {
+                0.0
+            },
+            cache,
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full matrix at tiny scale: all backends agree and the JSON has
+    /// the advertised fields.
+    #[test]
+    fn tiny_matrix_agrees_and_serializes() {
+        let rel = workload_relation(400, 11);
+        let candidates = workload_candidates(rel.num_columns());
+        assert!(candidates.len() > 100, "workload too small");
+        let results = run_matrix(&rel, &candidates, DEFAULT_SPECS, 64 << 20);
+        assert_eq!(results.len(), DEFAULT_SPECS.len());
+        for r in &results {
+            assert_eq!(r.checks, candidates.len() as u64 * CHECKS_PER_CANDIDATE);
+            assert!(r.checks_per_sec() > 0.0);
+        }
+        // Shared configurations expose cache stats; private ones do not.
+        assert!(results[3].cache.is_some());
+        assert!(results[0].cache.is_none());
+        let json = matrix_to_json(&rel, candidates.len(), &results);
+        for needle in [
+            "\"rows\": 400",
+            "\"columns\": 12",
+            "seed_resort_comparator",
+            "prefix_cache_shared_x4",
+            "\"speedup_vs_seed\"",
+            "\"resident_bytes\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    /// The comparator baseline agrees with the kernel checker per check.
+    #[test]
+    fn seed_baseline_matches_kernel_checker() {
+        let rel = workload_relation(300, 7);
+        for (x, y) in workload_candidates(rel.num_columns()).iter().take(40) {
+            let xy = x.concat(y);
+            let yx = y.concat(x);
+            assert_eq!(
+                check_od_comparator(&rel, &xy, &yx),
+                ocdd_core::check::check_od(&rel, &xy, &yx).is_valid(),
+                "{x} ~ {y}"
+            );
+        }
+    }
+}

@@ -476,7 +476,9 @@ pub fn run_fig7(opts: &ExpOptions) -> Report {
 pub fn run_ablation(opts: &ExpOptions) -> Report {
     let mut report = Report::new(
         "Ablations — design-choice measurements",
-        vec!["dataset", "variant", "time", "checks", "ocds", "ods"],
+        vec![
+            "dataset", "variant", "time", "checks", "ocds", "ods", "cache",
+        ],
     );
     let run =
         |name: &str, ds: Dataset, rel: &Relation, config: &DiscoveryConfig, report: &mut Report| {
@@ -488,6 +490,16 @@ pub fn run_ablation(opts: &ExpOptions) -> Report {
                 last = Some(res);
             }
             let res = last.expect("at least one rep");
+            let cache = match &res.cache {
+                Some(c) => format!(
+                    "{}h/{}m/{}ev {}KiB",
+                    c.hits,
+                    c.misses,
+                    c.evictions,
+                    c.resident_bytes >> 10
+                ),
+                None => "-".to_owned(),
+            };
             report.push_row(vec![
                 ds.name().to_owned(),
                 name.to_owned(),
@@ -495,6 +507,7 @@ pub fn run_ablation(opts: &ExpOptions) -> Report {
                 res.checks.to_string(),
                 res.ocd_count().to_string(),
                 res.od_count().to_string(),
+                cache,
             ]);
         };
     for &ds in &[Dataset::Dbtesma1k, Dataset::Horse] {
@@ -561,8 +574,35 @@ pub fn run_ablation(opts: &ExpOptions) -> Report {
             },
             &mut report,
         );
+        run(
+            "prefix cache + shared ×4",
+            ds,
+            &rel,
+            &DiscoveryConfig {
+                checker: ocdd_core::CheckerBackend::PrefixCache,
+                mode: ParallelMode::StaticQueues(4),
+                shared_cache: true,
+                ..base.clone()
+            },
+            &mut report,
+        );
+        run(
+            "sorted partitions + shared ×4",
+            ds,
+            &rel,
+            &DiscoveryConfig {
+                checker: ocdd_core::CheckerBackend::SortedPartitions,
+                mode: ParallelMode::StaticQueues(4),
+                shared_cache: true,
+                ..base.clone()
+            },
+            &mut report,
+        );
     }
     report.note("All variants must report identical ocds/ods (dedup/reduction change only work).");
+    report.note(
+        "cache = shared-cache hits/misses/evictions and resident bytes ('-' when worker-private).",
+    );
     report.note(
         "Column-reduction-off changes counts: equivalent/constant columns re-enter the search.",
     );

@@ -20,6 +20,7 @@
 //! ones. Worst case is `O(m log m + m·|Y|)` comparisons for `m` rows.
 
 use crate::deps::AttrList;
+use crate::shared_cache::SharedPrefixCache;
 use ocdd_relation::sort::{cmp_rows, refine_index, sort_index_by};
 use ocdd_relation::{ColumnId, Relation};
 use std::cmp::Ordering;
@@ -111,12 +112,18 @@ pub fn check_ocd(rel: &Relation, x: &AttrList, y: &AttrList) -> CheckOutcome {
 /// The faithful algorithm re-sorts the relation for every candidate. Since
 /// a candidate's LHS `XY` shares the prefix `X` with its parent's `X…`
 /// lists, caching the permutation for each prefix and *refining* it
-/// ([`refine_index`]) amortizes most of the `O(m log m)` sort. This is the
-/// optimization the paper leaves as out of scope (§5.3.1, "sorted
-/// partitions"); it is off by default and measured by the ablation bench.
+/// ([`refine_index`]) amortizes most of the sort. This is the optimization
+/// the paper leaves as out of scope (§5.3.1, "sorted partitions"); it is
+/// off by default and measured by the ablation bench.
+///
+/// The store is either worker-private (a plain `HashMap`, unbounded) or a
+/// run-wide [`SharedPrefixCache`] ([`SortCache::with_shared`]): in the
+/// parallel modes the shared tier lets workers reuse each other's sorted
+/// prefixes and bounds memory to the configured byte budget.
 pub struct SortCache<'r> {
     rel: &'r Relation,
     cache: HashMap<Vec<ColumnId>, Arc<Vec<u32>>>,
+    shared: Option<Arc<SharedPrefixCache<Vec<u32>>>>,
     /// Number of cache hits (full or prefix), for ablation reporting.
     pub hits: u64,
     /// Number of full sorts performed.
@@ -124,11 +131,27 @@ pub struct SortCache<'r> {
 }
 
 impl<'r> SortCache<'r> {
-    /// Create an empty cache over `rel`.
+    /// Create an empty worker-private cache over `rel`.
     pub fn new(rel: &'r Relation) -> SortCache<'r> {
         SortCache {
             rel,
             cache: HashMap::new(),
+            shared: None,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Create a cache backed by a run-wide shared store. The private map
+    /// is not used: every index lives in (and is evicted from) `shared`.
+    pub fn with_shared(
+        rel: &'r Relation,
+        shared: Arc<SharedPrefixCache<Vec<u32>>>,
+    ) -> SortCache<'r> {
+        SortCache {
+            rel,
+            cache: HashMap::new(),
+            shared: Some(shared),
             hits: 0,
             misses: 0,
         }
@@ -136,6 +159,24 @@ impl<'r> SortCache<'r> {
 
     /// Sorted index for `cols`, reusing the longest cached prefix.
     pub fn index_for(&mut self, cols: &[ColumnId]) -> Arc<Vec<u32>> {
+        if let Some(shared) = &self.shared {
+            if let Some(idx) = shared.get(cols) {
+                self.hits += 1;
+                return idx;
+            }
+            let index = match shared.longest_prefix(cols) {
+                Some((len, base)) => {
+                    self.hits += 1;
+                    Arc::new(refine_index(self.rel, &base, &cols[..len], &cols[len..]))
+                }
+                None => {
+                    self.misses += 1;
+                    Arc::new(sort_index_by(self.rel, cols))
+                }
+            };
+            shared.insert(cols.to_vec(), Arc::clone(&index));
+            return index;
+        }
         if let Some(idx) = self.cache.get(cols) {
             self.hits += 1;
             return Arc::clone(idx);
@@ -174,12 +215,22 @@ impl<'r> SortCache<'r> {
     }
 }
 
-/// Reference checker: validate `lhs → rhs` by the pairwise Definition 2.2
-/// (`O(m²)`); used by tests and the brute-force ground truth.
+/// Reference checker: validate `lhs → rhs` by the pairwise Definition 2.2,
+/// literally — for every ordered pair of rows `(p, q)`, `p ⪯_lhs q` must
+/// imply `p ⪯_rhs q`.
+///
+/// This is the `O(m²·(|lhs| + |rhs|))` brute-force oracle used by tests and
+/// the ground-truth baseline; it shares no code with the sorted-scan
+/// checker, which is exactly what makes it a useful differential target.
+/// The diagonal `p == q` is skipped: a row always satisfies `p ⪯ p` on
+/// both sides, so it can never witness a violation.
 pub fn check_od_pairwise(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> bool {
     let m = rel.num_rows();
     for p in 0..m {
         for q in 0..m {
+            if p == q {
+                continue;
+            }
             if cmp_rows(rel, lhs.as_slice(), p, q) != Ordering::Greater
                 && cmp_rows(rel, rhs.as_slice(), p, q) == Ordering::Greater
             {
@@ -365,6 +416,42 @@ mod tests {
             );
         }
         assert!(cache.hits >= 1, "prefix reuse expected");
+    }
+
+    #[test]
+    fn shared_sort_cache_agrees_with_uncached() {
+        let r = rel(&[
+            ("a", &[3, 1, 4, 1, 5, 9, 2, 6]),
+            ("b", &[2, 7, 1, 8, 2, 8, 1, 8]),
+            ("c", &[1, 1, 2, 2, 3, 3, 4, 4]),
+        ]);
+        let shared = Arc::new(SharedPrefixCache::new(1 << 20));
+        let mut one = SortCache::with_shared(&r, Arc::clone(&shared));
+        let mut two = SortCache::with_shared(&r, Arc::clone(&shared));
+        let lists = [
+            (l(&[0]), l(&[1])),
+            (l(&[0, 1]), l(&[2])),
+            (l(&[0, 2]), l(&[1])),
+            (l(&[2, 0]), l(&[1])),
+        ];
+        for (x, y) in &lists {
+            assert_eq!(one.check_od(x, y), check_od(&r, x, y));
+        }
+        // The second worker reuses everything the first one built.
+        for (x, y) in &lists {
+            assert_eq!(two.check_od(x, y), check_od(&r, x, y));
+        }
+        assert_eq!(two.misses, 0, "all prefixes were already shared");
+        assert!(shared.stats().hits > 0);
+    }
+
+    #[test]
+    fn pairwise_oracle_trivial_on_diagonal_only_relations() {
+        // Single-row relation: the only pair is the diagonal, so any OD
+        // holds vacuously.
+        let r = rel(&[("a", &[3]), ("b", &[9])]);
+        assert!(check_od_pairwise(&r, &l(&[0]), &l(&[1])));
+        assert!(check_od_pairwise(&r, &l(&[1]), &l(&[0])));
     }
 
     #[test]

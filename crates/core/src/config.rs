@@ -49,6 +49,18 @@ pub struct DiscoveryConfig {
     pub dedup_candidates: bool,
     /// Which checker backend validates candidates; see [`CheckerBackend`].
     pub checker: CheckerBackend,
+    /// Share one prefix cache (sorted indexes for
+    /// [`CheckerBackend::PrefixCache`], partitions for
+    /// [`CheckerBackend::SortedPartitions`]) across every worker of the
+    /// run instead of keeping a private cache per worker. Off by default;
+    /// it never changes results, only how often prefixes are recomputed.
+    /// No effect under [`CheckerBackend::Resort`], which caches nothing by
+    /// definition.
+    pub shared_cache: bool,
+    /// Byte budget of the shared cache: above it, least-recently-used
+    /// entries are evicted (and recomputed on demand if needed again).
+    /// Ignored unless `shared_cache` is set.
+    pub cache_budget_bytes: usize,
     /// Run the column-reduction preprocessing (§4.1). On by default;
     /// disabling it is only useful for ablation.
     pub column_reduction: bool,
@@ -68,6 +80,8 @@ impl Default for DiscoveryConfig {
             mode: ParallelMode::Sequential,
             dedup_candidates: true,
             checker: CheckerBackend::Resort,
+            shared_cache: false,
+            cache_budget_bytes: 256 << 20,
             column_reduction: true,
             max_level: None,
             max_checks: None,
@@ -105,6 +119,8 @@ mod tests {
             "faithful checker re-sorts per candidate"
         );
         assert!(c.column_reduction);
+        assert!(!c.shared_cache, "shared cache is an opt-in optimization");
+        assert!(c.cache_budget_bytes > 0);
         assert!(c.max_level.is_none() && c.max_checks.is_none() && c.time_budget.is_none());
     }
 

@@ -61,6 +61,7 @@ pub mod reduction;
 pub mod results;
 pub mod rewrite;
 pub mod search;
+pub mod shared_cache;
 pub mod sorted_partitions;
 
 pub use check::{check_ocd, check_od, CheckOutcome, SortCache};
@@ -69,3 +70,4 @@ pub use deps::{AttrList, Ocd, Od, OrderEquivalence};
 pub use reduction::{columns_reduction, Reduction};
 pub use results::{DiscoveryResult, LevelStats};
 pub use search::{discover, profile_branches, BranchCost};
+pub use shared_cache::{CacheStats, SharedPrefixCache};

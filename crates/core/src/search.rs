@@ -18,11 +18,14 @@ use crate::config::{CheckerBackend, DiscoveryConfig, ParallelMode};
 use crate::deps::{AttrList, Ocd, Od};
 use crate::reduction::{columns_reduction, Reduction};
 use crate::results::{DiscoveryResult, LevelStats};
-use crate::sorted_partitions::PartitionChecker;
+use crate::shared_cache::{CacheStats, SharedPrefixCache};
+use crate::sorted_partitions::{PartitionChecker, SortedPartition};
+use ocdd_relation::sort::kernel_stats;
 use ocdd_relation::{ColumnId, Relation};
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// An OCD candidate `X ~ Y` in the search tree.
@@ -48,7 +51,15 @@ struct Budget {
     max_checks: u64,
     deadline: Option<Instant>,
     exhausted: AtomicBool,
+    spend_calls: AtomicU64,
 }
+
+/// The wall clock is only consulted every this many [`Budget::spend`]
+/// calls: `Instant::now()` costs a vDSO call, which the radix kernels made
+/// comparable to a cheap candidate check. The deadline overshoot this
+/// allows is a handful of candidates — the paper's budget semantics
+/// (partial results past the threshold, §5.1) are unaffected.
+const DEADLINE_CHECK_INTERVAL: u64 = 64;
 
 impl Budget {
     fn new(config: &DiscoveryConfig, start: Instant, initial_checks: u64) -> Budget {
@@ -57,6 +68,7 @@ impl Budget {
             max_checks: config.max_checks.unwrap_or(u64::MAX),
             deadline: config.time_budget.map(|d| start + d),
             exhausted: AtomicBool::new(false),
+            spend_calls: AtomicU64::new(0),
         }
     }
 
@@ -67,7 +79,8 @@ impl Budget {
             self.exhausted.store(true, AtomicOrdering::Relaxed);
         }
         if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
+            let calls = self.spend_calls.fetch_add(1, AtomicOrdering::Relaxed);
+            if calls.is_multiple_of(DEADLINE_CHECK_INTERVAL) && Instant::now() >= deadline {
                 self.exhausted.store(true, AtomicOrdering::Relaxed);
             }
         }
@@ -76,6 +89,40 @@ impl Budget {
 
     fn is_exhausted(&self) -> bool {
         self.exhausted.load(AtomicOrdering::Relaxed)
+    }
+}
+
+/// The run-wide shared prefix caches, when enabled: one per backend kind
+/// (only the configured backend's slot is populated). Cloned `Arc`s are
+/// handed to every worker's [`Checker`].
+struct SharedCaches {
+    sort: Option<Arc<SharedPrefixCache<Vec<u32>>>>,
+    parts: Option<Arc<SharedPrefixCache<SortedPartition>>>,
+}
+
+impl SharedCaches {
+    fn from_config(config: &DiscoveryConfig) -> SharedCaches {
+        let (mut sort, mut parts) = (None, None);
+        if config.shared_cache {
+            match config.checker {
+                // Resort caches nothing by definition.
+                CheckerBackend::Resort => {}
+                CheckerBackend::PrefixCache => {
+                    sort = Some(Arc::new(SharedPrefixCache::new(config.cache_budget_bytes)));
+                }
+                CheckerBackend::SortedPartitions => {
+                    parts = Some(Arc::new(SharedPrefixCache::new(config.cache_budget_bytes)));
+                }
+            }
+        }
+        SharedCaches { sort, parts }
+    }
+
+    fn stats(&self) -> Option<CacheStats> {
+        self.sort
+            .as_ref()
+            .map(|c| c.stats())
+            .or_else(|| self.parts.as_ref().map(|c| c.stats()))
     }
 }
 
@@ -90,12 +137,18 @@ enum Checker<'r> {
 }
 
 impl<'r> Checker<'r> {
-    fn new(rel: &'r Relation, backend: CheckerBackend) -> Checker<'r> {
+    fn new(rel: &'r Relation, backend: CheckerBackend, shared: &SharedCaches) -> Checker<'r> {
         match backend {
             CheckerBackend::Resort => Checker::Plain(rel),
-            CheckerBackend::PrefixCache => Checker::Cached(SortCache::new(rel)),
+            CheckerBackend::PrefixCache => Checker::Cached(match &shared.sort {
+                Some(cache) => SortCache::with_shared(rel, Arc::clone(cache)),
+                None => SortCache::new(rel),
+            }),
             CheckerBackend::SortedPartitions => {
-                Checker::Partitions(Box::new(PartitionChecker::new(rel)))
+                Checker::Partitions(Box::new(match &shared.parts {
+                    Some(cache) => PartitionChecker::with_shared(rel, Arc::clone(cache)),
+                    None => PartitionChecker::new(rel),
+                }))
             }
         }
     }
@@ -182,9 +235,10 @@ fn run_subtree(
     seeds: Vec<Candidate>,
     config: &DiscoveryConfig,
     budget: &Budget,
+    shared: &SharedCaches,
     acc: &mut SearchAccumulator,
 ) {
-    let mut checker = Checker::new(rel, config.checker);
+    let mut checker = Checker::new(rel, config.checker, shared);
     let mut level = seeds;
     let mut level_no = 2usize;
     while !level.is_empty() {
@@ -276,8 +330,9 @@ pub(crate) fn resume_after_od_invalidation(
         })
         .collect();
     let budget = Budget::new(config, Instant::now(), 0);
+    let shared = SharedCaches::from_config(config);
     let mut acc = SearchAccumulator::default();
-    run_subtree(rel, universe, seeds, config, &budget, &mut acc);
+    run_subtree(rel, universe, seeds, config, &budget, &shared, &mut acc);
     let checks = budget.checks.load(AtomicOrdering::Relaxed);
     (acc.ocds, acc.ods, checks)
 }
@@ -324,6 +379,7 @@ pub fn profile_branches(
     for seed in seed_candidates(&reduction.attributes) {
         let seed_pair = (seed.x.as_slice()[0], seed.y.as_slice()[0]);
         let budget = Budget::new(config, Instant::now(), 0);
+        let shared = SharedCaches::from_config(config);
         let mut acc = SearchAccumulator::default();
         let t = Instant::now();
         run_subtree(
@@ -332,6 +388,7 @@ pub fn profile_branches(
             vec![seed],
             config,
             &budget,
+            &shared,
             &mut acc,
         );
         costs.push(BranchCost {
@@ -367,6 +424,7 @@ fn seed_candidates(universe: &[ColumnId]) -> Vec<Candidate> {
 /// result into the full set of ODs for comparison with other algorithms.
 pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     let start = Instant::now();
+    let kernels_before = kernel_stats::snapshot();
 
     let reduction_threads = match config.mode {
         ParallelMode::Sequential => 1,
@@ -382,13 +440,14 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     };
 
     let budget = Budget::new(config, start, reduction.checks);
+    let shared = SharedCaches::from_config(config);
     let seeds = seed_candidates(&reduction.attributes);
     let universe = &reduction.attributes;
 
     let mut acc = SearchAccumulator::default();
     match config.mode {
         ParallelMode::Sequential => {
-            run_subtree(rel, universe, seeds, config, &budget, &mut acc);
+            run_subtree(rel, universe, seeds, config, &budget, &shared, &mut acc);
         }
         ParallelMode::StaticQueues(k) => {
             let k = k.max(1);
@@ -403,9 +462,10 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
                     .into_iter()
                     .map(|queue| {
                         let budget = &budget;
+                        let shared = &shared;
                         scope.spawn(move || {
                             let mut acc = SearchAccumulator::default();
-                            run_subtree(rel, universe, queue, config, budget, &mut acc);
+                            run_subtree(rel, universe, queue, config, budget, shared, &mut acc);
                             acc
                         })
                     })
@@ -435,7 +495,7 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
                     let results: Vec<(Emission, bool)> = level
                         .par_iter()
                         .map_init(
-                            || Checker::new(rel, config.checker),
+                            || Checker::new(rel, config.checker, &shared),
                             |checker, cand| {
                                 let mut em = Emission::default();
                                 if budget.is_exhausted() {
@@ -513,6 +573,8 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
         levels,
         elapsed: start.elapsed(),
         complete: !acc.truncated && !budget.is_exhausted(),
+        cache: shared.stats(),
+        kernels: kernel_stats::snapshot().since(&kernels_before),
     }
 }
 
@@ -702,6 +764,82 @@ mod tests {
             assert_eq!(plain.ocds, alt.ocds, "{backend:?}");
             assert_eq!(plain.ods, alt.ods, "{backend:?}");
             assert_eq!(plain.checks, alt.checks, "{backend:?}: same tree");
+        }
+    }
+
+    #[test]
+    fn shared_cache_never_changes_results() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let data: Vec<(String, Vec<Value>)> = (0..5)
+            .map(|c| {
+                (
+                    format!("c{c}"),
+                    (0..40)
+                        .map(|_| Value::Int(rng.random_range(0..3)))
+                        .collect(),
+                )
+            })
+            .collect();
+        let r = Relation::from_columns(data).unwrap();
+        let baseline = discover(&r, &DiscoveryConfig::default());
+        assert!(baseline.cache.is_none(), "no shared cache by default");
+        for backend in [
+            CheckerBackend::Resort,
+            CheckerBackend::PrefixCache,
+            CheckerBackend::SortedPartitions,
+        ] {
+            for mode in [ParallelMode::Sequential, ParallelMode::StaticQueues(3)] {
+                let shared = discover(
+                    &r,
+                    &DiscoveryConfig {
+                        mode,
+                        checker: backend,
+                        shared_cache: true,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(baseline.ocds, shared.ocds, "{backend:?}/{mode:?}");
+                assert_eq!(baseline.ods, shared.ods, "{backend:?}/{mode:?}");
+                assert_eq!(baseline.checks, shared.checks, "{backend:?}/{mode:?}");
+                assert_eq!(baseline.levels, shared.levels, "{backend:?}/{mode:?}");
+                if backend == CheckerBackend::Resort {
+                    assert!(shared.cache.is_none(), "Resort caches nothing");
+                } else {
+                    let stats = shared.cache.expect("cache stats present");
+                    assert!(stats.hits + stats.misses > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_cache_budget_still_correct() {
+        // A budget that fits almost nothing forces constant eviction and
+        // recomputation — results must be unaffected.
+        let r = rel(&[
+            ("a", &[1, 1, 2, 2, 3, 3]),
+            ("b", &[1, 2, 2, 3, 3, 4]),
+            ("c", &[6, 3, 1, 5, 2, 4]),
+            ("d", &[1, 2, 3, 4, 5, 6]),
+        ]);
+        let baseline = discover(&r, &DiscoveryConfig::default());
+        for backend in [
+            CheckerBackend::PrefixCache,
+            CheckerBackend::SortedPartitions,
+        ] {
+            let squeezed = discover(
+                &r,
+                &DiscoveryConfig {
+                    checker: backend,
+                    shared_cache: true,
+                    cache_budget_bytes: 256,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(baseline.ocds, squeezed.ocds, "{backend:?}");
+            assert_eq!(baseline.ods, squeezed.ods, "{backend:?}");
         }
     }
 

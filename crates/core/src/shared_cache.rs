@@ -1,0 +1,304 @@
+//! A sharded, byte-budgeted prefix cache shared by every worker of a run.
+//!
+//! The per-worker caches ([`crate::check::SortCache`],
+//! [`crate::sorted_partitions::PartitionChecker`]) rebuild the same prefix
+//! artefacts once *per thread*: in the parallel modes the sorted index (or
+//! partition) of a popular prefix like `[A]` is recomputed by every worker
+//! that meets it. [`SharedPrefixCache`] lifts that store to the run level:
+//! one concurrent map, keyed by attribute-list prefix, visible to all
+//! workers of `StaticQueues` and `Rayon` runs.
+//!
+//! Design:
+//!
+//! * **Sharding** — keys hash to one of a fixed number of shards, each a
+//!   `Mutex<HashMap>`. Workers touching different prefixes never contend.
+//! * **Byte budget** — each entry carries its approximate heap size (via
+//!   [`CacheWeight`]). When the resident total exceeds the budget, shards
+//!   are swept round-robin and their least-recently-touched entries are
+//!   dropped until the total fits again.
+//! * **Approximate LRU** — a global atomic clock stamps every hit; eviction
+//!   picks the oldest stamp *within a shard*, not globally. Cheap, and
+//!   close enough: the cache only ever trades recomputation for memory,
+//!   never correctness.
+//!
+//! The cache stores values behind `Arc`, so an evicted entry stays alive
+//! for workers still holding it. Counters (hits / misses / evictions /
+//! resident bytes) are relaxed atomics, snapshot into
+//! [`crate::results::DiscoveryResult`] at the end of a run.
+
+use ocdd_relation::ColumnId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Approximate heap footprint of a cached value, used for budgeting.
+pub trait CacheWeight {
+    /// Heap bytes owned by the value (the `Arc` and map-key overhead are
+    /// added by the cache itself).
+    fn weight_bytes(&self) -> usize;
+}
+
+impl CacheWeight for Vec<u32> {
+    fn weight_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Point-in-time counters of a [`SharedPrefixCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Exact-key lookups that found an entry.
+    pub hits: u64,
+    /// Exact-key lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped to stay under the byte budget.
+    pub evictions: u64,
+    /// Approximate bytes currently held by cached values.
+    pub resident_bytes: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+}
+
+struct Entry<V> {
+    value: Arc<V>,
+    bytes: usize,
+    last_touch: u64,
+}
+
+type Shard<V> = Mutex<HashMap<Vec<ColumnId>, Entry<V>>>;
+
+/// Concurrent prefix-keyed cache with a global byte budget.
+pub struct SharedPrefixCache<V> {
+    shards: Vec<Shard<V>>,
+    budget_bytes: usize,
+    clock: AtomicU64,
+    resident: AtomicUsize,
+    entries: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Shard count: enough that a dozen workers rarely collide, small enough
+/// that a budget sweep stays cheap.
+const NUM_SHARDS: usize = 64;
+
+/// Fixed per-entry overhead charged against the budget (map slot, `Arc`
+/// control block, key header) on top of the key and value bytes.
+const ENTRY_OVERHEAD: usize = 96;
+
+impl<V: CacheWeight> SharedPrefixCache<V> {
+    /// Create a cache bounded by `budget_bytes` of (approximate) value
+    /// memory. A budget of 0 disables storage entirely — every lookup
+    /// misses, which is occasionally useful for ablation.
+    pub fn new(budget_bytes: usize) -> SharedPrefixCache<V> {
+        SharedPrefixCache {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            budget_bytes,
+            clock: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+            entries: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &[ColumnId]) -> &Shard<V> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % NUM_SHARDS]
+    }
+
+    /// Exact lookup; bumps the LRU stamp on hit.
+    pub fn get(&self, key: &[ColumnId]) -> Option<Arc<V>> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+        match shard.get_mut(key) {
+            Some(entry) => {
+                entry.last_touch = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Longest cached *proper* prefix of `key` (silent: no hit/miss
+    /// accounting — callers follow up with the decisive exact lookup or
+    /// insert).
+    pub fn longest_prefix(&self, key: &[ColumnId]) -> Option<(usize, Arc<V>)> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        for len in (1..key.len()).rev() {
+            let prefix = &key[..len];
+            let mut shard = self.shard_for(prefix).lock().expect("cache shard poisoned");
+            if let Some(entry) = shard.get_mut(prefix) {
+                entry.last_touch = now;
+                return Some((len, Arc::clone(&entry.value)));
+            }
+        }
+        None
+    }
+
+    /// Insert (or overwrite) `key → value`, then enforce the byte budget.
+    pub fn insert(&self, key: Vec<ColumnId>, value: Arc<V>) {
+        let bytes =
+            value.weight_bytes() + key.len() * std::mem::size_of::<ColumnId>() + ENTRY_OVERHEAD;
+        if self.budget_bytes == 0 || bytes > self.budget_bytes {
+            return; // would be evicted immediately; don't bother
+        }
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+            if let Some(old) = shard.insert(
+                key,
+                Entry {
+                    value,
+                    bytes,
+                    last_touch: now,
+                },
+            ) {
+                self.resident.fetch_sub(old.bytes, Ordering::Relaxed);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+            }
+            self.resident.fetch_add(bytes, Ordering::Relaxed);
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.enforce_budget();
+    }
+
+    /// Drop least-recently-touched entries until the resident total fits
+    /// the budget. Each round scans the shard minima and evicts the oldest
+    /// stamp found — approximate because a concurrent hit may re-stamp the
+    /// victim between the scan and the removal, which only costs a
+    /// recomputation later, never correctness.
+    fn enforce_budget(&self) {
+        // Bounded sweep: at worst every entry is evicted once.
+        let mut guard = self.entries.load(Ordering::Relaxed) + 1;
+        while self.resident.load(Ordering::Relaxed) > self.budget_bytes && guard > 0 {
+            guard -= 1;
+            let mut victim: Option<(usize, Vec<ColumnId>, u64)> = None;
+            for (s, shard) in self.shards.iter().enumerate() {
+                let shard = shard.lock().expect("cache shard poisoned");
+                if let Some((k, e)) = shard.iter().min_by_key(|(_, e)| e.last_touch) {
+                    if victim.as_ref().is_none_or(|(_, _, t)| e.last_touch < *t) {
+                        victim = Some((s, k.clone(), e.last_touch));
+                    }
+                }
+            }
+            let Some((s, key, _)) = victim else { break };
+            let mut shard = self.shards[s].lock().expect("cache shard poisoned");
+            if let Some(e) = shard.remove(&key) {
+                self.resident.fetch_sub(e.bytes, Ordering::Relaxed);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.resident.load(Ordering::Relaxed) as u64,
+            entries: self.entries.load(Ordering::Relaxed) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(vals: &[u32]) -> Arc<Vec<u32>> {
+        Arc::new(vals.to_vec())
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let cache: SharedPrefixCache<Vec<u32>> = SharedPrefixCache::new(1 << 20);
+        assert!(cache.get(&[0]).is_none());
+        cache.insert(vec![0], idx(&[2, 0, 1]));
+        assert_eq!(cache.get(&[0]).unwrap().as_slice(), &[2, 0, 1]);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn longest_prefix_finds_deepest() {
+        let cache: SharedPrefixCache<Vec<u32>> = SharedPrefixCache::new(1 << 20);
+        cache.insert(vec![3], idx(&[0]));
+        cache.insert(vec![3, 1], idx(&[1]));
+        let (len, v) = cache.longest_prefix(&[3, 1, 4]).unwrap();
+        assert_eq!(len, 2);
+        assert_eq!(v.as_slice(), &[1]);
+        // A proper prefix only: the full key is not considered.
+        assert!(cache.longest_prefix(&[3]).is_none());
+    }
+
+    #[test]
+    fn budget_evicts_oldest() {
+        // Budget for roughly two entries of 100 u32s each.
+        let per_entry = 100 * 4 + 8 + ENTRY_OVERHEAD;
+        let cache: SharedPrefixCache<Vec<u32>> = SharedPrefixCache::new(2 * per_entry + 16);
+        let big = idx(&vec![7u32; 100]);
+        cache.insert(vec![0], Arc::clone(&big));
+        cache.insert(vec![1], Arc::clone(&big));
+        // Touch [1] so [0] is the LRU victim.
+        assert!(cache.get(&[1]).is_some());
+        cache.insert(vec![2], big);
+        let s = cache.stats();
+        assert!(s.evictions >= 1, "stats: {s:?}");
+        assert!(s.resident_bytes <= (2 * per_entry + 16) as u64);
+        // The newest entry survives.
+        assert!(cache.get(&[2]).is_some());
+    }
+
+    #[test]
+    fn zero_budget_stores_nothing() {
+        let cache: SharedPrefixCache<Vec<u32>> = SharedPrefixCache::new(0);
+        cache.insert(vec![0], idx(&[1, 2, 3]));
+        assert!(cache.get(&[0]).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn oversized_value_is_rejected_not_thrashed() {
+        let cache: SharedPrefixCache<Vec<u32>> = SharedPrefixCache::new(64);
+        cache.insert(vec![0], idx(&vec![0u32; 1000]));
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache: Arc<SharedPrefixCache<Vec<u32>>> = Arc::new(SharedPrefixCache::new(1 << 22));
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200usize {
+                        let key = vec![(i % 17), t % 3];
+                        match cache.get(&key) {
+                            Some(v) => assert_eq!(v.len(), key[0] + 1),
+                            None => {
+                                cache.insert(key.clone(), idx(&vec![9u32; key[0] + 1]));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert!(s.hits > 0 && s.entries > 0);
+        assert_eq!(s.evictions, 0, "budget is ample: {s:?}");
+    }
+}

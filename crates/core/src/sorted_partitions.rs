@@ -13,13 +13,17 @@
 //!   exceeds the minimum of the next class's.
 //!
 //! Partitions are built once per column and *refined* incrementally: the
-//! sorted partition of `XA` is obtained from `X`'s by reordering each class
-//! by `A` and splitting it — `O(m log g)` for class size `g`, and `O(m)`
-//! when classes are small. A [`PartitionChecker`] memoizes partitions per
-//! list prefix, so sibling candidates sharing a prefix pay for it once.
+//! sorted partition of `XA` is obtained from `X`'s by two stable counting
+//! scatters over the rank codes (by code, then by class id) — `O(m + d)`
+//! for `d` distinct values, never a comparison sort. A
+//! [`PartitionChecker`] memoizes partitions per list prefix, so sibling
+//! candidates sharing a prefix pay for it once; with
+//! [`PartitionChecker::with_shared`] the memo is a run-wide
+//! [`SharedPrefixCache`] reused across workers.
 
 use crate::check::CheckOutcome;
 use crate::deps::AttrList;
+use crate::shared_cache::{CacheWeight, SharedPrefixCache};
 use ocdd_relation::{ColumnId, Relation};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -63,30 +67,74 @@ impl SortedPartition {
     /// Refine by one more column: each class is reordered by `col`'s rank
     /// codes and split at rank changes. The result is the sorted partition
     /// of `X ++ [col]` when `self` is the partition of `X`.
+    ///
+    /// Because codes are dense ranks, the reorder is two stable counting
+    /// scatters — first by the new column's code, then by the old class id
+    /// (stability keeps the code order inside every class) — so a
+    /// refinement costs `O(m + d)` regardless of class sizes.
     pub fn refined(&self, rel: &Relation, col: ColumnId) -> SortedPartition {
+        let m = self.rows.len();
+        if m == 0 {
+            return SortedPartition {
+                rows: Vec::new(),
+                offsets: vec![0],
+            };
+        }
         let codes = rel.codes(col);
-        let mut rows = Vec::with_capacity(self.rows.len());
+        let d = rel.meta(col).distinct.max(1);
+        let num_classes = self.num_classes();
+
+        let mut class_of = vec![0u32; m];
+        for (cid, w) in self.offsets.windows(2).enumerate() {
+            for slot in &mut class_of[w[0] as usize..w[1] as usize] {
+                *slot = cid as u32;
+            }
+        }
+
+        // Pass 1: stable counting scatter by the new column's code.
+        let mut starts = vec![0u32; d + 1];
+        for &r in &self.rows {
+            starts[codes[r as usize] as usize + 1] += 1;
+        }
+        for i in 1..=d {
+            starts[i] += starts[i - 1];
+        }
+        let mut rows_by_code = vec![0u32; m];
+        let mut cls_by_code = vec![0u32; m];
+        for (i, &r) in self.rows.iter().enumerate() {
+            let slot = &mut starts[codes[r as usize] as usize];
+            rows_by_code[*slot as usize] = r;
+            cls_by_code[*slot as usize] = class_of[i];
+            *slot += 1;
+        }
+
+        // Pass 2: stable counting scatter by old class id — classes regain
+        // dominance, code order survives within each by stability.
+        let mut starts = vec![0u32; num_classes + 1];
+        for &c in &cls_by_code {
+            starts[c as usize + 1] += 1;
+        }
+        for i in 1..=num_classes {
+            starts[i] += starts[i - 1];
+        }
+        let mut rows = vec![0u32; m];
+        let mut cls = vec![0u32; m];
+        for i in 0..m {
+            let slot = &mut starts[cls_by_code[i] as usize];
+            rows[*slot as usize] = rows_by_code[i];
+            cls[*slot as usize] = cls_by_code[i];
+            *slot += 1;
+        }
+
+        // Class boundaries: wherever the old class or the new code changes.
         let mut offsets = Vec::with_capacity(self.offsets.len());
         offsets.push(0u32);
-        let mut scratch: Vec<u32> = Vec::new();
-        for class in self.classes() {
-            scratch.clear();
-            scratch.extend_from_slice(class);
-            scratch.sort_unstable_by_key(|&r| codes[r as usize]);
-            for (i, &r) in scratch.iter().enumerate() {
-                if i > 0 && codes[r as usize] != codes[scratch[i - 1] as usize] {
-                    offsets.push(rows.len() as u32);
-                }
-                rows.push(r);
+        for i in 1..m {
+            if cls[i] != cls[i - 1] || codes[rows[i] as usize] != codes[rows[i - 1] as usize] {
+                offsets.push(i as u32);
             }
-            offsets.push(rows.len() as u32);
         }
-        // `offsets` may end without the final boundary when the last class
-        // was empty; normalize.
-        if *offsets.last().expect("at least the leading 0") != rows.len() as u32 {
-            offsets.push(rows.len() as u32);
-        }
-        offsets.dedup();
+        offsets.push(m as u32);
         SortedPartition { rows, offsets }
     }
 
@@ -134,10 +182,23 @@ impl SortedPartition {
     }
 }
 
+impl CacheWeight for SortedPartition {
+    fn weight_bytes(&self) -> usize {
+        (self.rows.len() + self.offsets.len()) * std::mem::size_of::<u32>()
+    }
+}
+
 /// Memoizing checker over sorted partitions, keyed by list prefix.
+///
+/// The memo is worker-private by default; [`PartitionChecker::with_shared`]
+/// swaps it for a run-wide [`SharedPrefixCache`] so all workers of a
+/// parallel run refine each other's partitions instead of their own copies.
 pub struct PartitionChecker<'r> {
     rel: &'r Relation,
     cache: HashMap<Vec<ColumnId>, Arc<SortedPartition>>,
+    shared: Option<Arc<SharedPrefixCache<SortedPartition>>>,
+    /// The empty-list partition (one class, every row).
+    unit: Arc<SortedPartition>,
     /// Partitions built by refinement (cache hits on the parent).
     pub refinements: u64,
     /// Partitions built from scratch (column base cases).
@@ -147,11 +208,30 @@ pub struct PartitionChecker<'r> {
 impl<'r> PartitionChecker<'r> {
     /// Create an empty checker over `rel`.
     pub fn new(rel: &'r Relation) -> PartitionChecker<'r> {
+        let unit = Arc::new(SortedPartition::unit(rel.num_rows()));
         let mut cache = HashMap::new();
-        cache.insert(Vec::new(), Arc::new(SortedPartition::unit(rel.num_rows())));
+        cache.insert(Vec::new(), Arc::clone(&unit));
         PartitionChecker {
             rel,
             cache,
+            shared: None,
+            unit,
+            refinements: 0,
+            base_builds: 0,
+        }
+    }
+
+    /// Create a checker whose memo is a run-wide shared store. The private
+    /// map is not used: partitions live in (and are evicted from) `shared`.
+    pub fn with_shared(
+        rel: &'r Relation,
+        shared: Arc<SharedPrefixCache<SortedPartition>>,
+    ) -> PartitionChecker<'r> {
+        PartitionChecker {
+            rel,
+            cache: HashMap::new(),
+            shared: Some(shared),
+            unit: Arc::new(SortedPartition::unit(rel.num_rows())),
             refinements: 0,
             base_builds: 0,
         }
@@ -160,7 +240,14 @@ impl<'r> PartitionChecker<'r> {
     /// The sorted partition of `cols`, built by refining the longest cached
     /// prefix.
     pub fn partition_for(&mut self, cols: &[ColumnId]) -> Arc<SortedPartition> {
-        if let Some(p) = self.cache.get(cols) {
+        if cols.is_empty() {
+            return Arc::clone(&self.unit);
+        }
+        if let Some(shared) = &self.shared {
+            if let Some(p) = shared.get(cols) {
+                return p;
+            }
+        } else if let Some(p) = self.cache.get(cols) {
             return Arc::clone(p);
         }
         let parent = self.partition_for(&cols[..cols.len() - 1]);
@@ -170,7 +257,12 @@ impl<'r> PartitionChecker<'r> {
             self.refinements += 1;
         }
         let refined = Arc::new(parent.refined(self.rel, cols[cols.len() - 1]));
-        self.cache.insert(cols.to_vec(), Arc::clone(&refined));
+        match &self.shared {
+            Some(shared) => shared.insert(cols.to_vec(), Arc::clone(&refined)),
+            None => {
+                self.cache.insert(cols.to_vec(), Arc::clone(&refined));
+            }
+        }
         refined
     }
 
@@ -323,6 +415,36 @@ mod tests {
         assert_eq!(checker.base_builds, 1);
         assert_eq!(checker.refinements, 2);
         assert_eq!(checker.cached(), 4); // [], [0], [0,1], [0,2]
+    }
+
+    #[test]
+    fn shared_checker_agrees_and_reuses_across_workers() {
+        let r = rel(&[
+            ("a", &[1, 2, 1, 2, 3]),
+            ("b", &[1, 1, 2, 2, 3]),
+            ("c", &[1, 2, 3, 4, 5]),
+        ]);
+        let shared = Arc::new(SharedPrefixCache::new(1 << 20));
+        let mut one = PartitionChecker::with_shared(&r, Arc::clone(&shared));
+        let mut two = PartitionChecker::with_shared(&r, Arc::clone(&shared));
+        let lists = [l(&[0]), l(&[1]), l(&[0, 1]), l(&[1, 2])];
+        for x in &lists {
+            for y in &lists {
+                assert_eq!(
+                    one.check_od(x, y).is_valid(),
+                    check_od(&r, x, y).is_valid(),
+                    "{x} -> {y}"
+                );
+            }
+        }
+        // Worker two finds every partition already built by worker one.
+        for x in &lists {
+            for y in &lists {
+                assert_eq!(two.check_od(x, y).is_valid(), check_od(&r, x, y).is_valid());
+            }
+        }
+        assert_eq!(two.base_builds + two.refinements, 0, "fully shared");
+        assert!(shared.stats().hits > 0);
     }
 
     #[test]

@@ -82,8 +82,10 @@ pub fn lineitem(rows: usize, seed: u64) -> Relation {
         shipdate.push(Value::Int(ship));
         commitdate.push(Value::Int(commit));
         receiptdate.push(Value::Int(receipt));
-        shipinstruct.push(Value::Str(INSTRUCTS[rng.random_range(0..4)].to_owned()));
-        shipmode.push(Value::Str(MODES[rng.random_range(0..7)].to_owned()));
+        shipinstruct.push(Value::Str(
+            INSTRUCTS[rng.random_range(0..4usize)].to_owned(),
+        ));
+        shipmode.push(Value::Str(MODES[rng.random_range(0..7usize)].to_owned()));
         comment.push(Value::Str(format!("c{}", rng.random_range(0..1_000_000))));
         line_in_order += 1;
     }

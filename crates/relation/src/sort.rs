@@ -4,7 +4,28 @@
 //! Given a relation and a list of columns `X`, [`sort_index_by`] returns the
 //! permutation of row ids that orders the rows by `X` under the operator
 //! `⪯` of Definition 2.1 (lexicographic, NULLS FIRST). Because columns are
-//! rank encoded, the comparator is a short loop of `u32` comparisons.
+//! rank encoded over dense `u32` codes in `[0, distinct)`, the sort never
+//! needs a general comparator: every kernel below is distribution-based.
+//!
+//! # Kernel selection
+//!
+//! * `[]` — identity permutation.
+//! * `[A]` — one **counting sort** over `[0, distinct(A))`: `O(m + d)`.
+//! * Short lists whose code widths sum to ≤ 64 bits — rows are packed into
+//!   a single `u64` key and sorted by a stable **LSD radix sort**:
+//!   `O(p·(m + 2^digit))` for `p = ⌈bits/digit⌉` passes.
+//! * Anything else — **chained counting refinement**: the list is processed
+//!   column by column, each step two stable counting scatters
+//!   (`O(m + d_i)`), carrying run ids so earlier columns stay dominant.
+//!
+//! All kernels are stable, so ties keep their original row order, exactly
+//! like the comparison sorts they replace. The comparator path survives as
+//! [`sort_index_by_comparator`] / [`refine_index_comparator`] — the
+//! differential-test oracle and the paper-literal fallback.
+//!
+//! [`kernel_stats`] counts which kernel ran (process-global relaxed
+//! atomics; snapshot deltas feed the discovery result and the ablation
+//! bench).
 
 use crate::relation::{ColumnId, Relation};
 use std::cmp::Ordering;
@@ -23,11 +44,337 @@ pub fn cmp_rows(rel: &Relation, cols: &[ColumnId], a: usize, b: usize) -> Orderi
     Ordering::Equal
 }
 
+pub mod kernel_stats {
+    //! Process-global counters of which sort kernel ran.
+    //!
+    //! Relaxed atomics: cheap enough for the hot path, and observability
+    //! only — values are monotone counters, never part of a result.
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTING: AtomicU64 = AtomicU64::new(0);
+    static PACKED_RADIX: AtomicU64 = AtomicU64::new(0);
+    static CHAINED_REFINE: AtomicU64 = AtomicU64::new(0);
+    static COMPARATOR: AtomicU64 = AtomicU64::new(0);
+
+    #[inline]
+    pub(super) fn bump_counting() {
+        COUNTING.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub(super) fn bump_packed_radix() {
+        PACKED_RADIX.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub(super) fn bump_chained_refine() {
+        CHAINED_REFINE.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub(super) fn bump_comparator() {
+        COMPARATOR.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Monotone totals since process start.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct KernelCounts {
+        /// Single-column counting sorts.
+        pub counting: u64,
+        /// Packed-`u64` LSD radix sorts.
+        pub packed_radix: u64,
+        /// Chained counting-refinement passes (one per column refined).
+        pub chained_refine: u64,
+        /// Comparator (oracle / fallback) sorts.
+        pub comparator: u64,
+    }
+
+    impl KernelCounts {
+        /// Counter increments between `earlier` and `self`.
+        pub fn since(&self, earlier: &KernelCounts) -> KernelCounts {
+            KernelCounts {
+                counting: self.counting - earlier.counting,
+                packed_radix: self.packed_radix - earlier.packed_radix,
+                chained_refine: self.chained_refine - earlier.chained_refine,
+                comparator: self.comparator - earlier.comparator,
+            }
+        }
+
+        /// Sum over all kernels.
+        pub fn total(&self) -> u64 {
+            self.counting + self.packed_radix + self.chained_refine + self.comparator
+        }
+    }
+
+    /// Read the current totals.
+    pub fn snapshot() -> KernelCounts {
+        KernelCounts {
+            counting: COUNTING.load(Ordering::Relaxed),
+            packed_radix: PACKED_RADIX.load(Ordering::Relaxed),
+            chained_refine: CHAINED_REFINE.load(Ordering::Relaxed),
+            comparator: COMPARATOR.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Bits needed to store codes of a column with `distinct` values
+/// (0 for constant columns — they never affect an ordering).
+#[inline]
+fn code_bits(distinct: usize) -> u32 {
+    if distinct <= 1 {
+        0
+    } else {
+        usize::BITS - (distinct - 1).leading_zeros()
+    }
+}
+
+/// Total packed-key width of `cols`, or `None` when it exceeds 64 bits.
+fn packed_bits(rel: &Relation, cols: &[ColumnId]) -> Option<u32> {
+    let mut total = 0u32;
+    for &c in cols {
+        total += code_bits(rel.meta(c).distinct);
+        if total > 64 {
+            return None;
+        }
+    }
+    Some(total)
+}
+
+/// Stable counting sort of the identity permutation by one code column.
+fn counting_sort_single(codes: &[u32], distinct: usize) -> Vec<u32> {
+    kernel_stats::bump_counting();
+    let m = codes.len();
+    let d = distinct.max(1);
+    let mut starts = vec![0u32; d + 1];
+    for &c in codes {
+        starts[c as usize + 1] += 1;
+    }
+    for i in 1..=d {
+        starts[i] += starts[i - 1];
+    }
+    let mut out = vec![0u32; m];
+    for (row, &c) in codes.iter().enumerate() {
+        let slot = &mut starts[c as usize];
+        out[*slot as usize] = row as u32;
+        *slot += 1;
+    }
+    out
+}
+
+/// Pack each row's codes on `cols` into one `u64` (leftmost column in the
+/// most significant bits). Constant columns contribute zero bits.
+fn pack_keys(rel: &Relation, cols: &[ColumnId], rows: impl Iterator<Item = u32>) -> Vec<u64> {
+    let widths: Vec<(ColumnId, u32)> = cols
+        .iter()
+        .map(|&c| (c, code_bits(rel.meta(c).distinct)))
+        .collect();
+    rows.map(|r| {
+        let mut key = 0u64;
+        for &(c, bits) in &widths {
+            key = (key << bits) | u64::from(rel.code(r as usize, c));
+        }
+        key
+    })
+    .collect()
+}
+
+/// Stable LSD radix sort of `(keys, rows)` pairs by `total_bits` key bits.
+fn radix_sort_packed(mut keys: Vec<u64>, mut rows: Vec<u32>, total_bits: u32) -> Vec<u32> {
+    kernel_stats::bump_packed_radix();
+    let m = rows.len();
+    if m <= 1 || total_bits == 0 {
+        return rows;
+    }
+    // Narrow digits keep the bucket table cache-resident for small inputs.
+    let digit_bits: u32 = if m < (1 << 14) { 8 } else { 16 };
+    let buckets = 1usize << digit_bits;
+    let mask = (buckets - 1) as u64;
+
+    let mut scratch_keys = vec![0u64; m];
+    let mut scratch_rows = vec![0u32; m];
+    let mut starts = vec![0u32; buckets + 1];
+
+    let mut shift = 0u32;
+    while shift < total_bits {
+        starts.fill(0);
+        for &k in &keys {
+            starts[((k >> shift) & mask) as usize + 1] += 1;
+        }
+        for i in 1..=buckets {
+            starts[i] += starts[i - 1];
+        }
+        for i in 0..m {
+            let digit = ((keys[i] >> shift) & mask) as usize;
+            let slot = &mut starts[digit];
+            scratch_keys[*slot as usize] = keys[i];
+            scratch_rows[*slot as usize] = rows[i];
+            *slot += 1;
+        }
+        std::mem::swap(&mut keys, &mut scratch_keys);
+        std::mem::swap(&mut rows, &mut scratch_rows);
+        shift += digit_bits;
+    }
+    rows
+}
+
+/// State carried by the chained counting-refinement kernel: a permutation
+/// plus the run (equivalence-class) id of every position under the columns
+/// refined so far.
+struct RefineState {
+    rows: Vec<u32>,
+    runs: Vec<u32>,
+    num_runs: usize,
+}
+
+impl RefineState {
+    /// Everything in one run, original row order: the empty-prefix state.
+    fn identity(m: usize) -> RefineState {
+        RefineState {
+            rows: (0..m as u32).collect(),
+            runs: vec![0; m],
+            num_runs: if m == 0 { 0 } else { 1 },
+        }
+    }
+
+    /// State for an existing permutation already sorted by `prefix`.
+    fn from_sorted(rel: &Relation, base: &[u32], prefix: &[ColumnId]) -> RefineState {
+        let m = base.len();
+        let mut runs = vec![0u32; m];
+        let mut current = 0u32;
+        for i in 1..m {
+            if cmp_rows(rel, prefix, base[i - 1] as usize, base[i] as usize) != Ordering::Equal {
+                current += 1;
+            }
+            runs[i] = current;
+        }
+        RefineState {
+            rows: base.to_vec(),
+            runs,
+            num_runs: if m == 0 { 0 } else { current as usize + 1 },
+        }
+    }
+
+    /// Refine by one more column: two stable counting scatters. After the
+    /// call, `rows` is ordered by (previous runs, `col`) and `runs` holds
+    /// the new, finer run ids.
+    fn refine_by(&mut self, rel: &Relation, col: ColumnId) {
+        kernel_stats::bump_chained_refine();
+        let m = self.rows.len();
+        if m <= 1 {
+            return;
+        }
+        let codes = rel.codes(col);
+        let d = rel.meta(col).distinct.max(1);
+
+        // Pass 1: stable counting sort by the new column's code.
+        let mut starts = vec![0u32; d + 1];
+        for &r in &self.rows {
+            starts[codes[r as usize] as usize + 1] += 1;
+        }
+        for i in 1..=d {
+            starts[i] += starts[i - 1];
+        }
+        let mut rows_by_code = vec![0u32; m];
+        let mut runs_by_code = vec![0u32; m];
+        for (i, &r) in self.rows.iter().enumerate() {
+            let slot = &mut starts[codes[r as usize] as usize];
+            rows_by_code[*slot as usize] = r;
+            runs_by_code[*slot as usize] = self.runs[i];
+            *slot += 1;
+        }
+
+        // Pass 2: stable counting sort by run id — restores the dominance
+        // of the already-sorted prefix; within a run, pass 1's code order
+        // survives by stability.
+        let mut starts = vec![0u32; self.num_runs + 1];
+        for &g in &runs_by_code {
+            starts[g as usize + 1] += 1;
+        }
+        for i in 1..=self.num_runs {
+            starts[i] += starts[i - 1];
+        }
+        let mut rows_out = vec![0u32; m];
+        let mut runs_old = vec![0u32; m];
+        for i in 0..m {
+            let slot = &mut starts[runs_by_code[i] as usize];
+            rows_out[*slot as usize] = rows_by_code[i];
+            runs_old[*slot as usize] = runs_by_code[i];
+            *slot += 1;
+        }
+
+        // New run ids: split whenever the old run or the new code changes.
+        let mut runs_new = vec![0u32; m];
+        let mut current = 0u32;
+        for i in 1..m {
+            if runs_old[i] != runs_old[i - 1]
+                || codes[rows_out[i] as usize] != codes[rows_out[i - 1] as usize]
+            {
+                current += 1;
+            }
+            runs_new[i] = current;
+        }
+        self.rows = rows_out;
+        self.runs = runs_new;
+        self.num_runs = current as usize + 1;
+    }
+}
+
 /// Row-id permutation sorting `rel` by the attribute list `cols`.
 ///
 /// The sort is stable, so ties keep their original row order; callers that
 /// scan adjacent pairs must treat equal-`cols` neighbours explicitly.
 pub fn sort_index_by(rel: &Relation, cols: &[ColumnId]) -> Vec<u32> {
+    let m = rel.num_rows();
+    match cols {
+        [] => (0..m as u32).collect(),
+        [single] => counting_sort_single(rel.codes(*single), rel.meta(*single).distinct),
+        _ => match packed_bits(rel, cols) {
+            Some(bits) => {
+                let keys = pack_keys(rel, cols, 0..m as u32);
+                radix_sort_packed(keys, (0..m as u32).collect(), bits)
+            }
+            None => {
+                let mut state = RefineState::identity(m);
+                for &c in cols {
+                    state.refine_by(rel, c);
+                }
+                state.rows
+            }
+        },
+    }
+}
+
+/// Row-id permutation for a single column (common fast path for level-2
+/// candidates and column reduction).
+pub fn sort_index_by_single(rel: &Relation, col: ColumnId) -> Vec<u32> {
+    sort_index_by(rel, &[col])
+}
+
+/// Refine an existing permutation `base` (already sorted by some prefix `P`)
+/// into one sorted by `P ++ cols`, reusing the work done for the prefix.
+///
+/// This is the building block of the cached-prefix optimization: run ids of
+/// the `P`-equal classes are recovered in one scan, then each extra column
+/// costs two stable counting scatters (`O(m + distinct)`), never a
+/// comparison sort.
+pub fn refine_index(
+    rel: &Relation,
+    base: &[u32],
+    prefix: &[ColumnId],
+    cols: &[ColumnId],
+) -> Vec<u32> {
+    if cols.is_empty() || base.len() <= 1 {
+        return base.to_vec();
+    }
+    let mut state = RefineState::from_sorted(rel, base, prefix);
+    for &c in cols {
+        state.refine_by(rel, c);
+    }
+    state.rows
+}
+
+/// Comparison-sort implementation of [`sort_index_by`]: the paper-literal
+/// path, kept as the differential-test oracle and fallback.
+pub fn sort_index_by_comparator(rel: &Relation, cols: &[ColumnId]) -> Vec<u32> {
+    kernel_stats::bump_comparator();
     let mut index: Vec<u32> = (0..rel.num_rows() as u32).collect();
     match cols {
         [] => index,
@@ -43,23 +390,14 @@ pub fn sort_index_by(rel: &Relation, cols: &[ColumnId]) -> Vec<u32> {
     }
 }
 
-/// Row-id permutation for a single column (common fast path for level-2
-/// candidates and column reduction).
-pub fn sort_index_by_single(rel: &Relation, col: ColumnId) -> Vec<u32> {
-    sort_index_by(rel, &[col])
-}
-
-/// Refine an existing permutation `base` (already sorted by some prefix `P`)
-/// into one sorted by `P ++ cols`, reusing the work done for the prefix.
-///
-/// This is the building block of the cached-prefix optimization: within each
-/// run of `P`-equal rows the permutation is re-sorted by `cols` only.
-pub fn refine_index(
+/// Comparison-sort implementation of [`refine_index`] (oracle/fallback).
+pub fn refine_index_comparator(
     rel: &Relation,
     base: &[u32],
     prefix: &[ColumnId],
     cols: &[ColumnId],
 ) -> Vec<u32> {
+    kernel_stats::bump_comparator();
     let mut out = base.to_vec();
     let n = out.len();
     let mut start = 0;
@@ -103,7 +441,7 @@ mod tests {
         let r = rel(&[(2, 1), (1, 9), (2, 0), (1, 3)]);
         // Sorted by [a, b]: (1,3), (1,9), (2,0), (2,1) -> rows 3,1,2,0
         assert_eq!(sort_index_by(&r, &[0, 1]), vec![3, 1, 2, 0]);
-        // Sorted by [b, a]: (2,0), (0? no)... values b: 1,9,0,3 -> rows 2,0,3,1
+        // Sorted by [b, a]: values b: 1,9,0,3 -> rows 2,0,3,1
         assert_eq!(sort_index_by(&r, &[1, 0]), vec![2, 0, 3, 1]);
     }
 
@@ -148,5 +486,138 @@ mod tests {
                 Ordering::Greater
             );
         }
+    }
+
+    /// Deterministic pseudo-random relation with `cols` columns over a small
+    /// domain (many ties, many runs).
+    fn pseudo_random_relation(cols: usize, rows: usize, domain: i64, seed: u64) -> Relation {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let named = (0..cols)
+            .map(|c| {
+                (
+                    format!("c{c}"),
+                    (0..rows)
+                        .map(|_| Value::Int((next() % domain as u64) as i64))
+                        .collect(),
+                )
+            })
+            .collect();
+        Relation::from_columns(named).unwrap()
+    }
+
+    #[test]
+    fn kernels_match_comparator_oracle() {
+        for seed in 0..12u64 {
+            let r = pseudo_random_relation(4, 64, 5, seed + 1);
+            let lists: Vec<Vec<ColumnId>> = vec![
+                vec![0],
+                vec![3],
+                vec![0, 1],
+                vec![2, 1, 0],
+                vec![3, 2, 1, 0],
+                vec![1, 1, 2], // duplicate columns: later copies are no-ops
+            ];
+            for cols in &lists {
+                assert_eq!(
+                    sort_index_by(&r, cols),
+                    sort_index_by_comparator(&r, cols),
+                    "seed {seed}, cols {cols:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chained_kernel_matches_oracle_beyond_packing_width() {
+        // Eight near-key columns at ~9 bits each exceed 64 packed bits,
+        // forcing the chained counting-refinement kernel.
+        let rows = 512;
+        let r = pseudo_random_relation(8, rows, 60_000, 99);
+        let cols: Vec<ColumnId> = (0..8).collect();
+        assert!(
+            packed_bits(&r, &cols).is_none(),
+            "test must exercise the non-packable path"
+        );
+        assert_eq!(
+            sort_index_by(&r, &cols),
+            sort_index_by_comparator(&r, &cols)
+        );
+    }
+
+    #[test]
+    fn refine_matches_comparator_oracle() {
+        for seed in 0..12u64 {
+            let r = pseudo_random_relation(4, 48, 4, seed + 101);
+            let base = sort_index_by(&r, &[2]);
+            for cols in [vec![0], vec![0, 1], vec![3, 1, 0]] {
+                assert_eq!(
+                    refine_index(&r, &base, &[2], &cols),
+                    refine_index_comparator(&r, &base, &[2], &cols),
+                    "seed {seed}, cols {cols:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_radix_large_input_uses_wide_digits() {
+        // > 2^14 rows exercises the 16-bit digit path.
+        let rows = 20_000;
+        let r = pseudo_random_relation(2, rows, 300, 7);
+        let sorted = sort_index_by(&r, &[0, 1]);
+        assert_eq!(sorted.len(), rows);
+        for w in sorted.windows(2) {
+            assert_ne!(
+                cmp_rows(&r, &[0, 1], w[0] as usize, w[1] as usize),
+                Ordering::Greater
+            );
+        }
+        // Stability: ties keep ascending row order.
+        for w in sorted.windows(2) {
+            if cmp_rows(&r, &[0, 1], w[0] as usize, w[1] as usize) == Ordering::Equal {
+                assert!(w[0] < w[1], "stable sort keeps original order on ties");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_columns_cost_no_key_bits() {
+        assert_eq!(code_bits(0), 0);
+        assert_eq!(code_bits(1), 0);
+        assert_eq!(code_bits(2), 1);
+        assert_eq!(code_bits(3), 2);
+        assert_eq!(code_bits(256), 8);
+        assert_eq!(code_bits(257), 9);
+    }
+
+    #[test]
+    fn kernel_stats_count_up() {
+        let before = kernel_stats::snapshot();
+        let r = rel(&[(3, 1), (1, 2), (2, 0)]);
+        let _ = sort_index_by(&r, &[0]);
+        let _ = sort_index_by(&r, &[0, 1]);
+        let _ = sort_index_by_comparator(&r, &[0, 1]);
+        let delta = kernel_stats::snapshot().since(&before);
+        assert!(delta.counting >= 1);
+        assert!(delta.packed_radix >= 1);
+        assert!(delta.comparator >= 1);
+    }
+
+    #[test]
+    fn empty_relation_all_kernels() {
+        let r = Relation::from_columns(vec![
+            ("a".to_string(), Vec::new()),
+            ("b".to_string(), Vec::new()),
+        ])
+        .unwrap();
+        assert!(sort_index_by(&r, &[0]).is_empty());
+        assert!(sort_index_by(&r, &[0, 1]).is_empty());
+        assert!(refine_index(&r, &[], &[0], &[1]).is_empty());
     }
 }

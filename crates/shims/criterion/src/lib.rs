@@ -1,0 +1,349 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of the criterion API its benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `sample_size` / `throughput` /
+//! `bench_function` / `bench_with_input`, and `Bencher::iter`.
+//!
+//! Measurement is deliberately simple: a short warm-up, then timed batches
+//! until a wall-clock budget is spent; the mean ns/iteration (and
+//! throughput, when declared) is printed to stdout. `--test` runs every
+//! routine exactly once — the smoke mode `ci.sh` uses. There is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+#![allow(clippy::all, clippy::pedantic, clippy::manual_is_multiple_of)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units-per-iteration declaration used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with an explicit parameter component.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) => write!(f, "{}/{}", self.name, p),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Test (smoke) mode: run the routine once, skip measurement.
+    test_mode: bool,
+    /// Measured mean nanoseconds per iteration (filled by `iter`).
+    mean_ns: f64,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` and record the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and batch-size calibration: grow the batch until it costs
+        // at least ~1ms so Instant overhead is negligible.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Timed batches until the measurement budget is spent.
+        let started = Instant::now();
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while started.elapsed() < self.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            spent += t.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = spent.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; this harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (time budget is fixed).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            mean_ns: 0.0,
+            measurement: self.criterion.measurement,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            mean_ns: 0.0,
+            measurement: self.criterion.measurement,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        if self.criterion.test_mode {
+            println!("test {}/{} ... ok (smoke)", self.name, id);
+            return;
+        }
+        let per_iter = format_ns(b.mean_ns);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+                let rate = n as f64 / (b.mean_ns / 1e9);
+                println!(
+                    "{}/{}  time: {per_iter}/iter  thrpt: {} elem/s",
+                    self.name,
+                    id,
+                    format_count(rate)
+                );
+            }
+            Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+                let rate = n as f64 / (b.mean_ns / 1e9);
+                println!(
+                    "{}/{}  time: {per_iter}/iter  thrpt: {}B/s",
+                    self.name,
+                    id,
+                    format_count(rate)
+                );
+            }
+            _ => println!("{}/{}  time: {per_iter}/iter", self.name, id),
+        }
+    }
+
+    /// End the group (printing happens eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn format_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+/// Entry point object handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+    measurement: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            measurement: Duration::from_millis(400),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from CLI args: honours `--test` (smoke mode) and a positional
+    /// name filter; every other cargo-bench flag is accepted and ignored.
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" => {}
+                s if s.starts_with('-') => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Whether `name` passes the CLI filter.
+    pub fn matches_filter(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// Group benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Produce a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut runs = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measured_mode_fills_mean() {
+        let mut c = Criterion {
+            test_mode: false,
+            measurement: Duration::from_millis(5),
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("sort", 100).to_string(), "sort/100");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

@@ -1,0 +1,289 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of rayon it uses: `ThreadPoolBuilder` → `ThreadPool::install`
+//! and slice `par_iter().map(..)/.map_init(..).collect()`.
+//!
+//! Execution model: instead of work-stealing, the input slice is split into
+//! `num_threads` contiguous chunks and each chunk runs on its own scoped
+//! thread (`map_init` runs its init once per chunk). `collect` preserves
+//! input order, so results are byte-identical to a sequential run — the
+//! property the determinism tests assert. Load balance is coarser than
+//! real work-stealing, which only affects wall-clock, never results.
+
+#![allow(clippy::all, clippy::pedantic, clippy::manual_is_multiple_of)]
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Thread count installed by the innermost `ThreadPool::install`.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Number of worker threads the current `install` scope provides.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|t| t.get().max(1))
+}
+
+/// Error type mirroring rayon's builder error (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default thread count (available parallelism).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker count (0 = available parallelism).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical pool: threads are spawned per parallel call, scoped, so no
+/// persistent workers are kept alive.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count visible to `par_iter` calls
+    /// made inside it.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|t| {
+            let prev = t.get();
+            t.set(self.num_threads);
+            let out = op();
+            t.set(prev);
+            out
+        })
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Borrowing conversion into a parallel iterator (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The parallel iterator type.
+        type Iter;
+        /// Start a parallel iterator over borrowed items.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = ParIter<'data, T>;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = ParIter<'data, T>;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter {
+                items: self.as_slice(),
+            }
+        }
+    }
+
+    /// Parallel iterator over a borrowed slice; items are `&'data T`.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Parallel map.
+        pub fn map<R, F>(self, f: F) -> Map<'data, T, F>
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+        {
+            Map {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Parallel map with per-worker mutable state (rayon's `map_init`;
+        /// here `init` runs once per chunk).
+        pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> MapInit<'data, T, INIT, F>
+        where
+            INIT: Fn() -> S + Sync,
+            F: Fn(&mut S, &'data T) -> R + Sync,
+            R: Send,
+        {
+            MapInit {
+                items: self.items,
+                init,
+                f,
+            }
+        }
+    }
+
+    /// Result of [`ParIter::map`].
+    pub struct Map<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    /// Result of [`ParIter::map_init`].
+    pub struct MapInit<'data, T, INIT, F> {
+        items: &'data [T],
+        init: INIT,
+        f: F,
+    }
+
+    /// Split `len` items into at most `workers` contiguous chunk ranges.
+    fn chunk_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+        let workers = workers.clamp(1, len.max(1));
+        let base = len / workers;
+        let extra = len % workers;
+        let mut ranges = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let size = base + usize::from(w < extra);
+            ranges.push(start..start + size);
+            start += size;
+        }
+        ranges
+    }
+
+    /// Run one closure per chunk on scoped threads, preserving chunk order.
+    fn run_chunked<'data, T, R, F>(items: &'data [T], per_chunk: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'data [T]) -> Vec<R> + Sync,
+    {
+        let workers = current_num_threads();
+        if workers <= 1 || items.len() <= 1 {
+            return per_chunk(items);
+        }
+        let ranges = chunk_ranges(items.len(), workers);
+        let mut out = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| {
+                    let per_chunk = &per_chunk;
+                    scope.spawn(move || per_chunk(&items[r]))
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("parallel worker panicked"));
+            }
+        });
+        out
+    }
+
+    impl<'data, T, R, F> Map<'data, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        /// Collect mapped results in input order.
+        pub fn collect<C: From<Vec<R>>>(self) -> C {
+            let f = &self.f;
+            C::from(run_chunked(self.items, |chunk: &'data [T]| {
+                chunk.iter().map(f).collect()
+            }))
+        }
+    }
+
+    impl<'data, T, S, R, INIT, F> MapInit<'data, T, INIT, F>
+    where
+        T: Sync,
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'data T) -> R + Sync,
+    {
+        /// Collect mapped results in input order.
+        pub fn collect<C: From<Vec<R>>>(self) -> C {
+            let f = &self.f;
+            let init = &self.init;
+            C::from(run_chunked(self.items, |chunk: &'data [T]| {
+                let mut state = init();
+                chunk.iter().map(|item| f(&mut state, item)).collect()
+            }))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_runs_init_per_chunk() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let input: Vec<u32> = (0..10).collect();
+        let out: Vec<u32> = pool.install(|| {
+            input
+                .par_iter()
+                .map_init(
+                    || 100u32,
+                    |state, &x| {
+                        *state += 1;
+                        x + *state - *state // value independent of state
+                    },
+                )
+                .collect()
+        });
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn outside_install_is_sequential() {
+        let input = vec![1, 2, 3];
+        let out: Vec<i32> = input.par_iter().map(|&x| -x).collect();
+        assert_eq!(out, vec![-1, -2, -3]);
+    }
+}

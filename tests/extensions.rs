@@ -200,7 +200,12 @@ fn rewriter_agrees_between_data_and_catalogue_on_datasets() {
 
 #[test]
 fn approximate_epsilon_monotone() {
-    // Larger tolerance can only find more (or equal) dependencies.
+    // Larger tolerance can only find more (or equal) dependencies *per
+    // candidate*. The total count across the whole tree is NOT monotone in
+    // epsilon: when a loose run validates an OD direction it prunes that
+    // side's children (Theorem 3.9), children the tight run explores and
+    // may emit OCDs from. Level 2 checks the same candidate set under both
+    // tolerances, so monotonicity is exact there.
     // Level-capped: approximate trees explode fast on quasi-constant data.
     let rel = Dataset::Horse.generate(RowScale::Rows(150));
     let config = DiscoveryConfig {
@@ -209,15 +214,13 @@ fn approximate_epsilon_monotone() {
     };
     let tight = discover_approximate(&rel, &config, 0.0);
     let loose = discover_approximate(&rel, &config, 0.05);
-    assert!(loose.ocds.len() >= tight.ocds.len());
-    let tight_set: std::collections::HashSet<String> = tight
-        .ocds
-        .iter()
-        .map(|a| a.ocd.canonical().to_string())
-        .collect();
-    for a in &tight.ocds {
-        let _ = a;
-    }
+    let level2 = |r: &ocddiscover::core::approximate::ApproximateResult| {
+        r.ocds
+            .iter()
+            .filter(|a| a.ocd.lhs.len() == 1 && a.ocd.rhs.len() == 1)
+            .count()
+    };
+    assert!(level2(&loose) >= level2(&tight));
     // Every exact (level-2) OCD appears among the loose ones.
     for a in tight
         .ocds
@@ -233,5 +236,8 @@ fn approximate_epsilon_monotone() {
             a.ocd
         );
     }
-    drop(tight_set);
+    // Loose errors never exceed the tolerance they were accepted at.
+    for a in &loose.ocds {
+        assert!(a.error <= 0.05 + 1e-12, "{}: error {}", a.ocd, a.error);
+    }
 }

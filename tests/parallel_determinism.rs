@@ -1,8 +1,10 @@
 //! Every execution mode must return exactly the same dependencies, checks
-//! and statistics — parallelism may only change wall-clock time.
+//! and statistics — parallelism may only change wall-clock time. The same
+//! holds for checker backends and the shared prefix cache: they are pure
+//! performance knobs.
 
 use ocddiscover::datasets::{Dataset, RowScale};
-use ocddiscover::{discover, DiscoveryConfig, ParallelMode};
+use ocddiscover::{discover, CheckerBackend, DiscoveryConfig, ParallelMode};
 
 fn assert_same_results(ds: Dataset, rows: usize) {
     let rel = ds.generate(RowScale::Rows(rows));
@@ -57,6 +59,80 @@ fn dbtesma_deterministic_across_modes() {
 #[test]
 fn ncvoter_deterministic_across_modes() {
     assert_same_results(Dataset::Ncvoter1k, 400);
+}
+
+/// The full configuration matrix: every execution mode × checker backend ×
+/// shared-cache setting must produce a byte-identical canonical result.
+#[test]
+fn full_mode_backend_cache_matrix_is_deterministic() {
+    let rel = Dataset::Horse.generate(RowScale::Rows(220));
+    let baseline = discover(&rel, &DiscoveryConfig::default());
+    assert!(baseline.complete);
+    for mode in [
+        ParallelMode::Sequential,
+        ParallelMode::StaticQueues(4),
+        ParallelMode::Rayon(4),
+    ] {
+        for backend in [
+            CheckerBackend::Resort,
+            CheckerBackend::PrefixCache,
+            CheckerBackend::SortedPartitions,
+        ] {
+            for shared_cache in [false, true] {
+                let config = DiscoveryConfig {
+                    mode,
+                    checker: backend,
+                    shared_cache,
+                    ..DiscoveryConfig::default()
+                };
+                let run = discover(&rel, &config);
+                let tag = format!("{mode:?}/{backend:?}/shared={shared_cache}");
+                assert_eq!(baseline.ocds, run.ocds, "{tag}: OCDs differ");
+                assert_eq!(baseline.ods, run.ods, "{tag}: ODs differ");
+                assert_eq!(baseline.constants, run.constants, "{tag}");
+                assert_eq!(
+                    baseline.equivalence_classes, run.equivalence_classes,
+                    "{tag}"
+                );
+                assert_eq!(baseline.checks, run.checks, "{tag}: same candidate tree");
+                assert_eq!(
+                    baseline.candidates_generated, run.candidates_generated,
+                    "{tag}"
+                );
+                assert_eq!(baseline.levels, run.levels, "{tag}: level stats differ");
+                assert_eq!(
+                    run.cache.is_some(),
+                    shared_cache && backend != CheckerBackend::Resort,
+                    "{tag}: cache stats presence"
+                );
+            }
+        }
+    }
+}
+
+/// A starved shared cache (constant eviction) still changes nothing.
+#[test]
+fn tiny_shared_cache_budget_matches_baseline() {
+    let rel = Dataset::Hepatitis.generate(RowScale::Rows(120));
+    let baseline = discover(&rel, &DiscoveryConfig::default());
+    for backend in [
+        CheckerBackend::PrefixCache,
+        CheckerBackend::SortedPartitions,
+    ] {
+        let run = discover(
+            &rel,
+            &DiscoveryConfig {
+                mode: ParallelMode::StaticQueues(3),
+                checker: backend,
+                shared_cache: true,
+                cache_budget_bytes: 2_048,
+                ..DiscoveryConfig::default()
+            },
+        );
+        assert_eq!(baseline.ocds, run.ocds, "{backend:?}");
+        assert_eq!(baseline.ods, run.ods, "{backend:?}");
+        assert_eq!(baseline.checks, run.checks, "{backend:?}");
+    }
 }
 
 #[test]

@@ -240,3 +240,69 @@ proptest! {
         }
     }
 }
+
+/// Build a 4-column relation from flat rows, reducing values modulo
+/// `domain` so one strategy covers near-constant, narrow and near-key
+/// columns (and with them all three sort kernels: counting, packed radix,
+/// chained refinement).
+fn relation_mod_domain(rows: &[Vec<i64>], domain: i64) -> Relation {
+    let cols = rows.first().map_or(0, |r| r.len());
+    let mut columns: Vec<(String, Vec<Value>)> =
+        (0..cols).map(|c| (format!("c{c}"), Vec::new())).collect();
+    for row in rows {
+        for (c, &v) in row.iter().enumerate() {
+            // Vary the effective domain per column: c0 gets the full range,
+            // later columns get progressively narrower ones.
+            let d = (domain >> (2 * c)).max(1);
+            columns[c].1.push(Value::Int(v % d));
+        }
+    }
+    Relation::from_columns(columns).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The distribution-based sort kernels (counting / packed radix /
+    /// chained counting refinement) agree with the comparator oracle on
+    /// every attribute list, including duplicates, across domain widths.
+    #[test]
+    fn sort_kernels_match_comparator_oracle(
+        domain in 1i64..60_000,
+        rows in prop::collection::vec(prop::collection::vec(0i64..1_000_000, 4usize..=4), 1..40)
+    ) {
+        use ocddiscover::relation::sort::{sort_index_by, sort_index_by_comparator};
+        let rel = relation_mod_domain(&rows, domain);
+        for cols in [
+            vec![0usize], vec![3], vec![1, 0], vec![2, 1, 0],
+            vec![0, 1, 2, 3], vec![1, 1, 2],
+        ] {
+            prop_assert_eq!(
+                sort_index_by(&rel, &cols),
+                sort_index_by_comparator(&rel, &cols),
+                "cols {:?}", cols
+            );
+        }
+    }
+
+    /// Counting-sort refinement of a prefix-sorted index agrees with the
+    /// per-run comparator refinement oracle.
+    #[test]
+    fn refine_kernels_match_comparator_oracle(
+        domain in 1i64..60_000,
+        rows in prop::collection::vec(prop::collection::vec(0i64..1_000_000, 4usize..=4), 1..40)
+    ) {
+        use ocddiscover::relation::sort::{
+            refine_index, refine_index_comparator, sort_index_by,
+        };
+        let rel = relation_mod_domain(&rows, domain);
+        let base = sort_index_by(&rel, &[2]);
+        for cols in [vec![0usize], vec![0, 1], vec![3, 1], vec![3, 0, 1]] {
+            prop_assert_eq!(
+                refine_index(&rel, &base, &[2], &cols),
+                refine_index_comparator(&rel, &base, &[2], &cols),
+                "cols {:?}", cols
+            );
+        }
+    }
+}
