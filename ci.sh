@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo test --features fault-injection"
+cargo test -q --features fault-injection
+
+echo "==> fault-injection stress iteration (RUST_BACKTRACE=1)"
+RUST_BACKTRACE=1 cargo test -q --features fault-injection --test fault_injection
+
 echo "==> criterion smoke (cargo bench -- --test)"
 cargo bench -p ocdd-bench -- --test
 

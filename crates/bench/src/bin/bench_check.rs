@@ -85,6 +85,9 @@ fn main() {
     }
 
     let json = matrix_to_json(&rel, candidates.len(), &results);
-    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_check: writing {out}: {e}");
+        std::process::exit(1);
+    }
     eprintln!("[bench_check] wrote {out}");
 }

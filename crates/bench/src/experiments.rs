@@ -162,7 +162,7 @@ pub fn run_table6(opts: &ExpOptions) -> Report {
             fmt_duration(order_res.elapsed),
             format!("{}{}", fast_res.od_count(), mark(fast_res.complete)),
             fmt_duration(fast_res.elapsed),
-            format!("{}{}", ours.ocd_count(), mark(ours.complete)),
+            format!("{}{}", ours.ocd_count(), mark(ours.complete())),
             ours.od_count().to_string(),
             expanded_od_count(&ours).to_string(),
             ours.checks.to_string(),
@@ -305,7 +305,7 @@ pub fn run_fig5(opts: &ExpOptions) -> Report {
             c.to_string(),
             rel.meta(added).name.clone(),
             rel.meta(added).distinct.to_string(),
-            format!("{}{}", fmt_duration(res.elapsed), mark(res.complete)),
+            format!("{}{}", fmt_duration(res.elapsed), mark(res.complete())),
             (res.ocd_count() + res.od_count()).to_string(),
             res.checks.to_string(),
         ]);
@@ -426,7 +426,7 @@ pub fn run_fig7(opts: &ExpOptions) -> Report {
             "last added",
             "distinct",
             "time",
-            "complete",
+            "termination",
             "checks",
         ],
     );
@@ -444,10 +444,10 @@ pub fn run_fig7(opts: &ExpOptions) -> Report {
             rel.meta(added).name.clone(),
             rel.meta(added).distinct.to_string(),
             fmt_duration(res.elapsed),
-            res.complete.to_string(),
+            res.termination.label().to_string(),
             res.checks.to_string(),
         ]);
-        consecutive_budget_hits = if res.complete {
+        consecutive_budget_hits = if res.complete() {
             0
         } else {
             consecutive_budget_hits + 1

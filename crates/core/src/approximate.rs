@@ -29,6 +29,7 @@
 
 use crate::config::DiscoveryConfig;
 use crate::deps::{AttrList, Ocd, Od};
+use crate::runtime::{Budget, TerminationReason};
 use ocdd_relation::sort::{cmp_rows, sort_index_by};
 use ocdd_relation::Relation;
 use std::collections::HashMap;
@@ -252,8 +253,16 @@ pub struct ApproximateResult {
     pub ods: Vec<Od>,
     /// Candidate checks performed.
     pub checks: u64,
-    /// False when a budget stopped the run early.
-    pub complete: bool,
+    /// Why the run stopped; anything but
+    /// [`TerminationReason::Complete`] means partial results.
+    pub termination: TerminationReason,
+}
+
+impl ApproximateResult {
+    /// True when the search explored the whole candidate tree.
+    pub fn complete(&self) -> bool {
+        self.termination.is_complete()
+    }
 }
 
 /// OCDDISCOVER with the ε-tolerant validity test. `epsilon` is the allowed
@@ -268,16 +277,15 @@ pub fn discover_approximate(
     epsilon: f64,
 ) -> ApproximateResult {
     let start = Instant::now();
-    let deadline = config.time_budget.map(|d| start + d);
-    let max_checks = config.max_checks.unwrap_or(u64::MAX);
+    // Same amortized budget as the exhaustive search; see
+    // `discover_bidirectional` for the polling contract.
+    let budget = Budget::new(config, start, 0);
+    let mut level_capped = false;
 
     // Approximate runs skip column reduction: near-constant columns are
     // precisely what ε-tolerance is for.
     let universe: Vec<usize> = (0..rel.num_columns()).collect();
-    let mut out = ApproximateResult {
-        complete: true,
-        ..ApproximateResult::default()
-    };
+    let mut out = ApproximateResult::default();
 
     let mut level: Vec<(AttrList, AttrList)> = Vec::new();
     for (i, &a) in universe.iter().enumerate() {
@@ -289,18 +297,18 @@ pub fn discover_approximate(
     let mut level_no = 2usize;
     'outer: while !level.is_empty() {
         if config.max_level.is_some_and(|max| level_no > max) {
-            out.complete = false;
+            level_capped = true;
             break;
         }
         let mut next = Vec::new();
         for (x, y) in &level {
-            if out.checks >= max_checks || deadline.is_some_and(|d| Instant::now() >= d) {
-                out.complete = false;
+            if !budget.probe() {
                 break 'outer;
             }
-            out.checks += 1;
+            let mut spent = 1u64;
             let err = ocd_error(rel, x, y);
             if err.swap_error() > epsilon {
+                budget.spend(spent);
                 continue;
             }
             out.ocds.push(ApproximateOcd {
@@ -313,7 +321,7 @@ pub fn discover_approximate(
                 .copied()
                 .filter(|&a| !x.contains(a) && !y.contains(a))
                 .collect();
-            out.checks += 1;
+            spent += 1;
             if od_error(rel, x, y).holds_at(epsilon) {
                 out.ods.push(Od::new(x.clone(), y.clone()));
             } else {
@@ -321,7 +329,7 @@ pub fn discover_approximate(
                     next.push((x.with_appended(a), y.clone()));
                 }
             }
-            out.checks += 1;
+            spent += 1;
             if od_error(rel, y, x).holds_at(epsilon) {
                 out.ods.push(Od::new(y.clone(), x.clone()));
             } else {
@@ -329,6 +337,7 @@ pub fn discover_approximate(
                     next.push((x.clone(), y.with_appended(a)));
                 }
             }
+            budget.spend(spent);
         }
         let mut seen: HashSet<(AttrList, AttrList)> = HashSet::with_capacity(next.len());
         next.retain(|c| seen.insert(c.clone()));
@@ -336,6 +345,12 @@ pub fn discover_approximate(
         level_no += 1;
     }
 
+    out.checks = budget.checks();
+    out.termination = match budget.cause() {
+        Some(cause) => cause.into(),
+        None if level_capped => TerminationReason::LevelCap,
+        None => TerminationReason::Complete,
+    };
     out.ocds.sort_by(|a, b| a.ocd.cmp(&b.ocd));
     out.ods.sort();
     out
@@ -551,6 +566,39 @@ mod tests {
         assert_eq!(err.split_removals, 0);
         let w = removal_witnesses(&r, &l(&[0]), &l(&[1]));
         assert_eq!(w.len(), err.swap_removals);
+    }
+
+    #[test]
+    fn budget_and_cancellation_yield_typed_partial_results() {
+        let r = rel(&[
+            ("a", &[1, 2, 3, 4, 5, 6]),
+            ("b", &[2, 1, 4, 3, 6, 5]),
+            ("c", &[6, 5, 4, 3, 2, 1]),
+        ]);
+        let limited = discover_approximate(
+            &r,
+            &DiscoveryConfig {
+                max_checks: Some(2),
+                ..DiscoveryConfig::default()
+            },
+            0.5,
+        );
+        assert!(!limited.complete());
+        assert_eq!(limited.termination, TerminationReason::CheckBudget);
+
+        use crate::runtime::RunController;
+        let controller = RunController::new();
+        controller.cancel();
+        let cancelled = discover_approximate(
+            &r,
+            &DiscoveryConfig {
+                controller: Some(controller),
+                ..DiscoveryConfig::default()
+            },
+            0.5,
+        );
+        assert_eq!(cancelled.termination, TerminationReason::Cancelled);
+        assert!(cancelled.ocds.is_empty(), "no candidate was processed");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use crate::check::CheckOutcome;
 use crate::config::DiscoveryConfig;
+use crate::runtime::{Budget, TerminationReason};
 use ocdd_relation::{ColumnId, Relation};
 use std::cmp::Ordering;
 use std::collections::HashSet;
@@ -259,8 +260,16 @@ pub struct BidiResult {
     pub equivalence_classes: Vec<Vec<Mark>>,
     /// Candidate checks performed.
     pub checks: u64,
-    /// False when a budget stopped the run early.
-    pub complete: bool,
+    /// Why the run stopped; anything but
+    /// [`TerminationReason::Complete`] means partial results.
+    pub termination: TerminationReason,
+}
+
+impl BidiResult {
+    /// True when the search explored the whole candidate tree.
+    pub fn complete(&self) -> bool {
+        self.termination.is_complete()
+    }
 }
 
 /// Bidirectional column reduction: Tarjan SCC over the digraph of the `2n`
@@ -367,9 +376,12 @@ pub fn discover_bidirectional(rel: &Relation, config: &DiscoveryConfig) -> BidiR
     let mut checks = 0u64;
     let (universe, constants, equivalence_classes) = bidi_reduction(rel, &mut checks);
 
-    let deadline = config.time_budget.map(|d| start + d);
-    let max_checks = config.max_checks.unwrap_or(u64::MAX);
-    let mut complete = true;
+    // Same amortized budget as the exhaustive search: `max_checks` is
+    // enforced globally (the traversal is sequential, so that stays
+    // deterministic); wall clock and cancellation are polled every
+    // `DEADLINE_CHECK_INTERVAL`-th candidate.
+    let budget = Budget::new(config, start, checks);
+    let mut level_capped = false;
 
     let mut ocds: Vec<BidiOcd> = Vec::new();
     let mut ods: Vec<BidiOd> = Vec::new();
@@ -393,17 +405,17 @@ pub fn discover_bidirectional(rel: &Relation, config: &DiscoveryConfig) -> BidiR
     let mut level_no = 2usize;
     'outer: while !level.is_empty() {
         if config.max_level.is_some_and(|max| level_no > max) {
-            complete = false;
+            level_capped = true;
             break;
         }
         let mut next: Vec<(MarkedList, MarkedList)> = Vec::new();
         for (x, y) in &level {
-            if checks >= max_checks || deadline.is_some_and(|d| Instant::now() >= d) {
-                complete = false;
+            if !budget.probe() {
                 break 'outer;
             }
-            checks += 1;
+            let mut spent = 1u64;
             if !check_bidi_ocd(rel, x, y).is_valid() {
+                budget.spend(spent);
                 continue;
             }
             ocds.push(BidiOcd {
@@ -417,7 +429,7 @@ pub fn discover_bidirectional(rel: &Relation, config: &DiscoveryConfig) -> BidiR
                 .filter(|&a| !x.contains_column(a) && !y.contains_column(a))
                 .collect();
 
-            checks += 1;
+            spent += 1;
             if check_bidi_od(rel, x, y).is_valid() {
                 ods.push(BidiOd {
                     lhs: x.clone(),
@@ -436,7 +448,7 @@ pub fn discover_bidirectional(rel: &Relation, config: &DiscoveryConfig) -> BidiR
                     }
                 }
             }
-            checks += 1;
+            spent += 1;
             if check_bidi_od(rel, y, x).is_valid() {
                 ods.push(BidiOd {
                     lhs: y.clone(),
@@ -455,6 +467,7 @@ pub fn discover_bidirectional(rel: &Relation, config: &DiscoveryConfig) -> BidiR
                     }
                 }
             }
+            budget.spend(spent);
         }
         let mut seen: HashSet<(MarkedList, MarkedList)> = HashSet::with_capacity(next.len());
         next.retain(|c| seen.insert(c.clone()));
@@ -477,13 +490,18 @@ pub fn discover_bidirectional(rel: &Relation, config: &DiscoveryConfig) -> BidiR
         ))
     });
 
+    let termination = match budget.cause() {
+        Some(cause) => cause.into(),
+        None if level_capped => TerminationReason::LevelCap,
+        None => TerminationReason::Complete,
+    };
     BidiResult {
         ocds,
         ods,
         constants,
         equivalence_classes,
-        checks,
-        complete,
+        checks: budget.checks(),
+        termination,
     }
 }
 
@@ -623,7 +641,30 @@ mod tests {
                 ..DiscoveryConfig::default()
             },
         );
-        assert!(!result.complete);
+        assert!(!result.complete());
+        assert_eq!(result.termination, TerminationReason::CheckBudget);
+    }
+
+    #[test]
+    fn cancelled_before_start_returns_immediately() {
+        use crate::runtime::RunController;
+        let r = rel(&[
+            ("a", &[1, 2, 3, 4, 5, 6]),
+            ("b", &[2, 1, 4, 3, 6, 5]),
+            ("c", &[6, 5, 4, 3, 2, 1]),
+            ("d", &[1, 3, 2, 5, 4, 6]),
+        ]);
+        let controller = RunController::new();
+        controller.cancel();
+        let result = discover_bidirectional(
+            &r,
+            &DiscoveryConfig {
+                controller: Some(controller),
+                ..DiscoveryConfig::default()
+            },
+        );
+        assert_eq!(result.termination, TerminationReason::Cancelled);
+        assert!(result.ocds.is_empty(), "no candidate was processed");
     }
 
     #[test]

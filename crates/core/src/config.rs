@@ -1,5 +1,6 @@
 //! Configuration for a discovery run.
 
+use crate::runtime::RunController;
 use std::time::Duration;
 
 /// How the candidate tree is traversed (§4.2.2).
@@ -72,6 +73,15 @@ pub struct DiscoveryConfig {
     /// Abort (with partial results) after this wall-clock budget — the
     /// paper uses a 5-hour threshold and reports partial results (§5.1).
     pub time_budget: Option<Duration>,
+    /// Cooperative cancellation handle. Keep a clone and call
+    /// [`RunController::cancel`] from another thread to stop the run with
+    /// partial results ([`crate::TerminationReason::Cancelled`]). `None`
+    /// (the default) means the run cannot be cancelled externally.
+    pub controller: Option<RunController>,
+    /// Fault-injection plan for the run — test/`fault-injection`-feature
+    /// builds only. See [`crate::runtime::FaultPlan`].
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fault: Option<std::sync::Arc<crate::runtime::FaultPlan>>,
 }
 
 impl Default for DiscoveryConfig {
@@ -86,6 +96,9 @@ impl Default for DiscoveryConfig {
             max_level: None,
             max_checks: None,
             time_budget: None,
+            controller: None,
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: None,
         }
     }
 }
@@ -122,6 +135,10 @@ mod tests {
         assert!(!c.shared_cache, "shared cache is an opt-in optimization");
         assert!(c.cache_budget_bytes > 0);
         assert!(c.max_level.is_none() && c.max_checks.is_none() && c.time_budget.is_none());
+        assert!(
+            c.controller.is_none(),
+            "no external cancellation by default"
+        );
     }
 
     #[test]

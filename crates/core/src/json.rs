@@ -5,6 +5,7 @@
 //! ```json
 //! {
 //!   "rows": 6, "columns": 5, "complete": true,
+//!   "termination": "complete",
 //!   "checks": 87, "elapsed_ms": 0.41,
 //!   "constants": ["flag"],
 //!   "equivalence_classes": [["income", "tax"]],
@@ -12,6 +13,13 @@
 //!   "ods":  [{"lhs": ["income"], "rhs": ["bracket"]}]
 //! }
 //! ```
+//!
+//! `termination` is the [`crate::TerminationReason`] label
+//! (`complete` / `level_cap` / `check_budget` / `time_budget` /
+//! `cancelled` / `worker_failure`); `complete` is kept as the derived
+//! boolean. A `worker_failure` run additionally carries
+//! `"failed_branches": [[colA, colB], ...]` (quarantined level-2 branch
+//! seed pairs, as column names) and `"failure_message"`.
 
 use crate::deps::AttrList;
 use crate::results::DiscoveryResult;
@@ -53,10 +61,35 @@ pub fn result_to_json(result: &DiscoveryResult, rel: &Relation) -> String {
     out.push('{');
     let _ = write!(
         out,
-        "\"rows\":{},\"columns\":{},\"complete\":{},\"checks\":{},\"elapsed_ms\":{:.3},",
+        "\"rows\":{},\"columns\":{},\"complete\":{},\"termination\":\"{}\",",
         rel.num_rows(),
         rel.num_columns(),
-        result.complete,
+        result.complete(),
+        result.termination.label(),
+    );
+    if let crate::runtime::TerminationReason::WorkerFailure { branches, message } =
+        &result.termination
+    {
+        let pairs: Vec<String> = branches
+            .iter()
+            .map(|&(a, b)| {
+                format!(
+                    "[\"{}\",\"{}\"]",
+                    escape(&rel.meta(a).name),
+                    escape(&rel.meta(b).name)
+                )
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "\"failed_branches\":[{}],\"failure_message\":\"{}\",",
+            pairs.join(","),
+            escape(message)
+        );
+    }
+    let _ = write!(
+        out,
+        "\"checks\":{},\"elapsed_ms\":{:.3},",
         result.checks,
         result.elapsed.as_secs_f64() * 1e3
     );
@@ -148,6 +181,37 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"complete\":true"));
+        assert!(json.contains("\"termination\":\"complete\""));
+    }
+
+    #[test]
+    fn worker_failure_carries_branches_and_message() {
+        let rel = Relation::from_columns(vec![
+            ("a".to_string(), vec![Value::Int(1), Value::Int(2)]),
+            ("b".to_string(), vec![Value::Int(1), Value::Int(2)]),
+        ])
+        .unwrap();
+        let result = DiscoveryResult {
+            termination: crate::TerminationReason::WorkerFailure {
+                branches: vec![(0, 1)],
+                message: "boom \"quoted\"".into(),
+            },
+            ..DiscoveryResult::default()
+        };
+        let json = result_to_json(&result, &rel);
+        assert!(
+            json.contains("\"termination\":\"worker_failure\""),
+            "{json}"
+        );
+        assert!(json.contains("\"complete\":false"), "{json}");
+        assert!(
+            json.contains("\"failed_branches\":[[\"a\",\"b\"]]"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"failure_message\":\"boom \\\"quoted\\\"\""),
+            "{json}"
+        );
     }
 
     #[test]

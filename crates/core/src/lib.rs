@@ -60,6 +60,7 @@ pub mod json;
 pub mod reduction;
 pub mod results;
 pub mod rewrite;
+pub mod runtime;
 pub mod search;
 pub mod shared_cache;
 pub mod sorted_partitions;
@@ -69,5 +70,6 @@ pub use config::{CheckerBackend, DiscoveryConfig, ParallelMode};
 pub use deps::{AttrList, Ocd, Od, OrderEquivalence};
 pub use reduction::{columns_reduction, Reduction};
 pub use results::{DiscoveryResult, LevelStats};
+pub use runtime::{FaultPlan, RunController, TerminationReason, DEADLINE_CHECK_INTERVAL};
 pub use search::{discover, profile_branches, BranchCost};
 pub use shared_cache::{CacheStats, SharedPrefixCache};

@@ -12,19 +12,39 @@
 //! Three execution modes implement the same traversal; see
 //! [`crate::config::ParallelMode`]. Results are canonically sorted so all
 //! modes return identical output.
+//!
+//! ## Failure and budget semantics
+//!
+//! The unit of both distribution *and* degradation is the level-2 branch
+//! (the pair of first attributes; a candidate never leaves its branch).
+//! Each branch runs inside `catch_unwind`: a panicking check quarantines
+//! only that branch — its partial results are discarded, the surviving
+//! branches merge normally, and the run reports
+//! [`TerminationReason::WorkerFailure`] instead of crashing.
+//!
+//! `max_checks` is enforced through deterministic **per-branch
+//! allowances**: the budget left after reduction is split evenly over the
+//! branches in canonical seed order, and each branch stops on its own
+//! account. Because a branch's traversal order is identical in every
+//! execution mode, a budget-truncated run returns byte-identical partial
+//! results under `Sequential`, `StaticQueues`, and `Rayon`. (The old
+//! global counter stopped whichever worker raced past it first.) The
+//! wall-clock budget and cancellation remain global and amortized — those
+//! are inherently timing-dependent.
 
 use crate::check::{check_ocd, check_od, SortCache};
 use crate::config::{CheckerBackend, DiscoveryConfig, ParallelMode};
 use crate::deps::{AttrList, Ocd, Od};
 use crate::reduction::{columns_reduction, Reduction};
 use crate::results::{DiscoveryResult, LevelStats};
+use crate::runtime::{panic_message, Budget, StopCause, TerminationReason};
 use crate::shared_cache::{CacheStats, SharedPrefixCache};
 use crate::sorted_partitions::{PartitionChecker, SortedPartition};
 use ocdd_relation::sort::kernel_stats;
 use ocdd_relation::{ColumnId, Relation};
 use rayon::prelude::*;
-use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -35,6 +55,34 @@ struct Candidate {
     y: AttrList,
 }
 
+impl Candidate {
+    /// The level-2 branch this candidate belongs to: the pair of first
+    /// attributes of its sides. Extensions only append, so the branch is
+    /// invariant over a candidate's whole subtree (§4.2.2).
+    fn branch(&self) -> (ColumnId, ColumnId) {
+        let a = self.x.as_slice().first().copied().unwrap_or(ColumnId::MAX);
+        let b = self.y.as_slice().first().copied().unwrap_or(ColumnId::MAX);
+        (a, b)
+    }
+}
+
+/// Branch root of an emitted OCD, used to strip a quarantined branch's
+/// dependencies. `lhs` keeps the candidate's `x` side, so the pair is
+/// already in seed order (`x[0] < y[0]`).
+fn ocd_branch(ocd: &Ocd) -> (ColumnId, ColumnId) {
+    let a = ocd.lhs.as_slice().first().copied().unwrap_or(ColumnId::MAX);
+    let b = ocd.rhs.as_slice().first().copied().unwrap_or(ColumnId::MAX);
+    (a, b)
+}
+
+/// Branch root of an emitted OD (emitted in both directions, so order the
+/// pair).
+fn od_branch(od: &Od) -> (ColumnId, ColumnId) {
+    let a = od.lhs.as_slice().first().copied().unwrap_or(ColumnId::MAX);
+    let b = od.rhs.as_slice().first().copied().unwrap_or(ColumnId::MAX);
+    (a.min(b), a.max(b))
+}
+
 /// What processing one candidate produced.
 #[derive(Debug, Default)]
 struct Emission {
@@ -43,53 +91,6 @@ struct Emission {
     children: Vec<Candidate>,
     checks: u64,
     generated: u64,
-}
-
-/// Shared, cooperatively-checked run budget.
-struct Budget {
-    checks: AtomicU64,
-    max_checks: u64,
-    deadline: Option<Instant>,
-    exhausted: AtomicBool,
-    spend_calls: AtomicU64,
-}
-
-/// The wall clock is only consulted every this many [`Budget::spend`]
-/// calls: `Instant::now()` costs a vDSO call, which the radix kernels made
-/// comparable to a cheap candidate check. The deadline overshoot this
-/// allows is a handful of candidates — the paper's budget semantics
-/// (partial results past the threshold, §5.1) are unaffected.
-const DEADLINE_CHECK_INTERVAL: u64 = 64;
-
-impl Budget {
-    fn new(config: &DiscoveryConfig, start: Instant, initial_checks: u64) -> Budget {
-        Budget {
-            checks: AtomicU64::new(initial_checks),
-            max_checks: config.max_checks.unwrap_or(u64::MAX),
-            deadline: config.time_budget.map(|d| start + d),
-            exhausted: AtomicBool::new(false),
-            spend_calls: AtomicU64::new(0),
-        }
-    }
-
-    /// Record `n` checks; returns false when the run must stop.
-    fn spend(&self, n: u64) -> bool {
-        let total = self.checks.fetch_add(n, AtomicOrdering::Relaxed) + n;
-        if total > self.max_checks {
-            self.exhausted.store(true, AtomicOrdering::Relaxed);
-        }
-        if let Some(deadline) = self.deadline {
-            let calls = self.spend_calls.fetch_add(1, AtomicOrdering::Relaxed);
-            if calls.is_multiple_of(DEADLINE_CHECK_INTERVAL) && Instant::now() >= deadline {
-                self.exhausted.store(true, AtomicOrdering::Relaxed);
-            }
-        }
-        !self.exhausted.load(AtomicOrdering::Relaxed)
-    }
-
-    fn is_exhausted(&self) -> bool {
-        self.exhausted.load(AtomicOrdering::Relaxed)
-    }
 }
 
 /// The run-wide shared prefix caches, when enabled: one per backend kind
@@ -108,10 +109,18 @@ impl SharedCaches {
                 // Resort caches nothing by definition.
                 CheckerBackend::Resort => {}
                 CheckerBackend::PrefixCache => {
-                    sort = Some(Arc::new(SharedPrefixCache::new(config.cache_budget_bytes)));
+                    #[allow(unused_mut)]
+                    let mut cache = SharedPrefixCache::new(config.cache_budget_bytes);
+                    #[cfg(any(test, feature = "fault-injection"))]
+                    cache.set_fault_plan(config.fault.clone());
+                    sort = Some(Arc::new(cache));
                 }
                 CheckerBackend::SortedPartitions => {
-                    parts = Some(Arc::new(SharedPrefixCache::new(config.cache_budget_bytes)));
+                    #[allow(unused_mut)]
+                    let mut cache = SharedPrefixCache::new(config.cache_budget_bytes);
+                    #[cfg(any(test, feature = "fault-injection"))]
+                    cache.set_fault_plan(config.fault.clone());
+                    parts = Some(Arc::new(cache));
                 }
             }
         }
@@ -126,8 +135,8 @@ impl SharedCaches {
     }
 }
 
-/// Per-worker checker state for the configured [`CheckerBackend`].
-enum Checker<'r> {
+/// Backend state of a [`Checker`].
+enum CheckerBackendState<'r> {
     /// Re-sort per candidate (paper-faithful).
     Plain(&'r Relation),
     /// Sorted-index prefix cache.
@@ -136,36 +145,56 @@ enum Checker<'r> {
     Partitions(Box<PartitionChecker<'r>>),
 }
 
+/// Per-worker checker state for the configured [`CheckerBackend`].
+struct Checker<'r> {
+    backend: CheckerBackendState<'r>,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: Option<Arc<crate::runtime::FaultPlan>>,
+}
+
 impl<'r> Checker<'r> {
-    fn new(rel: &'r Relation, backend: CheckerBackend, shared: &SharedCaches) -> Checker<'r> {
-        match backend {
-            CheckerBackend::Resort => Checker::Plain(rel),
-            CheckerBackend::PrefixCache => Checker::Cached(match &shared.sort {
+    fn new(rel: &'r Relation, config: &DiscoveryConfig, shared: &SharedCaches) -> Checker<'r> {
+        let backend = match config.checker {
+            CheckerBackend::Resort => CheckerBackendState::Plain(rel),
+            CheckerBackend::PrefixCache => CheckerBackendState::Cached(match &shared.sort {
                 Some(cache) => SortCache::with_shared(rel, Arc::clone(cache)),
                 None => SortCache::new(rel),
             }),
             CheckerBackend::SortedPartitions => {
-                Checker::Partitions(Box::new(match &shared.parts {
+                CheckerBackendState::Partitions(Box::new(match &shared.parts {
                     Some(cache) => PartitionChecker::with_shared(rel, Arc::clone(cache)),
                     None => PartitionChecker::new(rel),
                 }))
             }
+        };
+        Checker {
+            backend,
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: config.fault.clone(),
         }
     }
 
     fn check_ocd(&mut self, x: &AttrList, y: &AttrList) -> bool {
-        match self {
-            Checker::Plain(rel) => check_ocd(rel, x, y).is_valid(),
-            Checker::Cached(c) => c.check_ocd(x, y).is_valid(),
-            Checker::Partitions(p) => p.check_ocd(x, y).is_valid(),
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(plan) = &self.fault {
+            plan.check_latency();
+        }
+        match &mut self.backend {
+            CheckerBackendState::Plain(rel) => check_ocd(rel, x, y).is_valid(),
+            CheckerBackendState::Cached(c) => c.check_ocd(x, y).is_valid(),
+            CheckerBackendState::Partitions(p) => p.check_ocd(x, y).is_valid(),
         }
     }
 
     fn check_od(&mut self, x: &AttrList, y: &AttrList) -> bool {
-        match self {
-            Checker::Plain(rel) => check_od(rel, x, y).is_valid(),
-            Checker::Cached(c) => c.check_od(x, y).is_valid(),
-            Checker::Partitions(p) => p.check_od(x, y).is_valid(),
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(plan) = &self.fault {
+            plan.check_latency();
+        }
+        match &mut self.backend {
+            CheckerBackendState::Plain(rel) => check_od(rel, x, y).is_valid(),
+            CheckerBackendState::Cached(c) => c.check_od(x, y).is_valid(),
+            CheckerBackendState::Partitions(p) => p.check_od(x, y).is_valid(),
         }
     }
 }
@@ -227,23 +256,50 @@ fn dedup_level(level: &mut Vec<Candidate>) {
     level.retain(|c| seen.insert(c.clone()));
 }
 
-/// A subtree traversal used by every mode: BFS over `seeds` until the tree
-/// is exhausted or the budget runs out. Accumulates into `acc`.
+/// Split the check budget left after reduction into one allowance per
+/// level-2 branch, in canonical seed order (the remainder goes to the
+/// first branches). Deterministic by construction: a branch's traversal
+/// never depends on another branch, so every execution mode truncates at
+/// the same candidate. Each branch may overshoot its allowance by at most
+/// one candidate (≤ 3 checks) — the same spirit as
+/// [`crate::runtime::DEADLINE_CHECK_INTERVAL`].
+fn branch_allowances(max_checks: Option<u64>, already_spent: u64, branches: usize) -> Vec<u64> {
+    match max_checks {
+        None => vec![u64::MAX; branches],
+        Some(cap) => {
+            if branches == 0 {
+                return Vec::new();
+            }
+            let remaining = cap.saturating_sub(already_spent);
+            let base = remaining / branches as u64;
+            let extra = remaining % branches as u64;
+            (0..branches as u64)
+                .map(|i| base + u64::from(i < extra))
+                .collect()
+        }
+    }
+}
+
+/// A subtree traversal used by the branch-sequential modes: BFS over
+/// `seeds` until the tree is exhausted, the branch allowance is spent, or
+/// the global budget (time / cancellation) stops the run. Accumulates into
+/// `acc`.
+#[allow(clippy::too_many_arguments)]
 fn run_subtree(
-    rel: &Relation,
     universe: &[ColumnId],
     seeds: Vec<Candidate>,
     config: &DiscoveryConfig,
     budget: &Budget,
-    shared: &SharedCaches,
+    checker: &mut Checker<'_>,
+    allowance: u64,
     acc: &mut SearchAccumulator,
 ) {
-    let mut checker = Checker::new(rel, config.checker, shared);
+    let mut spent = 0u64;
     let mut level = seeds;
     let mut level_no = 2usize;
     while !level.is_empty() {
         if config.max_level.is_some_and(|max| level_no > max) {
-            acc.truncated = true;
+            acc.level_capped = true;
             break;
         }
         let mut next = Vec::new();
@@ -252,8 +308,18 @@ fn run_subtree(
             ..LevelStats::default()
         };
         for cand in &level {
+            if spent >= allowance {
+                // Pre-check: the branch's share of `max_checks` is gone.
+                acc.levels.push(stats);
+                acc.check_budget_hit = true;
+                return;
+            }
+            #[cfg(any(test, feature = "fault-injection"))]
+            if let Some(plan) = &config.fault {
+                plan.before_candidate(cand.branch());
+            }
             let mut em = Emission::default();
-            process_candidate(universe, cand, &mut checker, &mut em);
+            process_candidate(universe, cand, checker, &mut em);
             stats.candidates += 1;
             stats.valid_ocds += em.ocds.len() as u64;
             stats.valid_ods += em.ods.len() as u64;
@@ -261,9 +327,11 @@ fn run_subtree(
             acc.ods.extend(em.ods);
             acc.generated += em.generated;
             next.extend(em.children);
-            if !budget.spend(em.checks) {
+            spent += em.checks;
+            budget.record(em.checks);
+            if !budget.probe() {
+                // Time budget or cancellation: stop where we are.
                 acc.levels.push(stats);
-                acc.truncated = true;
                 return;
             }
         }
@@ -283,7 +351,10 @@ struct SearchAccumulator {
     ods: Vec<Od>,
     generated: u64,
     levels: Vec<LevelStats>,
-    truncated: bool,
+    /// `max_level` truncated at least one branch.
+    level_capped: bool,
+    /// A branch ran out of its `max_checks` allowance.
+    check_budget_hit: bool,
 }
 
 impl SearchAccumulator {
@@ -291,7 +362,8 @@ impl SearchAccumulator {
         self.ocds.extend(other.ocds);
         self.ods.extend(other.ods);
         self.generated += other.generated;
-        self.truncated |= other.truncated;
+        self.level_capped |= other.level_capped;
+        self.check_budget_hit |= other.check_budget_hit;
         for stat in other.levels {
             match self.levels.iter_mut().find(|s| s.level == stat.level) {
                 Some(mine) => {
@@ -302,6 +374,213 @@ impl SearchAccumulator {
                 None => self.levels.push(stat),
             }
         }
+    }
+}
+
+/// One quarantined level-2 branch.
+#[derive(Debug, Clone)]
+struct BranchFailure {
+    branch: (ColumnId, ColumnId),
+    message: String,
+}
+
+/// Run a queue of `(seed, allowance)` branches sequentially, isolating
+/// each branch behind `catch_unwind`. A panicking branch loses its partial
+/// accumulator (the quarantine: its results may be inconsistent) and is
+/// recorded as a [`BranchFailure`]; the checker is rebuilt afterwards so a
+/// possibly half-updated private cache cannot leak into later branches.
+/// Used directly by `Sequential` mode and by every `StaticQueues` worker.
+fn run_queue(
+    rel: &Relation,
+    universe: &[ColumnId],
+    queue: Vec<(Candidate, u64)>,
+    config: &DiscoveryConfig,
+    budget: &Budget,
+    shared: &SharedCaches,
+) -> (SearchAccumulator, Vec<BranchFailure>) {
+    let mut acc = SearchAccumulator::default();
+    let mut failures = Vec::new();
+    let mut checker = Checker::new(rel, config, shared);
+    for (seed, allowance) in queue {
+        if budget.is_stopped() {
+            break;
+        }
+        let branch = seed.branch();
+        // UnwindSafe: `budget` and the shared caches are atomics/poison-
+        // recovering mutexes; `checker` is the one piece of state a panic
+        // can leave inconsistent, and it is rebuilt below on failure.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut local = SearchAccumulator::default();
+            run_subtree(
+                universe,
+                vec![seed],
+                config,
+                budget,
+                &mut checker,
+                allowance,
+                &mut local,
+            );
+            local
+        }));
+        match outcome {
+            Ok(local) => acc.merge(local),
+            Err(payload) => {
+                failures.push(BranchFailure {
+                    branch,
+                    message: panic_message(payload.as_ref()),
+                });
+                checker = Checker::new(rel, config, shared);
+            }
+        }
+    }
+    (acc, failures)
+}
+
+/// Per-branch bookkeeping for the `Rayon` level driver.
+struct BranchState {
+    allowance: u64,
+    spent: u64,
+    stopped: bool,
+    failed: bool,
+}
+
+/// What speculatively processing one candidate produced under `Rayon`.
+enum RayonOutcome {
+    /// The global budget had already stopped the run.
+    Skipped,
+    /// Processed normally.
+    Done(Emission),
+    /// The check panicked; payload text attached.
+    Panicked(String),
+}
+
+/// The `Rayon` mode driver: per-level `par_iter` over *all* branches'
+/// candidates, then a single-threaded, input-ordered post-filter that
+/// replays the per-branch allowance accounting. Because the rayon shim's
+/// `collect` preserves input order and a branch's candidates appear within
+/// each level in branch-local BFS order, the post-filter truncates every
+/// branch at exactly the candidate the branch-sequential modes would —
+/// speculative work past that point is dropped, keeping results and
+/// `checks` byte-identical across modes. Panics are caught per candidate
+/// (the shim's join would abort otherwise); a panicked branch is marked
+/// failed and its candidates are ignored from then on, while its
+/// earlier-level emissions are stripped by the caller's quarantine filter.
+#[allow(clippy::too_many_arguments)]
+fn run_rayon_levels(
+    rel: &Relation,
+    universe: &[ColumnId],
+    queue: Vec<(Candidate, u64)>,
+    config: &DiscoveryConfig,
+    budget: &Budget,
+    shared: &SharedCaches,
+    acc: &mut SearchAccumulator,
+    failures: &mut Vec<BranchFailure>,
+) {
+    let mut states: HashMap<(ColumnId, ColumnId), BranchState> = queue
+        .iter()
+        .map(|(seed, allowance)| {
+            (
+                seed.branch(),
+                BranchState {
+                    allowance: *allowance,
+                    spent: 0,
+                    stopped: false,
+                    failed: false,
+                },
+            )
+        })
+        .collect();
+    let mut level: Vec<Candidate> = queue.into_iter().map(|(seed, _)| seed).collect();
+    let mut level_no = 2usize;
+    while !level.is_empty() && !budget.is_stopped() {
+        if config.max_level.is_some_and(|max| level_no > max) {
+            acc.level_capped = true;
+            break;
+        }
+        let results: Vec<RayonOutcome> = level
+            .par_iter()
+            .map_init(
+                || Checker::new(rel, config, shared),
+                |checker, cand| {
+                    if budget.is_stopped() {
+                        return RayonOutcome::Skipped;
+                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        #[cfg(any(test, feature = "fault-injection"))]
+                        if let Some(plan) = &config.fault {
+                            plan.before_candidate(cand.branch());
+                        }
+                        let mut em = Emission::default();
+                        process_candidate(universe, cand, checker, &mut em);
+                        em
+                    }));
+                    match outcome {
+                        Ok(em) => {
+                            budget.probe();
+                            RayonOutcome::Done(em)
+                        }
+                        Err(payload) => {
+                            // Quarantine the possibly-inconsistent private
+                            // checker state before the next candidate.
+                            *checker = Checker::new(rel, config, shared);
+                            RayonOutcome::Panicked(panic_message(payload.as_ref()))
+                        }
+                    }
+                },
+            )
+            .collect();
+
+        let mut stats = LevelStats {
+            level: level_no,
+            ..LevelStats::default()
+        };
+        // (branch, children) in candidate order; flattened after the pass
+        // so a branch stopping mid-level drops *all* its level children,
+        // exactly as `run_subtree`'s early return does.
+        let mut next_parts: Vec<((ColumnId, ColumnId), Vec<Candidate>)> = Vec::new();
+        for (cand, outcome) in level.iter().zip(results) {
+            let branch = cand.branch();
+            let Some(state) = states.get_mut(&branch) else {
+                continue;
+            };
+            if state.failed || state.stopped {
+                continue;
+            }
+            match outcome {
+                RayonOutcome::Skipped => {}
+                RayonOutcome::Panicked(message) => {
+                    state.failed = true;
+                    failures.push(BranchFailure { branch, message });
+                }
+                RayonOutcome::Done(em) => {
+                    if state.spent >= state.allowance {
+                        state.stopped = true;
+                        acc.check_budget_hit = true;
+                        continue;
+                    }
+                    state.spent += em.checks;
+                    budget.record(em.checks);
+                    stats.candidates += 1;
+                    stats.valid_ocds += em.ocds.len() as u64;
+                    stats.valid_ods += em.ods.len() as u64;
+                    acc.ocds.extend(em.ocds);
+                    acc.ods.extend(em.ods);
+                    acc.generated += em.generated;
+                    next_parts.push((branch, em.children));
+                }
+            }
+        }
+        acc.levels.push(stats);
+        let mut next: Vec<Candidate> = next_parts
+            .into_iter()
+            .filter(|(branch, _)| states.get(branch).is_some_and(|s| !s.stopped && !s.failed))
+            .flat_map(|(_, children)| children)
+            .collect();
+        if config.dedup_candidates {
+            dedup_level(&mut next);
+        }
+        level = next;
+        level_no += 1;
     }
 }
 
@@ -331,10 +610,21 @@ pub(crate) fn resume_after_od_invalidation(
         .collect();
     let budget = Budget::new(config, Instant::now(), 0);
     let shared = SharedCaches::from_config(config);
+    let mut checker = Checker::new(rel, config, &shared);
     let mut acc = SearchAccumulator::default();
-    run_subtree(rel, universe, seeds, config, &budget, &shared, &mut acc);
-    let checks = budget.checks.load(AtomicOrdering::Relaxed);
-    (acc.ocds, acc.ods, checks)
+    // The seeds all belong to one branch, so the whole `max_checks` budget
+    // is its allowance.
+    let allowance = config.max_checks.unwrap_or(u64::MAX);
+    run_subtree(
+        universe,
+        seeds,
+        config,
+        &budget,
+        &mut checker,
+        allowance,
+        &mut acc,
+    );
+    (acc.ocds, acc.ods, budget.checks())
 }
 
 /// Cost profile of one level-2 branch — the unit of distribution of the
@@ -377,24 +667,26 @@ pub fn profile_branches(
 
     let mut costs = Vec::new();
     for seed in seed_candidates(&reduction.attributes) {
-        let seed_pair = (seed.x.as_slice()[0], seed.y.as_slice()[0]);
+        let seed_pair = seed.branch();
         let budget = Budget::new(config, Instant::now(), 0);
         let shared = SharedCaches::from_config(config);
+        let mut checker = Checker::new(rel, config, &shared);
         let mut acc = SearchAccumulator::default();
+        let allowance = config.max_checks.unwrap_or(u64::MAX);
         let t = Instant::now();
         run_subtree(
-            rel,
             &reduction.attributes,
             vec![seed],
             config,
             &budget,
-            &shared,
+            &mut checker,
+            allowance,
             &mut acc,
         );
         costs.push(BranchCost {
             seed: seed_pair,
             elapsed: t.elapsed(),
-            checks: budget.checks.load(AtomicOrdering::Relaxed),
+            checks: budget.checks(),
             valid_ocds: acc.ocds.len() as u64,
         });
     }
@@ -442,101 +734,119 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     let budget = Budget::new(config, start, reduction.checks);
     let shared = SharedCaches::from_config(config);
     let seeds = seed_candidates(&reduction.attributes);
+    let allowances = branch_allowances(config.max_checks, reduction.checks, seeds.len());
+    let queue: Vec<(Candidate, u64)> = seeds.into_iter().zip(allowances).collect();
     let universe = &reduction.attributes;
 
     let mut acc = SearchAccumulator::default();
+    let mut failures: Vec<BranchFailure> = Vec::new();
     match config.mode {
         ParallelMode::Sequential => {
-            run_subtree(rel, universe, seeds, config, &budget, &shared, &mut acc);
+            let (a, f) = run_queue(rel, universe, queue, config, &budget, &shared);
+            acc.merge(a);
+            failures.extend(f);
         }
         ParallelMode::StaticQueues(k) => {
             let k = k.max(1);
             // Round-robin partition of the level-2 branches (§4.2.2). Each
             // candidate's whole subtree stays within its seed's queue.
-            let mut queues: Vec<Vec<Candidate>> = (0..k).map(|_| Vec::new()).collect();
-            for (i, seed) in seeds.into_iter().enumerate() {
-                queues[i % k].push(seed);
+            let mut queues: Vec<Vec<(Candidate, u64)>> = (0..k).map(|_| Vec::new()).collect();
+            for (i, entry) in queue.into_iter().enumerate() {
+                queues[i % k].push(entry);
             }
-            let accs: Vec<SearchAccumulator> = std::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = queues
                     .into_iter()
-                    .map(|queue| {
+                    .map(|worker_queue| {
+                        let branches: Vec<(ColumnId, ColumnId)> =
+                            worker_queue.iter().map(|(seed, _)| seed.branch()).collect();
                         let budget = &budget;
                         let shared = &shared;
-                        scope.spawn(move || {
-                            let mut acc = SearchAccumulator::default();
-                            run_subtree(rel, universe, queue, config, budget, shared, &mut acc);
-                            acc
-                        })
+                        let handle = scope.spawn(move || {
+                            run_queue(rel, universe, worker_queue, config, budget, shared)
+                        });
+                        (branches, handle)
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
-            for a in accs {
-                acc.merge(a);
-            }
-        }
-        ParallelMode::Rayon(k) => {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(k.max(1))
-                .build()
-                .expect("failed to build rayon pool");
-            pool.install(|| {
-                let mut level = seeds;
-                let mut level_no = 2usize;
-                while !level.is_empty() && !budget.is_exhausted() {
-                    if config.max_level.is_some_and(|max| level_no > max) {
-                        acc.truncated = true;
-                        break;
-                    }
-                    let results: Vec<(Emission, bool)> = level
-                        .par_iter()
-                        .map_init(
-                            || Checker::new(rel, config.checker, &shared),
-                            |checker, cand| {
-                                let mut em = Emission::default();
-                                if budget.is_exhausted() {
-                                    return (em, false);
-                                }
-                                process_candidate(universe, cand, checker, &mut em);
-                                let ok = budget.spend(em.checks);
-                                (em, ok)
-                            },
-                        )
-                        .collect();
-                    let mut stats = LevelStats {
-                        level: level_no,
-                        ..LevelStats::default()
-                    };
-                    let mut next = Vec::new();
-                    for (em, ok) in results {
-                        if !ok {
-                            acc.truncated = true;
+                for (branches, handle) in handles {
+                    match handle.join() {
+                        Ok((a, f)) => {
+                            acc.merge(a);
+                            failures.extend(f);
                         }
-                        stats.candidates += 1;
-                        stats.valid_ocds += em.ocds.len() as u64;
-                        stats.valid_ods += em.ods.len() as u64;
-                        acc.ocds.extend(em.ocds);
-                        acc.ods.extend(em.ods);
-                        acc.generated += em.generated;
-                        next.extend(em.children);
+                        // `run_queue` already isolates branch panics, so a
+                        // dead worker means the isolation itself failed —
+                        // quarantine its whole queue rather than crash.
+                        Err(payload) => {
+                            let message = panic_message(payload.as_ref());
+                            failures.extend(branches.into_iter().map(|branch| BranchFailure {
+                                branch,
+                                message: message.clone(),
+                            }));
+                        }
                     }
-                    acc.levels.push(stats);
-                    if acc.truncated {
-                        break;
-                    }
-                    if config.dedup_candidates {
-                        dedup_level(&mut next);
-                    }
-                    level = next;
-                    level_no += 1;
                 }
             });
         }
+        ParallelMode::Rayon(k) => {
+            match rayon::ThreadPoolBuilder::new()
+                .num_threads(k.max(1))
+                .build()
+            {
+                Ok(pool) => pool.install(|| {
+                    run_rayon_levels(
+                        rel,
+                        universe,
+                        queue,
+                        config,
+                        &budget,
+                        &shared,
+                        &mut acc,
+                        &mut failures,
+                    );
+                }),
+                // No pool — degrade to the sequential path instead of
+                // aborting; results are identical by construction.
+                Err(_) => {
+                    let (a, f) = run_queue(rel, universe, queue, config, &budget, &shared);
+                    acc.merge(a);
+                    failures.extend(f);
+                }
+            }
+        }
     }
+
+    // Quarantine filter: drop the dependencies rooted in failed branches.
+    // The branch-sequential paths already lost them with the branch's
+    // accumulator; under `Rayon` (and a dead StaticQueues worker) emissions
+    // from earlier levels may linger and are stripped here, so a faulty
+    // run's OCD/OD sets equal the fault-free run minus exactly the
+    // quarantined branches. (Per-level stats and generation counters stay
+    // best-effort under failure.)
+    if !failures.is_empty() {
+        let failed: HashSet<(ColumnId, ColumnId)> = failures.iter().map(|f| f.branch).collect();
+        acc.ocds.retain(|o| !failed.contains(&ocd_branch(o)));
+        acc.ods.retain(|o| !failed.contains(&od_branch(o)));
+    }
+
+    let termination = if failures.is_empty() {
+        match budget.cause() {
+            Some(StopCause::Cancelled) => TerminationReason::Cancelled,
+            Some(StopCause::TimeBudget) => TerminationReason::TimeBudget,
+            Some(StopCause::CheckBudget) => TerminationReason::CheckBudget,
+            None if acc.check_budget_hit => TerminationReason::CheckBudget,
+            None if acc.level_capped => TerminationReason::LevelCap,
+            None => TerminationReason::Complete,
+        }
+    } else {
+        let mut branches: Vec<(ColumnId, ColumnId)> = failures.iter().map(|f| f.branch).collect();
+        branches.sort_unstable();
+        branches.dedup();
+        TerminationReason::WorkerFailure {
+            branches,
+            message: failures[0].message.clone(),
+        }
+    };
 
     // Canonical ordering: shorter dependencies first (the BFS guarantee),
     // then lexicographic — identical across all execution modes.
@@ -568,11 +878,11 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
         constants: reduction.constants,
         equivalence_classes: reduction.equivalence_classes,
         reduced_attributes: reduction.attributes,
-        checks: budget.checks.load(AtomicOrdering::Relaxed),
+        checks: budget.checks(),
         candidates_generated: acc.generated,
         levels,
         elapsed: start.elapsed(),
-        complete: !acc.truncated && !budget.is_exhausted(),
+        termination,
         cache: shared.stats(),
         kernels: kernel_stats::snapshot().since(&kernels_before),
     }
@@ -616,7 +926,7 @@ mod tests {
             ("tax", &[5_250, 6_000, 6_000, 8_500, 9_500, 14_000]),
         ]);
         let result = discover(&r, &DiscoveryConfig::default());
-        assert!(result.complete);
+        assert!(result.complete());
         // income <-> tax collapses into one class {0, 3}.
         assert_eq!(result.equivalence_classes, vec![vec![0, 3]]);
         // income -> bracket survives as a single-column OD on representatives.
@@ -640,7 +950,7 @@ mod tests {
             ("c", &[3, 4, 1, 2]),
         ]);
         let result = discover(&r, &DiscoveryConfig::default());
-        assert!(result.complete);
+        assert!(result.complete());
         assert!(result.ocds.is_empty());
         assert!(result.ods.is_empty());
         assert!(result.equivalence_classes.is_empty());
@@ -860,7 +1170,7 @@ mod tests {
         );
         assert!(limited.levels.iter().all(|s| s.level <= 2));
         if full.levels.iter().any(|s| s.level > 2) {
-            assert!(!limited.complete);
+            assert!(!limited.complete());
         }
     }
 
@@ -879,7 +1189,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(!result.complete);
+        assert!(!result.complete());
         // Partial results are still well-formed.
         for ocd in &result.ocds {
             assert!(ocd.is_syntactically_minimal());
@@ -955,12 +1265,302 @@ mod tests {
     fn empty_and_single_column_relations() {
         let r = Relation::from_columns(vec![]).unwrap();
         let result = discover(&r, &DiscoveryConfig::default());
-        assert!(result.complete);
+        assert!(result.complete());
         assert_eq!(result.checks, 0);
 
         let r = rel(&[("a", &[1, 2, 3])]);
         let result = discover(&r, &DiscoveryConfig::default());
         assert!(result.ocds.is_empty());
-        assert!(result.complete);
+        assert!(result.complete());
+    }
+
+    // ---- fault tolerance & cancellation ---------------------------------
+
+    use crate::runtime::{FaultPlan, RunController};
+    use std::time::Duration;
+
+    /// Random 4-column relation of noisy co-monotone columns: enough
+    /// OCDs/ODs that every level-2 branch has something to lose.
+    /// A dependency-rich random relation: each column is a staircase with a
+    /// randomly drawn, pairwise distinct tie width (so every ascending pair
+    /// is an OCD but almost never an OD), and occasionally descending (so
+    /// some branches are pruned at level 2).
+    fn random_rel(rng: &mut rand::rngs::StdRng) -> Relation {
+        use rand::RngExt;
+        let rows = rng.random_range(18..36) as i64;
+        let mut widths = [2i64, 3, 4, 5, 7, 9];
+        for i in 0..4 {
+            let j = rng.random_range(i..widths.len());
+            widths.swap(i, j);
+        }
+        let data: Vec<(String, Vec<Value>)> = (0..4)
+            .map(|c| {
+                let w = widths[c];
+                let descending = rng.random_range(0..4) == 0;
+                let col = (0..rows)
+                    .map(|r| {
+                        let r = if descending { rows - 1 - r } else { r };
+                        Value::Int(r / w)
+                    })
+                    .collect();
+                (format!("c{c}"), col)
+            })
+            .collect();
+        Relation::from_columns(data).unwrap()
+    }
+
+    /// Every column is monotone non-decreasing in row order with a distinct
+    /// tie width, so every OCD is valid and no OD (or equivalence) ever is:
+    /// the candidate tree is the full exponential lattice — enough work
+    /// that a concurrent cancel lands mid-run.
+    fn staircase(cols: usize, rows: usize) -> Relation {
+        let data: Vec<(String, Vec<Value>)> = (0..cols)
+            .map(|c| {
+                (
+                    format!("c{c}"),
+                    (0..rows)
+                        .map(|r| Value::Int((r / (c + 2)) as i64))
+                        .collect(),
+                )
+            })
+            .collect();
+        Relation::from_columns(data).unwrap()
+    }
+
+    fn with_fault(mode: ParallelMode, plan: FaultPlan) -> DiscoveryConfig {
+        DiscoveryConfig {
+            mode,
+            fault: Some(Arc::new(plan)),
+            ..DiscoveryConfig::default()
+        }
+    }
+
+    /// Inject a panic into the level-2 branch of `clean`'s first OCD and
+    /// assert the quarantine contract: `WorkerFailure` naming exactly that
+    /// branch, OCDs equal to the fault-free set minus the branch's, and no
+    /// OD lost outside the branch.
+    fn assert_branch_quarantined(r: &Relation, mode: ParallelMode, label: &str) {
+        let clean = discover(
+            r,
+            &DiscoveryConfig {
+                mode,
+                ..DiscoveryConfig::default()
+            },
+        );
+        let branch = ocd_branch(clean.ocds.first().expect("test relation must have OCDs"));
+        let mut plan = FaultPlan::default();
+        plan.panic_on_branch = Some(branch);
+        let faulty = discover(r, &with_fault(mode, plan));
+        match &faulty.termination {
+            TerminationReason::WorkerFailure { branches, message } => {
+                assert_eq!(branches, &vec![branch], "{label}");
+                assert!(message.contains("injected panic"), "{label}: {message}");
+            }
+            other => panic!("{label}: expected WorkerFailure, got {other:?}"),
+        }
+        assert!(!faulty.complete());
+        let expected: Vec<Ocd> = clean
+            .ocds
+            .iter()
+            .filter(|o| ocd_branch(o) != branch)
+            .cloned()
+            .collect();
+        assert_eq!(
+            faulty.ocds, expected,
+            "{label}: OCDs beyond the branch lost"
+        );
+        for od in &faulty.ods {
+            assert!(
+                clean.ods.contains(od),
+                "{label}: OD {od:?} not in clean run"
+            );
+        }
+        for od in clean.ods.iter().filter(|od| !faulty.ods.contains(od)) {
+            assert_eq!(
+                od_branch(od),
+                branch,
+                "{label}: lost an OD outside the quarantined branch"
+            );
+        }
+        // Reduction facts are computed before the search and never lost.
+        assert_eq!(faulty.constants, clean.constants, "{label}");
+        assert_eq!(
+            faulty.equivalence_classes, clean.equivalence_classes,
+            "{label}"
+        );
+    }
+
+    #[test]
+    fn static_queues_branch_panic_quarantines_only_that_branch() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut exercised = 0;
+        for case in 0..8 {
+            let r = random_rel(&mut rng);
+            if discover(&r, &DiscoveryConfig::default()).ocds.is_empty() {
+                continue;
+            }
+            exercised += 1;
+            assert_branch_quarantined(&r, ParallelMode::StaticQueues(4), &format!("case {case}"));
+        }
+        assert!(exercised >= 3, "test data must contain OCDs");
+    }
+
+    #[test]
+    fn every_mode_survives_branch_panic() {
+        // Rich-in-dependencies fixed relation (Table 1 family).
+        let r = rel(&[
+            ("income", &[35_000, 40_000, 40_000, 55_000, 60_000, 80_000]),
+            ("savings", &[3_000, 4_000, 3_800, 6_500, 6_500, 10_000]),
+            ("bracket", &[1, 1, 1, 2, 2, 3]),
+        ]);
+        for (mode, label) in [
+            (ParallelMode::Sequential, "sequential"),
+            (ParallelMode::StaticQueues(4), "static_queues"),
+            (ParallelMode::Rayon(3), "rayon"),
+        ] {
+            assert_branch_quarantined(&r, mode, label);
+        }
+    }
+
+    #[test]
+    fn nth_candidate_panic_degrades_not_crashes() {
+        let r = staircase(4, 24);
+        for (mode, label) in [
+            (ParallelMode::Sequential, "sequential"),
+            (ParallelMode::StaticQueues(2), "static_queues"),
+            (ParallelMode::Rayon(2), "rayon"),
+        ] {
+            let clean = discover(
+                &r,
+                &DiscoveryConfig {
+                    mode,
+                    ..DiscoveryConfig::default()
+                },
+            );
+            let mut plan = FaultPlan::default();
+            plan.panic_after_checks = Some(2);
+            let faulty = discover(&r, &with_fault(mode, plan));
+            let TerminationReason::WorkerFailure { branches, .. } = &faulty.termination else {
+                panic!(
+                    "{label}: expected WorkerFailure, got {:?}",
+                    faulty.termination
+                );
+            };
+            assert!(!branches.is_empty(), "{label}");
+            // Partial results are a sound subset of the fault-free run.
+            for ocd in &faulty.ocds {
+                assert!(clean.ocds.contains(ocd), "{label}: spurious OCD {ocd:?}");
+            }
+            for od in &faulty.ods {
+                assert!(clean.ods.contains(od), "{label}: spurious OD {od:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_eviction_storm_changes_no_results() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = random_rel(&mut rng);
+        let base = DiscoveryConfig {
+            mode: ParallelMode::StaticQueues(3),
+            checker: CheckerBackend::PrefixCache,
+            shared_cache: true,
+            ..DiscoveryConfig::default()
+        };
+        let clean = discover(&r, &base);
+        let mut plan = FaultPlan::default();
+        plan.drop_cache_inserts = true;
+        let stormy = discover(
+            &r,
+            &DiscoveryConfig {
+                fault: Some(Arc::new(plan)),
+                ..base
+            },
+        );
+        assert_eq!(clean.ocds, stormy.ocds);
+        assert_eq!(clean.ods, stormy.ods);
+        assert_eq!(clean.checks, stormy.checks);
+        assert!(stormy.complete());
+        let cache = stormy.cache.expect("shared cache stats");
+        assert_eq!(cache.entries, 0, "every insert must have been dropped");
+        assert!(cache.evictions > 0, "drops are counted as evictions");
+    }
+
+    #[test]
+    fn injected_latency_trips_the_time_budget() {
+        let r = staircase(3, 24);
+        let mut plan = FaultPlan::default();
+        plan.check_delay = Some(Duration::from_millis(3));
+        let result = discover(
+            &r,
+            &DiscoveryConfig {
+                time_budget: Some(Duration::from_millis(5)),
+                fault: Some(Arc::new(plan)),
+                ..DiscoveryConfig::default()
+            },
+        );
+        assert_eq!(result.termination, TerminationReason::TimeBudget);
+        for ocd in &result.ocds {
+            assert!(ocd.is_syntactically_minimal());
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_run_stops_in_first_batch() {
+        let r = staircase(4, 24);
+        let full = discover(&r, &DiscoveryConfig::default());
+        for (mode, label) in [
+            (ParallelMode::Sequential, "sequential"),
+            (ParallelMode::StaticQueues(3), "static_queues"),
+            (ParallelMode::Rayon(3), "rayon"),
+        ] {
+            let controller = RunController::new();
+            controller.cancel();
+            let result = discover(
+                &r,
+                &DiscoveryConfig {
+                    mode,
+                    controller: Some(controller),
+                    ..DiscoveryConfig::default()
+                },
+            );
+            assert_eq!(result.termination, TerminationReason::Cancelled, "{label}");
+            assert!(
+                result.ocds.len() < full.ocds.len(),
+                "{label}: cancellation must cut the run short"
+            );
+            for ocd in &result.ocds {
+                assert!(full.ocds.contains(ocd), "{label}: spurious OCD");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_cancel_stops_a_running_search() {
+        // Exponential workload; the 30 s time budget is only a failsafe so
+        // a broken cancellation path fails the assert instead of hanging.
+        let r = staircase(7, 120);
+        let controller = RunController::new();
+        let canceller = controller.clone();
+        let config = DiscoveryConfig {
+            mode: ParallelMode::StaticQueues(4),
+            controller: Some(controller),
+            time_budget: Some(Duration::from_secs(30)),
+            ..DiscoveryConfig::default()
+        };
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            canceller.cancel();
+        });
+        let result = discover(&r, &config);
+        handle.join().unwrap();
+        assert_eq!(result.termination, TerminationReason::Cancelled);
+        for ocd in &result.ocds {
+            assert!(ocd.is_syntactically_minimal());
+        }
     }
 }

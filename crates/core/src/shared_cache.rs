@@ -77,6 +77,17 @@ pub struct SharedPrefixCache<V> {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: Option<Arc<crate::runtime::FaultPlan>>,
+}
+
+/// The cache is purely advisory — a worker that panicked while holding a
+/// shard lock leaves behind a map that is still structurally valid (the
+/// mutation under the lock is a single `HashMap` operation), so poisoning
+/// is recovered instead of propagated: the surviving workers keep the
+/// cache, they don't inherit the panic.
+fn recover<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Shard count: enough that a dozen workers rarely collide, small enough
@@ -103,7 +114,16 @@ impl<V: CacheWeight> SharedPrefixCache<V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: None,
         }
+    }
+
+    /// Attach a fault-injection plan (test / `fault-injection` builds
+    /// only). Must be called before the cache is shared across workers.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub(crate) fn set_fault_plan(&mut self, fault: Option<Arc<crate::runtime::FaultPlan>>) {
+        self.fault = fault;
     }
 
     fn shard_for(&self, key: &[ColumnId]) -> &Shard<V> {
@@ -116,7 +136,7 @@ impl<V: CacheWeight> SharedPrefixCache<V> {
     /// Exact lookup; bumps the LRU stamp on hit.
     pub fn get(&self, key: &[ColumnId]) -> Option<Arc<V>> {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+        let mut shard = recover(self.shard_for(key).lock());
         match shard.get_mut(key) {
             Some(entry) => {
                 entry.last_touch = now;
@@ -137,7 +157,7 @@ impl<V: CacheWeight> SharedPrefixCache<V> {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         for len in (1..key.len()).rev() {
             let prefix = &key[..len];
-            let mut shard = self.shard_for(prefix).lock().expect("cache shard poisoned");
+            let mut shard = recover(self.shard_for(prefix).lock());
             if let Some(entry) = shard.get_mut(prefix) {
                 entry.last_touch = now;
                 return Some((len, Arc::clone(&entry.value)));
@@ -153,9 +173,17 @@ impl<V: CacheWeight> SharedPrefixCache<V> {
         if self.budget_bytes == 0 || bytes > self.budget_bytes {
             return; // would be evicted immediately; don't bother
         }
+        // Fault injection: an "eviction storm" drops every insert on the
+        // floor, forcing workers to recompute each prefix — results must
+        // not change, only the counters.
+        #[cfg(any(test, feature = "fault-injection"))]
+        if self.fault.as_ref().is_some_and(|f| f.drops_cache_inserts()) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         {
-            let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+            let mut shard = recover(self.shard_for(&key).lock());
             if let Some(old) = shard.insert(
                 key,
                 Entry {
@@ -185,7 +213,7 @@ impl<V: CacheWeight> SharedPrefixCache<V> {
             guard -= 1;
             let mut victim: Option<(usize, Vec<ColumnId>, u64)> = None;
             for (s, shard) in self.shards.iter().enumerate() {
-                let shard = shard.lock().expect("cache shard poisoned");
+                let shard = recover(shard.lock());
                 if let Some((k, e)) = shard.iter().min_by_key(|(_, e)| e.last_touch) {
                     if victim.as_ref().is_none_or(|(_, _, t)| e.last_touch < *t) {
                         victim = Some((s, k.clone(), e.last_touch));
@@ -193,7 +221,7 @@ impl<V: CacheWeight> SharedPrefixCache<V> {
                 }
             }
             let Some((s, key, _)) = victim else { break };
-            let mut shard = self.shards[s].lock().expect("cache shard poisoned");
+            let mut shard = recover(self.shards[s].lock());
             if let Some(e) = shard.remove(&key) {
                 self.resident.fetch_sub(e.bytes, Ordering::Relaxed);
                 self.entries.fetch_sub(1, Ordering::Relaxed);

@@ -142,6 +142,6 @@ mod tests {
         let result = discover(&rel, &DiscoveryConfig::default());
         assert_eq!(result.constants, vec![0, 1, 2, 3, 4]);
         assert_eq!(result.checks, 0, "no live columns, no checks");
-        assert!(result.complete);
+        assert!(result.complete());
     }
 }

@@ -634,7 +634,7 @@ mod tests {
         use ocdd_core::{discover, DiscoveryConfig};
         let rel = Dataset::Letter.generate(RowScale::Rows(2_000));
         let result = discover(&rel, &DiscoveryConfig::default());
-        assert!(result.complete);
+        assert!(result.complete());
         assert!(
             result.ocds.is_empty(),
             "letter should have no OCDs: {:?}",
@@ -648,7 +648,7 @@ mod tests {
         use ocdd_core::{discover, DiscoveryConfig};
         let rel = Dataset::Dbtesma1k.generate(RowScale::Default);
         let result = discover(&rel, &DiscoveryConfig::default());
-        assert!(result.complete);
+        assert!(result.complete());
         assert!(
             !result.equivalence_classes.is_empty(),
             "planted equivalences missing"
@@ -663,7 +663,7 @@ mod tests {
         use ocdd_core::{discover, DiscoveryConfig};
         let rel = Dataset::Horse.generate(RowScale::Default);
         let result = discover(&rel, &DiscoveryConfig::default());
-        assert!(result.complete);
+        assert!(result.complete());
         assert!(!result.ods.is_empty());
         assert!(!result.equivalence_classes.is_empty());
     }

@@ -36,6 +36,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// I/O and user-input paths must surface errors as `Result`, never panic;
+// test code may still assert with unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod column;
 pub mod csv;
 pub mod datatype;

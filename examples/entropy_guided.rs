@@ -54,7 +54,7 @@ fn main() {
         "\nFull discovery with a {budget:?} budget: {} checks, complete = {} \
          ({} OCDs, {} ODs so far)",
         full.checks,
-        full.complete,
+        full.complete(),
         full.ocd_count(),
         full.od_count()
     );
@@ -68,7 +68,7 @@ fn main() {
              ({} OCDs, {} ODs)",
             guided.result.checks,
             guided.result.elapsed,
-            guided.result.complete,
+            guided.result.complete(),
             guided.result.ocd_count(),
             guided.result.od_count()
         );

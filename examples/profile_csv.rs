@@ -124,6 +124,6 @@ fn main() {
         "\n{} checks in {:?} ({}complete)",
         result.checks,
         result.elapsed,
-        if result.complete { "" } else { "in" }
+        if result.complete() { "" } else { "in" }
     );
 }

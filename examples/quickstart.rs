@@ -62,6 +62,9 @@ fn main() {
 
     println!(
         "\nStatistics: {} checks, {} candidates generated, {:?} elapsed, complete = {}",
-        result.checks, result.candidates_generated, result.elapsed, result.complete
+        result.checks,
+        result.candidates_generated,
+        result.elapsed,
+        result.complete()
     );
 }

@@ -110,13 +110,7 @@ fn print_discovery(rel: &Relation, result: &ocddiscover::DiscoveryResult) {
     }
     println!(
         "-- {} checks, {:?}, {}",
-        result.checks,
-        result.elapsed,
-        if result.complete {
-            "complete"
-        } else {
-            "PARTIAL (budget hit)"
-        }
+        result.checks, result.elapsed, result.termination
     );
 }
 
@@ -226,11 +220,7 @@ fn cmd_profile(args: &[String]) -> ExitCode {
             for od in &res.ods {
                 println!("od          {od}");
             }
-            println!(
-                "-- {} checks, {}",
-                res.checks,
-                if res.complete { "complete" } else { "PARTIAL" }
-            );
+            println!("-- {} checks, {}", res.checks, res.termination);
         }
         "approx" => {
             let res = discover_approximate(&rel, &p.config, p.epsilon);
@@ -242,9 +232,7 @@ fn cmd_profile(args: &[String]) -> ExitCode {
             }
             println!(
                 "-- ε = {}, {} checks, {}",
-                p.epsilon,
-                res.checks,
-                if res.complete { "complete" } else { "PARTIAL" }
+                p.epsilon, res.checks, res.termination
             );
         }
         other => {

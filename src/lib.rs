@@ -30,6 +30,7 @@ pub use ocdd_relation as relation;
 
 pub use ocdd_core::{
     check_ocd, check_od, columns_reduction, discover, AttrList, CheckOutcome, CheckerBackend,
-    DiscoveryConfig, DiscoveryResult, Ocd, Od, OrderEquivalence, ParallelMode,
+    DiscoveryConfig, DiscoveryResult, FaultPlan, Ocd, Od, OrderEquivalence, ParallelMode,
+    RunController, TerminationReason,
 };
 pub use ocdd_relation::{read_csv_path, read_csv_str, CsvOptions, Relation, Value};

@@ -90,7 +90,7 @@ fn soundness_on_random_relations() {
     for seed in 0..25u64 {
         let rel = random_relation(seed, 20, 4, 3);
         let result = discover(&rel, &DiscoveryConfig::default());
-        assert!(result.complete);
+        assert!(result.complete());
         for od in &result.ods {
             assert!(
                 check_od_pairwise(&rel, &od.lhs, &od.rhs),

@@ -11,7 +11,7 @@ use ocddiscover::{discover, DiscoveryConfig};
 fn tax_table_full_pipeline() {
     let rel = tax_table();
     let result = discover(&rel, &DiscoveryConfig::default());
-    assert!(result.complete);
+    assert!(result.complete());
 
     // income <-> tax collapse into one equivalence class.
     let income = rel.column_id("income").unwrap();

@@ -4,12 +4,16 @@
 //! performance knobs.
 
 use ocddiscover::datasets::{Dataset, RowScale};
-use ocddiscover::{discover, CheckerBackend, DiscoveryConfig, ParallelMode};
+use ocddiscover::{discover, CheckerBackend, DiscoveryConfig, ParallelMode, TerminationReason};
 
 fn assert_same_results(ds: Dataset, rows: usize) {
     let rel = ds.generate(RowScale::Rows(rows));
     let seq = discover(&rel, &DiscoveryConfig::default());
-    assert!(seq.complete, "{} should complete at {rows} rows", ds.name());
+    assert!(
+        seq.complete(),
+        "{} should complete at {rows} rows",
+        ds.name()
+    );
     for mode in [
         ParallelMode::StaticQueues(2),
         ParallelMode::StaticQueues(7),
@@ -67,7 +71,7 @@ fn ncvoter_deterministic_across_modes() {
 fn full_mode_backend_cache_matrix_is_deterministic() {
     let rel = Dataset::Horse.generate(RowScale::Rows(220));
     let baseline = discover(&rel, &DiscoveryConfig::default());
-    assert!(baseline.complete);
+    assert!(baseline.complete());
     for mode in [
         ParallelMode::Sequential,
         ParallelMode::StaticQueues(4),
@@ -132,6 +136,50 @@ fn tiny_shared_cache_budget_matches_baseline() {
         assert_eq!(baseline.ocds, run.ocds, "{backend:?}");
         assert_eq!(baseline.ods, run.ods, "{backend:?}");
         assert_eq!(baseline.checks, run.checks, "{backend:?}");
+    }
+}
+
+/// A `max_checks` budget that trips mid-level must still be deterministic:
+/// the budget is split into per-branch allowances in canonical seed order,
+/// so every execution mode truncates the search at exactly the same
+/// candidates and returns an identical partial result.
+#[test]
+fn mid_level_check_budget_truncates_identically_across_modes() {
+    let rel = Dataset::Horse.generate(RowScale::Rows(220));
+    let full = discover(&rel, &DiscoveryConfig::default());
+    assert!(full.complete());
+    // A budget well inside the search (after reduction, before exhaustion)
+    // so several branches run dry mid-traversal.
+    let max_checks = full.checks / 3;
+    let seq = discover(
+        &rel,
+        &DiscoveryConfig {
+            max_checks: Some(max_checks),
+            ..DiscoveryConfig::default()
+        },
+    );
+    assert_eq!(seq.termination, TerminationReason::CheckBudget);
+    assert!(!seq.complete());
+    assert!(seq.ocds.len() < full.ocds.len(), "budget must truncate");
+    assert!(seq.ocds.iter().all(|o| full.ocds.contains(o)));
+    for mode in [
+        ParallelMode::StaticQueues(2),
+        ParallelMode::StaticQueues(5),
+        ParallelMode::Rayon(3),
+    ] {
+        let par = discover(
+            &rel,
+            &DiscoveryConfig {
+                mode,
+                max_checks: Some(max_checks),
+                ..DiscoveryConfig::default()
+            },
+        );
+        assert_eq!(par.termination, TerminationReason::CheckBudget, "{mode:?}");
+        assert_eq!(seq.ocds, par.ocds, "partial OCDs differ under {mode:?}");
+        assert_eq!(seq.ods, par.ods, "partial ODs differ under {mode:?}");
+        assert_eq!(seq.checks, par.checks, "{mode:?}: same truncation point");
+        assert_eq!(seq.candidates_generated, par.candidates_generated);
     }
 }
 
