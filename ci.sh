@@ -19,7 +19,17 @@ cargo test -q --features fault-injection
 echo "==> fault-injection stress iteration (RUST_BACKTRACE=1)"
 RUST_BACKTRACE=1 cargo test -q --features fault-injection --test fault_injection
 
+echo "==> work-stealing differential suite (workers 1 and 4 vs Sequential)"
+# The determinism matrix and proptest differentials pin WorkStealing(1) and
+# WorkStealing(4) — byte-identical results, budget truncation and fault
+# quarantine included; any divergence fails the run.
+cargo test -q --test parallel_determinism
+cargo test -q --test property_based workstealing
+
 echo "==> criterion smoke (cargo bench -- --test)"
 cargo bench -p ocdd-bench -- --test
+
+echo "==> check_throughput criterion group (worker-scaling sweep)"
+cargo bench -p ocdd-bench --bench check_throughput -- --test
 
 echo "==> ci.sh: all green"

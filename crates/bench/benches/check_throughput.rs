@@ -1,8 +1,9 @@
-//! Criterion timing of the check-heavy workload per backend × cache
-//! configuration. The same workload, run once with JSON output, backs
-//! `BENCH_check.json` via the `bench_check` binary; this bench provides
-//! the statistically sampled timings (and the ≥2× radix+shared-cache vs
-//! seed-comparator acceptance comparison).
+//! Criterion timing of the check-heavy workload per backend ×
+//! worker-count configuration (the level-synchronous critical-path
+//! schedule of the work-stealing mode). The same workload, run once with
+//! JSON output, backs `BENCH_check.json` via the `bench_check` binary;
+//! this bench provides the statistically sampled timings (and the ≥2×
+//! radix+cache vs seed-comparator acceptance comparison).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ocdd_bench::check_throughput::{

@@ -7,6 +7,9 @@
 //!
 //! The first configuration is the seed baseline (comparator re-sort per
 //! candidate); every other row reports `speedup_vs_seed` relative to it.
+//! Multi-worker rows replay the level-synchronous schedule of the
+//! work-stealing discovery mode and report the modeled critical-path time
+//! plus `speedup_vs_1worker` against the same backend's single-worker row.
 
 use ocdd_bench::check_throughput::{
     matrix_to_json, run_matrix, workload_candidates, workload_relation, DEFAULT_SPECS,
@@ -16,9 +19,10 @@ fn main() {
     let mut rows: usize = 100_000;
     let mut seed: u64 = 11;
     let mut budget_mb: usize = 256;
+    let mut reps: usize = 3;
     let mut out = "BENCH_check.json".to_owned();
 
-    let usage = "usage: bench_check [--rows N] [--seed S] [--budget-mb MB] [--out PATH]";
+    let usage = "usage: bench_check [--rows N] [--seed S] [--budget-mb MB] [--reps N] [--out PATH]";
     let die = |msg: String| -> ! {
         eprintln!("bench_check: {msg}\n{usage}");
         std::process::exit(2);
@@ -43,6 +47,7 @@ fn main() {
             "--rows" => rows = parse(i),
             "--seed" => seed = parse(i) as u64,
             "--budget-mb" => budget_mb = parse(i),
+            "--reps" => reps = parse(i),
             "--out" => out = need(i).clone(),
             "--help" | "-h" => {
                 eprintln!("{usage}");
@@ -63,9 +68,13 @@ fn main() {
         candidates.len() * 3
     );
 
-    let results = run_matrix(&rel, &candidates, DEFAULT_SPECS, budget_mb << 20);
+    let results = run_matrix(&rel, &candidates, DEFAULT_SPECS, budget_mb << 20, reps);
     let seed_cps = results[0].checks_per_sec();
     for r in &results {
+        let baseline = results
+            .iter()
+            .find(|b| b.spec.backend == r.spec.backend && b.spec.workers == 1);
+        let vs_1w = baseline.map_or(1.0, |b| r.checks_per_sec() / b.checks_per_sec());
         let cache = match &r.cache {
             Some(c) => format!(
                 "  cache: {} hits / {} misses / {} evictions, {} KiB resident",
@@ -77,10 +86,11 @@ fn main() {
             None => String::new(),
         };
         eprintln!(
-            "[bench_check] {:28} {:>10.1} checks/s  ({:>6.2}x seed){cache}",
+            "[bench_check] {:28} {:>10.1} checks/s  ({:>6.2}x seed, {:>5.2}x 1-worker){cache}",
             r.spec.name,
             r.checks_per_sec(),
             r.checks_per_sec() / seed_cps,
+            vs_1w,
         );
     }
 

@@ -20,7 +20,7 @@
 //! ones. Worst case is `O(m log m + m·|Y|)` comparisons for `m` rows.
 
 use crate::deps::AttrList;
-use crate::shared_cache::SharedPrefixCache;
+use crate::shared_cache::{EpochPrefixCache, EpochSnapshot, SharedPrefixCache};
 use ocdd_relation::sort::{cmp_rows, refine_index, sort_index_by};
 use ocdd_relation::{ColumnId, Relation};
 use std::cmp::Ordering;
@@ -93,10 +93,49 @@ fn scan_sorted(rel: &Relation, lhs: &[ColumnId], rhs: &[ColumnId], index: &[u32]
     CheckOutcome::Valid
 }
 
+/// Split-only early-exit scan over `index` (pre-sorted by `lhs`): false
+/// iff some pair of `lhs`-tied rows differs on `rhs`. Adjacent pairs
+/// suffice — the index groups `lhs`-ties contiguously, and if every
+/// adjacent pair inside a tie group agrees on `rhs`, all rows of the group
+/// do. Sound as a *full* OD check only when a swap is impossible; see
+/// [`check_od_after_ocd`].
+fn scan_sorted_splits_only(
+    rel: &Relation,
+    lhs: &[ColumnId],
+    rhs: &[ColumnId],
+    index: &[u32],
+) -> bool {
+    for w in index.windows(2) {
+        let (p, q) = (w[0] as usize, w[1] as usize);
+        if cmp_rows(rel, lhs, p, q) == Ordering::Equal
+            && cmp_rows(rel, rhs, p, q) != Ordering::Equal
+        {
+            return false;
+        }
+    }
+    true
+}
+
 /// Check the OD candidate `lhs → rhs` by index sort + adjacent scan.
 pub fn check_od(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> CheckOutcome {
     let index = sort_index_by(rel, lhs.as_slice());
     scan_sorted(rel, lhs.as_slice(), rhs.as_slice(), &index)
+}
+
+/// Fused direction check: decide the OD `lhs → rhs` **given that the OCD
+/// `lhs ~ rhs` already passed** on the same instance.
+///
+/// Under a valid OCD a swap is impossible: rows with `lhs` strictly
+/// increasing and `rhs` strictly decreasing would also order
+/// `lhs·rhs` against `rhs·lhs` inconsistently, contradicting the single
+/// check `XY → YX` of Theorem 4.1. The OD can then only fail by *split*,
+/// so a split-only early-exit scan over the `lhs`-sorted index decides it
+/// — same verdict as [`check_od`], typically fewer column comparisons
+/// (only `lhs`-tied pairs ever touch `rhs`). The search calls this for
+/// both directions of every candidate that survives its OCD check.
+pub fn check_od_after_ocd(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> bool {
+    let index = sort_index_by(rel, lhs.as_slice());
+    scan_sorted_splits_only(rel, lhs.as_slice(), rhs.as_slice(), &index)
 }
 
 /// Check the OCD candidate `x ~ y` via the single OD check `XY → YX`
@@ -124,10 +163,90 @@ pub struct SortCache<'r> {
     rel: &'r Relation,
     cache: HashMap<Vec<ColumnId>, Arc<Vec<u32>>>,
     shared: Option<Arc<SharedPrefixCache<Vec<u32>>>>,
+    epoch: Option<EpochTier<Vec<u32>>>,
     /// Number of cache hits (full or prefix), for ablation reporting.
     pub hits: u64,
     /// Number of full sorts performed.
     pub misses: u64,
+}
+
+/// Per-worker state of the epoch-published cache mode: an immutable
+/// snapshot refreshed at level boundaries, plus a local insert buffer
+/// drained (in insertion order, for deterministic publish stamps) when the
+/// driver publishes between levels. Lookups take no lock; lookup counters
+/// are flushed alongside the buffer.
+pub(crate) struct EpochTier<V> {
+    cache: Arc<EpochPrefixCache<V>>,
+    snapshot: EpochSnapshot<V>,
+    pending: HashMap<Vec<ColumnId>, Arc<V>>,
+    pending_order: Vec<Vec<ColumnId>>,
+    flushed_hits: u64,
+    flushed_misses: u64,
+}
+
+impl<V: crate::shared_cache::CacheWeight> EpochTier<V> {
+    pub(crate) fn new(cache: Arc<EpochPrefixCache<V>>) -> EpochTier<V> {
+        let snapshot = cache.snapshot();
+        EpochTier {
+            cache,
+            snapshot,
+            pending: HashMap::new(),
+            pending_order: Vec::new(),
+            flushed_hits: 0,
+            flushed_misses: 0,
+        }
+    }
+
+    /// Refresh the snapshot — call when a new level starts.
+    pub(crate) fn begin_level(&mut self) {
+        self.snapshot = self.cache.snapshot();
+    }
+
+    /// Exact lookup across the local buffer and the snapshot.
+    pub(crate) fn get(&self, key: &[ColumnId]) -> Option<Arc<V>> {
+        if let Some(v) = self.pending.get(key) {
+            return Some(Arc::clone(v));
+        }
+        self.snapshot.get(key)
+    }
+
+    /// Longest cached *proper* prefix of `key`, preferring the buffer at
+    /// equal length.
+    pub(crate) fn longest_prefix(&self, key: &[ColumnId]) -> Option<(usize, Arc<V>)> {
+        for len in (1..key.len()).rev() {
+            if let Some(v) = self.pending.get(&key[..len]) {
+                return Some((len, Arc::clone(v)));
+            }
+            if let Some(v) = self.snapshot.get(&key[..len]) {
+                return Some((len, v));
+            }
+        }
+        None
+    }
+
+    pub(crate) fn buffer(&mut self, key: Vec<ColumnId>, value: Arc<V>) {
+        if self.pending.insert(key.clone(), value).is_none() {
+            self.pending_order.push(key);
+        }
+    }
+
+    /// Drain the local buffer into the shared cache (one publish) and
+    /// flush the lookup-counter deltas. Called by the driver between
+    /// levels, on the driver thread — never on the check hot path.
+    pub(crate) fn publish(&mut self, hits: u64, misses: u64) {
+        if !self.pending_order.is_empty() {
+            let pending = &mut self.pending;
+            self.cache.publish(
+                self.pending_order
+                    .drain(..)
+                    .filter_map(|k| pending.remove(&k).map(|v| (k, v))),
+            );
+        }
+        self.cache
+            .record_lookups(hits - self.flushed_hits, misses - self.flushed_misses);
+        self.flushed_hits = hits;
+        self.flushed_misses = misses;
+    }
 }
 
 impl<'r> SortCache<'r> {
@@ -137,6 +256,7 @@ impl<'r> SortCache<'r> {
             rel,
             cache: HashMap::new(),
             shared: None,
+            epoch: None,
             hits: 0,
             misses: 0,
         }
@@ -152,13 +272,63 @@ impl<'r> SortCache<'r> {
             rel,
             cache: HashMap::new(),
             shared: Some(shared),
+            epoch: None,
             hits: 0,
             misses: 0,
         }
     }
 
+    /// Create a cache backed by an epoch-published shared store
+    /// ([`EpochPrefixCache`]): reads go to an immutable snapshot (no lock
+    /// per check), inserts are buffered locally until
+    /// [`SortCache::publish_pending`]. Used by the work-stealing mode.
+    pub fn with_epoch(rel: &'r Relation, cache: Arc<EpochPrefixCache<Vec<u32>>>) -> SortCache<'r> {
+        SortCache {
+            rel,
+            cache: HashMap::new(),
+            shared: None,
+            epoch: Some(EpochTier::new(cache)),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Refresh the epoch snapshot at a level boundary. No-op for the
+    /// private and lock-striped modes.
+    pub fn begin_level(&mut self) {
+        if let Some(tier) = &mut self.epoch {
+            tier.begin_level();
+        }
+    }
+
+    /// Publish locally-buffered indexes and flush lookup counters to the
+    /// epoch cache. No-op for the private and lock-striped modes.
+    pub fn publish_pending(&mut self) {
+        if let Some(tier) = &mut self.epoch {
+            tier.publish(self.hits, self.misses);
+        }
+    }
+
     /// Sorted index for `cols`, reusing the longest cached prefix.
     pub fn index_for(&mut self, cols: &[ColumnId]) -> Arc<Vec<u32>> {
+        if let Some(tier) = &mut self.epoch {
+            if let Some(idx) = tier.get(cols) {
+                self.hits += 1;
+                return idx;
+            }
+            let index = match tier.longest_prefix(cols) {
+                Some((len, base)) => {
+                    self.hits += 1;
+                    Arc::new(refine_index(self.rel, &base, &cols[..len], &cols[len..]))
+                }
+                None => {
+                    self.misses += 1;
+                    Arc::new(sort_index_by(self.rel, cols))
+                }
+            };
+            tier.buffer(cols.to_vec(), Arc::clone(&index));
+            return index;
+        }
         if let Some(shared) = &self.shared {
             if let Some(idx) = shared.get(cols) {
                 self.hits += 1;
@@ -212,6 +382,14 @@ impl<'r> SortCache<'r> {
         let xy = x.concat(y);
         let yx = y.concat(x);
         self.check_od(&xy, &yx)
+    }
+
+    /// Fused direction check after a validated OCD — cached counterpart of
+    /// [`check_od_after_ocd`]: reuses (and warms) the prefix cache for the
+    /// `lhs` index, then runs the split-only scan.
+    pub fn check_od_after_ocd(&mut self, lhs: &AttrList, rhs: &AttrList) -> bool {
+        let index = self.index_for(lhs.as_slice());
+        scan_sorted_splits_only(self.rel, lhs.as_slice(), rhs.as_slice(), &index)
     }
 }
 
@@ -443,6 +621,82 @@ mod tests {
         }
         assert_eq!(two.misses, 0, "all prefixes were already shared");
         assert!(shared.stats().hits > 0);
+    }
+
+    #[test]
+    fn epoch_sort_cache_agrees_and_shares_across_publishes() {
+        let r = rel(&[
+            ("a", &[3, 1, 4, 1, 5, 9, 2, 6]),
+            ("b", &[2, 7, 1, 8, 2, 8, 1, 8]),
+            ("c", &[1, 1, 2, 2, 3, 3, 4, 4]),
+        ]);
+        let cache = Arc::new(EpochPrefixCache::new(1 << 20));
+        let mut one = SortCache::with_epoch(&r, Arc::clone(&cache));
+        let mut two = SortCache::with_epoch(&r, Arc::clone(&cache));
+        let lists = [
+            (l(&[0]), l(&[1])),
+            (l(&[0, 1]), l(&[2])),
+            (l(&[0, 2]), l(&[1])),
+            (l(&[2, 0]), l(&[1])),
+        ];
+        for (x, y) in &lists {
+            assert_eq!(one.check_od(x, y), check_od(&r, x, y));
+        }
+        // Unpublished work is invisible to the sibling worker …
+        assert_eq!(cache.snapshot().len(), 0);
+        one.publish_pending();
+        two.begin_level();
+        // … and fully visible after publish + snapshot refresh.
+        for (x, y) in &lists {
+            assert_eq!(two.check_od(x, y), check_od(&r, x, y));
+        }
+        assert_eq!(two.misses, 0, "all prefixes arrived via the snapshot");
+        two.publish_pending();
+        let s = cache.stats();
+        assert_eq!(s.misses, one.misses);
+        assert_eq!(s.hits, one.hits + two.hits);
+    }
+
+    #[test]
+    fn fused_direction_check_matches_full_check_after_valid_ocd() {
+        // Exhaustive over small two-column relations: whenever the OCD
+        // x ~ y holds, the split-only direction check must agree with the
+        // full checker in both directions.
+        let mut fused_cases = 0;
+        for bits_a in 0..81u32 {
+            for bits_b in 0..81u32 {
+                let dec = |mut bits: u32| -> Vec<i64> {
+                    let mut v = Vec::new();
+                    for _ in 0..4 {
+                        v.push((bits % 3) as i64);
+                        bits /= 3;
+                    }
+                    v
+                };
+                let r = rel(&[("a", &dec(bits_a)), ("b", &dec(bits_b))]);
+                let (x, y) = (l(&[0]), l(&[1]));
+                if !check_ocd(&r, &x, &y).is_valid() {
+                    continue;
+                }
+                fused_cases += 1;
+                assert_eq!(
+                    check_od_after_ocd(&r, &x, &y),
+                    check_od(&r, &x, &y).is_valid(),
+                    "x→y on {bits_a}/{bits_b}"
+                );
+                assert_eq!(
+                    check_od_after_ocd(&r, &y, &x),
+                    check_od(&r, &y, &x).is_valid(),
+                    "y→x on {bits_a}/{bits_b}"
+                );
+                let mut cache = SortCache::new(&r);
+                assert_eq!(
+                    cache.check_od_after_ocd(&x, &y),
+                    check_od(&r, &x, &y).is_valid()
+                );
+            }
+        }
+        assert!(fused_cases > 500, "enough OCD-valid cases exercised");
     }
 
     #[test]

@@ -19,6 +19,16 @@ pub enum ParallelMode {
     /// pool of `k` threads. Better load balance when branches are skewed;
     /// measured against `StaticQueues` by the ablation bench.
     Rayon(usize),
+    /// Level-synchronous batch scheduler: each level's candidates are
+    /// grouped into batches by their shared sort-key prefix (the `X` of
+    /// the single OCD check `XY → YX`), so the prefix index is
+    /// materialized once per batch and refined per candidate. Batches are
+    /// executed by `k` workers over work-stealing deques
+    /// ([`crate::scheduler`]); with `shared_cache` the workers read an
+    /// epoch-published immutable cache snapshot and buffer inserts
+    /// locally, publishing between levels — no lock on the check hot
+    /// path. Results are byte-identical to every other mode.
+    WorkStealing(usize),
 }
 
 /// How candidate checks are executed.

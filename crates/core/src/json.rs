@@ -19,7 +19,10 @@
 //! `cancelled` / `worker_failure`); `complete` is kept as the derived
 //! boolean. A `worker_failure` run additionally carries
 //! `"failed_branches": [[colA, colB], ...]` (quarantined level-2 branch
-//! seed pairs, as column names) and `"failure_message"`.
+//! seed pairs, as column names) and `"failure_message"`. A `WorkStealing`
+//! run carries `"scheduler": {"batches", "levels", "steals", "workers":
+//! [{"batches", "steals"}, ...]}` — scheduling observability, not part of
+//! the deterministic result.
 
 use crate::deps::AttrList;
 use crate::results::DiscoveryResult;
@@ -93,6 +96,21 @@ pub fn result_to_json(result: &DiscoveryResult, rel: &Relation) -> String {
         result.checks,
         result.elapsed.as_secs_f64() * 1e3
     );
+    if let Some(sched) = &result.scheduler {
+        let workers: Vec<String> = sched
+            .workers
+            .iter()
+            .map(|w| format!("{{\"batches\":{},\"steals\":{}}}", w.batches, w.steals))
+            .collect();
+        let _ = write!(
+            out,
+            "\"scheduler\":{{\"batches\":{},\"levels\":{},\"steals\":{},\"workers\":[{}]}},",
+            sched.batches,
+            sched.levels,
+            sched.steals(),
+            workers.join(",")
+        );
+    }
 
     let constants: Vec<String> = result
         .constants
@@ -212,6 +230,36 @@ mod tests {
             json.contains("\"failure_message\":\"boom \\\"quoted\\\"\""),
             "{json}"
         );
+    }
+
+    #[test]
+    fn workstealing_run_emits_scheduler_stats() {
+        let rel = Relation::from_columns(vec![
+            (
+                "a".to_string(),
+                vec![1, 2, 3, 4].into_iter().map(Value::Int).collect(),
+            ),
+            (
+                "b".to_string(),
+                vec![2, 1, 4, 3].into_iter().map(Value::Int).collect(),
+            ),
+            (
+                "c".to_string(),
+                vec![1, 3, 2, 4].into_iter().map(Value::Int).collect(),
+            ),
+        ])
+        .unwrap();
+        let config = DiscoveryConfig {
+            mode: crate::ParallelMode::WorkStealing(2),
+            ..DiscoveryConfig::default()
+        };
+        let result = discover(&rel, &config);
+        let json = result_to_json(&result, &rel);
+        assert!(json.contains("\"scheduler\":{\"batches\":"), "{json}");
+        assert!(json.contains("\"workers\":[{\"batches\":"), "{json}");
+        // Sequential runs must not carry the key.
+        let seq = discover(&rel, &DiscoveryConfig::default());
+        assert!(!result_to_json(&seq, &rel).contains("\"scheduler\""));
     }
 
     #[test]

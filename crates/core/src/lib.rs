@@ -61,15 +61,17 @@ pub mod reduction;
 pub mod results;
 pub mod rewrite;
 pub mod runtime;
+pub mod scheduler;
 pub mod search;
 pub mod shared_cache;
 pub mod sorted_partitions;
 
-pub use check::{check_ocd, check_od, CheckOutcome, SortCache};
+pub use check::{check_ocd, check_od, check_od_after_ocd, CheckOutcome, SortCache};
 pub use config::{CheckerBackend, DiscoveryConfig, ParallelMode};
 pub use deps::{AttrList, Ocd, Od, OrderEquivalence};
 pub use reduction::{columns_reduction, Reduction};
 pub use results::{DiscoveryResult, LevelStats};
 pub use runtime::{FaultPlan, RunController, TerminationReason, DEADLINE_CHECK_INTERVAL};
+pub use scheduler::{SchedulerStats, WorkerSchedStats};
 pub use search::{discover, profile_branches, BranchCost};
-pub use shared_cache::{CacheStats, SharedPrefixCache};
+pub use shared_cache::{CacheStats, EpochPrefixCache, EpochSnapshot, SharedPrefixCache};

@@ -198,6 +198,28 @@ impl Budget {
         self.stop.load(Ordering::Relaxed) == STOP_NONE
     }
 
+    /// Immediate (non-amortized) stop-condition poll, consulted once per
+    /// batch by the work-stealing scheduler: batch boundaries are rare
+    /// enough that the vDSO call is free, and polling here bounds the
+    /// cancellation latency by one batch instead of one
+    /// [`DEADLINE_CHECK_INTERVAL`] window. Returns false once the run must
+    /// stop.
+    pub(crate) fn probe_now(&self) -> bool {
+        if self.stop.load(Ordering::Relaxed) != STOP_NONE {
+            return false;
+        }
+        if self
+            .controller
+            .as_ref()
+            .is_some_and(RunController::is_cancelled)
+        {
+            self.trip(StopCause::Cancelled);
+        } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.trip(StopCause::TimeBudget);
+        }
+        self.stop.load(Ordering::Relaxed) == STOP_NONE
+    }
+
     /// Record `n` checks *and* enforce the global `max_checks` cap — used
     /// by the sequential entry points (bidirectional, approximate) where a
     /// single traversal makes global accounting deterministic. Returns
@@ -391,6 +413,20 @@ mod tests {
         }
         let n = stopped_after.expect("probe must observe cancellation within one interval");
         assert!(n <= DEADLINE_CHECK_INTERVAL);
+        assert_eq!(b.cause(), Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn probe_now_sees_cancellation_immediately() {
+        let controller = RunController::new();
+        let config = DiscoveryConfig {
+            controller: Some(controller.clone()),
+            ..DiscoveryConfig::default()
+        };
+        let b = Budget::new(&config, Instant::now(), 0);
+        assert!(b.probe_now());
+        controller.cancel();
+        assert!(!b.probe_now(), "batch boundary poll must not amortize");
         assert_eq!(b.cause(), Some(StopCause::Cancelled));
     }
 

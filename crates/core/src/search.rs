@@ -9,9 +9,15 @@
 //! the extensions of its left side (Theorem 3.9); an invalid direction
 //! spawns children `XA ~ Y` (resp. `X ~ YA`) for every unused attribute `A`.
 //!
-//! Three execution modes implement the same traversal; see
+//! Four execution modes implement the same traversal; see
 //! [`crate::config::ParallelMode`]. Results are canonically sorted so all
-//! modes return identical output.
+//! modes return identical output. The `WorkStealing` mode additionally
+//! groups each level's candidates into **prefix batches** (one batch per
+//! distinct `X` side, the shared sort-key prefix of the level's `XY → YX`
+//! checks) and schedules the batches over work-stealing deques
+//! ([`crate::scheduler`]); its shared cache is epoch-published
+//! ([`crate::shared_cache::EpochPrefixCache`]) so no lock is taken on the
+//! check hot path.
 //!
 //! ## Failure and budget semantics
 //!
@@ -32,24 +38,28 @@
 //! wall-clock budget and cancellation remain global and amortized — those
 //! are inherently timing-dependent.
 
-use crate::check::{check_ocd, check_od, SortCache};
+use crate::check::{check_ocd, check_od_after_ocd, SortCache};
 use crate::config::{CheckerBackend, DiscoveryConfig, ParallelMode};
 use crate::deps::{AttrList, Ocd, Od};
 use crate::reduction::{columns_reduction, Reduction};
 use crate::results::{DiscoveryResult, LevelStats};
 use crate::runtime::{panic_message, Budget, StopCause, TerminationReason};
-use crate::shared_cache::{CacheStats, SharedPrefixCache};
+use crate::scheduler::{SchedulerStats, StealQueues, WorkerSchedStats};
+use crate::shared_cache::{CacheStats, EpochPrefixCache, SharedPrefixCache};
 use crate::sorted_partitions::{PartitionChecker, SortedPartition};
 use ocdd_relation::sort::kernel_stats;
 use ocdd_relation::{ColumnId, Relation};
 use rayon::prelude::*;
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// An OCD candidate `X ~ Y` in the search tree.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// An OCD candidate `X ~ Y` in the search tree. The derived order (by `x`,
+/// then `y`) is the canonical generation order within a level; `dedup_level`
+/// exploits it for its adjacent-dedup fast path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct Candidate {
     x: AttrList,
     y: AttrList,
@@ -93,38 +103,75 @@ struct Emission {
     generated: u64,
 }
 
+impl Emission {
+    /// Reset for reuse across candidates, keeping the vector capacities.
+    fn clear(&mut self) {
+        self.ocds.clear();
+        self.ods.clear();
+        self.children.clear();
+        self.checks = 0;
+        self.generated = 0;
+    }
+}
+
 /// The run-wide shared prefix caches, when enabled: one per backend kind
 /// (only the configured backend's slot is populated). Cloned `Arc`s are
 /// handed to every worker's [`Checker`].
 struct SharedCaches {
     sort: Option<Arc<SharedPrefixCache<Vec<u32>>>>,
     parts: Option<Arc<SharedPrefixCache<SortedPartition>>>,
+    /// Epoch-published (read-mostly) variants, used by `WorkStealing` mode:
+    /// workers read an immutable snapshot lock-free and buffer inserts
+    /// locally; the driver publishes between levels.
+    sort_epoch: Option<Arc<EpochPrefixCache<Vec<u32>>>>,
+    parts_epoch: Option<Arc<EpochPrefixCache<SortedPartition>>>,
 }
 
 impl SharedCaches {
     fn from_config(config: &DiscoveryConfig) -> SharedCaches {
-        let (mut sort, mut parts) = (None, None);
-        if config.shared_cache {
-            match config.checker {
-                // Resort caches nothing by definition.
-                CheckerBackend::Resort => {}
-                CheckerBackend::PrefixCache => {
-                    #[allow(unused_mut)]
-                    let mut cache = SharedPrefixCache::new(config.cache_budget_bytes);
-                    #[cfg(any(test, feature = "fault-injection"))]
-                    cache.set_fault_plan(config.fault.clone());
-                    sort = Some(Arc::new(cache));
-                }
-                CheckerBackend::SortedPartitions => {
-                    #[allow(unused_mut)]
-                    let mut cache = SharedPrefixCache::new(config.cache_budget_bytes);
-                    #[cfg(any(test, feature = "fault-injection"))]
-                    cache.set_fault_plan(config.fault.clone());
-                    parts = Some(Arc::new(cache));
-                }
+        let mut caches = SharedCaches {
+            sort: None,
+            parts: None,
+            sort_epoch: None,
+            parts_epoch: None,
+        };
+        if !config.shared_cache {
+            return caches;
+        }
+        let epoch = matches!(config.mode, ParallelMode::WorkStealing(_));
+        match config.checker {
+            // Resort caches nothing by definition.
+            CheckerBackend::Resort => {}
+            CheckerBackend::PrefixCache if epoch => {
+                #[allow(unused_mut)]
+                let mut cache = EpochPrefixCache::new(config.cache_budget_bytes);
+                #[cfg(any(test, feature = "fault-injection"))]
+                cache.set_fault_plan(config.fault.clone());
+                caches.sort_epoch = Some(Arc::new(cache));
+            }
+            CheckerBackend::PrefixCache => {
+                #[allow(unused_mut)]
+                let mut cache = SharedPrefixCache::new(config.cache_budget_bytes);
+                #[cfg(any(test, feature = "fault-injection"))]
+                cache.set_fault_plan(config.fault.clone());
+                caches.sort = Some(Arc::new(cache));
+            }
+            CheckerBackend::SortedPartitions if epoch => {
+                #[allow(unused_mut)]
+                let mut cache = EpochPrefixCache::new(config.cache_budget_bytes);
+                #[cfg(any(test, feature = "fault-injection"))]
+                cache.set_fault_plan(config.fault.clone());
+                caches.parts_epoch = Some(Arc::new(cache));
+            }
+            CheckerBackend::SortedPartitions => {
+                #[allow(unused_mut)]
+                let mut cache = SharedPrefixCache::new(config.cache_budget_bytes);
+                #[cfg(any(test, feature = "fault-injection"))]
+                cache.set_fault_plan(config.fault.clone());
+                caches.parts = Some(Arc::new(cache));
             }
         }
-        SharedCaches { sort, parts }
+        caches
     }
 
     fn stats(&self) -> Option<CacheStats> {
@@ -132,6 +179,8 @@ impl SharedCaches {
             .as_ref()
             .map(|c| c.stats())
             .or_else(|| self.parts.as_ref().map(|c| c.stats()))
+            .or_else(|| self.sort_epoch.as_ref().map(|c| c.stats()))
+            .or_else(|| self.parts_epoch.as_ref().map(|c| c.stats()))
     }
 }
 
@@ -156,16 +205,20 @@ impl<'r> Checker<'r> {
     fn new(rel: &'r Relation, config: &DiscoveryConfig, shared: &SharedCaches) -> Checker<'r> {
         let backend = match config.checker {
             CheckerBackend::Resort => CheckerBackendState::Plain(rel),
-            CheckerBackend::PrefixCache => CheckerBackendState::Cached(match &shared.sort {
-                Some(cache) => SortCache::with_shared(rel, Arc::clone(cache)),
-                None => SortCache::new(rel),
-            }),
-            CheckerBackend::SortedPartitions => {
-                CheckerBackendState::Partitions(Box::new(match &shared.parts {
-                    Some(cache) => PartitionChecker::with_shared(rel, Arc::clone(cache)),
-                    None => PartitionChecker::new(rel),
-                }))
+            CheckerBackend::PrefixCache => {
+                CheckerBackendState::Cached(match (&shared.sort_epoch, &shared.sort) {
+                    (Some(cache), _) => SortCache::with_epoch(rel, Arc::clone(cache)),
+                    (None, Some(cache)) => SortCache::with_shared(rel, Arc::clone(cache)),
+                    (None, None) => SortCache::new(rel),
+                })
             }
+            CheckerBackend::SortedPartitions => CheckerBackendState::Partitions(Box::new(
+                match (&shared.parts_epoch, &shared.parts) {
+                    (Some(cache), _) => PartitionChecker::with_epoch(rel, Arc::clone(cache)),
+                    (None, Some(cache)) => PartitionChecker::with_shared(rel, Arc::clone(cache)),
+                    (None, None) => PartitionChecker::new(rel),
+                },
+            )),
         };
         Checker {
             backend,
@@ -186,15 +239,40 @@ impl<'r> Checker<'r> {
         }
     }
 
-    fn check_od(&mut self, x: &AttrList, y: &AttrList) -> bool {
+    /// Fused OD direction check, valid only right after `check_ocd(x, y)`
+    /// returned true for the enclosing candidate: the valid OCD rules out
+    /// swap witnesses, so only the cheaper split-only scan remains (see
+    /// [`crate::check::check_od_after_ocd`]). Same verdict as `check_od`.
+    fn check_od_after_ocd(&mut self, x: &AttrList, y: &AttrList) -> bool {
         #[cfg(any(test, feature = "fault-injection"))]
         if let Some(plan) = &self.fault {
             plan.check_latency();
         }
         match &mut self.backend {
-            CheckerBackendState::Plain(rel) => check_od(rel, x, y).is_valid(),
-            CheckerBackendState::Cached(c) => c.check_od(x, y).is_valid(),
-            CheckerBackendState::Partitions(p) => p.check_od(x, y).is_valid(),
+            CheckerBackendState::Plain(rel) => check_od_after_ocd(rel, x, y),
+            CheckerBackendState::Cached(c) => c.check_od_after_ocd(x, y),
+            CheckerBackendState::Partitions(p) => p.check_od_after_ocd(x, y),
+        }
+    }
+
+    /// Refresh the epoch-cache snapshot at a level boundary (no-op for the
+    /// other cache tiers).
+    fn begin_level(&mut self) {
+        match &mut self.backend {
+            CheckerBackendState::Plain(_) => {}
+            CheckerBackendState::Cached(c) => c.begin_level(),
+            CheckerBackendState::Partitions(p) => p.begin_level(),
+        }
+    }
+
+    /// Hand this worker's buffered epoch-cache inserts to the shared cache
+    /// (no-op for the other cache tiers). Called by the driver between
+    /// levels, in worker order, so publish epochs are deterministic.
+    fn publish_pending(&mut self) {
+        match &mut self.backend {
+            CheckerBackendState::Plain(_) => {}
+            CheckerBackendState::Cached(c) => c.publish_pending(),
+            CheckerBackendState::Partitions(p) => p.publish_pending(),
         }
     }
 }
@@ -220,9 +298,10 @@ fn process_candidate(
         .filter(|&a| !cand.x.contains(a) && !cand.y.contains(a))
         .collect();
 
-    // Direction X -> Y (Algorithm 3 lines 3-9).
+    // Direction X -> Y (Algorithm 3 lines 3-9). The OCD `X ~ Y` just
+    // validated, so the direction checks use the fused split-only scan.
     out.checks += 1;
-    if checker.check_od(&cand.x, &cand.y) {
+    if checker.check_od_after_ocd(&cand.x, &cand.y) {
         out.ods.push(Od::new(cand.x.clone(), cand.y.clone()));
     } else {
         for &a in &unused {
@@ -236,7 +315,7 @@ fn process_candidate(
 
     // Direction Y -> X (Algorithm 3 lines 10-16).
     out.checks += 1;
-    if checker.check_od(&cand.y, &cand.x) {
+    if checker.check_od_after_ocd(&cand.y, &cand.x) {
         out.ods.push(Od::new(cand.y.clone(), cand.x.clone()));
     } else {
         for &a in &unused {
@@ -250,10 +329,27 @@ fn process_candidate(
 }
 
 /// Deduplicate a level worth of children in place (each candidate can be
-/// produced by two parents).
+/// produced by two parents), keeping first occurrences in order.
+///
+/// Fast path: when the level is already in canonical (sorted) order —
+/// common for single-branch subtrees, whose children are generated in
+/// order — duplicates are adjacent and an `O(n)` `dedup` suffices. The
+/// general path builds a keep-mask from borrowed candidates instead of
+/// cloning every `Candidate` into a `HashSet` (the old allocation churn:
+/// two `AttrList` clones per child, immediately dropped for duplicates).
 fn dedup_level(level: &mut Vec<Candidate>) {
-    let mut seen: HashSet<Candidate> = HashSet::with_capacity(level.len());
-    level.retain(|c| seen.insert(c.clone()));
+    if level.len() < 2 {
+        return;
+    }
+    if level.windows(2).all(|w| w[0] <= w[1]) {
+        level.dedup();
+        return;
+    }
+    let mut seen: HashSet<&Candidate> = HashSet::with_capacity(level.len());
+    let keep: Vec<bool> = level.iter().map(|c| seen.insert(c)).collect();
+    drop(seen);
+    let mut flags = keep.iter();
+    level.retain(|_| *flags.next().expect("keep-mask length matches level"));
 }
 
 /// Split the check budget left after reduction into one allowance per
@@ -296,13 +392,17 @@ fn run_subtree(
 ) {
     let mut spent = 0u64;
     let mut level = seeds;
+    // Reused across candidates and levels: `em` keeps its vector
+    // capacities, `next` swaps with `level` so the old level's allocation
+    // backs the next one.
+    let mut next: Vec<Candidate> = Vec::new();
+    let mut em = Emission::default();
     let mut level_no = 2usize;
     while !level.is_empty() {
         if config.max_level.is_some_and(|max| level_no > max) {
             acc.level_capped = true;
             break;
         }
-        let mut next = Vec::new();
         let mut stats = LevelStats {
             level: level_no,
             ..LevelStats::default()
@@ -318,15 +418,15 @@ fn run_subtree(
             if let Some(plan) = &config.fault {
                 plan.before_candidate(cand.branch());
             }
-            let mut em = Emission::default();
+            em.clear();
             process_candidate(universe, cand, checker, &mut em);
             stats.candidates += 1;
             stats.valid_ocds += em.ocds.len() as u64;
             stats.valid_ods += em.ods.len() as u64;
-            acc.ocds.extend(em.ocds);
-            acc.ods.extend(em.ods);
+            acc.ocds.append(&mut em.ocds);
+            acc.ods.append(&mut em.ods);
             acc.generated += em.generated;
-            next.extend(em.children);
+            next.append(&mut em.children);
             spent += em.checks;
             budget.record(em.checks);
             if !budget.probe() {
@@ -339,7 +439,8 @@ fn run_subtree(
         if config.dedup_candidates {
             dedup_level(&mut next);
         }
-        level = next;
+        std::mem::swap(&mut level, &mut next);
+        next.clear();
         level_no += 1;
     }
 }
@@ -436,7 +537,8 @@ fn run_queue(
     (acc, failures)
 }
 
-/// Per-branch bookkeeping for the `Rayon` level driver.
+/// Per-branch bookkeeping for the speculative level drivers (`Rayon`,
+/// `WorkStealing`).
 struct BranchState {
     allowance: u64,
     spent: u64,
@@ -444,14 +546,106 @@ struct BranchState {
     failed: bool,
 }
 
-/// What speculatively processing one candidate produced under `Rayon`.
-enum RayonOutcome {
+/// What speculatively processing one candidate produced under a
+/// level-synchronous driver (`Rayon`, `WorkStealing`).
+enum SpecOutcome {
     /// The global budget had already stopped the run.
     Skipped,
     /// Processed normally.
     Done(Emission),
     /// The check panicked; payload text attached.
     Panicked(String),
+}
+
+/// Seed the per-branch bookkeeping of a speculative level driver.
+fn branch_states(queue: &[(Candidate, u64)]) -> HashMap<(ColumnId, ColumnId), BranchState> {
+    queue
+        .iter()
+        .map(|(seed, allowance)| {
+            (
+                seed.branch(),
+                BranchState {
+                    allowance: *allowance,
+                    spent: 0,
+                    stopped: false,
+                    failed: false,
+                },
+            )
+        })
+        .collect()
+}
+
+/// The input-ordered post-filter shared by the speculative level drivers:
+/// walk the level's outcomes in candidate order, replay the per-branch
+/// allowance accounting, quarantine panicked branches, and assemble the
+/// next level into the reused `next` buffer. Because a branch's candidates
+/// appear within each level in branch-local BFS order, every branch is
+/// truncated at exactly the candidate the branch-sequential modes would —
+/// speculative work past that point is dropped, keeping results and
+/// `checks` byte-identical across modes.
+#[allow(clippy::too_many_arguments)]
+fn absorb_level_outcomes(
+    level: &[Candidate],
+    outcomes: Vec<SpecOutcome>,
+    states: &mut HashMap<(ColumnId, ColumnId), BranchState>,
+    level_no: usize,
+    config: &DiscoveryConfig,
+    budget: &Budget,
+    acc: &mut SearchAccumulator,
+    failures: &mut Vec<BranchFailure>,
+    next: &mut Vec<Candidate>,
+    next_parts: &mut Vec<((ColumnId, ColumnId), Vec<Candidate>)>,
+) {
+    let mut stats = LevelStats {
+        level: level_no,
+        ..LevelStats::default()
+    };
+    // (branch, children) in candidate order; flattened after the pass so a
+    // branch stopping mid-level drops *all* its level children, exactly as
+    // `run_subtree`'s early return does.
+    next_parts.clear();
+    for (cand, outcome) in level.iter().zip(outcomes) {
+        let branch = cand.branch();
+        let Some(state) = states.get_mut(&branch) else {
+            continue;
+        };
+        if state.failed || state.stopped {
+            continue;
+        }
+        match outcome {
+            SpecOutcome::Skipped => {}
+            SpecOutcome::Panicked(message) => {
+                state.failed = true;
+                failures.push(BranchFailure { branch, message });
+            }
+            SpecOutcome::Done(em) => {
+                if state.spent >= state.allowance {
+                    state.stopped = true;
+                    acc.check_budget_hit = true;
+                    continue;
+                }
+                state.spent += em.checks;
+                budget.record(em.checks);
+                stats.candidates += 1;
+                stats.valid_ocds += em.ocds.len() as u64;
+                stats.valid_ods += em.ods.len() as u64;
+                acc.ocds.extend(em.ocds);
+                acc.ods.extend(em.ods);
+                acc.generated += em.generated;
+                next_parts.push((branch, em.children));
+            }
+        }
+    }
+    acc.levels.push(stats);
+    next.clear();
+    for (branch, children) in next_parts.drain(..) {
+        if states.get(&branch).is_some_and(|s| !s.stopped && !s.failed) {
+            next.extend(children);
+        }
+    }
+    if config.dedup_candidates {
+        dedup_level(next);
+    }
 }
 
 /// The `Rayon` mode driver: per-level `par_iter` over *all* branches'
@@ -476,34 +670,24 @@ fn run_rayon_levels(
     acc: &mut SearchAccumulator,
     failures: &mut Vec<BranchFailure>,
 ) {
-    let mut states: HashMap<(ColumnId, ColumnId), BranchState> = queue
-        .iter()
-        .map(|(seed, allowance)| {
-            (
-                seed.branch(),
-                BranchState {
-                    allowance: *allowance,
-                    spent: 0,
-                    stopped: false,
-                    failed: false,
-                },
-            )
-        })
-        .collect();
+    let mut states = branch_states(&queue);
     let mut level: Vec<Candidate> = queue.into_iter().map(|(seed, _)| seed).collect();
+    // Reused level-to-level, see `absorb_level_outcomes`.
+    let mut next: Vec<Candidate> = Vec::new();
+    let mut next_parts: Vec<((ColumnId, ColumnId), Vec<Candidate>)> = Vec::new();
     let mut level_no = 2usize;
     while !level.is_empty() && !budget.is_stopped() {
         if config.max_level.is_some_and(|max| level_no > max) {
             acc.level_capped = true;
             break;
         }
-        let results: Vec<RayonOutcome> = level
+        let results: Vec<SpecOutcome> = level
             .par_iter()
             .map_init(
                 || Checker::new(rel, config, shared),
                 |checker, cand| {
                     if budget.is_stopped() {
-                        return RayonOutcome::Skipped;
+                        return SpecOutcome::Skipped;
                     }
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         #[cfg(any(test, feature = "fault-injection"))]
@@ -517,71 +701,264 @@ fn run_rayon_levels(
                     match outcome {
                         Ok(em) => {
                             budget.probe();
-                            RayonOutcome::Done(em)
+                            SpecOutcome::Done(em)
                         }
                         Err(payload) => {
                             // Quarantine the possibly-inconsistent private
                             // checker state before the next candidate.
                             *checker = Checker::new(rel, config, shared);
-                            RayonOutcome::Panicked(panic_message(payload.as_ref()))
+                            SpecOutcome::Panicked(panic_message(payload.as_ref()))
                         }
                     }
                 },
             )
             .collect();
 
-        let mut stats = LevelStats {
-            level: level_no,
-            ..LevelStats::default()
-        };
-        // (branch, children) in candidate order; flattened after the pass
-        // so a branch stopping mid-level drops *all* its level children,
-        // exactly as `run_subtree`'s early return does.
-        let mut next_parts: Vec<((ColumnId, ColumnId), Vec<Candidate>)> = Vec::new();
-        for (cand, outcome) in level.iter().zip(results) {
-            let branch = cand.branch();
-            let Some(state) = states.get_mut(&branch) else {
-                continue;
-            };
-            if state.failed || state.stopped {
-                continue;
-            }
-            match outcome {
-                RayonOutcome::Skipped => {}
-                RayonOutcome::Panicked(message) => {
-                    state.failed = true;
-                    failures.push(BranchFailure { branch, message });
-                }
-                RayonOutcome::Done(em) => {
-                    if state.spent >= state.allowance {
-                        state.stopped = true;
-                        acc.check_budget_hit = true;
-                        continue;
-                    }
-                    state.spent += em.checks;
-                    budget.record(em.checks);
-                    stats.candidates += 1;
-                    stats.valid_ocds += em.ocds.len() as u64;
-                    stats.valid_ods += em.ods.len() as u64;
-                    acc.ocds.extend(em.ocds);
-                    acc.ods.extend(em.ods);
-                    acc.generated += em.generated;
-                    next_parts.push((branch, em.children));
-                }
-            }
-        }
-        acc.levels.push(stats);
-        let mut next: Vec<Candidate> = next_parts
-            .into_iter()
-            .filter(|(branch, _)| states.get(branch).is_some_and(|s| !s.stopped && !s.failed))
-            .flat_map(|(_, children)| children)
-            .collect();
-        if config.dedup_candidates {
-            dedup_level(&mut next);
-        }
-        level = next;
+        absorb_level_outcomes(
+            &level,
+            results,
+            &mut states,
+            level_no,
+            config,
+            budget,
+            acc,
+            failures,
+            &mut next,
+            &mut next_parts,
+        );
+        std::mem::swap(&mut level, &mut next);
         level_no += 1;
     }
+}
+
+/// Group a level's candidates into prefix batches: one batch per distinct
+/// `x` side — the shared sort-key prefix of the level's `XY → YX` checks —
+/// in order of first appearance, each holding its candidate indexes in
+/// level order. The first candidate of a batch materializes the `X` prefix
+/// index (or partition) in the worker's cache; the remaining members refine
+/// it, so keeping a batch on one worker turns the prefix from a per-check
+/// cache lookup into a guaranteed warm hit without touching shared state.
+fn level_batches(level: &[Candidate]) -> Vec<(AttrList, Vec<usize>)> {
+    let mut by_key: HashMap<&AttrList, usize> = HashMap::with_capacity(level.len());
+    let mut batches: Vec<(AttrList, Vec<usize>)> = Vec::new();
+    for (i, cand) in level.iter().enumerate() {
+        match by_key.get(&cand.x) {
+            Some(&b) => batches[b].1.push(i),
+            None => {
+                by_key.insert(&cand.x, batches.len());
+                batches.push((cand.x.clone(), vec![i]));
+            }
+        }
+    }
+    batches
+}
+
+/// Run one prefix batch on a `WorkStealing` worker, pushing a
+/// `(candidate index, outcome)` pair for every member.
+///
+/// The cancellation/time budget is polled *immediately* (not amortized)
+/// once per batch — [`Budget::probe_now`] — so a cancelled run stops
+/// within one batch; within the batch the cheaper amortized probe is kept,
+/// matching the other modes' cadence. A panicking candidate is caught
+/// here: the possibly-inconsistent checker is rebuilt and the batch
+/// *resumes after the panicked member*, so sibling branches sharing the
+/// prefix are not lost (their outcomes stand; the failed candidate's own
+/// branch is quarantined by the post-filter).
+#[allow(clippy::too_many_arguments)]
+fn run_batch<'r>(
+    rel: &'r Relation,
+    universe: &[ColumnId],
+    members: &[usize],
+    level: &[Candidate],
+    checker: &mut Checker<'r>,
+    config: &DiscoveryConfig,
+    shared: &SharedCaches,
+    budget: &Budget,
+    out: &mut Vec<(usize, SpecOutcome)>,
+) {
+    if !budget.probe_now() {
+        out.extend(members.iter().map(|&i| (i, SpecOutcome::Skipped)));
+        return;
+    }
+    let mut pos = 0;
+    while pos < members.len() {
+        let progress = Cell::new(pos);
+        let outcome = {
+            let progress = &progress;
+            let out = &mut *out;
+            let checker = &mut *checker;
+            catch_unwind(AssertUnwindSafe(move || {
+                for (j, &i) in members[pos..].iter().enumerate() {
+                    progress.set(pos + j);
+                    if budget.is_stopped() {
+                        out.push((i, SpecOutcome::Skipped));
+                        continue;
+                    }
+                    let cand = &level[i];
+                    #[cfg(any(test, feature = "fault-injection"))]
+                    if let Some(plan) = &config.fault {
+                        plan.before_candidate(cand.branch());
+                    }
+                    let mut em = Emission::default();
+                    process_candidate(universe, cand, checker, &mut em);
+                    budget.probe();
+                    out.push((i, SpecOutcome::Done(em)));
+                }
+            }))
+        };
+        match outcome {
+            Ok(()) => return,
+            Err(payload) => {
+                let failed_at = progress.get();
+                out.push((
+                    members[failed_at],
+                    SpecOutcome::Panicked(panic_message(payload.as_ref())),
+                ));
+                *checker = Checker::new(rel, config, shared);
+                checker.begin_level();
+                pos = failed_at + 1;
+            }
+        }
+    }
+}
+
+/// The `WorkStealing` mode driver: level-synchronous prefix-batch execution
+/// over hand-rolled work-stealing deques ([`StealQueues`]).
+///
+/// Per level: candidates are grouped into prefix batches
+/// ([`level_batches`]), the batches are dealt round-robin over `k` worker
+/// deques, and `k` scoped threads drain them — own deque from the front
+/// (preserving prefix locality), victims from the back. Workers keep their
+/// [`Checker`] across levels; under an epoch shared cache they read the
+/// level's immutable snapshot lock-free and buffer inserts locally, and the
+/// driver publishes the buffers between levels in worker order (so epoch
+/// stamps, and hence evictions, are deterministic for a given schedule-
+/// independent insert set). Outcomes land in a per-worker list tagged with
+/// candidate indexes and are replayed through the same input-ordered
+/// post-filter as the `Rayon` driver ([`absorb_level_outcomes`]), which is
+/// what makes results byte-identical with the branch-sequential modes.
+///
+/// A worker thread dying (isolation itself failing) loses its level
+/// outcomes: the missing entries are treated as panics, quarantining the
+/// affected branches, and the remaining deques are still drained by the
+/// surviving workers.
+#[allow(clippy::too_many_arguments)]
+fn run_workstealing_levels(
+    rel: &Relation,
+    universe: &[ColumnId],
+    queue: Vec<(Candidate, u64)>,
+    workers: usize,
+    config: &DiscoveryConfig,
+    budget: &Budget,
+    shared: &SharedCaches,
+    acc: &mut SearchAccumulator,
+    failures: &mut Vec<BranchFailure>,
+) -> SchedulerStats {
+    let k = workers.max(1);
+    let mut states = branch_states(&queue);
+    let mut level: Vec<Candidate> = queue.into_iter().map(|(seed, _)| seed).collect();
+    let mut next: Vec<Candidate> = Vec::new();
+    let mut next_parts: Vec<((ColumnId, ColumnId), Vec<Candidate>)> = Vec::new();
+    let mut checkers: Vec<Checker<'_>> =
+        (0..k).map(|_| Checker::new(rel, config, shared)).collect();
+    let mut sched = SchedulerStats {
+        batches: 0,
+        levels: 0,
+        workers: vec![WorkerSchedStats::default(); k],
+    };
+    let mut level_no = 2usize;
+    while !level.is_empty() && !budget.is_stopped() {
+        if config.max_level.is_some_and(|max| level_no > max) {
+            acc.level_capped = true;
+            break;
+        }
+        sched.levels += 1;
+        let batches = level_batches(&level);
+        sched.batches += batches.len() as u64;
+        let queues = StealQueues::new(k, batches.len());
+
+        let mut slots: Vec<Option<SpecOutcome>> = Vec::with_capacity(level.len());
+        slots.resize_with(level.len(), || None);
+        let mut worker_death: Option<String> = None;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = checkers
+                .iter_mut()
+                .zip(sched.workers.iter_mut())
+                .enumerate()
+                .map(|(w, (checker, wstats))| {
+                    let queues = &queues;
+                    let batches = &batches;
+                    let level = &level;
+                    scope.spawn(move || {
+                        checker.begin_level();
+                        let mut local: Vec<(usize, SpecOutcome)> = Vec::new();
+                        while let Some((b, stolen)) = queues.pop(w) {
+                            wstats.batches += 1;
+                            wstats.steals += u64::from(stolen);
+                            run_batch(
+                                rel,
+                                universe,
+                                &batches[b].1,
+                                level,
+                                checker,
+                                config,
+                                shared,
+                                budget,
+                                &mut local,
+                            );
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => {
+                        for (i, outcome) in local {
+                            slots[i] = Some(outcome);
+                        }
+                    }
+                    // `run_batch` isolates candidate panics, so a dead
+                    // worker means the isolation itself failed; its level
+                    // outcomes died with it and surface as panics below.
+                    Err(payload) => worker_death = Some(panic_message(payload.as_ref())),
+                }
+            }
+        });
+        let results: Vec<SpecOutcome> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    SpecOutcome::Panicked(
+                        worker_death
+                            .clone()
+                            .unwrap_or_else(|| "worker lost its level outcomes".to_string()),
+                    )
+                })
+            })
+            .collect();
+
+        absorb_level_outcomes(
+            &level,
+            results,
+            &mut states,
+            level_no,
+            config,
+            budget,
+            acc,
+            failures,
+            &mut next,
+            &mut next_parts,
+        );
+        // Publish buffered cache inserts in worker order: deterministic
+        // epoch stamps for the next level's snapshot.
+        for checker in &mut checkers {
+            checker.publish_pending();
+        }
+        std::mem::swap(&mut level, &mut next);
+        level_no += 1;
+    }
+    sched
 }
 
 /// Resume the search below a candidate whose OD direction `od.lhs → od.rhs`
@@ -720,7 +1097,9 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
 
     let reduction_threads = match config.mode {
         ParallelMode::Sequential => 1,
-        ParallelMode::StaticQueues(k) | ParallelMode::Rayon(k) => k.max(1),
+        ParallelMode::StaticQueues(k) | ParallelMode::Rayon(k) | ParallelMode::WorkStealing(k) => {
+            k.max(1)
+        }
     };
     let reduction = if config.column_reduction {
         crate::reduction::columns_reduction_with_threads(rel, reduction_threads)
@@ -740,6 +1119,7 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
 
     let mut acc = SearchAccumulator::default();
     let mut failures: Vec<BranchFailure> = Vec::new();
+    let mut scheduler: Option<SchedulerStats> = None;
     match config.mode {
         ParallelMode::Sequential => {
             let (a, f) = run_queue(rel, universe, queue, config, &budget, &shared);
@@ -814,6 +1194,19 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
                 }
             }
         }
+        ParallelMode::WorkStealing(k) => {
+            scheduler = Some(run_workstealing_levels(
+                rel,
+                universe,
+                queue,
+                k,
+                config,
+                &budget,
+                &shared,
+                &mut acc,
+                &mut failures,
+            ));
+        }
     }
 
     // Quarantine filter: drop the dependencies rooted in failed branches.
@@ -884,6 +1277,7 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
         elapsed: start.elapsed(),
         termination,
         cache: shared.stats(),
+        scheduler,
         kernels: kernel_stats::snapshot().since(&kernels_before),
     }
 }
@@ -1040,6 +1434,82 @@ mod tests {
             assert_eq!(seq.ocds, ray.ocds, "case {case}: rayon differs");
             assert_eq!(seq.ods, ray.ods, "case {case}");
             assert_eq!(seq.checks, par.checks, "case {case}: same candidate tree");
+            for workers in [1, 4] {
+                let ws = discover(
+                    &r,
+                    &DiscoveryConfig {
+                        mode: ParallelMode::WorkStealing(workers),
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(seq.ocds, ws.ocds, "case {case}: ws({workers}) differs");
+                assert_eq!(seq.ods, ws.ods, "case {case}: ws({workers})");
+                assert_eq!(seq.checks, ws.checks, "case {case}: ws({workers}) tree");
+                assert_eq!(seq.levels, ws.levels, "case {case}: ws({workers}) levels");
+                let sched = ws.scheduler.expect("work-stealing reports scheduler stats");
+                assert_eq!(sched.workers.len(), workers);
+                assert_eq!(
+                    sched.workers.iter().map(|w| w.batches).sum::<u64>(),
+                    sched.batches,
+                    "every batch executed exactly once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn level_batches_group_by_shared_prefix() {
+        // Hand-computed pin: one batch per distinct `x` side in order of
+        // first appearance, members holding level indexes in level order.
+        let c = |x: &[usize], y: &[usize]| Candidate { x: l(x), y: l(y) };
+        let level = vec![
+            c(&[0], &[1]),
+            c(&[0], &[2]),
+            c(&[1], &[2]),
+            c(&[0], &[3]),
+            c(&[1, 3], &[2]),
+            c(&[1], &[3]),
+        ];
+        let batches = level_batches(&level);
+        let keys: Vec<&AttrList> = batches.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![&l(&[0]), &l(&[1]), &l(&[1, 3])]);
+        assert_eq!(batches[0].1, vec![0, 1, 3]);
+        assert_eq!(batches[1].1, vec![2, 5]);
+        assert_eq!(batches[2].1, vec![4]);
+    }
+
+    #[test]
+    fn workstealing_truncates_max_checks_identically() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = random_rel(&mut rng);
+        let full = discover(&r, &DiscoveryConfig::default());
+        // A cap below the full cost forces a mid-search truncation; the
+        // partial results must be byte-identical across modes.
+        let cap = full.checks / 2;
+        let seq = discover(
+            &r,
+            &DiscoveryConfig {
+                max_checks: Some(cap),
+                ..DiscoveryConfig::default()
+            },
+        );
+        assert_eq!(seq.termination, TerminationReason::CheckBudget);
+        for workers in [1, 2, 5] {
+            let ws = discover(
+                &r,
+                &DiscoveryConfig {
+                    mode: ParallelMode::WorkStealing(workers),
+                    max_checks: Some(cap),
+                    ..DiscoveryConfig::default()
+                },
+            );
+            assert_eq!(seq.ocds, ws.ocds, "ws({workers})");
+            assert_eq!(seq.ods, ws.ods, "ws({workers})");
+            assert_eq!(seq.checks, ws.checks, "ws({workers})");
+            assert_eq!(seq.levels, ws.levels, "ws({workers})");
+            assert_eq!(seq.termination, ws.termination, "ws({workers})");
         }
     }
 
@@ -1100,7 +1570,11 @@ mod tests {
             CheckerBackend::PrefixCache,
             CheckerBackend::SortedPartitions,
         ] {
-            for mode in [ParallelMode::Sequential, ParallelMode::StaticQueues(3)] {
+            for mode in [
+                ParallelMode::Sequential,
+                ParallelMode::StaticQueues(3),
+                ParallelMode::WorkStealing(3),
+            ] {
                 let shared = discover(
                     &r,
                     &DiscoveryConfig {
@@ -1419,6 +1893,7 @@ mod tests {
             (ParallelMode::Sequential, "sequential"),
             (ParallelMode::StaticQueues(4), "static_queues"),
             (ParallelMode::Rayon(3), "rayon"),
+            (ParallelMode::WorkStealing(3), "work_stealing"),
         ] {
             assert_branch_quarantined(&r, mode, label);
         }
@@ -1431,6 +1906,7 @@ mod tests {
             (ParallelMode::Sequential, "sequential"),
             (ParallelMode::StaticQueues(2), "static_queues"),
             (ParallelMode::Rayon(2), "rayon"),
+            (ParallelMode::WorkStealing(2), "work_stealing"),
         ] {
             let clean = discover(
                 &r,
@@ -1465,29 +1941,33 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(9);
         let r = random_rel(&mut rng);
-        let base = DiscoveryConfig {
-            mode: ParallelMode::StaticQueues(3),
-            checker: CheckerBackend::PrefixCache,
-            shared_cache: true,
-            ..DiscoveryConfig::default()
-        };
-        let clean = discover(&r, &base);
-        let mut plan = FaultPlan::default();
-        plan.drop_cache_inserts = true;
-        let stormy = discover(
-            &r,
-            &DiscoveryConfig {
-                fault: Some(Arc::new(plan)),
-                ..base
-            },
-        );
-        assert_eq!(clean.ocds, stormy.ocds);
-        assert_eq!(clean.ods, stormy.ods);
-        assert_eq!(clean.checks, stormy.checks);
-        assert!(stormy.complete());
-        let cache = stormy.cache.expect("shared cache stats");
-        assert_eq!(cache.entries, 0, "every insert must have been dropped");
-        assert!(cache.evictions > 0, "drops are counted as evictions");
+        // Covers both shared-cache designs: lock-striped (StaticQueues)
+        // and epoch-published (WorkStealing).
+        for mode in [ParallelMode::StaticQueues(3), ParallelMode::WorkStealing(3)] {
+            let base = DiscoveryConfig {
+                mode,
+                checker: CheckerBackend::PrefixCache,
+                shared_cache: true,
+                ..DiscoveryConfig::default()
+            };
+            let clean = discover(&r, &base);
+            let mut plan = FaultPlan::default();
+            plan.drop_cache_inserts = true;
+            let stormy = discover(
+                &r,
+                &DiscoveryConfig {
+                    fault: Some(Arc::new(plan)),
+                    ..base
+                },
+            );
+            assert_eq!(clean.ocds, stormy.ocds, "{mode:?}");
+            assert_eq!(clean.ods, stormy.ods, "{mode:?}");
+            assert_eq!(clean.checks, stormy.checks, "{mode:?}");
+            assert!(stormy.complete(), "{mode:?}");
+            let cache = stormy.cache.expect("shared cache stats");
+            assert_eq!(cache.entries, 0, "{mode:?}: every insert dropped");
+            assert!(cache.evictions > 0, "{mode:?}: drops count as evictions");
+        }
     }
 
     #[test]
@@ -1517,6 +1997,7 @@ mod tests {
             (ParallelMode::Sequential, "sequential"),
             (ParallelMode::StaticQueues(3), "static_queues"),
             (ParallelMode::Rayon(3), "rayon"),
+            (ParallelMode::WorkStealing(3), "work_stealing"),
         ] {
             let controller = RunController::new();
             controller.cancel();

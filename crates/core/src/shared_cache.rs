@@ -242,6 +242,225 @@ impl<V: CacheWeight> SharedPrefixCache<V> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Epoch-published cache for the work-stealing scheduler
+// ---------------------------------------------------------------------------
+
+struct EpochEntry<V> {
+    value: Arc<V>,
+    bytes: usize,
+    /// Monotone insertion stamp; eviction drops the oldest stamps first.
+    /// Reads never re-stamp (they are lock-free on an immutable snapshot),
+    /// so this is FIFO rather than LRU — the price of contention-free
+    /// lookups, and an acceptable one because prefixes computed in early
+    /// levels are exactly the ones that stop being useful first.
+    epoch: u64,
+}
+
+// Manual impl: `V` itself need not be `Clone`, entries share it by `Arc`.
+impl<V> Clone for EpochEntry<V> {
+    fn clone(&self) -> Self {
+        EpochEntry {
+            value: Arc::clone(&self.value),
+            bytes: self.bytes,
+            epoch: self.epoch,
+        }
+    }
+}
+
+/// Immutable point-in-time view of an [`EpochPrefixCache`]. Cloning the
+/// snapshot is one `Arc` bump; lookups on it take no lock and touch no
+/// shared counter — workers tally hits and misses locally and flush them
+/// through [`EpochPrefixCache::record_lookups`] at level boundaries.
+pub struct EpochSnapshot<V> {
+    map: Arc<HashMap<Vec<ColumnId>, EpochEntry<V>>>,
+}
+
+// Manual impl: one `Arc` bump, no `V: Clone` bound.
+impl<V> Clone for EpochSnapshot<V> {
+    fn clone(&self) -> Self {
+        EpochSnapshot {
+            map: Arc::clone(&self.map),
+        }
+    }
+}
+
+impl<V> EpochSnapshot<V> {
+    /// Exact lookup. No accounting side effects.
+    pub fn get(&self, key: &[ColumnId]) -> Option<Arc<V>> {
+        self.map.get(key).map(|e| Arc::clone(&e.value))
+    }
+
+    /// Longest *proper* prefix of `key` present in the snapshot.
+    pub fn longest_prefix(&self, key: &[ColumnId]) -> Option<(usize, Arc<V>)> {
+        for len in (1..key.len()).rev() {
+            if let Some(e) = self.map.get(&key[..len]) {
+                return Some((len, Arc::clone(&e.value)));
+            }
+        }
+        None
+    }
+
+    /// Entries visible in this snapshot.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Read-mostly prefix cache for the level-synchronous work-stealing
+/// scheduler ([`crate::config::ParallelMode::WorkStealing`]).
+///
+/// Where [`SharedPrefixCache`] takes a shard lock on every lookup, this
+/// cache publishes an **immutable snapshot** once per level: workers clone
+/// the snapshot `Arc` when the level starts, read it lock-free for the
+/// whole level, and buffer their own inserts locally. Between levels the
+/// driver drains the per-worker buffers *in worker order* and calls
+/// [`publish`](EpochPrefixCache::publish), which builds the next snapshot
+/// (old entries + new inserts, byte budget enforced by evicting the oldest
+/// insertion epochs) and swaps it in atomically. Publishing in a fixed
+/// order keeps the cache contents — and therefore the eviction sequence —
+/// deterministic, although the cache is advisory either way.
+pub struct EpochPrefixCache<V> {
+    snapshot: Mutex<EpochSnapshot<V>>,
+    budget_bytes: usize,
+    next_epoch: AtomicU64,
+    resident: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    publishes: AtomicU64,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: Option<Arc<crate::runtime::FaultPlan>>,
+}
+
+impl<V: CacheWeight> EpochPrefixCache<V> {
+    /// Cache bounded by `budget_bytes` of approximate value memory. A zero
+    /// budget stores nothing (every publish is dropped).
+    pub fn new(budget_bytes: usize) -> EpochPrefixCache<V> {
+        EpochPrefixCache {
+            snapshot: Mutex::new(EpochSnapshot {
+                map: Arc::new(HashMap::new()),
+            }),
+            budget_bytes,
+            next_epoch: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: None,
+        }
+    }
+
+    /// Attach a fault-injection plan (test / `fault-injection` builds
+    /// only). Must be called before the cache is shared across workers.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub(crate) fn set_fault_plan(&mut self, fault: Option<Arc<crate::runtime::FaultPlan>>) {
+        self.fault = fault;
+    }
+
+    /// Clone the current snapshot (one lock, one `Arc` bump — called once
+    /// per worker per level, never per check).
+    pub fn snapshot(&self) -> EpochSnapshot<V> {
+        recover(self.snapshot.lock()).clone()
+    }
+
+    /// Merge buffered inserts into a fresh snapshot and swap it in. The
+    /// iteration order of `inserts` decides epoch stamps (and with them the
+    /// eviction order), so callers drain worker buffers in a fixed order.
+    /// Later duplicates of a key overwrite earlier ones.
+    pub fn publish<I>(&self, inserts: I)
+    where
+        I: IntoIterator<Item = (Vec<ColumnId>, Arc<V>)>,
+    {
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        // Fault injection: the eviction-storm plan drops every published
+        // insert, so the snapshot never grows — results must not change.
+        #[cfg(any(test, feature = "fault-injection"))]
+        let storm = self.fault.as_ref().is_some_and(|f| f.drops_cache_inserts());
+        #[cfg(not(any(test, feature = "fault-injection")))]
+        let storm = false;
+
+        let mut guard = recover(self.snapshot.lock());
+        let mut map: HashMap<Vec<ColumnId>, EpochEntry<V>> = HashMap::clone(&guard.map);
+        let mut resident: usize = self.resident.load(Ordering::Relaxed);
+        let mut evicted: u64 = 0;
+        for (key, value) in inserts {
+            let bytes =
+                value.weight_bytes() + key.len() * std::mem::size_of::<ColumnId>() + ENTRY_OVERHEAD;
+            if storm || self.budget_bytes == 0 || bytes > self.budget_bytes {
+                evicted += 1;
+                continue;
+            }
+            let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+            if let Some(old) = map.insert(
+                key,
+                EpochEntry {
+                    value,
+                    bytes,
+                    epoch,
+                },
+            ) {
+                resident -= old.bytes;
+            }
+            resident += bytes;
+        }
+        // Enforce the byte budget by dropping the oldest insertion epochs.
+        if resident > self.budget_bytes {
+            let mut by_age: Vec<(u64, Vec<ColumnId>)> =
+                map.iter().map(|(k, e)| (e.epoch, k.clone())).collect();
+            by_age.sort_unstable();
+            for (_, key) in by_age {
+                if resident <= self.budget_bytes {
+                    break;
+                }
+                if let Some(e) = map.remove(&key) {
+                    resident -= e.bytes;
+                    evicted += 1;
+                }
+            }
+        }
+        self.resident.store(resident, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        *guard = EpochSnapshot { map: Arc::new(map) };
+    }
+
+    /// Flush a worker's locally-tallied lookup counters — called at level
+    /// boundaries, never from the check hot path (satellite of ISSUE 3:
+    /// stats via relaxed atomics aggregated between levels, not under
+    /// locks).
+    pub fn record_lookups(&self, hits: u64, misses: u64) {
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            self.misses.fetch_add(misses, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.resident.load(Ordering::Relaxed) as u64,
+            entries: recover(self.snapshot.lock()).map.len() as u64,
+        }
+    }
+
+    /// Number of publishes (≈ levels × workers with pending inserts).
+    pub fn publishes(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +523,111 @@ mod tests {
         cache.insert(vec![0], idx(&vec![0u32; 1000]));
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn epoch_snapshot_is_isolated_until_publish() {
+        let cache: EpochPrefixCache<Vec<u32>> = EpochPrefixCache::new(1 << 20);
+        let before = cache.snapshot();
+        assert!(before.is_empty());
+        cache.publish(vec![(vec![0], idx(&[2, 0, 1]))]);
+        // The old snapshot is frozen; a fresh one sees the publish.
+        assert!(before.get(&[0]).is_none());
+        let after = cache.snapshot();
+        assert_eq!(after.get(&[0]).unwrap().as_slice(), &[2, 0, 1]);
+        assert_eq!(after.len(), 1);
+    }
+
+    #[test]
+    fn epoch_longest_prefix_finds_deepest_proper_prefix() {
+        let cache: EpochPrefixCache<Vec<u32>> = EpochPrefixCache::new(1 << 20);
+        cache.publish(vec![(vec![3], idx(&[0])), (vec![3, 1], idx(&[1]))]);
+        let snap = cache.snapshot();
+        let (len, v) = snap.longest_prefix(&[3, 1, 4]).unwrap();
+        assert_eq!((len, v.as_slice()), (2, &[1u32][..]));
+        assert!(snap.longest_prefix(&[3]).is_none(), "proper prefixes only");
+    }
+
+    #[test]
+    fn epoch_budget_evicts_oldest_insertion_first() {
+        let per_entry = 100 * 4 + 8 + ENTRY_OVERHEAD;
+        let cache: EpochPrefixCache<Vec<u32>> = EpochPrefixCache::new(2 * per_entry + 16);
+        let big = idx(&vec![7u32; 100]);
+        cache.publish(vec![
+            (vec![0], Arc::clone(&big)),
+            (vec![1], Arc::clone(&big)),
+            (vec![2], Arc::clone(&big)),
+        ]);
+        let snap = cache.snapshot();
+        assert!(snap.get(&[0]).is_none(), "oldest epoch is the victim");
+        assert!(snap.get(&[1]).is_some() && snap.get(&[2]).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.resident_bytes <= (2 * per_entry + 16) as u64);
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn epoch_publish_overwrites_duplicate_keys() {
+        let cache: EpochPrefixCache<Vec<u32>> = EpochPrefixCache::new(1 << 20);
+        cache.publish(vec![(vec![5], idx(&[1])), (vec![5], idx(&[2, 3]))]);
+        let snap = cache.snapshot();
+        assert_eq!(snap.get(&[5]).unwrap().as_slice(), &[2, 3]);
+        assert_eq!(snap.len(), 1);
+        let resident = cache.stats().resident_bytes;
+        // Resident accounting reflects only the surviving value.
+        assert_eq!(
+            resident as usize,
+            2 * 4 + std::mem::size_of::<ColumnId>() + ENTRY_OVERHEAD
+        );
+    }
+
+    #[test]
+    fn epoch_lookup_stats_flushed_at_level_boundaries() {
+        let cache: EpochPrefixCache<Vec<u32>> = EpochPrefixCache::new(1 << 20);
+        cache.record_lookups(7, 3);
+        cache.record_lookups(0, 2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (7, 5));
+    }
+
+    #[test]
+    fn epoch_zero_budget_stores_nothing() {
+        let cache: EpochPrefixCache<Vec<u32>> = EpochPrefixCache::new(0);
+        cache.publish(vec![(vec![0], idx(&[1, 2, 3]))]);
+        assert!(cache.snapshot().is_empty());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn epoch_fault_storm_drops_published_inserts() {
+        let mut cache: EpochPrefixCache<Vec<u32>> = EpochPrefixCache::new(1 << 20);
+        let mut plan = crate::runtime::FaultPlan::default();
+        plan.drop_cache_inserts = true;
+        cache.set_fault_plan(Some(Arc::new(plan)));
+        cache.publish(vec![(vec![0], idx(&[1]))]);
+        assert!(cache.snapshot().is_empty());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.publishes(), 1);
+    }
+
+    #[test]
+    fn epoch_concurrent_readers_race_free() {
+        let cache: Arc<EpochPrefixCache<Vec<u32>>> = Arc::new(EpochPrefixCache::new(1 << 22));
+        cache.publish((0..32u32).map(|i| (vec![i as ColumnId], idx(&[i; 8]))));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    let snap = cache.snapshot();
+                    for i in 0..32u32 {
+                        assert_eq!(snap.get(&[i as ColumnId]).unwrap().len(), 8);
+                    }
+                    cache.record_lookups(32, 0);
+                });
+            }
+        });
+        assert_eq!(cache.stats().hits, 128);
     }
 
     #[test]

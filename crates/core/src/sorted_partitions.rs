@@ -21,9 +21,9 @@
 //! [`PartitionChecker::with_shared`] the memo is a run-wide
 //! [`SharedPrefixCache`] reused across workers.
 
-use crate::check::CheckOutcome;
+use crate::check::{CheckOutcome, EpochTier};
 use crate::deps::AttrList;
-use crate::shared_cache::{CacheWeight, SharedPrefixCache};
+use crate::shared_cache::{CacheWeight, EpochPrefixCache, SharedPrefixCache};
 use ocdd_relation::{ColumnId, Relation};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -180,6 +180,30 @@ impl SortedPartition {
         }
         CheckOutcome::Valid
     }
+
+    /// Split-only pass: true iff every class of `self` is constant on
+    /// `rhs`. Sound as a *full* OD check only when a swap is impossible —
+    /// i.e. after the corresponding OCD has been validated (see
+    /// [`crate::check::check_od_after_ocd`] for the argument). Skips the
+    /// cross-class boundary comparison of [`SortedPartition::check_od`]
+    /// entirely: one fewer `rhs` comparison per class, and classes of
+    /// size 1 (the common case near key-like prefixes) cost nothing.
+    pub fn check_od_splits_only(&self, rel: &Relation, rhs: &AttrList) -> bool {
+        let rhs_cols = rhs.as_slice();
+        for class in self.classes() {
+            let Some((&first, rest)) = class.split_first() else {
+                continue;
+            };
+            for &r in rest {
+                for &c in rhs_cols {
+                    if rel.code(first as usize, c) != rel.code(r as usize, c) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
 }
 
 impl CacheWeight for SortedPartition {
@@ -197,12 +221,19 @@ pub struct PartitionChecker<'r> {
     rel: &'r Relation,
     cache: HashMap<Vec<ColumnId>, Arc<SortedPartition>>,
     shared: Option<Arc<SharedPrefixCache<SortedPartition>>>,
+    epoch: Option<EpochTier<SortedPartition>>,
     /// The empty-list partition (one class, every row).
     unit: Arc<SortedPartition>,
     /// Partitions built by refinement (cache hits on the parent).
     pub refinements: u64,
     /// Partitions built from scratch (column base cases).
     pub base_builds: u64,
+    /// Epoch-mode lookups satisfied by the snapshot or local buffer
+    /// (exactly or via a proper prefix); 0 in the other modes.
+    pub hits: u64,
+    /// Epoch-mode lookups with no usable prefix (built from the unit
+    /// partition); 0 in the other modes.
+    pub misses: u64,
 }
 
 impl<'r> PartitionChecker<'r> {
@@ -215,9 +246,12 @@ impl<'r> PartitionChecker<'r> {
             rel,
             cache,
             shared: None,
+            epoch: None,
             unit,
             refinements: 0,
             base_builds: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -231,9 +265,50 @@ impl<'r> PartitionChecker<'r> {
             rel,
             cache: HashMap::new(),
             shared: Some(shared),
+            epoch: None,
             unit: Arc::new(SortedPartition::unit(rel.num_rows())),
             refinements: 0,
             base_builds: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Create a checker whose memo is an epoch-published shared store
+    /// ([`EpochPrefixCache`]): reads go to an immutable snapshot (no lock
+    /// per check), new partitions are buffered locally until
+    /// [`PartitionChecker::publish_pending`]. Used by the work-stealing
+    /// mode.
+    pub fn with_epoch(
+        rel: &'r Relation,
+        cache: Arc<EpochPrefixCache<SortedPartition>>,
+    ) -> PartitionChecker<'r> {
+        PartitionChecker {
+            rel,
+            cache: HashMap::new(),
+            shared: None,
+            epoch: Some(EpochTier::new(cache)),
+            unit: Arc::new(SortedPartition::unit(rel.num_rows())),
+            refinements: 0,
+            base_builds: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Refresh the epoch snapshot at a level boundary. No-op for the
+    /// private and lock-striped modes.
+    pub fn begin_level(&mut self) {
+        if let Some(tier) = &mut self.epoch {
+            tier.begin_level();
+        }
+    }
+
+    /// Publish locally-buffered partitions and flush lookup counters to
+    /// the epoch cache. No-op for the private and lock-striped modes.
+    pub fn publish_pending(&mut self) {
+        if let Some(tier) = &mut self.epoch {
+            tier.publish(self.hits, self.misses);
         }
     }
 
@@ -242,6 +317,37 @@ impl<'r> PartitionChecker<'r> {
     pub fn partition_for(&mut self, cols: &[ColumnId]) -> Arc<SortedPartition> {
         if cols.is_empty() {
             return Arc::clone(&self.unit);
+        }
+        if let Some(tier) = &mut self.epoch {
+            if let Some(p) = tier.get(cols) {
+                self.hits += 1;
+                return p;
+            }
+            // Longest usable prefix, falling back to the unit partition,
+            // then refine one column at a time, buffering every
+            // intermediate so siblings (and next level's children) reuse
+            // them after publish.
+            let (mut len, mut part) = match tier.longest_prefix(cols) {
+                Some((len, p)) => {
+                    self.hits += 1;
+                    (len, p)
+                }
+                None => {
+                    self.misses += 1;
+                    (0, Arc::clone(&self.unit))
+                }
+            };
+            while len < cols.len() {
+                if len == 0 {
+                    self.base_builds += 1;
+                } else {
+                    self.refinements += 1;
+                }
+                part = Arc::new(part.refined(self.rel, cols[len]));
+                len += 1;
+                tier.buffer(cols[..len].to_vec(), Arc::clone(&part));
+            }
+            return part;
         }
         if let Some(shared) = &self.shared {
             if let Some(p) = shared.get(cols) {
@@ -277,6 +383,14 @@ impl<'r> PartitionChecker<'r> {
         let xy = x.concat(y);
         let yx = y.concat(x);
         self.check_od(&xy, &yx)
+    }
+
+    /// Fused direction check after a validated OCD — partition counterpart
+    /// of [`crate::check::check_od_after_ocd`]: swaps are impossible, so
+    /// only the class-constant (split) pass runs.
+    pub fn check_od_after_ocd(&mut self, lhs: &AttrList, rhs: &AttrList) -> bool {
+        let partition = self.partition_for(lhs.as_slice());
+        partition.check_od_splits_only(self.rel, rhs)
     }
 
     /// Number of cached partitions.
@@ -445,6 +559,90 @@ mod tests {
         }
         assert_eq!(two.base_builds + two.refinements, 0, "fully shared");
         assert!(shared.stats().hits > 0);
+    }
+
+    #[test]
+    fn epoch_checker_agrees_and_shares_after_publish() {
+        let r = rel(&[
+            ("a", &[1, 2, 1, 2, 3]),
+            ("b", &[1, 1, 2, 2, 3]),
+            ("c", &[1, 2, 3, 4, 5]),
+        ]);
+        let cache = Arc::new(EpochPrefixCache::new(1 << 20));
+        let mut one = PartitionChecker::with_epoch(&r, Arc::clone(&cache));
+        let mut two = PartitionChecker::with_epoch(&r, Arc::clone(&cache));
+        let lists = [l(&[0]), l(&[1]), l(&[0, 1]), l(&[1, 2])];
+        for x in &lists {
+            for y in &lists {
+                assert_eq!(
+                    one.check_od(x, y).is_valid(),
+                    check_od(&r, x, y).is_valid(),
+                    "{x} -> {y}"
+                );
+            }
+        }
+        one.publish_pending();
+        two.begin_level();
+        for x in &lists {
+            for y in &lists {
+                assert_eq!(two.check_od(x, y).is_valid(), check_od(&r, x, y).is_valid());
+            }
+        }
+        assert_eq!(
+            two.base_builds + two.refinements,
+            0,
+            "everything arrived via the published snapshot"
+        );
+        two.publish_pending();
+        let s = cache.stats();
+        assert_eq!(s.misses, one.misses);
+        assert_eq!(s.hits, one.hits + two.hits);
+    }
+
+    #[test]
+    fn split_only_check_matches_full_check_after_valid_ocd() {
+        use crate::check::check_ocd;
+        // Exhaustive over all pairs of 4-row columns with values in
+        // {0, 1, 2}: every OCD-valid pair must get the same direction
+        // verdicts from the fused split-only scan as from the full check.
+        let patterns: Vec<Vec<i64>> = (0..81)
+            .map(|mut n: i64| {
+                (0..4)
+                    .map(|_| {
+                        let v = n % 3;
+                        n /= 3;
+                        v
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut fused_cases = 0;
+        for a in &patterns {
+            for b in &patterns {
+                let r = Relation::from_columns(vec![
+                    ("a".to_string(), a.iter().map(|&v| Value::Int(v)).collect()),
+                    ("b".to_string(), b.iter().map(|&v| Value::Int(v)).collect()),
+                ])
+                .unwrap();
+                let (x, y) = (l(&[0]), l(&[1]));
+                if !check_ocd(&r, &x, &y).is_valid() {
+                    continue;
+                }
+                fused_cases += 1;
+                let mut checker = PartitionChecker::new(&r);
+                assert_eq!(
+                    checker.check_od_after_ocd(&x, &y),
+                    check_od(&r, &x, &y).is_valid(),
+                    "{a:?} / {b:?}: x→y"
+                );
+                assert_eq!(
+                    checker.check_od_after_ocd(&y, &x),
+                    check_od(&r, &y, &x).is_valid(),
+                    "{a:?} / {b:?}: y→x"
+                );
+            }
+        }
+        assert!(fused_cases > 500, "need OCD-valid cases ({fused_cases})");
     }
 
     #[test]

@@ -33,8 +33,8 @@ unsafe fn libc_sigpipe_default() {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ocdd profile <file.csv> [--algo ocdd|order|fastod|tane|bidi|approx] \
-         [--threads N] [--lex] [--epsilon E] [--budget SECS] [--top-k K] \
-         [--no-header] [--sep C] [--show-table]\n  ocdd dataset <name> [--rows N]\n  \
+         [--threads N] [--mode static|rayon|steal] [--lex] [--epsilon E] [--budget SECS] \
+         [--top-k K] [--no-header] [--sep C] [--show-table]\n  ocdd dataset <name> [--rows N]\n  \
          ocdd simplify <file.csv> --order-by a,b,c\n  ocdd list"
     );
     ExitCode::from(2)
@@ -62,18 +62,14 @@ fn parse_profile(args: &[String]) -> Option<ProfileArgs> {
         show_table: false,
         json: false,
     };
+    let mut threads: usize = 1;
+    let mut mode = "static".to_owned();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--algo" => out.algo = iter.next()?.clone(),
-            "--threads" => {
-                let n: usize = iter.next()?.parse().ok()?;
-                out.config.mode = if n <= 1 {
-                    ParallelMode::Sequential
-                } else {
-                    ParallelMode::StaticQueues(n)
-                };
-            }
+            "--threads" => threads = iter.next()?.parse().ok()?,
+            "--mode" => mode = iter.next()?.clone(),
             "--lex" => out.csv.typing = TypingMode::ForceLexicographic,
             "--epsilon" => out.epsilon = iter.next()?.parse().ok()?,
             "--budget" => {
@@ -91,6 +87,16 @@ fn parse_profile(args: &[String]) -> Option<ProfileArgs> {
             _ => return None,
         }
     }
+    out.config.mode = if threads <= 1 && mode != "steal" {
+        ParallelMode::Sequential
+    } else {
+        match mode.as_str() {
+            "static" => ParallelMode::StaticQueues(threads),
+            "rayon" => ParallelMode::Rayon(threads),
+            "steal" => ParallelMode::WorkStealing(threads.max(1)),
+            _ => return None,
+        }
+    };
     (!out.path.is_empty()).then_some(out)
 }
 

@@ -29,8 +29,8 @@ pub use ocdd_datasets as datasets;
 pub use ocdd_relation as relation;
 
 pub use ocdd_core::{
-    check_ocd, check_od, columns_reduction, discover, AttrList, CheckOutcome, CheckerBackend,
-    DiscoveryConfig, DiscoveryResult, FaultPlan, Ocd, Od, OrderEquivalence, ParallelMode,
-    RunController, TerminationReason,
+    check_ocd, check_od, check_od_after_ocd, columns_reduction, discover, AttrList, CheckOutcome,
+    CheckerBackend, DiscoveryConfig, DiscoveryResult, FaultPlan, Ocd, Od, OrderEquivalence,
+    ParallelMode, RunController, SchedulerStats, TerminationReason, WorkerSchedStats,
 };
 pub use ocdd_relation::{read_csv_path, read_csv_str, CsvOptions, Relation, Value};

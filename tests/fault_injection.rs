@@ -119,29 +119,75 @@ fn injected_latency_degrades_to_time_budget() {
     assert!(res.ocds.iter().all(|o| clean.ocds.contains(o)));
 }
 
+/// A panic injected into a `WorkStealing` run is quarantined exactly like
+/// the other modes: the run reports `WorkerFailure` naming the branch, and
+/// the surviving branches match the fault-free run — even though batches
+/// execute speculatively on stealing workers.
+#[test]
+fn workstealing_branch_panic_is_quarantined() {
+    let rel = Dataset::Hepatitis.generate(RowScale::Rows(120));
+    for workers in [1, 4] {
+        let config = DiscoveryConfig {
+            mode: ParallelMode::WorkStealing(workers),
+            ..DiscoveryConfig::default()
+        };
+        let clean = discover(&rel, &config);
+        assert!(clean.complete());
+        let branch = branch_of(clean.ocds.first().expect("hepatitis has OCDs"));
+
+        let mut plan = FaultPlan::default();
+        plan.panic_on_branch = Some(branch);
+        let faulty = discover(
+            &rel,
+            &DiscoveryConfig {
+                fault: Some(Arc::new(plan)),
+                ..config
+            },
+        );
+        match &faulty.termination {
+            TerminationReason::WorkerFailure { branches, .. } => {
+                assert_eq!(branches.as_slice(), &[branch], "ws({workers})");
+            }
+            other => panic!("ws({workers}): expected WorkerFailure, got {other:?}"),
+        }
+        let expected: Vec<_> = clean
+            .ocds
+            .iter()
+            .filter(|o| branch_of(o) != branch)
+            .cloned()
+            .collect();
+        assert_eq!(faulty.ocds, expected, "ws({workers})");
+        assert!(faulty.ods.iter().all(|od| clean.ods.contains(od)));
+    }
+}
+
 /// A cache under a permanent eviction storm is a pure performance
-/// degradation: results are identical to the fault-free run.
+/// degradation: results are identical to the fault-free run. Covers both
+/// the lock-striped (`StaticQueues`) and epoch-published (`WorkStealing`)
+/// shared-cache designs.
 #[test]
 fn eviction_storm_is_result_neutral() {
     let rel = Dataset::Hepatitis.generate(RowScale::Rows(120));
-    let config = DiscoveryConfig {
-        mode: ParallelMode::StaticQueues(3),
-        checker: ocddiscover::CheckerBackend::PrefixCache,
-        shared_cache: true,
-        ..DiscoveryConfig::default()
-    };
-    let clean = discover(&rel, &config);
-    let mut plan = FaultPlan::default();
-    plan.drop_cache_inserts = true;
-    let stormy = discover(
-        &rel,
-        &DiscoveryConfig {
-            fault: Some(Arc::new(plan)),
-            ..config
-        },
-    );
-    assert_eq!(clean.ocds, stormy.ocds);
-    assert_eq!(clean.ods, stormy.ods);
-    assert_eq!(clean.checks, stormy.checks);
-    assert_eq!(stormy.termination, TerminationReason::Complete);
+    for mode in [ParallelMode::StaticQueues(3), ParallelMode::WorkStealing(3)] {
+        let config = DiscoveryConfig {
+            mode,
+            checker: ocddiscover::CheckerBackend::PrefixCache,
+            shared_cache: true,
+            ..DiscoveryConfig::default()
+        };
+        let clean = discover(&rel, &config);
+        let mut plan = FaultPlan::default();
+        plan.drop_cache_inserts = true;
+        let stormy = discover(
+            &rel,
+            &DiscoveryConfig {
+                fault: Some(Arc::new(plan)),
+                ..config
+            },
+        );
+        assert_eq!(clean.ocds, stormy.ocds, "{mode:?}");
+        assert_eq!(clean.ods, stormy.ods, "{mode:?}");
+        assert_eq!(clean.checks, stormy.checks, "{mode:?}");
+        assert_eq!(stormy.termination, TerminationReason::Complete, "{mode:?}");
+    }
 }

@@ -18,6 +18,8 @@ fn assert_same_results(ds: Dataset, rows: usize) {
         ParallelMode::StaticQueues(2),
         ParallelMode::StaticQueues(7),
         ParallelMode::Rayon(3),
+        ParallelMode::WorkStealing(1),
+        ParallelMode::WorkStealing(4),
     ] {
         let par = discover(
             &rel,
@@ -76,6 +78,7 @@ fn full_mode_backend_cache_matrix_is_deterministic() {
         ParallelMode::Sequential,
         ParallelMode::StaticQueues(4),
         ParallelMode::Rayon(4),
+        ParallelMode::WorkStealing(4),
     ] {
         for backend in [
             CheckerBackend::Resort,
@@ -109,6 +112,11 @@ fn full_mode_backend_cache_matrix_is_deterministic() {
                     shared_cache && backend != CheckerBackend::Resort,
                     "{tag}: cache stats presence"
                 );
+                assert_eq!(
+                    run.scheduler.is_some(),
+                    matches!(mode, ParallelMode::WorkStealing(_)),
+                    "{tag}: scheduler stats presence"
+                );
             }
         }
     }
@@ -123,19 +131,23 @@ fn tiny_shared_cache_budget_matches_baseline() {
         CheckerBackend::PrefixCache,
         CheckerBackend::SortedPartitions,
     ] {
-        let run = discover(
-            &rel,
-            &DiscoveryConfig {
-                mode: ParallelMode::StaticQueues(3),
-                checker: backend,
-                shared_cache: true,
-                cache_budget_bytes: 2_048,
-                ..DiscoveryConfig::default()
-            },
-        );
-        assert_eq!(baseline.ocds, run.ocds, "{backend:?}");
-        assert_eq!(baseline.ods, run.ods, "{backend:?}");
-        assert_eq!(baseline.checks, run.checks, "{backend:?}");
+        // Both shared-cache designs: lock-striped (StaticQueues) and
+        // epoch-published (WorkStealing).
+        for mode in [ParallelMode::StaticQueues(3), ParallelMode::WorkStealing(3)] {
+            let run = discover(
+                &rel,
+                &DiscoveryConfig {
+                    mode,
+                    checker: backend,
+                    shared_cache: true,
+                    cache_budget_bytes: 2_048,
+                    ..DiscoveryConfig::default()
+                },
+            );
+            assert_eq!(baseline.ocds, run.ocds, "{backend:?}/{mode:?}");
+            assert_eq!(baseline.ods, run.ods, "{backend:?}/{mode:?}");
+            assert_eq!(baseline.checks, run.checks, "{backend:?}/{mode:?}");
+        }
     }
 }
 
@@ -166,6 +178,8 @@ fn mid_level_check_budget_truncates_identically_across_modes() {
         ParallelMode::StaticQueues(2),
         ParallelMode::StaticQueues(5),
         ParallelMode::Rayon(3),
+        ParallelMode::WorkStealing(1),
+        ParallelMode::WorkStealing(4),
     ] {
         let par = discover(
             &rel,
@@ -187,15 +201,17 @@ fn mid_level_check_budget_truncates_identically_across_modes() {
 fn per_level_stats_agree_across_modes() {
     let rel = Dataset::Horse.generate(RowScale::Rows(200));
     let seq = discover(&rel, &DiscoveryConfig::default());
-    let par = discover(
-        &rel,
-        &DiscoveryConfig {
-            mode: ParallelMode::StaticQueues(4),
-            ..DiscoveryConfig::default()
-        },
-    );
-    assert_eq!(
-        seq.levels, par.levels,
-        "per-level stats must merge identically"
-    );
+    for mode in [ParallelMode::StaticQueues(4), ParallelMode::WorkStealing(4)] {
+        let par = discover(
+            &rel,
+            &DiscoveryConfig {
+                mode,
+                ..DiscoveryConfig::default()
+            },
+        );
+        assert_eq!(
+            seq.levels, par.levels,
+            "{mode:?}: per-level stats must merge identically"
+        );
+    }
 }

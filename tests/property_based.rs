@@ -2,7 +2,7 @@
 
 use ocddiscover::core::brute::all_lists;
 use ocddiscover::core::check::{check_od, check_od_pairwise};
-use ocddiscover::{discover, AttrList, DiscoveryConfig, Relation, Value};
+use ocddiscover::{discover, AttrList, DiscoveryConfig, ParallelMode, Relation, Value};
 use proptest::prelude::*;
 
 /// Strategy: a small relation of `cols` integer columns with values in a
@@ -95,6 +95,44 @@ proptest! {
                 prop_assert!(check_od_pairwise(&rel, &o, &rep));
             }
         }
+    }
+
+    /// Differential: the work-stealing batch scheduler returns exactly the
+    /// sequential result on arbitrary relations and worker counts —
+    /// dependencies, check counts, per-level stats and termination alike.
+    #[test]
+    fn workstealing_equals_sequential(rel in small_relation(4, 14), workers in 1usize..6) {
+        let seq = discover(&rel, &DiscoveryConfig::default());
+        let ws = discover(&rel, &DiscoveryConfig {
+            mode: ParallelMode::WorkStealing(workers),
+            ..DiscoveryConfig::default()
+        });
+        prop_assert_eq!(&seq.ocds, &ws.ocds);
+        prop_assert_eq!(&seq.ods, &ws.ods);
+        prop_assert_eq!(seq.checks, ws.checks);
+        prop_assert_eq!(&seq.levels, &ws.levels);
+        prop_assert_eq!(&seq.termination, &ws.termination);
+    }
+
+    /// Differential under a random `max_checks` budget: the deterministic
+    /// per-branch allowances make the truncated partial results identical
+    /// between `Sequential` and `WorkStealing(n)` too.
+    #[test]
+    fn workstealing_budget_partials_equal_sequential(
+        rel in small_relation(4, 12),
+        workers in 1usize..5,
+        cap in 1u64..300,
+    ) {
+        let base = DiscoveryConfig { max_checks: Some(cap), ..DiscoveryConfig::default() };
+        let seq = discover(&rel, &base);
+        let ws = discover(&rel, &DiscoveryConfig {
+            mode: ParallelMode::WorkStealing(workers),
+            ..base
+        });
+        prop_assert_eq!(&seq.ocds, &ws.ocds);
+        prop_assert_eq!(&seq.ods, &ws.ods);
+        prop_assert_eq!(seq.checks, ws.checks);
+        prop_assert_eq!(&seq.termination, &ws.termination);
     }
 
     /// Theorem 4.1 as a data property: `XY → YX` valid iff `YX → XY` valid.
