@@ -1,14 +1,26 @@
 #!/usr/bin/env bash
-# Repo gate: format, lints, full test suite, criterion smoke run.
+# Repo gate: invariant lint, format, lints, docs, full test suite,
+# criterion smoke run. Opt-in concurrency-audit lanes:
+#   OCDD_CI_LOOM=1  — loom interleaving models (scheduler + epoch cache)
+#   OCDD_CI_TSAN=1  — ThreadSanitizer pass (needs a nightly toolchain)
+#   OCDD_CI_MIRI=1  — Miri pass over ocdd-core (needs the miri component)
 # Usage: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "==> ocdd-lint (workspace invariant rules)"
+# Hard gate before clippy: no-panic discipline, determinism sources,
+# atomics audit, lock discipline (see DESIGN.md §10).
+cargo run -q -p ocdd-lint
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "==> cargo test"
 cargo test --workspace -q
@@ -25,6 +37,58 @@ echo "==> work-stealing differential suite (workers 1 and 4 vs Sequential)"
 # quarantine included; any divergence fails the run.
 cargo test -q --test parallel_determinism
 cargo test -q --test property_based workstealing
+
+if [[ "${OCDD_CI_LOOM:-0}" == "1" ]]; then
+    echo "==> loom interleaving models (ocdd-core --features loom)"
+    # Swaps the scheduler/epoch-cache primitives for the model-checking
+    # shims and explores every interleaving of the loom_models tests; the
+    # rest of the ocdd-core suite runs against the passthrough primitives.
+    cargo test -q -p ocdd-core --features loom
+else
+    echo "==> loom lane skipped (set OCDD_CI_LOOM=1 to enable)"
+fi
+
+if [[ "${OCDD_CI_TSAN:-0}" == "1" ]]; then
+    echo "==> ThreadSanitizer lane (nightly + rust-src)"
+    # -Zbuild-std needs the nightly rust-src component so std itself is
+    # instrumented (uninstrumented std yields false positives).
+    if rustup toolchain list 2>/dev/null | grep -q nightly &&
+        rustup component list --toolchain nightly 2>/dev/null |
+        grep -q "^rust-src (installed)"; then
+        host="$(rustc -vV | sed -n 's/^host: //p')"
+        for filter in scheduler shared_cache; do
+            RUSTFLAGS="-Zsanitizer=thread" \
+                cargo +nightly test -q -p ocdd-core -Zbuild-std \
+                --target "$host" --lib "$filter" ||
+                {
+                    echo "TSan lane failed ($filter)"
+                    exit 1
+                }
+        done
+    else
+        echo "TSan lane skipped: nightly toolchain with rust-src not installed"
+    fi
+else
+    echo "==> TSan lane skipped (set OCDD_CI_TSAN=1 to enable)"
+fi
+
+if [[ "${OCDD_CI_MIRI:-0}" == "1" ]]; then
+    echo "==> Miri lane (nightly + miri component)"
+    if rustup component list --toolchain nightly 2>/dev/null |
+        grep -q "^miri.*(installed)"; then
+        for filter in scheduler shared_cache; do
+            cargo +nightly miri test -q -p ocdd-core --lib "$filter" ||
+                {
+                    echo "Miri lane failed ($filter)"
+                    exit 1
+                }
+        done
+    else
+        echo "Miri lane skipped: miri component not installed"
+    fi
+else
+    echo "==> Miri lane skipped (set OCDD_CI_MIRI=1 to enable)"
+fi
 
 echo "==> criterion smoke (cargo bench -- --test)"
 cargo bench -p ocdd-bench -- --test

@@ -34,7 +34,6 @@ use ocdd_relation::sort::{cmp_rows, sort_index_by};
 use ocdd_relation::Relation;
 use std::collections::HashMap;
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// Error decomposition of an OD candidate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -276,7 +275,7 @@ pub fn discover_approximate(
     config: &DiscoveryConfig,
     epsilon: f64,
 ) -> ApproximateResult {
-    let start = Instant::now();
+    let start = crate::runtime::now();
     // Same amortized budget as the exhaustive search; see
     // `discover_bidirectional` for the polling contract.
     let budget = Budget::new(config, start, 0);

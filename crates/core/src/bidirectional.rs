@@ -24,7 +24,6 @@ use ocdd_relation::{ColumnId, Relation};
 use std::cmp::Ordering;
 use std::collections::HashSet;
 use std::fmt;
-use std::time::Instant;
 
 /// Sort direction of one attribute inside a marked list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -372,7 +371,7 @@ fn bidi_reduction(
 /// polarities of each unused column, so each level multiplies by `2×` per
 /// appended attribute — the documented cost of the generalization.
 pub fn discover_bidirectional(rel: &Relation, config: &DiscoveryConfig) -> BidiResult {
-    let start = Instant::now();
+    let start = crate::runtime::now();
     let mut checks = 0u64;
     let (universe, constants, equivalence_classes) = bidi_reduction(rel, &mut checks);
 

@@ -45,7 +45,7 @@
 //! | [`brute`] | §2 | brute-force ground truth by the pairwise definitions |
 //! | [`entropy`] | §5.4 | interestingness ranking of columns |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 pub mod approximate;
 pub mod axioms;
 pub mod bidirectional;
@@ -65,6 +65,7 @@ pub mod scheduler;
 pub mod search;
 pub mod shared_cache;
 pub mod sorted_partitions;
+pub(crate) mod sync_shim;
 
 pub use check::{check_ocd, check_od, check_od_after_ocd, CheckOutcome, SortCache};
 pub use config::{CheckerBackend, DiscoveryConfig, ParallelMode};

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use crate::config::DiscoveryConfig;
 
 /// The wall clock and the cancellation flag are only consulted every this
-/// many [`Budget::probe`] calls: `Instant::now()` costs a vDSO call, which
+/// many `Budget::probe` calls: `Instant::now()` costs a vDSO call, which
 /// the radix kernels made comparable to a cheap candidate check. The
 /// deadline/cancellation overshoot this allows is a handful of candidates —
 /// the paper's budget semantics (partial results past the threshold, §5.1)
@@ -91,7 +91,7 @@ impl fmt::Display for TerminationReason {
 ///
 /// Install a clone in [`DiscoveryConfig::controller`], start the run, and
 /// call [`RunController::cancel`] from anywhere: every search loop polls
-/// the flag on the amortized [`Budget`] path and stops within one
+/// the flag on the amortized `Budget` path and stops within one
 /// [`DEADLINE_CHECK_INTERVAL`] batch, returning partial results with
 /// [`TerminationReason::Cancelled`].
 #[derive(Debug, Clone, Default)]
@@ -107,11 +107,13 @@ impl RunController {
 
     /// Ask every run holding a clone of this controller to stop.
     pub fn cancel(&self) {
+        // lint: allow(atomics-audit, monotonic one-way flag; a late observation only delays a cooperative stop and never orders result data)
         self.cancelled.store(true, Ordering::Relaxed);
     }
 
     /// Whether [`RunController::cancel`] has been called.
     pub fn is_cancelled(&self) -> bool {
+        // lint: allow(atomics-audit, monotonic flag read; staleness only delays the cooperative stop by one poll window)
         self.cancelled.load(Ordering::Relaxed)
     }
 }
@@ -171,6 +173,7 @@ impl Budget {
     /// enforces its check budget through deterministic per-branch
     /// allowances instead (see `search::branch_allowances`).
     pub(crate) fn record(&self, n: u64) {
+        // lint: allow(atomics-audit, observability counter; snapshotted once at run end, never read on the result path)
         self.checks.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -178,10 +181,12 @@ impl Budget {
     /// the wall clock every [`DEADLINE_CHECK_INTERVAL`]-th call. Returns
     /// false once the run must stop.
     pub(crate) fn probe(&self) -> bool {
+        // lint: allow(atomics-audit, stop code is write-once via CAS; a stale STOP_NONE read only delays the amortized stop by one window)
         if self.stop.load(Ordering::Relaxed) != STOP_NONE {
             return false;
         }
         if self.controller.is_some() || self.deadline.is_some() {
+            // lint: allow(atomics-audit, probe counter only amortizes the wall-clock poll; its exact value carries no result data)
             let calls = self.probe_calls.fetch_add(1, Ordering::Relaxed);
             if calls.is_multiple_of(DEADLINE_CHECK_INTERVAL) {
                 if self
@@ -195,6 +200,7 @@ impl Budget {
                 }
             }
         }
+        // lint: allow(atomics-audit, stop code is write-once via CAS in trip(); re-read is idempotent)
         self.stop.load(Ordering::Relaxed) == STOP_NONE
     }
 
@@ -205,6 +211,7 @@ impl Budget {
     /// [`DEADLINE_CHECK_INTERVAL`] window. Returns false once the run must
     /// stop.
     pub(crate) fn probe_now(&self) -> bool {
+        // lint: allow(atomics-audit, stop code is write-once via CAS; a stale STOP_NONE read costs at most one extra batch)
         if self.stop.load(Ordering::Relaxed) != STOP_NONE {
             return false;
         }
@@ -217,6 +224,7 @@ impl Budget {
         } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
             self.trip(StopCause::TimeBudget);
         }
+        // lint: allow(atomics-audit, stop code is write-once via CAS in trip(); re-read is idempotent)
         self.stop.load(Ordering::Relaxed) == STOP_NONE
     }
 
@@ -225,6 +233,7 @@ impl Budget {
     /// single traversal makes global accounting deterministic. Returns
     /// false once the run must stop.
     pub(crate) fn spend(&self, n: u64) -> bool {
+        // lint: allow(atomics-audit, single-traversal entry points only; the monotone counter needs no ordering with other memory)
         let total = self.checks.fetch_add(n, Ordering::Relaxed) + n;
         if total > self.max_checks {
             self.trip(StopCause::CheckBudget);
@@ -239,16 +248,18 @@ impl Budget {
             StopCause::Cancelled => STOP_CANCELLED,
         };
         // First cause wins: a run stops for exactly one reason.
-        let _ = self
-            .stop
-            .compare_exchange(STOP_NONE, code, Ordering::Relaxed, Ordering::Relaxed);
+        // lint: allow(atomics-audit, the CAS itself serializes the single write; the stop code is the only state it guards)
+        const ORD: Ordering = Ordering::Relaxed;
+        let _ = self.stop.compare_exchange(STOP_NONE, code, ORD, ORD);
     }
 
     pub(crate) fn is_stopped(&self) -> bool {
+        // lint: allow(atomics-audit, write-once stop code; consumers re-check under their own synchronization before acting)
         self.stop.load(Ordering::Relaxed) != STOP_NONE
     }
 
     pub(crate) fn cause(&self) -> Option<StopCause> {
+        // lint: allow(atomics-audit, read after the run's join barrier; the joining thread already synchronized with every writer)
         match self.stop.load(Ordering::Relaxed) {
             STOP_CHECKS => Some(StopCause::CheckBudget),
             STOP_TIME => Some(StopCause::TimeBudget),
@@ -259,8 +270,19 @@ impl Budget {
 
     /// Checks recorded so far (reduction + search).
     pub(crate) fn checks(&self) -> u64 {
+        // lint: allow(atomics-audit, observability counter read after the join barrier; reported in stats only)
         self.checks.load(Ordering::Relaxed)
     }
+}
+
+/// The single sanctioned wall-clock read of the core crates.
+///
+/// The `clock-confinement` lint rule confines `Instant::now` to this
+/// module: every elapsed-time measurement and budget deadline routes
+/// through here, so a determinism audit has exactly one place to look for
+/// time dependence.
+pub(crate) fn now() -> Instant {
+    Instant::now()
 }
 
 /// Deterministic fault-injection plan for the discovery runtime.
@@ -307,11 +329,14 @@ impl FaultPlan {
     /// Worker hook: called once per candidate, before it is checked.
     /// Panics according to the plan.
     pub(crate) fn before_candidate(&self, branch: (ColumnId, ColumnId)) {
+        // lint: allow(atomics-audit, fault-injection candidate counter; test and feature builds only, never on the result path)
         let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
         if self.panic_after_checks == Some(n) {
+            // lint: allow(no-panic, injected fault — panicking here is this hook's entire purpose)
             panic!("injected panic after {n} candidate checks");
         }
         if self.panic_on_branch == Some(branch) {
+            // lint: allow(no-panic, injected fault — panicking here is this hook's entire purpose)
             panic!("injected panic in branch ({}, {})", branch.0, branch.1);
         }
     }

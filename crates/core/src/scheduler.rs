@@ -18,8 +18,8 @@
 //! — see `search::run_workstealing_levels`. Steal counts are surfaced in
 //! [`SchedulerStats`] purely as observability.
 
+use crate::sync_shim::Mutex;
 use std::collections::VecDeque;
-use std::sync::Mutex;
 
 /// Per-worker scheduling counters of a work-stealing run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -97,6 +97,59 @@ impl StealQueues {
     }
 }
 
+/// Interleaving models of the steal protocol, run by the loom lane
+/// (`cargo test -p ocdd-core --features loom`, `OCDD_CI_LOOM=1 ./ci.sh`).
+/// Every schedule of the instrumented mutex operations is explored; see
+/// `crates/shims/loom` for the checker and DESIGN.md §10 for the lane.
+#[cfg(all(test, feature = "loom"))]
+mod loom_models {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Two workers drain a three-batch level concurrently. Under every
+    /// interleaving of owner pops and steals, each batch surfaces exactly
+    /// once and none is lost — the mutual-exclusion core of the
+    /// owner-front/thief-back discipline.
+    #[test]
+    fn pop_and_steal_yield_each_batch_exactly_once() {
+        loom::model(|| {
+            let q = Arc::new(StealQueues::new(2, 3));
+            let q2 = Arc::clone(&q);
+            let thief = loom::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some((b, _)) = q2.pop(1) {
+                    got.push(b);
+                }
+                got
+            });
+            let mut all = Vec::new();
+            while let Some((b, _)) = q.pop(0) {
+                all.push(b);
+            }
+            all.extend(thief.join().expect("worker 1 finishes"));
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2], "every batch exactly once");
+        });
+    }
+
+    /// A worker whose own deque is empty races the owner for the last
+    /// batch: exactly one of them wins it on every schedule.
+    #[test]
+    fn contended_last_batch_goes_to_exactly_one_worker() {
+        loom::model(|| {
+            let q = Arc::new(StealQueues::new(2, 1));
+            let q2 = Arc::clone(&q);
+            let thief = loom::thread::spawn(move || q2.pop(1));
+            let own = q.pop(0);
+            let stolen = thief.join().expect("worker 1 finishes");
+            match (own, stolen) {
+                (Some((0, false)), None) | (None, Some((0, true))) => {}
+                other => panic!("batch 0 must surface exactly once, got {other:?}"),
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +208,33 @@ mod tests {
         let all: Vec<usize> = popped.into_iter().flatten().collect();
         assert_eq!(all.len(), batches);
         assert_eq!(all.iter().collect::<HashSet<_>>().len(), batches);
+    }
+
+    #[test]
+    fn pop_recovers_from_a_poisoned_queue() {
+        let q = std::sync::Arc::new(StealQueues::new(2, 4));
+        let q2 = std::sync::Arc::clone(&q);
+        // Poison worker 0's deque: panic while holding its lock.
+        std::thread::spawn(move || {
+            let _guard = q2.queues[0].lock();
+            panic!("poison worker 0's deque");
+        })
+        .join()
+        .unwrap_err();
+
+        // The critical sections are single VecDeque operations, so the
+        // poisoned deque is structurally intact: owner pops and steals
+        // keep flowing through the recovery path.
+        assert_eq!(q.pop(1), Some((1, false)));
+        assert_eq!(q.pop(1), Some((3, false)));
+        assert_eq!(q.pop(1), Some((2, true)), "steal from the poisoned deque");
+        assert_eq!(
+            q.pop(0),
+            Some((0, false)),
+            "owner pop of the poisoned deque"
+        );
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
     }
 
     #[test]

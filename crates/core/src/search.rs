@@ -54,7 +54,6 @@ use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// An OCD candidate `X ~ Y` in the search tree. The derived order (by `x`,
 /// then `y`) is the canonical generation order within a level; `dedup_level`
@@ -345,11 +344,16 @@ fn dedup_level(level: &mut Vec<Candidate>) {
         level.dedup();
         return;
     }
+    // lint: allow(determinism-hash, membership-only dedup; the keep mask follows the level scan order and the set is never iterated)
     let mut seen: HashSet<&Candidate> = HashSet::with_capacity(level.len());
     let keep: Vec<bool> = level.iter().map(|c| seen.insert(c)).collect();
     drop(seen);
-    let mut flags = keep.iter();
-    level.retain(|_| *flags.next().expect("keep-mask length matches level"));
+    let mut idx = 0;
+    level.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
 }
 
 /// Split the check budget left after reduction into one allowance per
@@ -558,6 +562,7 @@ enum SpecOutcome {
 }
 
 /// Seed the per-branch bookkeeping of a speculative level driver.
+// lint: allow(determinism-hash, keyed lookup table only; every walk follows candidate order and the map is never iterated)
 fn branch_states(queue: &[(Candidate, u64)]) -> HashMap<(ColumnId, ColumnId), BranchState> {
     queue
         .iter()
@@ -587,6 +592,7 @@ fn branch_states(queue: &[(Candidate, u64)]) -> HashMap<(ColumnId, ColumnId), Br
 fn absorb_level_outcomes(
     level: &[Candidate],
     outcomes: Vec<SpecOutcome>,
+    // lint: allow(determinism-hash, keyed lookup table only; the outcome walk is in candidate order and the map is never iterated)
     states: &mut HashMap<(ColumnId, ColumnId), BranchState>,
     level_no: usize,
     config: &DiscoveryConfig,
@@ -739,6 +745,7 @@ fn run_rayon_levels(
 /// it, so keeping a batch on one worker turns the prefix from a per-check
 /// cache lookup into a guaranteed warm hit without touching shared state.
 fn level_batches(level: &[Candidate]) -> Vec<(AttrList, Vec<usize>)> {
+    // lint: allow(determinism-hash, first-appearance membership map; batch order comes from the level scan and the map is never iterated)
     let mut by_key: HashMap<&AttrList, usize> = HashMap::with_capacity(level.len());
     let mut batches: Vec<(AttrList, Vec<usize>)> = Vec::new();
     for (i, cand) in level.iter().enumerate() {
@@ -985,7 +992,7 @@ pub(crate) fn resume_after_od_invalidation(
             y: od_rhs.clone(),
         })
         .collect();
-    let budget = Budget::new(config, Instant::now(), 0);
+    let budget = Budget::new(config, crate::runtime::now(), 0);
     let shared = SharedCaches::from_config(config);
     let mut checker = Checker::new(rel, config, &shared);
     let mut acc = SearchAccumulator::default();
@@ -1031,7 +1038,7 @@ pub fn profile_branches(
     rel: &Relation,
     config: &DiscoveryConfig,
 ) -> (std::time::Duration, Vec<BranchCost>) {
-    let t0 = Instant::now();
+    let t0 = crate::runtime::now();
     let reduction = if config.column_reduction {
         columns_reduction(rel)
     } else {
@@ -1045,12 +1052,12 @@ pub fn profile_branches(
     let mut costs = Vec::new();
     for seed in seed_candidates(&reduction.attributes) {
         let seed_pair = seed.branch();
-        let budget = Budget::new(config, Instant::now(), 0);
+        let budget = Budget::new(config, crate::runtime::now(), 0);
         let shared = SharedCaches::from_config(config);
         let mut checker = Checker::new(rel, config, &shared);
         let mut acc = SearchAccumulator::default();
         let allowance = config.max_checks.unwrap_or(u64::MAX);
-        let t = Instant::now();
+        let t = crate::runtime::now();
         run_subtree(
             &reduction.attributes,
             vec![seed],
@@ -1092,7 +1099,7 @@ fn seed_candidates(universe: &[ColumnId]) -> Vec<Candidate> {
 /// classes, single-column ODs). Use [`crate::expand`] to translate the
 /// result into the full set of ODs for comparison with other algorithms.
 pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
-    let start = Instant::now();
+    let start = crate::runtime::now();
     let kernels_before = kernel_stats::snapshot();
 
     let reduction_threads = match config.mode {
@@ -1217,6 +1224,7 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     // quarantined branches. (Per-level stats and generation counters stay
     // best-effort under failure.)
     if !failures.is_empty() {
+        // lint: allow(determinism-hash, membership filter only; retain preserves accumulator order and the set is never iterated)
         let failed: HashSet<(ColumnId, ColumnId)> = failures.iter().map(|f| f.branch).collect();
         acc.ocds.retain(|o| !failed.contains(&ocd_branch(o)));
         acc.ods.retain(|o| !failed.contains(&od_branch(o)));

@@ -26,10 +26,11 @@
 //! resident bytes) are relaxed atomics, snapshot into
 //! [`crate::results::DiscoveryResult`] at the end of a run.
 
+use crate::sync_shim::{AtomicU64, AtomicUsize, Mutex};
 use ocdd_relation::ColumnId;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Approximate heap footprint of a cached value, used for budgeting.
 pub trait CacheWeight {
@@ -458,6 +459,59 @@ impl<V: CacheWeight> EpochPrefixCache<V> {
     /// Number of publishes (≈ levels × workers with pending inserts).
     pub fn publishes(&self) -> u64 {
         self.publishes.load(Ordering::Relaxed)
+    }
+}
+
+/// Interleaving models of the snapshot-publish protocol, run by the loom
+/// lane (`cargo test -p ocdd-core --features loom`, `OCDD_CI_LOOM=1
+/// ./ci.sh`). See `crates/shims/loom` and DESIGN.md §10.
+#[cfg(all(test, feature = "loom"))]
+mod loom_models {
+    use super::*;
+
+    /// A reader snapshots while a two-entry publish is in flight. On every
+    /// interleaving the snapshot is frozen — it holds either nothing or
+    /// the complete publish, never a torn half — and a snapshot taken
+    /// after the publish completes sees both entries.
+    #[test]
+    fn publish_is_atomic_with_respect_to_snapshots() {
+        loom::model(|| {
+            let cache = Arc::new(EpochPrefixCache::<Vec<u32>>::new(1 << 16));
+            let c2 = Arc::clone(&cache);
+            let reader = loom::thread::spawn(move || {
+                let snap = c2.snapshot();
+                match snap.len() {
+                    0 => assert!(snap.get(&[0]).is_none(), "empty snapshot stays empty"),
+                    2 => {
+                        let a = snap.get(&[0]).expect("published entry [0]");
+                        let b = snap.get(&[0, 1]).expect("published entry [0,1]");
+                        assert_eq!((a.as_slice(), b.as_slice()), (&[1u32][..], &[2u32][..]));
+                    }
+                    n => panic!("torn snapshot with {n} entries"),
+                }
+            });
+            cache.publish(vec![
+                (vec![0], Arc::new(vec![1u32])),
+                (vec![0, 1], Arc::new(vec![2u32])),
+            ]);
+            reader.join().expect("reader finishes");
+            assert_eq!(cache.snapshot().len(), 2, "publish fully visible");
+        });
+    }
+
+    /// Two workers flush their locally-tallied lookup counters while a
+    /// third party reads `stats()`: no flushed increment is ever lost.
+    #[test]
+    fn record_lookups_flushes_are_not_lost() {
+        loom::model(|| {
+            let cache = Arc::new(EpochPrefixCache::<Vec<u32>>::new(1 << 16));
+            let c2 = Arc::clone(&cache);
+            let flusher = loom::thread::spawn(move || c2.record_lookups(5, 1));
+            cache.record_lookups(7, 3);
+            flusher.join().expect("flusher finishes");
+            let s = cache.stats();
+            assert_eq!((s.hits, s.misses), (12, 4));
+        });
     }
 }
 

@@ -1,0 +1,22 @@
+//! Compile-time switch between `std::sync` and the vendored loom shim for
+//! the concurrency-audited modules ([`crate::scheduler`],
+//! [`crate::shared_cache`]).
+//!
+//! Ordinary builds alias straight to `std::sync`, so there is zero runtime
+//! cost. Under `--features loom` the same names resolve to the
+//! instrumented shim types (`crates/shims/loom`), whose every lock and
+//! atomic operation is a scheduling point inside `loom::model` — the loom
+//! lane of `ci.sh` model-checks `StealQueues` pop/steal and the
+//! `EpochPrefixCache` snapshot-publish protocol through this alias.
+//! Outside a model the shim types delegate to `std`, so the full test
+//! suite still passes with the feature enabled.
+
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::atomic::{AtomicU64, AtomicUsize};
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::Mutex;
+
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::sync::atomic::{AtomicU64, AtomicUsize};
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::sync::Mutex;

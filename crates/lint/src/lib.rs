@@ -1,0 +1,131 @@
+//! `ocdd-lint` — the workspace-specific static-analysis pass (ISSUE 4).
+//!
+//! The compiler cannot see the invariants this reproduction's correctness
+//! rests on: byte-identical results across Sequential/Rayon/WorkStealing
+//! backends, panic-quarantined workers, and `Relaxed` stats counters that
+//! must never feed back into results. `ocdd-lint` enforces them as a text
+//! pass over every workspace `.rs` file:
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `no-panic` | no `unwrap`/`expect`/`panic!` in non-test core-crate code |
+//! | `determinism-hash` | no `HashMap`/`HashSet` in `search`/`results`/`json` |
+//! | `clock-confinement` | `Instant::now`/`SystemTime` only in `runtime.rs` |
+//! | `spawn-confinement` | thread spawns only in `search.rs`/`runtime.rs` |
+//! | `atomics-audit` | every `Ordering::Relaxed` justified or allowlisted |
+//! | `lock-discipline` | `.lock().unwrap()` banned; poison is recovered |
+//!
+//! A finding is silenced by `// lint: allow(<rule>, <reason>)` — trailing
+//! on the offending line or standalone on the line(s) above. The reason is
+//! mandatory, stale annotations are themselves findings (`unused-allow`),
+//! and unknown rule names are rejected (`unknown-allow`), so the allowlist
+//! cannot rot.
+//!
+//! Run as `cargo run -p ocdd-lint` from the workspace root (ci.sh gates on
+//! it before clippy); the binary exits non-zero on any finding.
+
+pub mod rules;
+pub mod source;
+
+pub use rules::{check_file, Diagnostic};
+pub use source::SourceFile;
+
+use std::path::{Path, PathBuf};
+
+/// Directories scanned relative to the workspace root. Test trees
+/// (`tests/`, `benches/`) are skipped wholesale — every rule exempts test
+/// code — as are the linter's own violation fixtures.
+const SCAN_ROOTS: &[&str] = &["crates", "src"];
+
+/// Path fragments that must never be scanned.
+const SKIP_FRAGMENTS: &[&str] = &["/target/", "/tests/", "/benches/", "/fixtures/"];
+
+/// Recursively collect `.rs` files under `dir` into `out`.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let unixy = path.to_string_lossy().replace('\\', "/");
+        if SKIP_FRAGMENTS
+            .iter()
+            .any(|frag| unixy.contains(frag) || unixy.ends_with(frag.trim_end_matches('/')))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan one file's `content` as workspace-relative `rel_path`.
+pub fn scan_content(rel_path: &str, content: &str) -> Vec<Diagnostic> {
+    check_file(&SourceFile::parse(rel_path, content))
+}
+
+/// Scan the workspace rooted at `root`, returning all diagnostics sorted
+/// by path and line.
+pub fn scan_workspace(root: &Path) -> std::io::Result<(usize, Vec<Diagnostic>)> {
+    let mut files = Vec::new();
+    for scan_root in SCAN_ROOTS {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut diagnostics = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = std::fs::read_to_string(file)?;
+        diagnostics.extend(scan_content(&rel, &content));
+    }
+    diagnostics.sort_by_key(|d| (d.path.clone(), d.line));
+    Ok((files.len(), diagnostics))
+}
+
+/// Locate the workspace root: walk up from `start` until a directory with
+/// a `Cargo.toml` containing `[workspace]` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_content_has_no_findings() {
+        let d = scan_content(
+            "crates/core/src/check.rs",
+            "pub fn f() -> Option<u32> { Some(1) }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn workspace_root_is_discoverable_from_here() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root above crates/lint");
+        assert!(root.join("crates/core/src/lib.rs").is_file());
+    }
+}

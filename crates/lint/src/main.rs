@@ -1,0 +1,44 @@
+//! Binary entry point: `cargo run -p ocdd-lint [root]`.
+//!
+//! Scans every workspace `.rs` file against the invariant rules (see the
+//! crate docs) and exits with status 1 if any diagnostic is produced —
+//! ci.sh runs this as a hard gate before clippy.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match ocdd_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("ocdd-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    match ocdd_lint::scan_workspace(&root) {
+        Ok((files, diagnostics)) => {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            println!(
+                "ocdd-lint: {files} file(s) scanned, {} violation(s)",
+                diagnostics.len()
+            );
+            if diagnostics.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ocdd-lint: scan failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

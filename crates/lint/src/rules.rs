@@ -1,0 +1,256 @@
+//! The workspace invariant rules (see DESIGN.md §10 for the rationale of
+//! each). Every rule supports the `// lint: allow(<rule>, <reason>)`
+//! escape hatch; the linter itself keeps the allowlist honest by flagging
+//! unused annotations and unknown rule names.
+
+use crate::source::SourceFile;
+
+/// Rule identifier: no `unwrap`/`expect`/`panic!` family in non-test code
+/// of the core crates.
+pub const NO_PANIC: &str = "no-panic";
+/// Rule identifier: no `HashMap`/`HashSet` in result-emitting modules.
+pub const DETERMINISM_HASH: &str = "determinism-hash";
+/// Rule identifier: wall-clock reads confined to `runtime.rs`.
+pub const CLOCK_CONFINEMENT: &str = "clock-confinement";
+/// Rule identifier: thread spawns confined to `search.rs`/`runtime.rs`.
+pub const SPAWN_CONFINEMENT: &str = "spawn-confinement";
+/// Rule identifier: `Ordering::Relaxed` requires a justification outside
+/// the shared-cache stats counters.
+pub const ATOMICS_AUDIT: &str = "atomics-audit";
+/// Rule identifier: `.lock().unwrap()` banned in favor of poison recovery.
+pub const LOCK_DISCIPLINE: &str = "lock-discipline";
+/// Meta rule: an annotation that suppressed nothing.
+pub const UNUSED_ALLOW: &str = "unused-allow";
+/// Meta rule: an annotation naming a rule that does not exist.
+pub const UNKNOWN_ALLOW: &str = "unknown-allow";
+
+/// Every real (annotatable) rule name.
+pub const ALL_RULES: &[&str] = &[
+    NO_PANIC,
+    DETERMINISM_HASH,
+    CLOCK_CONFINEMENT,
+    SPAWN_CONFINEMENT,
+    ATOMICS_AUDIT,
+    LOCK_DISCIPLINE,
+];
+
+/// One linter finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of the constants in this module).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Scope: the panic-free core crates.
+fn in_core_or_relation(path: &str) -> bool {
+    path.starts_with("crates/core/src/") || path.starts_with("crates/relation/src/")
+}
+
+/// Scope: modules whose output feeds user-visible results byte-for-byte.
+fn in_result_emitting_module(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/core/src/search.rs" | "crates/core/src/results.rs" | "crates/core/src/json.rs"
+    )
+}
+
+/// Tokens of the `no-panic` rule (matched on masked text, so strings and
+/// comments never fire).
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "panic_any(",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Stats-counter field accesses allowlisted for `Ordering::Relaxed` inside
+/// `shared_cache.rs` — observability counters that, by construction, never
+/// feed back into discovery results.
+const SHARED_CACHE_STATS_FIELDS: &[&str] = &[
+    ".hits",
+    ".misses",
+    ".evictions",
+    ".resident",
+    ".entries",
+    ".clock",
+    ".next_epoch",
+    ".publishes",
+];
+
+/// Check one preprocessed file against every rule, returning diagnostics
+/// sorted by line. Annotation bookkeeping (unused / unknown allows) is
+/// included.
+pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = Vec::new();
+    // (0-based line, rule) pairs whose annotation justified a finding.
+    let mut used: Vec<(usize, &'static str)> = Vec::new();
+
+    let finding = |out: &mut Vec<Diagnostic>,
+                   used: &mut Vec<(usize, &'static str)>,
+                   line: usize,
+                   rule: &'static str,
+                   message: String| {
+        if f.allows(line, rule).is_some() {
+            used.push((line, rule));
+        } else {
+            out.push(Diagnostic {
+                path: f.path.clone(),
+                line: line + 1,
+                rule,
+                message,
+            });
+        }
+    };
+
+    for (i, masked) in f.masked_lines.iter().enumerate() {
+        if f.test_line[i] {
+            continue;
+        }
+        let trimmed = masked.trim_start();
+
+        if in_core_or_relation(&f.path) {
+            if let Some(tok) = PANIC_TOKENS.iter().find(|t| masked.contains(**t)) {
+                finding(
+                    &mut out,
+                    &mut used,
+                    i,
+                    NO_PANIC,
+                    format!(
+                        "`{tok}` in non-test core-crate code — convert to a typed error, \
+                         the poison-recovery idiom, or annotate a proven invariant"
+                    ),
+                );
+            }
+
+            if f.path != "crates/core/src/runtime.rs"
+                && (masked.contains("Instant::now") || masked.contains("SystemTime"))
+            {
+                finding(
+                    &mut out,
+                    &mut used,
+                    i,
+                    CLOCK_CONFINEMENT,
+                    "wall-clock read outside runtime.rs — route it through \
+                     `crate::runtime::now()` so determinism reviews have one audit point"
+                        .to_owned(),
+                );
+            }
+        }
+
+        if in_result_emitting_module(&f.path)
+            && !trimmed.starts_with("use ")
+            && (masked.contains("HashMap") || masked.contains("HashSet"))
+        {
+            finding(
+                &mut out,
+                &mut used,
+                i,
+                DETERMINISM_HASH,
+                "HashMap/HashSet in a result-emitting module — iteration order is \
+                 nondeterministic; use a sorted structure or annotate why ordering \
+                 cannot reach results"
+                    .to_owned(),
+            );
+        }
+
+        if f.path.starts_with("crates/core/src/")
+            && f.path != "crates/core/src/search.rs"
+            && f.path != "crates/core/src/runtime.rs"
+            && masked.contains("spawn(")
+        {
+            finding(
+                &mut out,
+                &mut used,
+                i,
+                SPAWN_CONFINEMENT,
+                "thread spawn outside search.rs/runtime.rs — worker lifecycles must \
+                 stay under the quarantine machinery"
+                    .to_owned(),
+            );
+        }
+
+        if masked.contains("::Relaxed") {
+            let allowlisted = f.path == "crates/core/src/shared_cache.rs"
+                && SHARED_CACHE_STATS_FIELDS
+                    .iter()
+                    .any(|field| masked.contains(field));
+            if !allowlisted {
+                finding(
+                    &mut out,
+                    &mut used,
+                    i,
+                    ATOMICS_AUDIT,
+                    "`Ordering::Relaxed` outside the shared-cache stats allowlist — \
+                     justify why relaxed ordering cannot feed back into results"
+                        .to_owned(),
+                );
+            }
+        }
+
+        if masked.contains(".lock().unwrap()") || masked.contains(".lock().expect(") {
+            finding(
+                &mut out,
+                &mut used,
+                i,
+                LOCK_DISCIPLINE,
+                "`.lock().unwrap()` propagates poisoning as a second panic — use the \
+                 poison-recovery idiom (`unwrap_or_else(PoisonError::into_inner)`)"
+                    .to_owned(),
+            );
+        }
+    }
+
+    // Annotation hygiene: unknown rule names and unused annotations.
+    for (i, allows) in f.allows_for_line.iter().enumerate() {
+        if f.test_line[i] {
+            continue;
+        }
+        for a in allows {
+            if !ALL_RULES.contains(&a.rule.as_str()) {
+                out.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: a.line,
+                    rule: UNKNOWN_ALLOW,
+                    message: format!(
+                        "annotation names unknown rule `{}` (known: {})",
+                        a.rule,
+                        ALL_RULES.join(", ")
+                    ),
+                });
+            } else if !used.iter().any(|&(line, rule)| line == i && rule == a.rule) {
+                out.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: a.line,
+                    rule: UNUSED_ALLOW,
+                    message: format!(
+                        "`lint: allow({}, …)` suppresses nothing on its target line — \
+                         stale annotation, remove it",
+                        a.rule
+                    ),
+                });
+            }
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}

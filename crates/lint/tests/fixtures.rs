@@ -1,0 +1,157 @@
+//! Linter self-tests: every fixture under `tests/fixtures/` is scanned
+//! under a fake in-scope path and the resulting diagnostics are asserted
+//! exactly — rule, file, and line. The binary is exercised end-to-end on
+//! a throwaway mini-workspace (non-zero exit) and on the real workspace
+//! (zero exit).
+
+use ocdd_lint::rules;
+use ocdd_lint::scan_content;
+
+/// (line, rule) projection of a diagnostic list, for exact comparisons.
+fn shape(diags: &[ocdd_lint::Diagnostic]) -> Vec<(usize, &'static str)> {
+    diags.iter().map(|d| (d.line, d.rule)).collect()
+}
+
+#[test]
+fn panics_fixture_exact_diagnostics() {
+    let diags = scan_content(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/panics.rs"),
+    );
+    assert_eq!(
+        shape(&diags),
+        vec![
+            (5, rules::NO_PANIC),
+            (9, rules::NO_PANIC),
+            (13, rules::CLOCK_CONFINEMENT),
+        ],
+        "{diags:#?}"
+    );
+    for d in &diags {
+        assert_eq!(d.path, "crates/core/src/fixture.rs");
+    }
+}
+
+#[test]
+fn determinism_fixture_exact_diagnostics() {
+    let diags = scan_content(
+        "crates/core/src/search.rs",
+        include_str!("fixtures/determinism.rs"),
+    );
+    assert_eq!(
+        shape(&diags),
+        vec![(7, rules::DETERMINISM_HASH), (8, rules::DETERMINISM_HASH)],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn determinism_rule_is_scoped_to_result_modules() {
+    // The same content under a non-result-emitting path is clean.
+    let diags = scan_content(
+        "crates/core/src/reduction.rs",
+        include_str!("fixtures/determinism.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn atomics_fixture_exact_diagnostics() {
+    let diags = scan_content(
+        "crates/core/src/scheduler.rs",
+        include_str!("fixtures/atomics.rs"),
+    );
+    assert_eq!(
+        shape(&diags),
+        vec![
+            (10, rules::ATOMICS_AUDIT),
+            (19, rules::SPAWN_CONFINEMENT),
+            (23, rules::LOCK_DISCIPLINE),
+            (23, rules::NO_PANIC),
+        ],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn spawn_is_allowed_in_search_and_runtime() {
+    for path in ["crates/core/src/search.rs", "crates/core/src/runtime.rs"] {
+        let diags = scan_content(path, "pub fn go() {\n    std::thread::spawn(|| {});\n}\n");
+        assert!(
+            !diags.iter().any(|d| d.rule == rules::SPAWN_CONFINEMENT),
+            "{path}: {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn annotation_hygiene_fixture_exact_diagnostics() {
+    let diags = scan_content(
+        "crates/core/src/annotations.rs",
+        include_str!("fixtures/annotations.rs"),
+    );
+    assert_eq!(
+        shape(&diags),
+        vec![(1, rules::UNUSED_ALLOW), (4, rules::UNKNOWN_ALLOW)],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn test_regions_are_exempt() {
+    let diags = scan_content(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/test_exempt.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn shared_cache_stats_counters_are_allowlisted() {
+    let content = "pub fn f(s: &S) {\n    s.stats.hits.fetch_add(1, Ordering::Relaxed);\n}\n";
+    let diags = scan_content("crates/core/src/shared_cache.rs", content);
+    assert!(diags.is_empty(), "{diags:#?}");
+    // The identical line elsewhere is a finding.
+    let diags = scan_content("crates/core/src/scheduler.rs", content);
+    assert_eq!(shape(&diags), vec![(2, rules::ATOMICS_AUDIT)]);
+}
+
+#[test]
+fn binary_fails_on_violating_workspace_and_passes_on_this_one() {
+    let bin = env!("CARGO_BIN_EXE_ocdd-lint");
+
+    // Throwaway mini-workspace with one violating file.
+    let root = std::env::temp_dir().join(format!("ocdd-lint-fixture-{}", std::process::id()));
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("create mini workspace");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+    )
+    .expect("write violating file");
+    let out = std::process::Command::new(bin)
+        .arg(&root)
+        .output()
+        .expect("run ocdd-lint on mini workspace");
+    std::fs::remove_dir_all(&root).ok();
+    assert!(!out.status.success(), "expected a non-zero exit");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/core/src/bad.rs:2: no-panic:"),
+        "{stdout}"
+    );
+
+    // The real workspace is clean — the CI gate this binary backs.
+    let ws = ocdd_lint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let out = std::process::Command::new(bin)
+        .arg(&ws)
+        .output()
+        .expect("run ocdd-lint on the workspace");
+    assert!(
+        out.status.success(),
+        "workspace has lint findings:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -1,0 +1,5 @@
+// lint: allow(no-panic, nothing on the next line needs this)
+pub fn fine() {}
+
+// lint: allow(made-up-rule, the rule name does not exist)
+pub fn also_fine() {}

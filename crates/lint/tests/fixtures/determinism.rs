@@ -1,0 +1,9 @@
+//! Fixture: determinism-hash violations (scanned as
+//! crates/core/src/search.rs by the integration tests). The `use` line is
+//! exempt; the two mentions below are not.
+
+use std::collections::HashMap;
+
+pub fn table() -> HashMap<u32, u32> {
+    HashMap::new()
+}

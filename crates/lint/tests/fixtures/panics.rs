@@ -1,0 +1,19 @@
+//! Fixture: no-panic and clock-confinement violations (scanned as a
+//! crates/core/src/ path by the integration tests).
+
+pub fn helper(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn message() -> String {
+    panic!("fixture")
+}
+
+pub fn deadline() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn annotated(v: Option<u32>) -> u32 {
+    // lint: allow(no-panic, fixture invariant: caller always passes Some)
+    v.expect("always Some")
+}

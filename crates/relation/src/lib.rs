@@ -35,7 +35,7 @@
 //! assert!(rel.code(0, 0) < rel.code(1, 0));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // I/O and user-input paths must surface errors as `Result`, never panic;
 // test code may still assert with unwrap.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]

@@ -186,6 +186,7 @@ impl RelationBuilder {
     /// Finish building, consuming the builder.
     pub fn finish(self) -> Relation {
         let named = self.names.into_iter().zip(self.data).collect();
+        // lint: allow(no-panic, proven invariant: push_row rejects rows of the wrong arity, so all columns have equal length here)
         Relation::from_columns_typed(named, self.mode).expect("builder enforces equal lengths")
     }
 }

@@ -59,18 +59,22 @@ pub mod kernel_stats {
 
     #[inline]
     pub(super) fn bump_counting() {
+        // lint: allow(atomics-audit, monotone observability counter; reported in stats only, never on the result path)
         COUNTING.fetch_add(1, Ordering::Relaxed);
     }
     #[inline]
     pub(super) fn bump_packed_radix() {
+        // lint: allow(atomics-audit, monotone observability counter; reported in stats only, never on the result path)
         PACKED_RADIX.fetch_add(1, Ordering::Relaxed);
     }
     #[inline]
     pub(super) fn bump_chained_refine() {
+        // lint: allow(atomics-audit, monotone observability counter; reported in stats only, never on the result path)
         CHAINED_REFINE.fetch_add(1, Ordering::Relaxed);
     }
     #[inline]
     pub(super) fn bump_comparator() {
+        // lint: allow(atomics-audit, monotone observability counter; reported in stats only, never on the result path)
         COMPARATOR.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -107,9 +111,13 @@ pub mod kernel_stats {
     /// Read the current totals.
     pub fn snapshot() -> KernelCounts {
         KernelCounts {
+            // lint: allow(atomics-audit, observability snapshot; approximate totals are acceptable and never feed results)
             counting: COUNTING.load(Ordering::Relaxed),
+            // lint: allow(atomics-audit, observability snapshot; approximate totals are acceptable and never feed results)
             packed_radix: PACKED_RADIX.load(Ordering::Relaxed),
+            // lint: allow(atomics-audit, observability snapshot; approximate totals are acceptable and never feed results)
             chained_refine: CHAINED_REFINE.load(Ordering::Relaxed),
+            // lint: allow(atomics-audit, observability snapshot; approximate totals are acceptable and never feed results)
             comparator: COMPARATOR.load(Ordering::Relaxed),
         }
     }

@@ -101,6 +101,7 @@ impl Ord for Value {
             (a, b) => match (a.as_f64(), b.as_f64()) {
                 // Both numeric: natural numeric order. Stored floats are
                 // never NaN, so partial_cmp cannot fail.
+                // lint: allow(no-panic, proven invariant: Value construction rejects NaN, so partial_cmp of stored floats is total)
                 (Some(x), Some(y)) => x.partial_cmp(&y).expect("no NaN stored in Value"),
                 _ => a.type_rank().cmp(&b.type_rank()),
             },

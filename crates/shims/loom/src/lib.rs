@@ -1,0 +1,775 @@
+//! A vendored, API-compatible subset of [`loom`](https://docs.rs/loom) —
+//! the workspace has no crates.io access, so the model checker is
+//! implemented here from scratch.
+//!
+//! # What this shim actually checks
+//!
+//! [`model`] runs a closure repeatedly, exploring **every interleaving of
+//! its instrumented operations** (shim [`sync::Mutex`] acquisitions, shim
+//! [`sync::atomic`] operations, spawns, joins and explicit yields) by
+//! depth-first search over scheduling decisions, up to a schedule cap.
+//! Execution is *serialized*: only one model thread runs at a time, and at
+//! every instrumented operation the scheduler picks which runnable thread
+//! continues. A decision with `k` runnable threads is a `k`-way branch
+//! point; backtracking re-runs the closure with the next untried choice
+//! until the tree is exhausted (or [`MAX_SCHEDULES`] is hit — the cap is
+//! overridable via the `LOOM_MAX_SCHEDULES` environment variable).
+//!
+//! Along every explored schedule the checker verifies:
+//!
+//! * all user assertions inside the closure (a panic on any schedule fails
+//!   the model and reports the decision trace),
+//! * absence of deadlock (a state where live threads exist but none is
+//!   runnable fails the model).
+//!
+//! # Differences from real loom
+//!
+//! * Memory is **sequentially consistent**: `Ordering` arguments are
+//!   accepted but not distinguished, so weak-memory reorderings are *not*
+//!   explored. The shim checks interleaving/atomicity bugs, not fence
+//!   placement.
+//! * No partial-order reduction — keep models small (2–3 threads, a dozen
+//!   instrumented operations each) or the DFS hits the schedule cap and
+//!   the run degrades to a bounded prefix of the tree.
+//! * Outside [`model`], every shim type transparently delegates to its
+//!   `std::sync` counterpart, so code compiled against the shim behaves
+//!   identically in ordinary builds and tests.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, PoisonError};
+
+/// Default bound on explored schedules; override with the
+/// `LOOM_MAX_SCHEDULES` environment variable.
+pub const MAX_SCHEDULES: usize = 10_000;
+
+/// Sentinel panic payload used to unwind model threads when an execution
+/// is aborted (another thread panicked or deadlocked). Never escapes
+/// [`model`].
+struct Abort;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Waiting for the given shim lock to be released.
+    BlockedLock(usize),
+    /// Waiting for the given thread to finish.
+    BlockedJoin(usize),
+    /// Ran to completion (normally or by unwinding).
+    Finished,
+}
+
+/// One scheduling decision: which of `options` runnable threads was
+/// resumed.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    chosen: usize,
+    options: usize,
+}
+
+struct Inner {
+    statuses: Vec<Status>,
+    /// Thread currently holding the baton.
+    current: usize,
+    /// Shim locks registered this execution; `true` = held.
+    locks: Vec<bool>,
+    /// Decisions taken so far in this execution.
+    decisions: Vec<Decision>,
+    /// Forced choices replayed from the previous execution's backtrack.
+    prefix: Vec<usize>,
+    /// Set when the execution must unwind (panic or deadlock observed).
+    abort: bool,
+    /// First failure observed, with its decision trace.
+    failure: Option<String>,
+    /// Threads not yet `Finished`.
+    active: usize,
+}
+
+/// Serialized round-robin scheduler for one `model` execution. All model
+/// threads share it through an `Arc`; the baton (`Inner::current`) decides
+/// who runs, and a `Condvar` wakes waiters whenever it moves.
+struct Scheduler {
+    inner: std::sync::Mutex<Inner>,
+    cv: Condvar,
+}
+
+thread_local! {
+    /// (scheduler, model thread id) of the current OS thread, when it is a
+    /// model thread. Absent in passthrough mode.
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+impl Scheduler {
+    fn new(prefix: Vec<usize>) -> Scheduler {
+        Scheduler {
+            inner: std::sync::Mutex::new(Inner {
+                statuses: Vec::new(),
+                current: 0,
+                locks: Vec::new(),
+                decisions: Vec::new(),
+                prefix,
+                abort: false,
+                failure: None,
+                active: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The scheduler's own critical sections never panic, but a model
+    /// thread unwinding on abort may still poison the state mutex between
+    /// operations — the state stays structurally valid, so recover it.
+    fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut g = self.locked();
+        g.statuses.push(Status::Runnable);
+        g.active += 1;
+        g.statuses.len() - 1
+    }
+
+    fn register_lock(&self) -> usize {
+        let mut g = self.locked();
+        g.locks.push(false);
+        g.locks.len() - 1
+    }
+
+    /// Pick the next thread to run from the runnable set (a DFS branch
+    /// point). Must be called with the state lock held. Flags a deadlock
+    /// when live threads exist but none is runnable.
+    fn choose_next(&self, g: &mut Inner) {
+        let options: Vec<usize> = (0..g.statuses.len())
+            .filter(|&t| g.statuses[t] == Status::Runnable)
+            .collect();
+        if options.is_empty() {
+            if g.active > 0 && !g.abort {
+                let trace: Vec<usize> = g.decisions.iter().map(|d| d.chosen).collect();
+                g.failure = Some(format!(
+                    "deadlock: {} live thread(s), none runnable (schedule {trace:?})",
+                    g.active
+                ));
+                g.abort = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let step = g.decisions.len();
+        let chosen = if step < g.prefix.len() {
+            g.prefix[step].min(options.len() - 1)
+        } else {
+            0
+        };
+        g.decisions.push(Decision {
+            chosen,
+            options: options.len(),
+        });
+        g.current = options[chosen];
+        self.cv.notify_all();
+    }
+
+    /// Block until this thread is `Runnable` *and* holds the baton.
+    /// Unwinds with [`Abort`] when the execution is being torn down.
+    fn wait_for_baton(&self, me: usize, mut g: std::sync::MutexGuard<'_, Inner>) {
+        loop {
+            if g.abort {
+                drop(g);
+                std::panic::panic_any(Abort);
+            }
+            if g.statuses[me] == Status::Runnable && g.current == me {
+                return;
+            }
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A scheduling decision point: offer the baton to any runnable thread
+    /// (including the caller), then wait to be resumed.
+    fn yield_point(&self, me: usize) {
+        let mut g = self.locked();
+        if g.abort {
+            drop(g);
+            std::panic::panic_any(Abort);
+        }
+        self.choose_next(&mut g);
+        self.wait_for_baton(me, g);
+    }
+
+    /// Acquire shim lock `lock`: loops through block/wake cycles until the
+    /// lock is free while the caller holds the baton.
+    fn lock_acquire(&self, me: usize, lock: usize) {
+        self.yield_point(me);
+        loop {
+            let mut g = self.locked();
+            if g.abort {
+                drop(g);
+                std::panic::panic_any(Abort);
+            }
+            if !g.locks[lock] {
+                g.locks[lock] = true;
+                return;
+            }
+            g.statuses[me] = Status::BlockedLock(lock);
+            self.choose_next(&mut g);
+            self.wait_for_baton(me, g);
+        }
+    }
+
+    /// Release shim lock `lock` and wake its waiters (they re-contend at
+    /// their next scheduling).
+    fn lock_release(&self, lock: usize) {
+        let mut g = self.locked();
+        g.locks[lock] = false;
+        for t in 0..g.statuses.len() {
+            if g.statuses[t] == Status::BlockedLock(lock) {
+                g.statuses[t] = Status::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Block the caller until thread `target` finishes.
+    fn join_wait(&self, me: usize, target: usize) {
+        loop {
+            let mut g = self.locked();
+            if g.abort {
+                drop(g);
+                std::panic::panic_any(Abort);
+            }
+            if g.statuses[target] == Status::Finished {
+                return;
+            }
+            g.statuses[me] = Status::BlockedJoin(target);
+            self.choose_next(&mut g);
+            self.wait_for_baton(me, g);
+        }
+    }
+
+    /// Mark the caller finished, wake joiners, and hand the baton on.
+    fn finish(&self, me: usize) {
+        let mut g = self.locked();
+        g.statuses[me] = Status::Finished;
+        g.active -= 1;
+        for t in 0..g.statuses.len() {
+            if g.statuses[t] == Status::BlockedJoin(me) {
+                g.statuses[t] = Status::Runnable;
+            }
+        }
+        if g.active > 0 {
+            self.choose_next(&mut g);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Record the first real failure of this execution and abort it.
+    fn record_failure(&self, msg: String) {
+        let mut g = self.locked();
+        if g.failure.is_none() {
+            let trace: Vec<usize> = g.decisions.iter().map(|d| d.chosen).collect();
+            g.failure = Some(format!("{msg} (schedule {trace:?})"));
+        }
+        g.abort = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Given the decisions of the last execution, compute the forced-choice
+/// prefix of the next unexplored schedule (classic DFS backtrack), or
+/// `None` when the tree is exhausted.
+fn next_prefix(decisions: &[Decision]) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        let d = decisions[i];
+        if d.chosen + 1 < d.options {
+            let mut p: Vec<usize> = decisions[..i].iter().map(|d| d.chosen).collect();
+            p.push(d.chosen + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Explore every interleaving of the instrumented operations in `f`,
+/// re-running it once per schedule. Panics (with the failing decision
+/// trace) if any schedule panics inside `f` or deadlocks.
+///
+/// The closure must build all of its shim state (mutexes, atomics,
+/// threads) inside itself so each execution starts fresh.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(ctx().is_none(), "nested loom::model is not supported");
+    let cap = std::env::var("LOOM_MAX_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(MAX_SCHEDULES);
+    let f = Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        let sched = Arc::new(Scheduler::new(std::mem::take(&mut prefix)));
+        let root = sched.register_thread();
+        debug_assert_eq!(root, 0);
+        let sched_for_root = Arc::clone(&sched);
+        let body = Arc::clone(&f);
+        let handle = std::thread::spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched_for_root), root)));
+            let result = catch_unwind(AssertUnwindSafe(|| body()));
+            if let Err(payload) = result {
+                if payload.downcast_ref::<Abort>().is_none() {
+                    sched_for_root.record_failure(format!(
+                        "model thread 0 panicked: {}",
+                        payload_text(payload.as_ref())
+                    ));
+                }
+            }
+            sched_for_root.finish(root);
+        });
+        // Wait for every model thread of this execution to finish.
+        let (decisions, failure) = {
+            let mut g = sched.locked();
+            while g.active > 0 {
+                g = sched.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            (std::mem::take(&mut g.decisions), g.failure.take())
+        };
+        let _ = handle.join();
+        if let Some(msg) = failure {
+            panic!("loom model failed after {schedules} schedule(s): {msg}");
+        }
+        match next_prefix(&decisions) {
+            Some(p) if schedules < cap => prefix = p,
+            Some(_) => {
+                eprintln!(
+                    "loom shim: schedule cap {cap} reached; exploration truncated \
+                     (set LOOM_MAX_SCHEDULES to raise it)"
+                );
+                break;
+            }
+            None => break,
+        }
+    }
+}
+
+/// Thread spawning and joining, instrumented as scheduling points inside a
+/// model and delegating to `std::thread` outside one.
+pub mod thread {
+    use super::*;
+
+    enum HandleKind<T> {
+        /// Passthrough: a real `std::thread` handle.
+        Std(std::thread::JoinHandle<T>),
+        /// Model thread: the OS handle plus the model thread id to wait on.
+        Model {
+            handle: std::thread::JoinHandle<Option<T>>,
+            tid: usize,
+            sched: Arc<Scheduler>,
+        },
+    }
+
+    /// Owned permission to join on a (model or passthrough) thread.
+    pub struct JoinHandle<T>(HandleKind<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish, returning its result. Inside a
+        /// model this is a blocking scheduling point.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                HandleKind::Std(h) => h.join(),
+                HandleKind::Model { handle, tid, sched } => {
+                    let me = ctx().map(|(_, me)| me).expect(
+                        "joining a loom model thread from outside its model is not supported",
+                    );
+                    sched.join_wait(me, tid);
+                    match handle.join() {
+                        Ok(Some(v)) => Ok(v),
+                        // The thread unwound; the model is aborting, so
+                        // tear this thread down as well.
+                        _ => std::panic::panic_any(Abort),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spawn a thread. Inside a model the child participates in schedule
+    /// exploration; outside it delegates to `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match ctx() {
+            None => JoinHandle(HandleKind::Std(std::thread::spawn(f))),
+            Some((sched, me)) => {
+                let tid = sched.register_thread();
+                let child_sched = Arc::clone(&sched);
+                let handle = std::thread::spawn(move || {
+                    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&child_sched), tid)));
+                    // Wait to be scheduled for the first time.
+                    let g = child_sched.locked();
+                    let first = catch_unwind(AssertUnwindSafe(|| {
+                        child_sched.wait_for_baton(tid, g);
+                        f()
+                    }));
+                    let out = match first {
+                        Ok(v) => Some(v),
+                        Err(payload) => {
+                            if payload.downcast_ref::<Abort>().is_none() {
+                                child_sched.record_failure(format!(
+                                    "model thread {tid} panicked: {}",
+                                    payload_text(payload.as_ref())
+                                ));
+                            }
+                            None
+                        }
+                    };
+                    child_sched.finish(tid);
+                    out
+                });
+                // Let the child (or anyone else) run before the spawner's
+                // next operation — spawning is itself a visible event.
+                sched.yield_point(me);
+                JoinHandle(HandleKind::Model { handle, tid, sched })
+            }
+        }
+    }
+
+    /// Explicit scheduling point (no-op outside a model).
+    pub fn yield_now() {
+        if let Some((sched, me)) = ctx() {
+            sched.yield_point(me);
+        }
+    }
+}
+
+/// Instrumented `std::sync` subset: `Mutex`, `Arc` (re-export) and the
+/// atomic integer types used by the workspace.
+pub mod sync {
+    use super::*;
+    pub use std::sync::Arc;
+
+    /// A mutex that is a scheduling point inside a model and a plain
+    /// `std::sync::Mutex` outside one.
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+        /// Model lock id, assigned lazily on first model-context lock of
+        /// each execution (ids reset between executions because models
+        /// rebuild their state each run).
+        id: std::sync::atomic::AtomicUsize,
+    }
+
+    const LOCK_UNREGISTERED: usize = usize::MAX;
+
+    /// An RAII guard over the shim mutex; releases the model-level lock
+    /// (waking blocked model threads) on drop.
+    pub struct MutexGuard<'a, T> {
+        guard: Option<std::sync::MutexGuard<'a, T>>,
+        model: Option<(Arc<Scheduler>, usize)>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Create a new mutex holding `value`.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+                id: std::sync::atomic::AtomicUsize::new(LOCK_UNREGISTERED),
+            }
+        }
+
+        /// Acquire the mutex, blocking the calling (model) thread until it
+        /// is free. Returns the same `LockResult` shape as `std`.
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            match ctx() {
+                None => match self.inner.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        guard: Some(g),
+                        model: None,
+                    }),
+                    Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                        guard: Some(poisoned.into_inner()),
+                        model: None,
+                    })),
+                },
+                Some((sched, me)) => {
+                    use std::sync::atomic::Ordering as O;
+                    // lint: allow(atomics-audit, lazy lock-id registration; reads and writes happen inside the serialized scheduler baton)
+                    let mut id = self.id.load(O::Relaxed);
+                    if id == LOCK_UNREGISTERED {
+                        id = sched.register_lock();
+                        // lint: allow(atomics-audit, written under the serialized scheduler baton; no concurrent access by construction)
+                        self.id.store(id, O::Relaxed);
+                    }
+                    sched.lock_acquire(me, id);
+                    // Model-level exclusion holds, so the std lock is
+                    // uncontended; a poisoned state can only be left over
+                    // from an aborted schedule — recover it.
+                    let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard {
+                        guard: Some(g),
+                        model: Some((sched, id)),
+                    })
+                }
+            }
+        }
+    }
+
+    impl<'a, T> std::ops::Deref for MutexGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.guard.as_deref().expect("guard present until drop")
+        }
+    }
+
+    impl<'a, T> std::ops::DerefMut for MutexGuard<'a, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.guard.as_deref_mut().expect("guard present until drop")
+        }
+    }
+
+    impl<'a, T> Drop for MutexGuard<'a, T> {
+        fn drop(&mut self) {
+            // Release the std lock before the model-level lock so no other
+            // model thread can observe the std mutex still held.
+            self.guard = None;
+            if let Some((sched, id)) = self.model.take() {
+                sched.lock_release(id);
+            }
+        }
+    }
+
+    /// Atomic integer types whose every operation is a scheduling point
+    /// inside a model. Memory effects are sequentially consistent — the
+    /// shim explores interleavings, not weak-memory reorderings.
+    pub mod atomic {
+        use super::super::ctx;
+        pub use std::sync::atomic::Ordering;
+
+        fn interleave() {
+            if let Some((sched, me)) = ctx() {
+                sched.yield_point(me);
+            }
+        }
+
+        macro_rules! shim_atomic {
+            ($name:ident, $std:ty, $int:ty) => {
+                /// Instrumented atomic: delegates to the `std` atomic,
+                /// adding a model scheduling point before every operation.
+                #[derive(Debug, Default)]
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    /// Create a new atomic with the given initial value.
+                    pub fn new(v: $int) -> $name {
+                        $name(<$std>::new(v))
+                    }
+
+                    /// Atomic load (scheduling point inside a model).
+                    pub fn load(&self, o: Ordering) -> $int {
+                        interleave();
+                        self.0.load(o)
+                    }
+
+                    /// Atomic store (scheduling point inside a model).
+                    pub fn store(&self, v: $int, o: Ordering) {
+                        interleave();
+                        self.0.store(v, o)
+                    }
+
+                    /// Atomic fetch-add (scheduling point inside a model).
+                    pub fn fetch_add(&self, v: $int, o: Ordering) -> $int {
+                        interleave();
+                        self.0.fetch_add(v, o)
+                    }
+
+                    /// Atomic fetch-sub (scheduling point inside a model).
+                    pub fn fetch_sub(&self, v: $int, o: Ordering) -> $int {
+                        interleave();
+                        self.0.fetch_sub(v, o)
+                    }
+
+                    /// Atomic compare-exchange (scheduling point inside a
+                    /// model).
+                    pub fn compare_exchange(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        interleave();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+        shim_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        /// Instrumented atomic boolean: delegates to `std`, adding a model
+        /// scheduling point before every operation.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Create a new atomic with the given initial value.
+            pub fn new(v: bool) -> AtomicBool {
+                AtomicBool(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Atomic load (scheduling point inside a model).
+            pub fn load(&self, o: Ordering) -> bool {
+                interleave();
+                self.0.load(o)
+            }
+
+            /// Atomic store (scheduling point inside a model).
+            pub fn store(&self, v: bool, o: Ordering) {
+                interleave();
+                self.0.store(v, o)
+            }
+
+            /// Atomic swap (scheduling point inside a model).
+            pub fn swap(&self, v: bool, o: Ordering) -> bool {
+                interleave();
+                self.0.swap(v, o)
+            }
+
+            /// Atomic compare-exchange (scheduling point inside a model).
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<bool, bool> {
+                interleave();
+                self.0.compare_exchange(current, new, success, failure)
+            }
+        }
+    }
+}
+
+/// `hint` module parity with loom (spin loops inside models should yield).
+pub mod hint {
+    /// Scheduling point standing in for `std::hint::spin_loop`.
+    pub fn spin_loop() {
+        super::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn passthrough_mutex_behaves_like_std() {
+        let m = Mutex::new(5);
+        *m.lock().expect("unpoisoned") += 1;
+        assert_eq!(*m.lock().expect("unpoisoned"), 6);
+    }
+
+    #[test]
+    fn passthrough_spawn_and_join() {
+        let h = super::thread::spawn(|| 41 + 1);
+        assert_eq!(h.join().expect("no panic"), 42);
+    }
+
+    #[test]
+    fn model_explores_mutex_interleavings() {
+        // Two incrementers under a mutex always sum to 2.
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u32));
+            let m2 = Arc::clone(&m);
+            let h = super::thread::spawn(move || {
+                *m2.lock().expect("model lock") += 1;
+            });
+            *m.lock().expect("model lock") += 1;
+            h.join().expect("child finishes");
+            assert_eq!(*m.lock().expect("model lock"), 2);
+        });
+    }
+
+    #[test]
+    fn model_catches_non_atomic_increment() {
+        // A load/store pair is not atomic: some schedule loses an update.
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let a = Arc::new(AtomicUsize::new(0));
+                let a2 = Arc::clone(&a);
+                let h = super::thread::spawn(move || {
+                    let v = a2.load(Ordering::SeqCst);
+                    a2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = a.load(Ordering::SeqCst);
+                a.store(v + 1, Ordering::SeqCst);
+                h.join().expect("child finishes");
+                assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(result.is_err(), "the lost-update schedule must be found");
+    }
+
+    #[test]
+    fn model_fetch_add_is_atomic() {
+        super::model(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let a2 = Arc::clone(&a);
+            let h = super::thread::spawn(move || {
+                a2.fetch_add(1, Ordering::SeqCst);
+            });
+            a.fetch_add(1, Ordering::SeqCst);
+            h.join().expect("child finishes");
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn model_reports_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let h = super::thread::spawn(move || {
+                    let _ga = a2.lock().expect("model lock");
+                    let _gb = b2.lock().expect("model lock");
+                });
+                let _gb = b.lock().expect("model lock");
+                let _ga = a.lock().expect("model lock");
+                drop((_gb, _ga));
+                h.join().expect("child finishes");
+            });
+        });
+        let msg = result.expect_err("lock-order inversion must deadlock some schedule");
+        let text = if let Some(s) = msg.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            String::new()
+        };
+        assert!(text.contains("deadlock"), "got: {text}");
+    }
+}

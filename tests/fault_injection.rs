@@ -191,3 +191,91 @@ fn eviction_storm_is_result_neutral() {
         assert_eq!(stormy.termination, TerminationReason::Complete, "{mode:?}");
     }
 }
+
+/// A value whose weight probe can be told to panic — simulates a fault in
+/// the middle of an epoch publish, after some inserts are already merged
+/// into the candidate map.
+struct Weighted {
+    bytes: usize,
+    panic_on_weigh: bool,
+}
+
+impl ocddiscover::core::shared_cache::CacheWeight for Weighted {
+    fn weight_bytes(&self) -> usize {
+        if self.panic_on_weigh {
+            panic!("injected mid-publish fault");
+        }
+        self.bytes
+    }
+}
+
+/// The epoch cache's publish protocol is all-or-nothing: a panic halfway
+/// through merging a batch (here: while weighing the second of three
+/// inserts) unwinds before the snapshot swap, so readers keep seeing
+/// exactly the pre-publish snapshot — never a torn one — and the poisoned
+/// lock is recovered on the next access.
+#[test]
+fn epoch_publish_is_all_or_nothing_under_mid_publish_panic() {
+    use ocddiscover::core::shared_cache::EpochPrefixCache;
+
+    let cache: EpochPrefixCache<Weighted> = EpochPrefixCache::new(1 << 20);
+    cache.publish(vec![(
+        vec![0],
+        Arc::new(Weighted {
+            bytes: 64,
+            panic_on_weigh: false,
+        }),
+    )]);
+    assert_eq!(cache.snapshot().len(), 1);
+
+    let cache = Arc::new(cache);
+    let c2 = Arc::clone(&cache);
+    std::thread::spawn(move || {
+        c2.publish(vec![
+            (
+                vec![1],
+                Arc::new(Weighted {
+                    bytes: 64,
+                    panic_on_weigh: false,
+                }),
+            ),
+            (
+                vec![2],
+                Arc::new(Weighted {
+                    bytes: 64,
+                    panic_on_weigh: true,
+                }),
+            ),
+            (
+                vec![3],
+                Arc::new(Weighted {
+                    bytes: 64,
+                    panic_on_weigh: false,
+                }),
+            ),
+        ]);
+    })
+    .join()
+    .unwrap_err();
+
+    // The swap never ran: the pre-publish snapshot is intact, including
+    // the insert that *had* already merged into the abandoned candidate
+    // map, and the cache keeps accepting publishes afterwards.
+    let after = cache.snapshot();
+    assert_eq!(after.len(), 1);
+    assert!(after.get(&[0]).is_some());
+    assert!(after.get(&[1]).is_none());
+    assert!(after.get(&[2]).is_none());
+    assert!(after.get(&[3]).is_none());
+
+    cache.publish(vec![(
+        vec![4],
+        Arc::new(Weighted {
+            bytes: 64,
+            panic_on_weigh: false,
+        }),
+    )]);
+    let healed = cache.snapshot();
+    assert_eq!(healed.len(), 2);
+    assert!(healed.get(&[4]).is_some());
+}
