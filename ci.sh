@@ -9,9 +9,25 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "==> ocdd-lint (workspace invariant rules)"
-# Hard gate before clippy: no-panic discipline, determinism sources,
-# atomics audit, lock discipline (see DESIGN.md §10).
-cargo run -q -p ocdd-lint
+# Hard gate before clippy: panic-reachability over the call graph,
+# lock-order acyclicity, determinism taint, plus the line rules (see
+# DESIGN.md §10–§11). The stable JSON findings document is uploaded to
+# results/ for revision-to-revision diffing (scripts/lint_diff.sh) and the
+# finding count is gated against the checked-in baseline.
+mkdir -p results
+cargo run -q -p ocdd-lint -- --emit json >results/lint_findings.json || true
+lint_count="$(sed -n 's/^  "count": \([0-9]*\),$/\1/p' results/lint_findings.json)"
+lint_baseline="$(cat results/lint_baseline.txt)"
+if [[ -z "$lint_count" ]]; then
+    echo "ocdd-lint: could not parse results/lint_findings.json"
+    exit 1
+fi
+if [[ "$lint_count" -gt "$lint_baseline" ]]; then
+    cargo run -q -p ocdd-lint || true # re-run for the human-readable witnesses
+    echo "ocdd-lint: $lint_count finding(s) exceed the checked-in baseline ($lint_baseline)"
+    exit 1
+fi
+echo "ocdd-lint: $lint_count finding(s) (baseline $lint_baseline)"
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

@@ -60,6 +60,7 @@ impl CheckOutcome {
 }
 
 /// Classify adjacent pairs of `index` (pre-sorted by `lhs`) against `rhs`.
+// lint: allow(panic-reachability, w[0]/w[1] index length-2 slices produced by windows(2))
 fn scan_sorted(rel: &Relation, lhs: &[ColumnId], rhs: &[ColumnId], index: &[u32]) -> CheckOutcome {
     for w in index.windows(2) {
         let (p, q) = (w[0] as usize, w[1] as usize);
@@ -99,6 +100,7 @@ fn scan_sorted(rel: &Relation, lhs: &[ColumnId], rhs: &[ColumnId], index: &[u32]
 /// adjacent pair inside a tie group agrees on `rhs`, all rows of the group
 /// do. Sound as a *full* OD check only when a swap is impossible; see
 /// [`check_od_after_ocd`].
+// lint: allow(panic-reachability, w[0]/w[1] index length-2 slices produced by windows(2))
 fn scan_sorted_splits_only(
     rel: &Relation,
     lhs: &[ColumnId],
@@ -212,6 +214,7 @@ impl<V: crate::shared_cache::CacheWeight> EpochTier<V> {
 
     /// Longest cached *proper* prefix of `key`, preferring the buffer at
     /// equal length.
+    // lint: allow(panic-reachability, &key[..len] takes proper prefixes with len < key.len() from the loop range)
     pub(crate) fn longest_prefix(&self, key: &[ColumnId]) -> Option<(usize, Arc<V>)> {
         for len in (1..key.len()).rev() {
             if let Some(v) = self.pending.get(&key[..len]) {
@@ -310,6 +313,7 @@ impl<'r> SortCache<'r> {
     }
 
     /// Sorted index for `cols`, reusing the longest cached prefix.
+    // lint: allow(panic-reachability, longest_prefix returns len < cols.len() by its proper-prefix contract, so both split ranges are in bounds)
     pub fn index_for(&mut self, cols: &[ColumnId]) -> Arc<Vec<u32>> {
         if let Some(tier) = &mut self.epoch {
             if let Some(idx) = tier.get(cols) {

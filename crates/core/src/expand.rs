@@ -102,7 +102,6 @@ pub fn list_variants(list: &AttrList, classes: &HashMap<ColumnId, Vec<ColumnId>>
     let slots: Vec<&Vec<ColumnId>> = list
         .as_slice()
         .iter()
-        // lint: allow(no-panic, proven invariant: the class map is built over every attribute of the relation before expansion)
         .map(|a| classes.get(a).expect("attribute has a class entry"))
         .collect();
     let mut out: Vec<Vec<ColumnId>> = vec![Vec::new()];

@@ -71,7 +71,9 @@ impl StealQueues {
         let workers = workers.max(1);
         let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
         for b in 0..batches {
-            queues[b % workers].push_back(b);
+            if let Some(q) = queues.get_mut(b % workers) {
+                q.push_back(b);
+            }
         }
         StealQueues {
             queues: queues.into_iter().map(Mutex::new).collect(),
@@ -83,13 +85,21 @@ impl StealQueues {
     /// `worker + 1`). Returns the batch index and whether it was stolen;
     /// `None` when every deque is empty.
     pub(crate) fn pop(&self, worker: usize) -> Option<(usize, bool)> {
-        if let Some(b) = recover(self.queues[worker].lock()).pop_front() {
+        if let Some(b) = self
+            .queues
+            .get(worker)
+            .and_then(|q| recover(q.lock()).pop_front())
+        {
             return Some((b, false));
         }
         let n = self.queues.len();
         for off in 1..n {
             let victim = (worker + off) % n;
-            if let Some(b) = recover(self.queues[victim].lock()).pop_back() {
+            if let Some(b) = self
+                .queues
+                .get(victim)
+                .and_then(|q| recover(q.lock()).pop_back())
+            {
                 return Some((b, true));
             }
         }

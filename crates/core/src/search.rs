@@ -336,6 +336,7 @@ fn process_candidate(
 /// general path builds a keep-mask from borrowed candidates instead of
 /// cloning every `Candidate` into a `HashSet` (the old allocation churn:
 /// two `AttrList` clones per child, immediately dropped for duplicates).
+// lint: allow(panic-reachability, w[0]/w[1] index length-2 slices produced by windows(2))
 fn dedup_level(level: &mut Vec<Candidate>) {
     if level.len() < 2 {
         return;
@@ -344,7 +345,6 @@ fn dedup_level(level: &mut Vec<Candidate>) {
         level.dedup();
         return;
     }
-    // lint: allow(determinism-hash, membership-only dedup; the keep mask follows the level scan order and the set is never iterated)
     let mut seen: HashSet<&Candidate> = HashSet::with_capacity(level.len());
     let keep: Vec<bool> = level.iter().map(|c| seen.insert(c)).collect();
     drop(seen);
@@ -562,7 +562,6 @@ enum SpecOutcome {
 }
 
 /// Seed the per-branch bookkeeping of a speculative level driver.
-// lint: allow(determinism-hash, keyed lookup table only; every walk follows candidate order and the map is never iterated)
 fn branch_states(queue: &[(Candidate, u64)]) -> HashMap<(ColumnId, ColumnId), BranchState> {
     queue
         .iter()
@@ -592,7 +591,6 @@ fn branch_states(queue: &[(Candidate, u64)]) -> HashMap<(ColumnId, ColumnId), Br
 fn absorb_level_outcomes(
     level: &[Candidate],
     outcomes: Vec<SpecOutcome>,
-    // lint: allow(determinism-hash, keyed lookup table only; the outcome walk is in candidate order and the map is never iterated)
     states: &mut HashMap<(ColumnId, ColumnId), BranchState>,
     level_no: usize,
     config: &DiscoveryConfig,
@@ -745,12 +743,15 @@ fn run_rayon_levels(
 /// it, so keeping a batch on one worker turns the prefix from a per-check
 /// cache lookup into a guaranteed warm hit without touching shared state.
 fn level_batches(level: &[Candidate]) -> Vec<(AttrList, Vec<usize>)> {
-    // lint: allow(determinism-hash, first-appearance membership map; batch order comes from the level scan and the map is never iterated)
     let mut by_key: HashMap<&AttrList, usize> = HashMap::with_capacity(level.len());
     let mut batches: Vec<(AttrList, Vec<usize>)> = Vec::new();
     for (i, cand) in level.iter().enumerate() {
         match by_key.get(&cand.x) {
-            Some(&b) => batches[b].1.push(i),
+            Some(&b) => {
+                if let Some(batch) = batches.get_mut(b) {
+                    batch.1.push(i);
+                }
+            }
             None => {
                 by_key.insert(&cand.x, batches.len());
                 batches.push((cand.x.clone(), vec![i]));
@@ -795,12 +796,14 @@ fn run_batch<'r>(
             let out = &mut *out;
             let checker = &mut *checker;
             catch_unwind(AssertUnwindSafe(move || {
+                // lint: allow(panic-reachability, pos < members.len() by the while condition, so the range start is in bounds)
                 for (j, &i) in members[pos..].iter().enumerate() {
                     progress.set(pos + j);
                     if budget.is_stopped() {
                         out.push((i, SpecOutcome::Skipped));
                         continue;
                     }
+                    // lint: allow(panic-reachability, members hold level indexes built by level_batches, so i < level.len())
                     let cand = &level[i];
                     #[cfg(any(test, feature = "fault-injection"))]
                     if let Some(plan) = &config.fault {
@@ -818,6 +821,7 @@ fn run_batch<'r>(
             Err(payload) => {
                 let failed_at = progress.get();
                 out.push((
+                    // lint: allow(panic-reachability, progress only ever holds indexes pos+j < members.len(), set inside the batch loop)
                     members[failed_at],
                     SpecOutcome::Panicked(panic_message(payload.as_ref())),
                 ));
@@ -902,15 +906,11 @@ fn run_workstealing_levels(
                         while let Some((b, stolen)) = queues.pop(w) {
                             wstats.batches += 1;
                             wstats.steals += u64::from(stolen);
+                            let Some(batch) = batches.get(b) else {
+                                continue;
+                            };
                             run_batch(
-                                rel,
-                                universe,
-                                &batches[b].1,
-                                level,
-                                checker,
-                                config,
-                                shared,
-                                budget,
+                                rel, universe, &batch.1, level, checker, config, shared, budget,
                                 &mut local,
                             );
                         }
@@ -922,7 +922,9 @@ fn run_workstealing_levels(
                 match handle.join() {
                     Ok(local) => {
                         for (i, outcome) in local {
-                            slots[i] = Some(outcome);
+                            if let Some(slot) = slots.get_mut(i) {
+                                *slot = Some(outcome);
+                            }
                         }
                     }
                     // `run_batch` isolates candidate panics, so a dead
@@ -1082,7 +1084,7 @@ pub fn profile_branches(
 fn seed_candidates(universe: &[ColumnId]) -> Vec<Candidate> {
     let mut seeds = Vec::new();
     for (i, &a) in universe.iter().enumerate() {
-        for &b in &universe[i + 1..] {
+        for &b in universe.iter().skip(i + 1) {
             seeds.push(Candidate {
                 x: AttrList::single(a),
                 y: AttrList::single(b),
@@ -1139,7 +1141,9 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
             // candidate's whole subtree stays within its seed's queue.
             let mut queues: Vec<Vec<(Candidate, u64)>> = (0..k).map(|_| Vec::new()).collect();
             for (i, entry) in queue.into_iter().enumerate() {
-                queues[i % k].push(entry);
+                if let Some(q) = queues.get_mut(i % k) {
+                    q.push(entry);
+                }
             }
             std::thread::scope(|scope| {
                 let handles: Vec<_> = queues
@@ -1224,7 +1228,6 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     // quarantined branches. (Per-level stats and generation counters stay
     // best-effort under failure.)
     if !failures.is_empty() {
-        // lint: allow(determinism-hash, membership filter only; retain preserves accumulator order and the set is never iterated)
         let failed: HashSet<(ColumnId, ColumnId)> = failures.iter().map(|f| f.branch).collect();
         acc.ocds.retain(|o| !failed.contains(&ocd_branch(o)));
         acc.ods.retain(|o| !failed.contains(&od_branch(o)));
@@ -1245,7 +1248,10 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
         branches.dedup();
         TerminationReason::WorkerFailure {
             branches,
-            message: failures[0].message.clone(),
+            message: failures
+                .first()
+                .map(|f| f.message.clone())
+                .unwrap_or_default(),
         }
     };
 
@@ -1279,6 +1285,7 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
         constants: reduction.constants,
         equivalence_classes: reduction.equivalence_classes,
         reduced_attributes: reduction.attributes,
+        // lint: allow(determinism-taint, budget and start are clock-seeded handles, but the fields read here — the checks counter and the elapsed duration — are observability values excluded from byte-identity comparisons across backends)
         checks: budget.checks(),
         candidates_generated: acc.generated,
         levels,

@@ -127,6 +127,7 @@ impl<V: CacheWeight> SharedPrefixCache<V> {
         self.fault = fault;
     }
 
+    // lint: allow(panic-reachability, the index is reduced modulo NUM_SHARDS, the length of the shard array)
     fn shard_for(&self, key: &[ColumnId]) -> &Shard<V> {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -154,6 +155,7 @@ impl<V: CacheWeight> SharedPrefixCache<V> {
     /// Longest cached *proper* prefix of `key` (silent: no hit/miss
     /// accounting — callers follow up with the decisive exact lookup or
     /// insert).
+    // lint: allow(panic-reachability, &key[..len] takes proper prefixes with len < key.len() from the loop range)
     pub fn longest_prefix(&self, key: &[ColumnId]) -> Option<(usize, Arc<V>)> {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         for len in (1..key.len()).rev() {
@@ -185,6 +187,7 @@ impl<V: CacheWeight> SharedPrefixCache<V> {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         {
             let mut shard = recover(self.shard_for(&key).lock());
+            // lint: allow(lock-order, name-based call resolution false edge: the receiver is the shard's plain HashMap, whose insert acquires nothing)
             if let Some(old) = shard.insert(
                 key,
                 Entry {
@@ -222,7 +225,10 @@ impl<V: CacheWeight> SharedPrefixCache<V> {
                 }
             }
             let Some((s, key, _)) = victim else { break };
-            let mut shard = recover(self.shards[s].lock());
+            let Some(slot) = self.shards.get(s) else {
+                break;
+            };
+            let mut shard = recover(slot.lock());
             if let Some(e) = shard.remove(&key) {
                 self.resident.fetch_sub(e.bytes, Ordering::Relaxed);
                 self.entries.fetch_sub(1, Ordering::Relaxed);
@@ -293,6 +299,7 @@ impl<V> EpochSnapshot<V> {
     }
 
     /// Longest *proper* prefix of `key` present in the snapshot.
+    // lint: allow(panic-reachability, &key[..len] takes proper prefixes with len < key.len() from the loop range)
     pub fn longest_prefix(&self, key: &[ColumnId]) -> Option<(usize, Arc<V>)> {
         for len in (1..key.len()).rev() {
             if let Some(e) = self.map.get(&key[..len]) {

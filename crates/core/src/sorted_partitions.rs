@@ -58,6 +58,7 @@ impl SortedPartition {
     }
 
     /// Iterate the classes in sorted order.
+    // lint: allow(panic-reachability, offsets is a monotone fence vector bounded by rows.len(), so every w[0]..w[1] range is in bounds)
     pub fn classes(&self) -> impl Iterator<Item = &[u32]> {
         self.offsets
             .windows(2)
@@ -72,6 +73,7 @@ impl SortedPartition {
     /// scatters — first by the new column's code, then by the old class id
     /// (stability keeps the code order inside every class) — so a
     /// refinement costs `O(m + d)` regardless of class sizes.
+    // lint: allow(panic-reachability, offsets fences are bounded by rows.len() and every scatter target is sized by its counting pass)
     pub fn refined(&self, rel: &Relation, col: ColumnId) -> SortedPartition {
         let m = self.rows.len();
         if m == 0 {
@@ -314,6 +316,7 @@ impl<'r> PartitionChecker<'r> {
 
     /// The sorted partition of `cols`, built by refining the longest cached
     /// prefix.
+    // lint: allow(panic-reachability, len < cols.len() inside the refinement loop, and cols[..len] after the increment never exceeds cols.len())
     pub fn partition_for(&mut self, cols: &[ColumnId]) -> Arc<SortedPartition> {
         if cols.is_empty() {
             return Arc::clone(&self.unit);

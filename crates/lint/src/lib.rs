@@ -1,35 +1,50 @@
-//! `ocdd-lint` — the workspace-specific static-analysis pass (ISSUE 4).
+//! `ocdd-lint` — the workspace-specific static-analysis pass (ISSUE 4,
+//! upgraded to a cross-file semantic analyzer in ISSUE 5).
 //!
 //! The compiler cannot see the invariants this reproduction's correctness
 //! rests on: byte-identical results across Sequential/Rayon/WorkStealing
 //! backends, panic-quarantined workers, and `Relaxed` stats counters that
-//! must never feed back into results. `ocdd-lint` enforces them as a text
-//! pass over every workspace `.rs` file:
+//! must never feed back into results. `ocdd-lint` enforces them over every
+//! workspace `.rs` file — line rules on masked text, and three semantic
+//! rules over a token-level workspace model with a conservative call
+//! graph:
 //!
-//! | rule | invariant |
-//! |---|---|
-//! | `no-panic` | no `unwrap`/`expect`/`panic!` in non-test core-crate code |
-//! | `determinism-hash` | no `HashMap`/`HashSet` in `search`/`results`/`json` |
-//! | `clock-confinement` | `Instant::now`/`SystemTime` only in `runtime.rs` |
-//! | `spawn-confinement` | thread spawns only in `search.rs`/`runtime.rs` |
-//! | `atomics-audit` | every `Ordering::Relaxed` justified or allowlisted |
-//! | `lock-discipline` | `.lock().unwrap()` banned; poison is recovered |
+//! | rule | kind | invariant |
+//! |---|---|---|
+//! | `panic-reachability` | semantic | no panic source reachable from the hot-path roots |
+//! | `lock-order` | semantic | the lock-order graph is acyclic (no AB/BA deadlock) |
+//! | `determinism-taint` | semantic | no hash-iteration/clock value flows into results |
+//! | `clock-confinement` | line | `Instant::now`/`SystemTime` only in `runtime.rs` |
+//! | `spawn-confinement` | line | thread spawns only in `search.rs`/`runtime.rs` |
+//! | `atomics-audit` | line | every `Ordering::Relaxed` justified or allowlisted |
+//! | `lock-discipline` | line | `.lock().unwrap()` banned; poison is recovered |
 //!
 //! A finding is silenced by `// lint: allow(<rule>, <reason>)` — trailing
-//! on the offending line or standalone on the line(s) above. The reason is
-//! mandatory, stale annotations are themselves findings (`unused-allow`),
-//! and unknown rule names are rejected (`unknown-allow`), so the allowlist
+//! on the offending line, standalone on the line(s) above, or (for the
+//! semantic rules) on the `fn` definition line to cover the whole
+//! function. The pre-ISSUE-5 rule names `no-panic` and `determinism-hash`
+//! are accepted as aliases. The reason is mandatory, stale annotations are
+//! themselves findings (`unused-allow`, fixable via `--fix-allows`), and
+//! unknown rule names are rejected (`unknown-allow`), so the allowlist
 //! cannot rot.
 //!
 //! Run as `cargo run -p ocdd-lint` from the workspace root (ci.sh gates on
-//! it before clippy); the binary exits non-zero on any finding.
+//! it before clippy); the binary exits non-zero on any finding. See
+//! [`crate::callgraph`], [`crate::locks`], [`crate::taint`] for the
+//! semantic passes and `--explain <rule>` for the rationale of each rule.
 
+pub mod callgraph;
+pub mod locks;
 pub mod rules;
 pub mod source;
+pub mod taint;
+pub mod tokens;
 
-pub use rules::{check_file, Diagnostic};
+pub use rules::{canonical_rule, check_file, explain, Diagnostic, ALL_RULES};
 pub use source::SourceFile;
 
+use callgraph::{AllowUses, Workspace};
+use rules::{UNKNOWN_ALLOW, UNUSED_ALLOW};
 use std::path::{Path, PathBuf};
 
 /// Directories scanned relative to the workspace root. Test trees
@@ -61,34 +76,243 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Scan one file's `content` as workspace-relative `rel_path`.
-pub fn scan_content(rel_path: &str, content: &str) -> Vec<Diagnostic> {
-    check_file(&SourceFile::parse(rel_path, content))
-}
-
-/// Scan the workspace rooted at `root`, returning all diagnostics sorted
-/// by path and line.
-pub fn scan_workspace(root: &Path) -> std::io::Result<(usize, Vec<Diagnostic>)> {
-    let mut files = Vec::new();
+/// Read every scannable `.rs` file under `root` as path-sorted
+/// `(workspace-relative path, content)` pairs.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut paths = Vec::new();
     for scan_root in SCAN_ROOTS {
         let dir = root.join(scan_root);
         if dir.is_dir() {
-            walk(&dir, &mut files)?;
+            walk(&dir, &mut paths)?;
         }
     }
-    files.sort();
-    let mut diagnostics = Vec::new();
-    for file in &files {
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for file in &paths {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        let content = std::fs::read_to_string(file)?;
-        diagnostics.extend(scan_content(&rel, &content));
+        out.push((rel, std::fs::read_to_string(file)?));
     }
-    diagnostics.sort_by_key(|d| (d.path.clone(), d.line));
-    Ok((files.len(), diagnostics))
+    Ok(out)
+}
+
+/// An allow annotation that suppressed nothing — `--fix-allows` deletes
+/// these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleAllow {
+    /// Workspace-relative path of the file carrying the annotation.
+    pub path: String,
+    /// 1-based line the annotation comment sits on.
+    pub line: usize,
+    /// Rule name exactly as written (possibly an alias).
+    pub rule: String,
+}
+
+/// The result of a full workspace analysis.
+pub struct Analysis {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by `(path, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Annotations that suppressed nothing (each also yields an
+    /// `unused-allow` diagnostic).
+    pub stale_allows: Vec<StaleAllow>,
+}
+
+/// Analyze a set of `(path, content)` files as one workspace: line rules
+/// per file, then the three semantic passes over the shared model, then
+/// annotation hygiene across everything.
+pub fn analyze(files: Vec<(String, String)>) -> Analysis {
+    let files_scanned = files.len();
+    let ws = Workspace::build(files);
+    let mut uses = AllowUses::default();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
+    for (fi, model) in ws.files.iter().enumerate() {
+        let (diags, used) = check_file(&model.src);
+        diagnostics.extend(diags);
+        for (line, rule) in used {
+            uses.mark(fi, line, rule);
+        }
+    }
+
+    diagnostics.extend(callgraph::panic_reachability(&ws, &mut uses));
+    diagnostics.extend(locks::lock_order(&ws, &mut uses));
+    diagnostics.extend(taint::determinism_taint(&ws, &mut uses));
+
+    // Annotation hygiene, after every pass has had its chance to consume
+    // an allow. Allows targeting test-only lines are exempt: test code is
+    // outside every rule's scope, so "unused there" carries no signal.
+    let mut stale_allows = Vec::new();
+    for (fi, model) in ws.files.iter().enumerate() {
+        for (target_line, allows) in model.src.allows_for_line.iter().enumerate() {
+            for a in allows {
+                if model.is_test_line(target_line) {
+                    continue;
+                }
+                let Some(canon) = canonical_rule(&a.rule) else {
+                    diagnostics.push(Diagnostic {
+                        path: model.src.path.clone(),
+                        line: a.line,
+                        rule: UNKNOWN_ALLOW,
+                        message: format!(
+                            "annotation names unknown rule `{}` — known rules: {}",
+                            a.rule,
+                            ALL_RULES.join(", ")
+                        ),
+                        chain: Vec::new(),
+                    });
+                    continue;
+                };
+                if !uses.is_used(fi, target_line, canon) {
+                    diagnostics.push(Diagnostic {
+                        path: model.src.path.clone(),
+                        line: a.line,
+                        rule: UNUSED_ALLOW,
+                        message: format!(
+                            "allow(`{}`) suppressed nothing — remove it (or run \
+                             `ocdd-lint --fix-allows --apply`)",
+                            a.rule
+                        ),
+                        chain: Vec::new(),
+                    });
+                    stale_allows.push(StaleAllow {
+                        path: model.src.path.clone(),
+                        line: a.line,
+                        rule: a.rule.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    stale_allows.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Analysis {
+        files_scanned,
+        diagnostics,
+        stale_allows,
+    }
+}
+
+/// Analyze one file's `content` as workspace-relative `rel_path`, running
+/// the full pipeline (the single file is the whole workspace).
+pub fn scan_content(rel_path: &str, content: &str) -> Vec<Diagnostic> {
+    analyze(vec![(rel_path.to_owned(), content.to_owned())]).diagnostics
+}
+
+/// Scan the workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Analysis> {
+    Ok(analyze(collect_files(root)?))
+}
+
+/// Render diagnostics as the stable `ocdd-lint/1` JSON schema consumed by
+/// ci.sh and `scripts/lint_diff.sh`:
+///
+/// ```json
+/// {
+///   "schema": "ocdd-lint/1",
+///   "count": 1,
+///   "findings": [
+///     {"rule": "...", "file": "...", "line": 1, "message": "...",
+///      "chain": ["root (file:line)", "... at file:line"]}
+///   ]
+/// }
+/// ```
+///
+/// `chain` is the call-chain / flow witness for semantic rules, outermost
+/// first; empty for line rules. Fields are emitted in exactly this order.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"ocdd-lint/1\",\n");
+    s.push_str(&format!("  \"count\": {},\n", diags.len()));
+    s.push_str("  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {");
+        s.push_str(&format!("\"rule\": \"{}\", ", esc(d.rule)));
+        s.push_str(&format!("\"file\": \"{}\", ", esc(&d.path)));
+        s.push_str(&format!("\"line\": {}, ", d.line));
+        s.push_str(&format!("\"message\": \"{}\", ", esc(&d.message)));
+        s.push_str("\"chain\": [");
+        for (j, hop) in d.chain.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\"", esc(hop)));
+        }
+        s.push_str("]}");
+    }
+    if !diags.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Compute (and with `apply` perform) the deletions for stale allow
+/// annotations under `root`. Returns the stale allows that were (or would
+/// be) removed. Annotation-only lines are deleted whole; trailing
+/// annotations are stripped back to the code they ride on.
+pub fn fix_allows(root: &Path, apply: bool) -> std::io::Result<Vec<StaleAllow>> {
+    let analysis = analyze(collect_files(root)?);
+    if analysis.stale_allows.is_empty() || !apply {
+        return Ok(analysis.stale_allows);
+    }
+    let mut by_path: std::collections::BTreeMap<&str, Vec<&StaleAllow>> =
+        std::collections::BTreeMap::new();
+    for sa in &analysis.stale_allows {
+        by_path.entry(sa.path.as_str()).or_default().push(sa);
+    }
+    for (path, stales) in by_path {
+        let abs = root.join(path);
+        let content = std::fs::read_to_string(&abs)?;
+        let had_trailing_newline = content.ends_with('\n');
+        let mut lines: Vec<String> = content.split('\n').map(str::to_owned).collect();
+        if had_trailing_newline {
+            lines.pop();
+        }
+        // Highest line first so earlier indices stay valid across removals.
+        let mut sorted: Vec<&StaleAllow> = stales;
+        sorted.sort_by_key(|sa| std::cmp::Reverse(sa.line));
+        for sa in sorted {
+            let idx = sa.line - 1;
+            let Some(line) = lines.get(idx) else { continue };
+            let Some(pos) = line.find("//") else { continue };
+            if line[..pos].trim().is_empty() {
+                lines.remove(idx);
+            } else {
+                let code = line[..pos].trim_end().to_owned();
+                lines[idx] = code;
+            }
+        }
+        let mut rewritten = lines.join("\n");
+        if had_trailing_newline {
+            rewritten.push('\n');
+        }
+        std::fs::write(&abs, rewritten)?;
+    }
+    Ok(analysis.stale_allows)
 }
 
 /// Locate the workspace root: walk up from `start` until a directory with
@@ -127,5 +351,47 @@ mod tests {
         let here = Path::new(env!("CARGO_MANIFEST_DIR"));
         let root = find_workspace_root(here).expect("workspace root above crates/lint");
         assert!(root.join("crates/core/src/lib.rs").is_file());
+    }
+
+    #[test]
+    fn unused_allow_is_reported_at_the_annotation_line() {
+        let d = scan_content(
+            "crates/core/src/util.rs",
+            "// lint: allow(panic-reachability, nothing here panics)\n\
+             pub fn fine() -> u32 { 1 }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].rule, "unused-allow");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn unknown_allow_is_reported() {
+        let d = scan_content(
+            "crates/core/src/util.rs",
+            "pub fn fine() -> u32 { 1 } // lint: allow(no-such-rule, why)\n",
+        );
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].rule, "unknown-allow");
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let diags = vec![Diagnostic {
+            path: "crates/core/src/x.rs".into(),
+            line: 3,
+            rule: "panic-reachability",
+            message: "a \"quoted\" message".into(),
+            chain: vec!["root (a.rs:1)".into(), "`.unwrap()` at b.rs:2".into()],
+        }];
+        let json = to_json(&diags);
+        assert!(json.contains("\"schema\": \"ocdd-lint/1\""));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains(
+            "{\"rule\": \"panic-reachability\", \"file\": \"crates/core/src/x.rs\", \
+             \"line\": 3, \"message\": \"a \\\"quoted\\\" message\", \
+             \"chain\": [\"root (a.rs:1)\", \"`.unwrap()` at b.rs:2\"]}"
+        ));
+        assert!(to_json(&[]).contains("\"findings\": []"));
     }
 }

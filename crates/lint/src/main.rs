@@ -1,15 +1,91 @@
-//! Binary entry point: `cargo run -p ocdd-lint [root]`.
+//! Binary entry point: `cargo run -p ocdd-lint -- [root] [flags]`.
 //!
-//! Scans every workspace `.rs` file against the invariant rules (see the
-//! crate docs) and exits with status 1 if any diagnostic is produced —
-//! ci.sh runs this as a hard gate before clippy.
+//! Modes:
+//!
+//! * default — scan the workspace, print human-readable findings (with
+//!   call-chain witnesses for the semantic rules), exit 1 on any finding.
+//!   ci.sh runs this as a hard gate before clippy.
+//! * `--emit json` — print the stable `ocdd-lint/1` JSON document instead
+//!   (schema: rule, file, line, message, chain); same exit-code contract.
+//!   ci.sh uploads this to `results/lint_findings.json` and gates the
+//!   count against `results/lint_baseline.txt`.
+//! * `--explain <rule>` — print what a rule enforces and why, then exit 0.
+//! * `--fix-allows` — list stale `lint: allow` annotations (dry run);
+//!   add `--apply` to delete them in place.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: ocdd-lint [root] [--emit json] [--explain <rule>] \
+                     [--fix-allows [--apply]]";
+
 fn main() -> ExitCode {
-    let root = match std::env::args_os().nth(1) {
-        Some(arg) => PathBuf::from(arg),
+    let mut root: Option<PathBuf> = None;
+    let mut emit_json = false;
+    let mut explain_rule: Option<String> = None;
+    let mut fix_allows = false;
+    let mut apply = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--emit" => match args.next().as_deref() {
+                Some("json") => emit_json = true,
+                other => {
+                    eprintln!(
+                        "ocdd-lint: --emit supports only `json` (got {:?})\n{USAGE}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--explain" => match args.next() {
+                Some(rule) => explain_rule = Some(rule),
+                None => {
+                    eprintln!("ocdd-lint: --explain needs a rule name\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fix-allows" => fix_allows = true,
+            "--apply" => apply = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("ocdd-lint: unknown flag `{flag}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            path if root.is_none() => root = Some(PathBuf::from(path)),
+            extra => {
+                eprintln!("ocdd-lint: unexpected argument `{extra}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(rule) = explain_rule {
+        return match ocdd_lint::explain(&rule) {
+            Some(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "ocdd-lint: no rule named `{rule}` — known rules: {}",
+                    ocdd_lint::ALL_RULES.join(", ")
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if apply && !fix_allows {
+        eprintln!("ocdd-lint: --apply only makes sense with --fix-allows\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
+    let root = match root {
+        Some(r) => r,
         None => {
             let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
             match ocdd_lint::find_workspace_root(&cwd) {
@@ -21,16 +97,51 @@ fn main() -> ExitCode {
             }
         }
     };
-    match ocdd_lint::scan_workspace(&root) {
-        Ok((files, diagnostics)) => {
-            for d in &diagnostics {
-                println!("{d}");
+
+    if fix_allows {
+        return match ocdd_lint::fix_allows(&root, apply) {
+            Ok(stale) => {
+                for sa in &stale {
+                    println!(
+                        "{}:{}: stale allow({}) {}",
+                        sa.path,
+                        sa.line,
+                        sa.rule,
+                        if apply { "removed" } else { "would be removed" }
+                    );
+                }
+                if apply {
+                    println!("ocdd-lint: {} stale allow(s) removed", stale.len());
+                } else {
+                    println!(
+                        "ocdd-lint: {} stale allow(s) found (dry run — pass --apply to remove)",
+                        stale.len()
+                    );
+                }
+                ExitCode::SUCCESS
             }
-            println!(
-                "ocdd-lint: {files} file(s) scanned, {} violation(s)",
-                diagnostics.len()
-            );
-            if diagnostics.is_empty() {
+            Err(e) => {
+                eprintln!("ocdd-lint: fix-allows failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match ocdd_lint::scan_workspace(&root) {
+        Ok(analysis) => {
+            if emit_json {
+                print!("{}", ocdd_lint::to_json(&analysis.diagnostics));
+            } else {
+                for d in &analysis.diagnostics {
+                    println!("{d}");
+                }
+                println!(
+                    "ocdd-lint: {} file(s) scanned, {} violation(s)",
+                    analysis.files_scanned,
+                    analysis.diagnostics.len()
+                );
+            }
+            if analysis.diagnostics.is_empty() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

@@ -1,15 +1,25 @@
-//! The workspace invariant rules (see DESIGN.md §10 for the rationale of
-//! each). Every rule supports the `// lint: allow(<rule>, <reason>)`
+//! The workspace invariant rules (see DESIGN.md §10–§11 for the rationale
+//! of each). Every rule supports the `// lint: allow(<rule>, <reason>)`
 //! escape hatch; the linter itself keeps the allowlist honest by flagging
 //! unused annotations and unknown rule names.
+//!
+//! Since ISSUE 5 the rules come in two kinds: **line rules** checked here
+//! per file, and **semantic rules** ([`crate::callgraph`],
+//! [`crate::locks`], [`crate::taint`]) computed over the whole-workspace
+//! token model. The old per-line `no-panic` and `determinism-hash` rules
+//! are subsumed by `panic-reachability` and `determinism-taint`; their
+//! names remain valid in annotations as aliases.
 
 use crate::source::SourceFile;
 
-/// Rule identifier: no `unwrap`/`expect`/`panic!` family in non-test code
-/// of the core crates.
-pub const NO_PANIC: &str = "no-panic";
-/// Rule identifier: no `HashMap`/`HashSet` in result-emitting modules.
-pub const DETERMINISM_HASH: &str = "determinism-hash";
+/// Semantic rule: no panic (unwrap/expect/`panic!`/slice indexing)
+/// transitively reachable from the hot-path entry points.
+pub const PANIC_REACHABILITY: &str = "panic-reachability";
+/// Semantic rule: the lock-order graph must be acyclic.
+pub const LOCK_ORDER: &str = "lock-order";
+/// Semantic rule: nondeterministic iteration/clock values must not flow
+/// into results or emission buffers.
+pub const DETERMINISM_TAINT: &str = "determinism-taint";
 /// Rule identifier: wall-clock reads confined to `runtime.rs`.
 pub const CLOCK_CONFINEMENT: &str = "clock-confinement";
 /// Rule identifier: thread spawns confined to `search.rs`/`runtime.rs`.
@@ -26,13 +36,107 @@ pub const UNKNOWN_ALLOW: &str = "unknown-allow";
 
 /// Every real (annotatable) rule name.
 pub const ALL_RULES: &[&str] = &[
-    NO_PANIC,
-    DETERMINISM_HASH,
+    PANIC_REACHABILITY,
+    LOCK_ORDER,
+    DETERMINISM_TAINT,
     CLOCK_CONFINEMENT,
     SPAWN_CONFINEMENT,
     ATOMICS_AUDIT,
     LOCK_DISCIPLINE,
 ];
+
+/// Canonical rule id for an annotation's rule name. The pre-ISSUE-5 names
+/// keep working: `no-panic` annotations now justify `panic-reachability`
+/// findings, `determinism-hash` ones justify `determinism-taint`.
+pub fn canonical_rule(name: &str) -> Option<&'static str> {
+    match name {
+        "no-panic" => Some(PANIC_REACHABILITY),
+        "determinism-hash" => Some(DETERMINISM_TAINT),
+        _ => ALL_RULES.iter().find(|r| **r == name).copied(),
+    }
+}
+
+/// `--explain` text per rule: what it enforces and why the invariant
+/// matters for the paper's correctness claims.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    let canonical = canonical_rule(rule)?;
+    Some(match canonical {
+        PANIC_REACHABILITY => {
+            "panic-reachability (alias: no-panic)\n\
+             \n\
+             Flags any function reachable over the workspace call graph from\n\
+             the hot-path roots (every fn in check.rs, search.rs,\n\
+             scheduler.rs, shared_cache.rs) that directly contains a panic\n\
+             source: `panic!`-family macros, `.unwrap()`, `.expect(..)`, or\n\
+             slice indexing `v[i]` (full-range `v[..]` excluded). A panic\n\
+             inside a worker tears down the whole level unless quarantined;\n\
+             Thm 3.7/3.9 soundness of partial results depends on workers\n\
+             never aborting mid-batch. The finding carries a shortest\n\
+             call-chain witness from a root to the panic site. Suppress at\n\
+             the site line or at the fn with a comment annotation\n\
+             `lint: allow(panic-reachability, <proven invariant>)`."
+        }
+        LOCK_ORDER => {
+            "lock-order\n\
+             \n\
+             Builds a lock-order graph: an edge A -> B is recorded when a\n\
+             Mutex/RwLock guard for A is still live (a `let`-bound guard in\n\
+             an enclosing scope) while B is acquired — directly or inside\n\
+             any function transitively called at that point. A cycle means\n\
+             two executions can acquire the same locks in opposite orders:\n\
+             a potential deadlock. This statically re-derives what the loom\n\
+             models check dynamically for StealQueues and EpochPrefixCache\n\
+             (DESIGN.md §10); guards consumed within a single statement\n\
+             (temporaries) hold no edge, which is exactly why the\n\
+             owner/thief steal protocol passes clean."
+        }
+        DETERMINISM_TAINT => {
+            "determinism-taint (alias: determinism-hash)\n\
+             \n\
+             Values produced by iterating a HashMap/HashSet (`.iter()`,\n\
+             `.keys()`, `.values()`, `.drain()`, `for _ in map`) or read\n\
+             from the clock (`.elapsed()`, `Instant`) are tainted; taint\n\
+             propagates through let-bindings, assignments and container\n\
+             pushes, and is cleansed by sorting (`.sort*()`), by\n\
+             order-insensitive folds (`.sum()`, `.count()`, `.min()`,\n\
+             `.max()`, `.len()`), or by collecting into a BTreeMap/BTreeSet.\n\
+             Taint flowing into a DiscoveryResult or Emission constructor,\n\
+             or into json.rs at all, is a finding: byte-identical output\n\
+             across Sequential/Rayon/WorkStealing backends is the\n\
+             determinism contract of DESIGN.md §9. Local HashMaps whose\n\
+             contents are sorted before escape are fine — this rule\n\
+             subsumes the old blanket HashMap ban."
+        }
+        CLOCK_CONFINEMENT => {
+            "clock-confinement\n\
+             \n\
+             `Instant::now`/`SystemTime` reads are confined to runtime.rs\n\
+             (`runtime::now()`), so determinism reviews have one audit\n\
+             point for wall-clock entering the system."
+        }
+        SPAWN_CONFINEMENT => {
+            "spawn-confinement\n\
+             \n\
+             Thread spawns are confined to search.rs/runtime.rs: worker\n\
+             lifecycles must stay under the panic-quarantine machinery."
+        }
+        ATOMICS_AUDIT => {
+            "atomics-audit\n\
+             \n\
+             Every `Ordering::Relaxed` needs a justification (or the\n\
+             shared-cache stats-counter allowlist): relaxed reads must\n\
+             never order result data."
+        }
+        LOCK_DISCIPLINE => {
+            "lock-discipline\n\
+             \n\
+             `.lock().unwrap()` turns poisoning into a second panic; use\n\
+             the poison-recovery idiom\n\
+             `unwrap_or_else(PoisonError::into_inner)`."
+        }
+        _ => return None,
+    })
+}
 
 /// One linter finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +149,9 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Call-chain / flow witness for the semantic rules, outermost first.
+    /// Empty for line rules.
+    pub chain: Vec<String>,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -53,7 +160,16 @@ impl std::fmt::Display for Diagnostic {
             f,
             "{}:{}: {}: {}",
             self.path, self.line, self.rule, self.message
-        )
+        )?;
+        for (i, hop) in self.chain.iter().enumerate() {
+            write!(
+                f,
+                "\n    {}{}",
+                if i == 0 { "witness: " } else { "-> " },
+                hop
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -61,26 +177,6 @@ impl std::fmt::Display for Diagnostic {
 fn in_core_or_relation(path: &str) -> bool {
     path.starts_with("crates/core/src/") || path.starts_with("crates/relation/src/")
 }
-
-/// Scope: modules whose output feeds user-visible results byte-for-byte.
-fn in_result_emitting_module(path: &str) -> bool {
-    matches!(
-        path,
-        "crates/core/src/search.rs" | "crates/core/src/results.rs" | "crates/core/src/json.rs"
-    )
-}
-
-/// Tokens of the `no-panic` rule (matched on masked text, so strings and
-/// comments never fire).
-const PANIC_TOKENS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!",
-    "panic_any(",
-    "unreachable!",
-    "todo!",
-    "unimplemented!",
-];
 
 /// Stats-counter field accesses allowlisted for `Ordering::Relaxed` inside
 /// `shared_cache.rs` — observability counters that, by construction, never
@@ -96,12 +192,13 @@ const SHARED_CACHE_STATS_FIELDS: &[&str] = &[
     ".publishes",
 ];
 
-/// Check one preprocessed file against every rule, returning diagnostics
-/// sorted by line. Annotation bookkeeping (unused / unknown allows) is
-/// included.
-pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
+/// Check one preprocessed file against the line rules, returning
+/// diagnostics sorted by line plus the `(0-based line, canonical rule)`
+/// pairs whose annotations justified a finding. Annotation hygiene is a
+/// workspace concern (semantic passes also consume allows) and lives in
+/// the final hygiene pass of [`crate::analyze`].
+pub fn check_file(f: &SourceFile) -> (Vec<Diagnostic>, Vec<(usize, &'static str)>) {
     let mut out: Vec<Diagnostic> = Vec::new();
-    // (0-based line, rule) pairs whose annotation justified a finding.
     let mut used: Vec<(usize, &'static str)> = Vec::new();
 
     let finding = |out: &mut Vec<Diagnostic>,
@@ -109,7 +206,13 @@ pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
                    line: usize,
                    rule: &'static str,
                    message: String| {
-        if f.allows(line, rule).is_some() {
+        let justified = f
+            .allows_for_line
+            .get(line)
+            .into_iter()
+            .flatten()
+            .any(|a| canonical_rule(&a.rule) == Some(rule));
+        if justified {
             used.push((line, rule));
         } else {
             out.push(Diagnostic {
@@ -117,6 +220,7 @@ pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
                 line: line + 1,
                 rule,
                 message,
+                chain: Vec::new(),
             });
         }
     };
@@ -125,49 +229,18 @@ pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
         if f.test_line[i] {
             continue;
         }
-        let trimmed = masked.trim_start();
 
-        if in_core_or_relation(&f.path) {
-            if let Some(tok) = PANIC_TOKENS.iter().find(|t| masked.contains(**t)) {
-                finding(
-                    &mut out,
-                    &mut used,
-                    i,
-                    NO_PANIC,
-                    format!(
-                        "`{tok}` in non-test core-crate code — convert to a typed error, \
-                         the poison-recovery idiom, or annotate a proven invariant"
-                    ),
-                );
-            }
-
-            if f.path != "crates/core/src/runtime.rs"
-                && (masked.contains("Instant::now") || masked.contains("SystemTime"))
-            {
-                finding(
-                    &mut out,
-                    &mut used,
-                    i,
-                    CLOCK_CONFINEMENT,
-                    "wall-clock read outside runtime.rs — route it through \
-                     `crate::runtime::now()` so determinism reviews have one audit point"
-                        .to_owned(),
-                );
-            }
-        }
-
-        if in_result_emitting_module(&f.path)
-            && !trimmed.starts_with("use ")
-            && (masked.contains("HashMap") || masked.contains("HashSet"))
+        if in_core_or_relation(&f.path)
+            && f.path != "crates/core/src/runtime.rs"
+            && (masked.contains("Instant::now") || masked.contains("SystemTime"))
         {
             finding(
                 &mut out,
                 &mut used,
                 i,
-                DETERMINISM_HASH,
-                "HashMap/HashSet in a result-emitting module — iteration order is \
-                 nondeterministic; use a sorted structure or annotate why ordering \
-                 cannot reach results"
+                CLOCK_CONFINEMENT,
+                "wall-clock read outside runtime.rs — route it through \
+                 `crate::runtime::now()` so determinism reviews have one audit point"
                     .to_owned(),
             );
         }
@@ -219,38 +292,6 @@ pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
         }
     }
 
-    // Annotation hygiene: unknown rule names and unused annotations.
-    for (i, allows) in f.allows_for_line.iter().enumerate() {
-        if f.test_line[i] {
-            continue;
-        }
-        for a in allows {
-            if !ALL_RULES.contains(&a.rule.as_str()) {
-                out.push(Diagnostic {
-                    path: f.path.clone(),
-                    line: a.line,
-                    rule: UNKNOWN_ALLOW,
-                    message: format!(
-                        "annotation names unknown rule `{}` (known: {})",
-                        a.rule,
-                        ALL_RULES.join(", ")
-                    ),
-                });
-            } else if !used.iter().any(|&(line, rule)| line == i && rule == a.rule) {
-                out.push(Diagnostic {
-                    path: f.path.clone(),
-                    line: a.line,
-                    rule: UNUSED_ALLOW,
-                    message: format!(
-                        "`lint: allow({}, …)` suppresses nothing on its target line — \
-                         stale annotation, remove it",
-                        a.rule
-                    ),
-                });
-            }
-        }
-    }
-
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    out
+    (out, used)
 }

@@ -1,0 +1,820 @@
+//! Determinism taint analysis (ISSUE 5).
+//!
+//! The determinism contract (DESIGN.md §9) is that every backend emits
+//! byte-identical results. The old `determinism-hash` rule enforced it
+//! with a blanket HashMap/HashSet ban in three files; this pass replaces
+//! the ban with a flow rule over the whole analysis scope:
+//!
+//! * **Sources**: iterating a `HashMap`/`HashSet` (`.iter()`, `.keys()`,
+//!   `.values()`, `.drain()`, `.into_iter()`, or `for _ in map`) — the
+//!   iteration order is nondeterministic — and clock reads (`Instant`,
+//!   `.elapsed()`).
+//! * **Propagation**: data flow through `let` bindings, assignments,
+//!   container pushes, and (interprocedurally) functions whose return
+//!   value is tainted. Control flow does *not* propagate taint: a branch
+//!   on a tainted condition that pushes untainted data is clean, which is
+//!   what lets plurality/argmax folds with deterministic tie-breaks pass.
+//! * **Cleansing**: sorting (`.sort*()`) a collection, collecting into a
+//!   `BTreeMap`/`BTreeSet`, or an order-insensitive terminal fold
+//!   (`.sum()`, `.count()`, `.len()`, `.min()`, `.max()`, `.any()`,
+//!   `.all()`, `.contains()`, `.is_empty()`).
+//! * **Sinks**: a `DiscoveryResult { .. }` or `Emission { .. }`
+//!   constructor containing a tainted value, a push into an
+//!   `Emission`-typed buffer, and *any* tainted value inside
+//!   `crates/core/src/json.rs` (the whole file is emission).
+//!
+//! Local HashMaps used as keyed lookup tables (never iterated) or whose
+//! iterated contents are sorted before escape produce no findings — the
+//! precision the blanket ban lacked.
+
+use crate::callgraph::{allowed_at, is_keyword, AllowUses, Workspace};
+use crate::rules::{Diagnostic, DETERMINISM_TAINT};
+use crate::tokens::{matching_close, Token, TokenKind};
+use std::collections::{HashMap, HashSet};
+
+/// Methods that iterate a hash container.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+/// Order-insensitive terminal folds: their value does not depend on
+/// iteration order.
+const CLEANSE_METHODS: &[&str] = &[
+    "sum", "count", "len", "min", "max", "any", "all", "contains", "is_empty", "product",
+];
+
+/// `x.sort*()` statements cleanse `x`.
+const SORT_METHODS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+];
+
+/// Container-mutating methods that absorb taint from their arguments.
+const ABSORB_METHODS: &[&str] = &["push", "insert", "extend", "append", "push_str"];
+
+/// Why a value is tainted: a short provenance chain, outermost first.
+#[derive(Debug, Clone)]
+struct Taint {
+    hops: Vec<String>,
+}
+
+/// Per-fn analysis state.
+#[derive(Default)]
+struct FnState {
+    hash_vars: HashSet<String>,
+    emission_vars: HashSet<String>,
+    tainted: HashMap<String, Taint>,
+    returns_tainted: Option<Taint>,
+}
+
+/// One statement-ish segment of a fn body: a token index range delimited
+/// by `;`, `{`, or `}` tokens, plus its terminator.
+struct Segment {
+    start: usize,
+    end: usize, // exclusive, the terminator's index
+    closes_block: bool,
+}
+
+fn segments(toks: &[Token], b0: usize, b1: usize) -> Vec<Segment> {
+    let mut out = Vec::new();
+    let mut start = b0 + 1;
+    let hi = (b1 + 1).min(toks.len());
+    for (idx, t) in toks.iter().enumerate().take(hi).skip(b0 + 1) {
+        if t.kind == TokenKind::Punct && (t.text == ";" || t.text == "{" || t.text == "}") {
+            if idx > start {
+                out.push(Segment {
+                    start,
+                    end: idx,
+                    closes_block: t.text == "}",
+                });
+            }
+            start = idx + 1;
+        }
+    }
+    out
+}
+
+/// The determinism-taint pass.
+pub fn determinism_taint(ws: &Workspace, uses: &mut AllowUses) -> Vec<Diagnostic> {
+    let n = ws.fns.len();
+    let mut states: Vec<FnState> = Vec::new();
+    for _ in 0..n {
+        states.push(FnState::default());
+    }
+
+    // Interprocedural fixpoint on `returns_tainted` summaries: local
+    // chains are at most a few calls deep, and each round re-runs the
+    // per-fn transfer with the latest summaries.
+    for _round in 0..4 {
+        let summaries: Vec<Option<Taint>> =
+            states.iter().map(|s| s.returns_tainted.clone()).collect();
+        let mut changed = false;
+        for (id, state) in states.iter_mut().enumerate() {
+            let fresh = analyze_fn(ws, id, &summaries);
+            if fresh.returns_tainted.is_some() != state.returns_tainted.is_some()
+                || fresh.tainted.len() != state.tainted.len()
+            {
+                changed = true;
+            }
+            *state = fresh;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Sink scan with the converged states.
+    let mut out = Vec::new();
+    for id in 0..n {
+        let f = &ws.fns[id];
+        if f.is_test {
+            continue;
+        }
+        let Some((b0, b1)) = f.body else { continue };
+        let model = &ws.files[f.file];
+        let toks = &model.tokens;
+        let st = &states[id];
+        let summaries: Vec<Option<Taint>> =
+            states.iter().map(|s| s.returns_tainted.clone()).collect();
+        let in_json = model.src.path == "crates/core/src/json.rs";
+
+        // (a) Result/emission constructors containing tainted values.
+        for idx in b0..=b1.min(toks.len().saturating_sub(1)) {
+            let t = &toks[idx];
+            if t.kind == TokenKind::Ident
+                && (t.text == "DiscoveryResult" || t.text == "Emission")
+                && toks.get(idx + 1).is_some_and(|t| t.is_punct("{"))
+            {
+                let close = matching_close(toks, idx + 1);
+                if let Some((hit, taint)) =
+                    first_tainted(ws, id, toks, idx + 2, close, st, &summaries)
+                {
+                    emit(
+                        ws,
+                        id,
+                        toks[hit].line,
+                        format!(
+                            "nondeterministic value reaches the `{}` constructor \
+                             (field data must be identical across backends) — sort \
+                             before escape or annotate why order cannot differ",
+                            t.text
+                        ),
+                        witness(
+                            &taint,
+                            &format!(
+                                "sink: `{}` constructor at {}:{}",
+                                t.text,
+                                model.src.path,
+                                toks[hit].line + 1
+                            ),
+                        ),
+                        uses,
+                        &mut out,
+                    );
+                }
+            }
+            // (b) Pushes into Emission-typed buffers.
+            if t.kind == TokenKind::Ident && st.emission_vars.contains(&t.text) {
+                // e.g. `emission.ods.push(tainted)`.
+                let mut k = idx + 1;
+                while toks.get(k).is_some_and(|t| t.is_punct("."))
+                    && toks.get(k + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+                {
+                    let name = &toks[k + 1];
+                    if ABSORB_METHODS.contains(&name.text.as_str())
+                        && toks.get(k + 2).is_some_and(|t| t.is_punct("("))
+                    {
+                        let close = matching_close(toks, k + 2);
+                        if let Some((hit, taint)) =
+                            first_tainted(ws, id, toks, k + 3, close, st, &summaries)
+                        {
+                            emit(
+                                ws,
+                                id,
+                                toks[hit].line,
+                                "nondeterministic value pushed into an `Emission` \
+                                 buffer — emission order must be canonical"
+                                    .to_owned(),
+                                witness(
+                                    &taint,
+                                    &format!(
+                                        "sink: `Emission` buffer push at {}:{}",
+                                        model.src.path,
+                                        toks[hit].line + 1
+                                    ),
+                                ),
+                                uses,
+                                &mut out,
+                            );
+                        }
+                        break;
+                    }
+                    k += 2;
+                }
+            }
+        }
+
+        // (c) json.rs: any tainted value at all.
+        if in_json {
+            for seg in segments(toks, b0, b1) {
+                if model.is_test_line(toks[seg.start].line) {
+                    continue;
+                }
+                if let Some((hit, taint)) =
+                    first_tainted(ws, id, toks, seg.start, seg.end, st, &summaries)
+                {
+                    emit(
+                        ws,
+                        id,
+                        toks[hit].line,
+                        "nondeterministic value inside json.rs — everything in \
+                         this module is byte-for-byte output"
+                            .to_owned(),
+                        witness(
+                            &taint,
+                            &format!(
+                                "sink: JSON emission at {}:{}",
+                                model.src.path,
+                                toks[hit].line + 1
+                            ),
+                        ),
+                        uses,
+                        &mut out,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The flow witness of a finding: the source-to-sink hop list.
+fn witness(taint: &Taint, sink: &str) -> Vec<String> {
+    let mut chain = taint.hops.clone();
+    chain.push(sink.to_owned());
+    chain
+}
+
+fn emit(
+    ws: &Workspace,
+    fn_id: usize,
+    line0: usize,
+    message: String,
+    chain: Vec<String>,
+    uses: &mut AllowUses,
+    out: &mut Vec<Diagnostic>,
+) {
+    let f = &ws.fns[fn_id];
+    if ws.files[f.file].is_test_line(line0) {
+        return;
+    }
+    if allowed_at(ws, f.file, line0, Some(fn_id), DETERMINISM_TAINT, uses) {
+        return;
+    }
+    // One finding per (fn, line): repeated hits on one line are noise.
+    let path = &ws.files[f.file].src.path;
+    if out
+        .iter()
+        .any(|d: &Diagnostic| d.path == *path && d.line == line0 + 1)
+    {
+        return;
+    }
+    out.push(Diagnostic {
+        path: path.clone(),
+        line: line0 + 1,
+        rule: DETERMINISM_TAINT,
+        message,
+        chain,
+    });
+}
+
+/// First tainted token in `[start, end)`: a tainted identifier, a direct
+/// source pattern, or a call to a returns-tainted fn. Returns the token
+/// index and the provenance.
+fn first_tainted(
+    ws: &Workspace,
+    fn_id: usize,
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    st: &FnState,
+    summaries: &[Option<Taint>],
+) -> Option<(usize, Taint)> {
+    let f = &ws.fns[fn_id];
+    let path = &ws.files[f.file].src.path;
+    let calls: HashMap<usize, usize> = ws.call_sites[fn_id]
+        .iter()
+        .map(|&(tok, callee)| (tok, callee))
+        .collect();
+    let hi = end.min(toks.len());
+    for idx in start..hi {
+        let t = &toks[idx];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // Struct-literal field names (`elapsed: ...`) are not reads.
+        if toks.get(idx + 1).is_some_and(|n| n.is_punct(":"))
+            && !toks.get(idx + 1).is_some_and(|n| n.is_punct("::"))
+        {
+            continue;
+        }
+        if let Some(taint) = st.tainted.get(&t.text) {
+            return Some((idx, taint.clone()));
+        }
+        if let Some(src) = source_at(toks, idx, st, path) {
+            return Some((idx, src));
+        }
+        if let Some(&callee) = calls.get(&idx) {
+            if let Some(taint) = &summaries[callee] {
+                let mut hops = taint.hops.clone();
+                hops.push(format!(
+                    "returned by `{}` called at {}:{}",
+                    ws.fns[callee].display(),
+                    path,
+                    t.line + 1
+                ));
+                return Some((idx, Taint { hops }));
+            }
+        }
+    }
+    None
+}
+
+/// Direct source at an identifier token: hash-container iteration or a
+/// clock read.
+fn source_at(toks: &[Token], idx: usize, st: &FnState, path: &str) -> Option<Taint> {
+    let t = &toks[idx];
+    if st.hash_vars.contains(&t.text)
+        && toks.get(idx + 1).is_some_and(|n| n.is_punct("."))
+        && toks
+            .get(idx + 2)
+            .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()))
+        && toks.get(idx + 3).is_some_and(|n| n.is_punct("("))
+    {
+        return Some(Taint {
+            hops: vec![format!(
+                "source: iteration of hash container `{}` at {}:{}",
+                t.text,
+                path,
+                t.line + 1
+            )],
+        });
+    }
+    if t.text == "Instant" {
+        return Some(Taint {
+            hops: vec![format!("source: clock read at {}:{}", path, t.line + 1)],
+        });
+    }
+    if t.text == "elapsed"
+        && idx > 0
+        && toks[idx - 1].is_punct(".")
+        && toks.get(idx + 1).is_some_and(|n| n.is_punct("("))
+    {
+        return Some(Taint {
+            hops: vec![format!(
+                "source: clock read (`.elapsed()`) at {}:{}",
+                path,
+                t.line + 1
+            )],
+        });
+    }
+    None
+}
+
+/// Whether `[start, end)` contains a cleansing terminal fold or a
+/// BTree-collect.
+fn cleansed(toks: &[Token], start: usize, end: usize) -> bool {
+    let hi = end.min(toks.len());
+    for idx in start..hi {
+        let t = &toks[idx];
+        if t.kind == TokenKind::Ident && (t.text == "BTreeMap" || t.text == "BTreeSet") {
+            return true;
+        }
+        if t.is_punct(".")
+            && toks
+                .get(idx + 1)
+                .is_some_and(|n| CLEANSE_METHODS.contains(&n.text.as_str()))
+            && toks.get(idx + 2).is_some_and(|n| n.is_punct("("))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Run the per-fn transfer function once with the given call summaries.
+fn analyze_fn(ws: &Workspace, id: usize, summaries: &[Option<Taint>]) -> FnState {
+    let f = &ws.fns[id];
+    let mut st = FnState::default();
+    let Some((b0, b1)) = f.body else { return st };
+    if f.is_test {
+        return st;
+    }
+    let model = &ws.files[f.file];
+    let toks = &model.tokens;
+    let path = &model.src.path;
+
+    // Params typed HashMap/HashSet (or Emission) count as hash-typed
+    // (e.g. `classes: &HashMap<..>` in expand.rs).
+    let mut k = f.sig_start;
+    while k < b0 {
+        let t = &toks[k];
+        if t.kind == TokenKind::Ident && toks.get(k + 1).is_some_and(|n| n.is_punct(":")) {
+            let mut j = k + 2;
+            let mut depth = 0i64;
+            while j < b0 {
+                let tj = &toks[j];
+                if tj.kind == TokenKind::Punct {
+                    match tj.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "," if depth <= 0 => break,
+                        _ => {}
+                    }
+                }
+                if tj.is_ident("HashMap") || tj.is_ident("HashSet") {
+                    st.hash_vars.insert(t.text.clone());
+                }
+                if tj.is_ident("Emission") {
+                    st.emission_vars.insert(t.text.clone());
+                }
+                j += 1;
+            }
+        }
+        k += 1;
+    }
+
+    // Two passes over the segments so loop-carried flows settle.
+    for _ in 0..2 {
+        for seg in segments(toks, b0, b1) {
+            transfer(ws, id, toks, &seg, &mut st, summaries, path);
+        }
+    }
+    st
+}
+
+/// Apply one segment to the state.
+fn transfer(
+    ws: &Workspace,
+    id: usize,
+    toks: &[Token],
+    seg: &Segment,
+    st: &mut FnState,
+    summaries: &[Option<Taint>],
+    path: &str,
+) {
+    let (mut s, e) = (seg.start, seg.end);
+    if s >= e || s >= toks.len() {
+        return;
+    }
+    if ws.files[ws.fns[id].file].is_test_line(toks[s].line) {
+        return;
+    }
+    // `if let` / `while let` bind like `let`.
+    if (toks[s].is_ident("if") || toks[s].is_ident("while"))
+        && toks.get(s + 1).is_some_and(|t| t.is_ident("let"))
+    {
+        s += 1;
+    }
+    let first = &toks[s];
+
+    // `x.sort*()` cleanses x.
+    if first.kind == TokenKind::Ident
+        && toks.get(s + 1).is_some_and(|t| t.is_punct("."))
+        && toks
+            .get(s + 2)
+            .is_some_and(|t| SORT_METHODS.contains(&t.text.as_str()))
+    {
+        st.tainted.remove(&first.text);
+        return;
+    }
+
+    let rhs_taint = |st: &FnState, from: usize| -> Option<(usize, Taint)> {
+        if cleansed(toks, from, e) {
+            return None;
+        }
+        first_tainted(ws, id, toks, from, e, st, summaries)
+    };
+
+    // A pattern ident worth tracking: locals are snake_case, so
+    // uppercase-initial idents (types, tuple-struct constructors like
+    // `Some`) and keywords are skipped.
+    let bindable = |t: &Token| {
+        t.kind == TokenKind::Ident
+            && !is_keyword(&t.text)
+            && t.text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+    };
+
+    // `let <pat> = <rhs>;`
+    if first.is_ident("let") {
+        let Some(eq) = (s..e).find(|&i| toks[i].is_punct("=")) else {
+            return;
+        };
+        // Hash / emission declarations.
+        let decl_name = toks
+            .get(s + 1)
+            .filter(|t| t.kind == TokenKind::Ident && t.text != "mut")
+            .or_else(|| toks.get(s + 2).filter(|t| t.kind == TokenKind::Ident));
+        if let Some(name) = decl_name {
+            let mentions = |what: &str| (s..e).any(|i| toks[i].is_ident(what));
+            if mentions("HashMap") || mentions("HashSet") {
+                st.hash_vars.insert(name.text.clone());
+            }
+            if mentions("Emission") {
+                st.emission_vars.insert(name.text.clone());
+            }
+        }
+        if let Some((_, taint)) = rhs_taint(st, eq + 1) {
+            // Bind only pattern idents, i.e. those before a top-level
+            // type-ascription `:` (so `let ods: Vec<u32>` taints `ods`,
+            // not `u32`).
+            let mut pat_end = eq;
+            let mut depth = 0i64;
+            for (i, t) in toks.iter().enumerate().take(eq).skip(s + 1) {
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        ":" if depth == 0 => {
+                            pat_end = i;
+                        }
+                        _ => {}
+                    }
+                    if pat_end != eq {
+                        break;
+                    }
+                }
+            }
+            for t in toks.iter().take(pat_end).skip(s + 1) {
+                if bindable(t) {
+                    let mut hops = taint.hops.clone();
+                    hops.push(format!(
+                        "flows into `{}` at {}:{}",
+                        t.text,
+                        path,
+                        t.line + 1
+                    ));
+                    st.tainted.insert(t.text.clone(), Taint { hops });
+                }
+            }
+        }
+        return;
+    }
+
+    // `for <pat> in <rhs>` — terminator is `{`.
+    if first.is_ident("for") {
+        let Some(inpos) = (s..e).find(|&i| toks[i].is_ident("in")) else {
+            return;
+        };
+        let mut taint = rhs_taint(st, inpos + 1).map(|(_, t)| t);
+        if taint.is_none() && !cleansed(toks, inpos + 1, e) {
+            // Bare iteration of a hash container: `for x in &map`.
+            if let Some(i) = (inpos + 1..e)
+                .find(|&i| toks[i].kind == TokenKind::Ident && st.hash_vars.contains(&toks[i].text))
+            {
+                taint = Some(Taint {
+                    hops: vec![format!(
+                        "source: iteration of hash container `{}` at {}:{}",
+                        toks[i].text,
+                        path,
+                        toks[i].line + 1
+                    )],
+                });
+            }
+        }
+        if let Some(taint) = taint {
+            for t in toks.iter().take(inpos).skip(s + 1) {
+                if bindable(t) {
+                    let mut hops = taint.hops.clone();
+                    hops.push(format!(
+                        "loop binding `{}` at {}:{}",
+                        t.text,
+                        path,
+                        t.line + 1
+                    ));
+                    st.tainted.insert(t.text.clone(), Taint { hops });
+                }
+            }
+        }
+        return;
+    }
+
+    // `return <expr>` and bare tail expressions feed the summary.
+    if first.is_ident("return") {
+        if let Some((_, taint)) = rhs_taint(st, s + 1) {
+            st.returns_tainted = Some(taint);
+        }
+        return;
+    }
+
+    // Assignment `x = rhs`, `*x = rhs`, `x += rhs`.
+    let assign_target = if bindable(first) {
+        Some((s, first.text.clone()))
+    } else if first.is_punct("*") && toks.get(s + 1).is_some_and(bindable) {
+        Some((s + 1, toks[s + 1].text.clone()))
+    } else {
+        None
+    };
+    if let Some((tpos, target)) = assign_target {
+        // Find a top-level assignment operator after the target path.
+        let mut i = tpos + 1;
+        let mut depth = 0i64;
+        while i < e {
+            let t = &toks[i];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "=" | "+=" | "-=" | "*=" | "|=" | "&=" | "^=" if depth == 0 => {
+                        if let Some((_, taint)) = rhs_taint(st, i + 1) {
+                            let mut hops = taint.hops.clone();
+                            hops.push(format!(
+                                "flows into `{}` at {}:{}",
+                                target,
+                                path,
+                                toks[tpos].line + 1
+                            ));
+                            st.tainted.insert(target, Taint { hops });
+                        }
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        // Absorbing mutation `x.push(tainted)`.
+        if toks.get(tpos + 1).is_some_and(|t| t.is_punct(".")) {
+            let mut k = tpos + 1;
+            while k + 1 < e {
+                if toks[k].is_punct(".")
+                    && ABSORB_METHODS.contains(&toks[k + 1].text.as_str())
+                    && toks.get(k + 2).is_some_and(|t| t.is_punct("("))
+                {
+                    if let Some((_, taint)) = rhs_taint(st, k + 3) {
+                        let mut hops = taint.hops.clone();
+                        hops.push(format!(
+                            "absorbed by `{}` at {}:{}",
+                            target,
+                            path,
+                            toks[tpos].line + 1
+                        ));
+                        st.tainted.insert(target, Taint { hops });
+                    }
+                    return;
+                }
+                k += 1;
+            }
+        }
+    }
+
+    // Bare expression before a `}`: a block tail. Conservatively treat a
+    // tainted tail as a tainted fn return value.
+    if seg.closes_block {
+        let is_expr = !first.is_ident("let")
+            && !first.is_ident("for")
+            && !first.is_ident("while")
+            && !first.is_ident("if")
+            && !first.is_ident("match");
+        if is_expr {
+            if let Some((_, taint)) = rhs_taint(st, s) {
+                st.returns_tainted = Some(taint);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::Workspace;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = Workspace::build(
+            files
+                .iter()
+                .map(|(p, c)| (p.to_string(), c.to_string()))
+                .collect(),
+        );
+        let mut uses = AllowUses::default();
+        determinism_taint(&ws, &mut uses)
+    }
+
+    #[test]
+    fn hash_iteration_into_result_is_a_finding() {
+        let diags = run(&[(
+            "crates/core/src/search.rs",
+            "pub fn assemble(m: &HashMap<u32, u32>) -> DiscoveryResult {\n\
+             let ods: Vec<u32> = m.values().copied().collect();\n\
+             DiscoveryResult { ods }\n}\n",
+        )]);
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert_eq!(diags[0].rule, DETERMINISM_TAINT);
+        assert!(diags[0].chain[0].contains("iteration of hash container `m`"));
+    }
+
+    #[test]
+    fn sorted_before_escape_is_clean() {
+        let diags = run(&[(
+            "crates/core/src/search.rs",
+            "pub fn assemble(m: &HashMap<u32, u32>) -> DiscoveryResult {\n\
+             let mut ods: Vec<u32> = m.values().copied().collect();\n\
+             ods.sort_unstable();\n\
+             DiscoveryResult { ods }\n}\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn keyed_lookup_tables_are_clean() {
+        let diags = run(&[(
+            "crates/core/src/search.rs",
+            "pub fn assemble(keys: &[u32], m: &HashMap<u32, u32>) -> DiscoveryResult {\n\
+             let mut ods: Vec<u32> = Vec::new();\n\
+             for k in keys { if let Some(v) = m.get(k) { ods.push(*v); } }\n\
+             DiscoveryResult { ods }\n}\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn order_insensitive_folds_are_clean() {
+        let diags = run(&[(
+            "crates/core/src/search.rs",
+            "pub fn assemble(m: &HashMap<u32, u32>) -> DiscoveryResult {\n\
+             let checks: u64 = m.values().map(|v| *v as u64).sum();\n\
+             DiscoveryResult { checks }\n}\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn clock_reads_into_result_are_findings() {
+        let diags = run(&[(
+            "crates/core/src/search.rs",
+            "pub fn assemble(start: Timer) -> DiscoveryResult {\n\
+             DiscoveryResult { elapsed: start.elapsed() }\n}\n",
+        )]);
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert!(diags[0].chain[0].contains("clock read"));
+    }
+
+    #[test]
+    fn taint_flows_interprocedurally_through_returns() {
+        let diags = run(&[
+            (
+                "crates/core/src/search.rs",
+                "pub fn assemble(m: &HashMap<u32, u32>) -> DiscoveryResult {\n\
+                 let ods = crate::util::collect_values(m);\n\
+                 DiscoveryResult { ods }\n}\n",
+            ),
+            (
+                "crates/core/src/util.rs",
+                "pub fn collect_values(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+                 let v: Vec<u32> = m.values().copied().collect();\n    v\n}\n",
+            ),
+        ]);
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert!(
+            diags[0].chain.iter().any(|h| h.contains("collect_values")),
+            "{:#?}",
+            diags[0].chain
+        );
+    }
+
+    #[test]
+    fn json_rs_is_a_sink_everywhere() {
+        let diags = run(&[(
+            "crates/core/src/json.rs",
+            "pub fn dump(m: &HashMap<u32, u32>) -> String {\n\
+             let mut s = String::new();\n\
+             for (k, v) in m.iter() { s.push_str(&k.to_string()); s.push_str(&v.to_string()); }\n\
+             s\n}\n",
+        )]);
+        assert!(!diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn allow_suppresses_with_reason() {
+        let diags = run(&[(
+            "crates/core/src/search.rs",
+            "pub fn assemble(start: Timer) -> DiscoveryResult {\n\
+             // lint: allow(determinism-taint, wall-clock observability field; excluded from byte-identity comparisons)\n\
+             DiscoveryResult { elapsed: start.elapsed() }\n}\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+}

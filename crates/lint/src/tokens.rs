@@ -1,0 +1,316 @@
+//! Token stream over masked source text (ISSUE 5).
+//!
+//! [`crate::source::SourceFile`] masking blanks comment bodies and
+//! string/char-literal contents while preserving every byte position, so a
+//! tokenizer over the masked text yields tokens whose byte offsets are
+//! valid into the *original* file as well. The semantic passes
+//! ([`crate::callgraph`], [`crate::locks`], [`crate::taint`]) work on this
+//! stream instead of per-line `contains` probes: `unwrap_or_else` no
+//! longer looks like `unwrap`, and `v[i]` is distinguishable from `#[cfg]`
+//! by the preceding token.
+//!
+//! The tokenizer is total: any byte sequence produces a stream, unknown
+//! characters become single-character [`TokenKind::Punct`] tokens, and the
+//! invariants the proptest differential pins are (a) token spans are
+//! strictly increasing and non-overlapping, (b) each span slices the
+//! masked text to exactly the token text, and (c) every byte between
+//! tokens is whitespace.
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `queues`, `unwrap`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (`0`, `1.5`, `0xFF`, `1_000u64`).
+    Number,
+    /// String literal — contents blanked by masking, quotes preserved.
+    Str,
+    /// Char literal — contents blanked by masking.
+    CharLit,
+    /// Operator or delimiter (possibly multi-character: `::`, `..=`).
+    Punct,
+}
+
+/// One token of the masked source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Exact text of the token as it appears in the masked source.
+    pub text: String,
+    /// 0-based line of the token's first byte.
+    pub line: usize,
+    /// Byte offset of the first byte in the masked (and original) text.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True when the token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS3: &[&str] = &["..=", "<<=", ">>=", "..."];
+const PUNCTS2: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "^=", "&=", "|=", "..",
+];
+
+/// Tokenize masked source text. `masked` must come from
+/// [`crate::source::SourceFile`] masking (comments blanked, string bodies
+/// blanked) — raw unmasked text also works, but string contents would then
+/// be tokenized as code.
+pub fn tokenize(masked: &str) -> Vec<Token> {
+    let bytes = masked.as_bytes();
+    let n = bytes.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 0;
+
+    let push = |out: &mut Vec<Token>, kind, start: usize, end: usize, line: usize| {
+        out.push(Token {
+            kind,
+            text: masked[start..end].to_owned(),
+            line,
+            start,
+            end,
+        });
+    };
+
+    while i < n {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Identifier / keyword (ASCII only; the workspace is ASCII-clean
+        // outside comments and strings, which are masked away).
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            push(&mut out, TokenKind::Ident, start, i, line);
+            continue;
+        }
+        // Number: digits, then alphanumerics/underscores (covers hex,
+        // suffixes), plus one `.` when followed by a digit (float) — but
+        // never `..` (range).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            if i + 1 < n && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            }
+            push(&mut out, TokenKind::Number, start, i, line);
+            continue;
+        }
+        // String literal: masked bodies contain no `"`, so scan to the
+        // closing quote, then absorb a raw-string `#` suffix if present.
+        if c == b'"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n && bytes[i] != b'"' {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            if i < n {
+                i += 1; // closing quote
+            }
+            while i < n && bytes[i] == b'#' {
+                i += 1;
+            }
+            push(&mut out, TokenKind::Str, start, i, start_line);
+            continue;
+        }
+        // `'`: masked char literals are `'<blanks>'`; lifetimes are
+        // `'ident`. A quote followed by whitespace is a masked char.
+        if c == b'\'' {
+            if i + 1 < n && (bytes[i + 1].is_ascii_alphabetic() || bytes[i + 1] == b'_') {
+                let start = i;
+                i += 1;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                push(&mut out, TokenKind::Lifetime, start, i, line);
+                continue;
+            }
+            if i + 1 < n && (bytes[i + 1] == b' ' || bytes[i + 1] == b'\n') {
+                let start = i;
+                let start_line = line;
+                i += 1;
+                while i < n && bytes[i] != b'\'' {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i < n {
+                    i += 1;
+                }
+                push(&mut out, TokenKind::CharLit, start, i, start_line);
+                continue;
+            }
+            push(&mut out, TokenKind::Punct, i, i + 1, line);
+            i += 1;
+            continue;
+        }
+        // Punctuation, maximal munch.
+        let rest = &masked[i..];
+        let mut matched = 1;
+        for p in PUNCTS3 {
+            if rest.starts_with(p) {
+                matched = 3;
+                break;
+            }
+        }
+        if matched == 1 {
+            for p in PUNCTS2 {
+                if rest.starts_with(p) {
+                    matched = 2;
+                    break;
+                }
+            }
+        }
+        push(&mut out, TokenKind::Punct, i, i + matched, line);
+        i += matched;
+    }
+    out
+}
+
+/// Index of the token matching the closing delimiter for the opening
+/// delimiter at `open` (`(`/`)`, `[`/`]`, `{`/`}`). Returns `tokens.len()`
+/// when unbalanced.
+pub fn matching_close(tokens: &[Token], open: usize) -> usize {
+    let (o, c) = match tokens.get(open).map(|t| t.text.as_str()) {
+        Some("(") => ("(", ")"),
+        Some("[") => ("[", "]"),
+        Some("{") => ("{", "}"),
+        _ => return tokens.len(),
+    };
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            if t.text == o {
+                depth += 1;
+            } else if t.text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let toks = kinds("let x = v[i] + 1.5;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Ident, "v".into()),
+                (TokenKind::Punct, "[".into()),
+                (TokenKind::Ident, "i".into()),
+                (TokenKind::Punct, "]".into()),
+                (TokenKind::Punct, "+".into()),
+                (TokenKind::Number, "1.5".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = kinds("0..n");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Number, "0".into()),
+                (TokenKind::Punct, "..".into()),
+                (TokenKind::Ident, "n".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_masked_chars() {
+        // As produced by masking: 'a stays, 'x' becomes '<blank>'.
+        let toks = kinds("&'static str; let c = ' ';");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static".into())));
+        assert!(toks.contains(&(TokenKind::CharLit, "' '".into())));
+    }
+
+    #[test]
+    fn multichar_puncts_munch_maximally() {
+        let toks = kinds("a::b ..= c -> d");
+        assert!(toks.contains(&(TokenKind::Punct, "::".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "..=".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "->".into())));
+    }
+
+    #[test]
+    fn spans_round_trip_the_masked_text() {
+        let src = "fn f(v: &[u32]) -> u32 { v[0] + \"   \".len() as u32 }";
+        let mut last_end = 0;
+        for t in tokenize(src) {
+            assert!(t.start >= last_end, "overlapping spans");
+            assert!(src[last_end..t.start].chars().all(char::is_whitespace));
+            assert_eq!(&src[t.start..t.end], t.text);
+            last_end = t.end;
+        }
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = tokenize("a\nb\n  c");
+        assert_eq!(toks[0].line, 0);
+        assert_eq!(toks[1].line, 1);
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn matching_close_balances() {
+        let toks = tokenize("f(a, (b), [c{d}])");
+        assert_eq!(matching_close(&toks, 1), toks.len() - 1);
+    }
+}

@@ -1,11 +1,12 @@
 //! Linter self-tests: every fixture under `tests/fixtures/` is scanned
 //! under a fake in-scope path and the resulting diagnostics are asserted
-//! exactly — rule, file, and line. The binary is exercised end-to-end on
-//! a throwaway mini-workspace (non-zero exit) and on the real workspace
-//! (zero exit).
+//! exactly — rule, file, line, and (for the semantic rules) the complete
+//! call-chain / flow witness. The binary is exercised end-to-end on
+//! throwaway mini-workspaces (findings, JSON emission, `--fix-allows`)
+//! and on the real workspace (zero exit).
 
 use ocdd_lint::rules;
-use ocdd_lint::scan_content;
+use ocdd_lint::{analyze, scan_content};
 
 /// (line, rule) projection of a diagnostic list, for exact comparisons.
 fn shape(diags: &[ocdd_lint::Diagnostic]) -> Vec<(usize, &'static str)> {
@@ -14,22 +15,104 @@ fn shape(diags: &[ocdd_lint::Diagnostic]) -> Vec<(usize, &'static str)> {
 
 #[test]
 fn panics_fixture_exact_diagnostics() {
+    // check.rs is a hot-path root file: every fn in it is a reachability
+    // root, so its direct panic sources are findings.
+    let diags = scan_content(
+        "crates/core/src/check.rs",
+        include_str!("fixtures/panics.rs"),
+    );
+    assert_eq!(
+        shape(&diags),
+        vec![
+            (6, rules::PANIC_REACHABILITY),
+            (10, rules::PANIC_REACHABILITY),
+            (14, rules::CLOCK_CONFINEMENT),
+        ],
+        "{diags:#?}"
+    );
+    assert_eq!(
+        diags[0].chain,
+        vec![
+            "core::check::helper (crates/core/src/check.rs:5)",
+            "`.unwrap()` at crates/core/src/check.rs:6",
+        ]
+    );
+}
+
+#[test]
+fn panic_reachability_is_scoped_to_hot_roots() {
+    // The same content under a cold path has no reachability roots: the
+    // panic sources are silent and the `no-panic` allow turns stale.
     let diags = scan_content(
         "crates/core/src/fixture.rs",
         include_str!("fixtures/panics.rs"),
     );
     assert_eq!(
         shape(&diags),
-        vec![
-            (5, rules::NO_PANIC),
-            (9, rules::NO_PANIC),
-            (13, rules::CLOCK_CONFINEMENT),
-        ],
+        vec![(14, rules::CLOCK_CONFINEMENT), (18, rules::UNUSED_ALLOW)],
         "{diags:#?}"
     );
-    for d in &diags {
-        assert_eq!(d.path, "crates/core/src/fixture.rs");
-    }
+}
+
+#[test]
+fn cross_file_panic_is_witnessed_through_the_call_edge() {
+    let analysis = analyze(vec![
+        (
+            "crates/core/src/check.rs".to_owned(),
+            include_str!("fixtures/xfile_entry.rs").to_owned(),
+        ),
+        (
+            "crates/core/src/support.rs".to_owned(),
+            include_str!("fixtures/xfile_helper.rs").to_owned(),
+        ),
+    ]);
+    let diags = analysis.diagnostics;
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, rules::PANIC_REACHABILITY);
+    assert_eq!(diags[0].path, "crates/core/src/support.rs");
+    assert_eq!(diags[0].line, 10);
+    assert_eq!(
+        diags[0].chain,
+        vec![
+            "core::check::entry_check (crates/core/src/check.rs:7)",
+            "core::support::pick (crates/core/src/support.rs:5)",
+            "core::support::choose (crates/core/src/support.rs:9)",
+            "`.unwrap()` at crates/core/src/support.rs:10",
+        ],
+        "the witness must walk root -> helper -> helper -> panic site"
+    );
+}
+
+#[test]
+fn two_mutex_ab_ba_cycle_is_witnessed_across_files() {
+    let analysis = analyze(vec![
+        (
+            "crates/core/src/lock_a.rs".to_owned(),
+            include_str!("fixtures/locks_a.rs").to_owned(),
+        ),
+        (
+            "crates/core/src/lock_b.rs".to_owned(),
+            include_str!("fixtures/locks_b.rs").to_owned(),
+        ),
+    ]);
+    let diags = analysis.diagnostics;
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, rules::LOCK_ORDER);
+    assert_eq!(diags[0].path, "crates/core/src/lock_a.rs");
+    assert_eq!(diags[0].line, 12);
+    assert_eq!(
+        diags[0].chain,
+        vec![
+            "lock-order cycle: ALPHA -> BETA -> ALPHA",
+            "`core::lock_a::alpha_then_beta` calls `core::lock_b::bump_beta` \
+             (crates/core/src/lock_a.rs:12) while holding `ALPHA` (acquired \
+             crates/core/src/lock_a.rs:11); the callee acquires `BETA`",
+            "`core::lock_b::beta_then_alpha` calls `core::lock_a::bump_alpha` \
+             (crates/core/src/lock_b.rs:12) while holding `BETA` (acquired \
+             crates/core/src/lock_b.rs:11); the callee acquires `ALPHA`",
+        ],
+        "the witness must show both opposite-order acquisition edges"
+    );
 }
 
 #[test]
@@ -40,19 +123,20 @@ fn determinism_fixture_exact_diagnostics() {
     );
     assert_eq!(
         shape(&diags),
-        vec![(7, rules::DETERMINISM_HASH), (8, rules::DETERMINISM_HASH)],
+        vec![(13, rules::DETERMINISM_TAINT)],
         "{diags:#?}"
     );
-}
-
-#[test]
-fn determinism_rule_is_scoped_to_result_modules() {
-    // The same content under a non-result-emitting path is clean.
-    let diags = scan_content(
-        "crates/core/src/reduction.rs",
-        include_str!("fixtures/determinism.rs"),
+    assert_eq!(
+        diags[0].chain,
+        vec![
+            "source: iteration of hash container `m` at crates/core/src/search.rs:10",
+            "loop binding `k` at crates/core/src/search.rs:10",
+            "absorbed by `order` at crates/core/src/search.rs:11",
+            "sink: `DiscoveryResult` constructor at crates/core/src/search.rs:13",
+        ],
+        "the flow witness must walk source -> bindings -> sink; \
+         `sorted_escape` (sorted before escape) must stay clean"
     );
-    assert!(diags.is_empty(), "{diags:#?}");
 }
 
 #[test]
@@ -67,7 +151,7 @@ fn atomics_fixture_exact_diagnostics() {
             (10, rules::ATOMICS_AUDIT),
             (19, rules::SPAWN_CONFINEMENT),
             (23, rules::LOCK_DISCIPLINE),
-            (23, rules::NO_PANIC),
+            (23, rules::PANIC_REACHABILITY),
         ],
         "{diags:#?}"
     );
@@ -100,7 +184,7 @@ fn annotation_hygiene_fixture_exact_diagnostics() {
 #[test]
 fn test_regions_are_exempt() {
     let diags = scan_content(
-        "crates/core/src/fixture.rs",
+        "crates/core/src/check.rs",
         include_str!("fixtures/test_exempt.rs"),
     );
     assert!(diags.is_empty(), "{diags:#?}");
@@ -116,20 +200,31 @@ fn shared_cache_stats_counters_are_allowlisted() {
     assert_eq!(shape(&diags), vec![(2, rules::ATOMICS_AUDIT)]);
 }
 
+/// Build a throwaway mini-workspace under a unique temp dir.
+fn mini_workspace(tag: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("ocdd-lint-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    for (rel, content) in files {
+        let abs = root.join(rel);
+        std::fs::create_dir_all(abs.parent().expect("file path has a parent"))
+            .expect("create mini workspace dirs");
+        std::fs::write(abs, content).expect("write mini workspace file");
+    }
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    root
+}
+
 #[test]
 fn binary_fails_on_violating_workspace_and_passes_on_this_one() {
     let bin = env!("CARGO_BIN_EXE_ocdd-lint");
 
-    // Throwaway mini-workspace with one violating file.
-    let root = std::env::temp_dir().join(format!("ocdd-lint-fixture-{}", std::process::id()));
-    let src_dir = root.join("crates/core/src");
-    std::fs::create_dir_all(&src_dir).expect("create mini workspace");
-    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
-    std::fs::write(
-        src_dir.join("bad.rs"),
-        "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
-    )
-    .expect("write violating file");
+    let root = mini_workspace(
+        "bad",
+        &[(
+            "crates/core/src/check.rs",
+            "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+        )],
+    );
     let out = std::process::Command::new(bin)
         .arg(&root)
         .output()
@@ -138,9 +233,10 @@ fn binary_fails_on_violating_workspace_and_passes_on_this_one() {
     assert!(!out.status.success(), "expected a non-zero exit");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("crates/core/src/bad.rs:2: no-panic:"),
+        stdout.contains("crates/core/src/check.rs:2: panic-reachability:"),
         "{stdout}"
     );
+    assert!(stdout.contains("witness:"), "{stdout}");
 
     // The real workspace is clean — the CI gate this binary backs.
     let ws = ocdd_lint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
@@ -154,4 +250,139 @@ fn binary_fails_on_violating_workspace_and_passes_on_this_one() {
         "workspace has lint findings:\n{}",
         String::from_utf8_lossy(&out.stdout)
     );
+}
+
+#[test]
+fn binary_emits_stable_json() {
+    let bin = env!("CARGO_BIN_EXE_ocdd-lint");
+    let root = mini_workspace(
+        "json",
+        &[(
+            "crates/core/src/check.rs",
+            "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+        )],
+    );
+    let out = std::process::Command::new(bin)
+        .args([root.to_str().expect("utf-8 temp path"), "--emit", "json"])
+        .output()
+        .expect("run ocdd-lint --emit json");
+    std::fs::remove_dir_all(&root).ok();
+    assert!(!out.status.success(), "findings must still exit non-zero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema\": \"ocdd-lint/1\""), "{stdout}");
+    assert!(stdout.contains("\"count\": 1"), "{stdout}");
+    assert!(
+        stdout.contains(
+            "\"rule\": \"panic-reachability\", \"file\": \"crates/core/src/check.rs\", \"line\": 2"
+        ),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"chain\": [\"core::check::f (crates/core/src/check.rs:1)\""),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn fix_allows_dry_run_then_apply() {
+    let bin = env!("CARGO_BIN_EXE_ocdd-lint");
+    let before = "pub fn used(v: Option<u32>) -> u32 {\n\
+                  \x20   // lint: allow(no-panic, fixture: caller always passes Some)\n\
+                  \x20   v.unwrap()\n\
+                  }\n\
+                  \n\
+                  // lint: allow(no-panic, stale annotation on its own line)\n\
+                  pub fn fine() -> u32 {\n\
+                  \x20   1\n\
+                  }\n\
+                  \n\
+                  pub fn trailing() -> u32 {\n\
+                  \x20   2 // lint: allow(determinism-hash, stale trailing annotation)\n\
+                  }\n";
+    let root = mini_workspace("fix", &[("crates/core/src/check.rs", before)]);
+    let file = root.join("crates/core/src/check.rs");
+
+    // Dry run: reports what would go, touches nothing, exits zero.
+    let out = std::process::Command::new(bin)
+        .args([root.to_str().expect("utf-8 temp path"), "--fix-allows"])
+        .output()
+        .expect("run ocdd-lint --fix-allows");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(
+        stdout.contains("crates/core/src/check.rs:6: stale allow(no-panic) would be removed"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains(
+            "crates/core/src/check.rs:12: stale allow(determinism-hash) would be removed"
+        ),
+        "{stdout}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&file).expect("reread fixture"),
+        before,
+        "dry run must not modify the file"
+    );
+
+    // Apply: the standalone stale line is deleted, the trailing one is
+    // stripped back to its code, the used allow survives.
+    let out = std::process::Command::new(bin)
+        .args([
+            root.to_str().expect("utf-8 temp path"),
+            "--fix-allows",
+            "--apply",
+        ])
+        .output()
+        .expect("run ocdd-lint --fix-allows --apply");
+    assert!(out.status.success());
+    let after = std::fs::read_to_string(&file).expect("reread fixture");
+    let expected = "pub fn used(v: Option<u32>) -> u32 {\n\
+                    \x20   // lint: allow(no-panic, fixture: caller always passes Some)\n\
+                    \x20   v.unwrap()\n\
+                    }\n\
+                    \n\
+                    pub fn fine() -> u32 {\n\
+                    \x20   1\n\
+                    }\n\
+                    \n\
+                    pub fn trailing() -> u32 {\n\
+                    \x20   2\n\
+                    }\n";
+    assert_eq!(after, expected);
+
+    // The workspace is clean once the stale annotations are gone.
+    let out = std::process::Command::new(bin)
+        .arg(&root)
+        .output()
+        .expect("re-run ocdd-lint after apply");
+    std::fs::remove_dir_all(&root).ok();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn explain_covers_every_rule_and_aliases() {
+    let bin = env!("CARGO_BIN_EXE_ocdd-lint");
+    for rule in ocdd_lint::ALL_RULES {
+        let out = std::process::Command::new(bin)
+            .args(["--explain", rule])
+            .output()
+            .expect("run ocdd-lint --explain");
+        assert!(out.status.success(), "--explain {rule}");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains(rule),
+            "--explain {rule} must mention the rule"
+        );
+    }
+    // Aliases resolve to the subsuming rule's text.
+    let out = std::process::Command::new(bin)
+        .args(["--explain", "no-panic"])
+        .output()
+        .expect("run ocdd-lint --explain no-panic");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("panic-reachability"));
 }

@@ -1,9 +1,20 @@
-//! Fixture: determinism-hash violations (scanned as
-//! crates/core/src/search.rs by the integration tests). The `use` line is
-//! exempt; the two mentions below are not.
+//! Fixture: determinism-taint — one leak of hash-iteration order into a
+//! `DiscoveryResult` constructor (finding) and one local map whose
+//! contents are sorted before escape (clean). Scanned as
+//! crates/core/src/search.rs by the integration tests.
 
 use std::collections::HashMap;
 
-pub fn table() -> HashMap<u32, u32> {
-    HashMap::new()
+pub fn leak(m: &HashMap<u32, u32>) -> DiscoveryResult {
+    let mut order = Vec::new();
+    for (k, _) in m.iter() {
+        order.push(*k);
+    }
+    DiscoveryResult { ods: order }
+}
+
+pub fn sorted_escape(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
 }

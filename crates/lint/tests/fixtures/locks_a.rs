@@ -1,0 +1,19 @@
+//! Cross-file fixture, AB side of a two-mutex lock-order cycle: ALPHA is
+//! held across a call that acquires BETA (which lives in the sibling
+//! fixture file, scanned as a different path).
+
+use crate::lock_b::bump_beta;
+use std::sync::Mutex;
+
+pub static ALPHA: Mutex<u32> = Mutex::new(0);
+
+pub fn alpha_then_beta() {
+    let g = ALPHA.lock();
+    bump_beta();
+    drop(g);
+}
+
+pub fn bump_alpha() {
+    let g = ALPHA.lock();
+    let _ = g;
+}

@@ -1,0 +1,19 @@
+//! Cross-file fixture, BA side of the two-mutex cycle: BETA is held
+//! across a call that (through the sibling file) acquires ALPHA — the
+//! opposite order, closing the cycle.
+
+use crate::lock_a::bump_alpha;
+use std::sync::Mutex;
+
+pub static BETA: Mutex<u32> = Mutex::new(0);
+
+pub fn beta_then_alpha() {
+    let h = BETA.lock();
+    bump_alpha();
+    drop(h);
+}
+
+pub fn bump_beta() {
+    let h = BETA.lock();
+    let _ = h;
+}

@@ -1,5 +1,6 @@
-//! Fixture: no-panic and clock-confinement violations (scanned as a
-//! crates/core/src/ path by the integration tests).
+//! Fixture: direct panic sources plus a clock-confinement violation
+//! (scanned as crates/core/src/check.rs — a hot-path root file — by the
+//! integration tests).
 
 pub fn helper(v: Option<u32>) -> u32 {
     v.unwrap()

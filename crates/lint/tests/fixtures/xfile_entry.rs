@@ -1,0 +1,9 @@
+//! Cross-file fixture, hot side: the entry point lives in a hot-path root
+//! file (scanned as crates/core/src/check.rs) and is panic-free itself —
+//! the panic is two call hops away in the sibling fixture.
+
+use crate::support::pick;
+
+pub fn entry_check(v: &[u32]) -> u32 {
+    pick(v)
+}

@@ -1,0 +1,11 @@
+//! Cross-file fixture, cold side: a helper (scanned as
+//! crates/core/src/support.rs — in scope but not a hot-path root) whose
+//! panic is only a finding because check.rs reaches it.
+
+pub fn pick(v: &[u32]) -> u32 {
+    choose(v)
+}
+
+fn choose(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

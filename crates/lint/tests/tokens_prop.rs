@@ -1,0 +1,105 @@
+//! Property differential between the two text passes (ISSUE 5 satellite):
+//! the tokenizer ([`ocdd_lint::tokens`]) runs over the *masked* text
+//! produced by [`ocdd_lint::source`], and every downstream diagnostic
+//! anchors to `(line, byte offset)` pairs — so the two passes must agree
+//! byte-for-byte. Sources are assembled from Rust-ish fragments (strings
+//! with escapes, char literals, line/block comments, annotations, idents,
+//! multi-char puncts) to stress the masking automaton's state machine.
+
+use ocdd_lint::source::SourceFile;
+use ocdd_lint::tokens::{tokenize, TokenKind};
+use proptest::prelude::*;
+
+/// Fragment alphabet. Each entry is valid in isolation; concatenations
+/// exercise every masking transition (string ↔ comment ↔ code, across
+/// line boundaries for block comments).
+const FRAGMENTS: &[&str] = &[
+    "fn f() { g(); }\n",
+    "let x = v[i];\n",
+    "let s = \"str with // not a comment\";\n",
+    "let e = \"esc \\\" quote\";\n",
+    "let c = 'x';\n",
+    "let q = '\\'';\n",
+    "// a line comment with \"quotes\" inside\n",
+    "/* block comment */ let y = 1;\n",
+    "/* multi\nline\nblock */\n",
+    "let r = r\"raw-ish\";\n",
+    "a.b();\n",
+    "w -> x => y :: z;\n",
+    "x..=y; a..b; p += 1; q <<= 2;\n",
+    "// lint: allow(no-panic, fragment reason)\n",
+    "#[cfg(test)]\nmod tests { fn t() { u(); } }\n",
+    "\n",
+    "   \n",
+    "let unicode = \"héllo — dashes\";\n",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+    #[test]
+    fn token_stream_round_trips_byte_offsets_against_masking(
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..24),
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let file = SourceFile::parse("crates/core/src/prop.rs", &src);
+
+        // Masking is per-line char-count preserving (each masked char
+        // becomes one space), and byte-length preserving on ASCII lines —
+        // so diagnostics computed on masked lines refer to real source
+        // positions, and code (always ASCII here) never shifts.
+        prop_assert_eq!(file.masked_lines.len(), file.raw_lines.len());
+        for (masked, raw) in file.masked_lines.iter().zip(&file.raw_lines) {
+            prop_assert_eq!(
+                masked.chars().count(),
+                raw.chars().count(),
+                "masking changed a line's char count"
+            );
+            if raw.is_ascii() {
+                prop_assert_eq!(masked.len(), raw.len(), "masking shifted an ASCII line");
+            }
+        }
+
+        let masked = file.masked_lines.join("\n");
+        let tokens = tokenize(&masked);
+
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            // Offsets are in-bounds, strictly ordered, and non-overlapping.
+            prop_assert!(t.start < t.end, "empty or inverted token span");
+            prop_assert!(t.start >= prev_end, "overlapping tokens");
+            prop_assert!(t.end <= masked.len(), "token past end of text");
+            prev_end = t.end;
+
+            // The text IS the slice at those offsets — the round-trip.
+            prop_assert_eq!(&masked[t.start..t.end], t.text.as_str());
+
+            // The recorded line is the newline count up to the token start.
+            let line = masked[..t.start].bytes().filter(|&b| b == b'\n').count();
+            prop_assert_eq!(t.line, line, "token line drifted from its byte offset");
+
+            // Tokenizing masked text never yields string/comment interiors:
+            // idents and puncts only contain what their kind promises.
+            match t.kind {
+                TokenKind::Ident => prop_assert!(
+                    t.text.chars().all(|c| c.is_alphanumeric() || c == '_'),
+                    "non-ident byte inside an Ident token: {:?}", t.text
+                ),
+                TokenKind::Punct => prop_assert!(
+                    !t.text.chars().any(|c| c.is_alphanumeric() || c == '_'),
+                    "ident byte inside a Punct token: {:?}", t.text
+                ),
+                _ => {}
+            }
+        }
+
+        // Reconstruction: splicing token texts back at their offsets over a
+        // whitespace canvas reproduces the masked text modulo whitespace.
+        let mut canvas: Vec<u8> = masked.bytes().map(|b| if b == b'\n' { b } else { b' ' }).collect();
+        for t in &tokens {
+            canvas[t.start..t.end].copy_from_slice(t.text.as_bytes());
+        }
+        let rebuilt = String::from_utf8(canvas).expect("token splice broke utf-8");
+        let strip = |s: &str| s.split_whitespace().collect::<String>();
+        prop_assert_eq!(strip(&rebuilt), strip(&masked));
+    }
+}

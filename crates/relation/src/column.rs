@@ -49,6 +49,7 @@ impl Column {
     /// The caller is responsible for having homogenized the values first
     /// (see [`crate::datatype::homogenize`]); encoding sorts whatever total
     /// order the values currently have.
+    // lint: allow(panic-reachability, order is a permutation of 0..values.len(), so every order-derived index is in bounds)
     pub fn encode(name: impl Into<String>, values: Vec<Value>) -> Column {
         let data_type = infer_type(values.iter());
         let has_nulls = values.iter().any(Value::is_null);

@@ -66,6 +66,7 @@ impl Relation {
 
     /// Metadata of column `col`.
     #[inline]
+    // lint: allow(panic-reachability, ColumnId contract: callers pass col < num_columns())
     pub fn meta(&self, col: ColumnId) -> &ColumnMeta {
         &self.columns[col].meta
     }
@@ -77,12 +78,14 @@ impl Relation {
 
     /// Rank code of cell `(row, col)`. The hot accessor: two loads, no branch.
     #[inline(always)]
+    // lint: allow(panic-reachability, ColumnId/row contract: col < num_columns() and row < num_rows() — this is the documented two-load no-branch accessor)
     pub fn code(&self, row: usize, col: ColumnId) -> u32 {
         self.columns[col].codes[row]
     }
 
     /// The full code vector of a column (for tight loops over one column).
     #[inline]
+    // lint: allow(panic-reachability, ColumnId contract: callers pass col < num_columns())
     pub fn codes(&self, col: ColumnId) -> &[u32] {
         &self.columns[col].codes
     }

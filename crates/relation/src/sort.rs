@@ -147,6 +147,7 @@ fn packed_bits(rel: &Relation, cols: &[ColumnId]) -> Option<u32> {
 }
 
 /// Stable counting sort of the identity permutation by one code column.
+// lint: allow(panic-reachability, codes are dense ranks < distinct and starts is sized distinct+1, so every histogram index is in bounds)
 fn counting_sort_single(codes: &[u32], distinct: usize) -> Vec<u32> {
     kernel_stats::bump_counting();
     let m = codes.len();
@@ -185,6 +186,7 @@ fn pack_keys(rel: &Relation, cols: &[ColumnId], rows: impl Iterator<Item = u32>)
 }
 
 /// Stable LSD radix sort of `(keys, rows)` pairs by `total_bits` key bits.
+// lint: allow(panic-reachability, digits are masked to buckets-1 with starts sized buckets+1, and scatter targets are sized m)
 fn radix_sort_packed(mut keys: Vec<u64>, mut rows: Vec<u32>, total_bits: u32) -> Vec<u32> {
     kernel_stats::bump_packed_radix();
     let m = rows.len();
@@ -243,6 +245,7 @@ impl RefineState {
     }
 
     /// State for an existing permutation already sorted by `prefix`.
+    // lint: allow(panic-reachability, i ranges over 1..m with base and runs both of length m)
     fn from_sorted(rel: &Relation, base: &[u32], prefix: &[ColumnId]) -> RefineState {
         let m = base.len();
         let mut runs = vec![0u32; m];
@@ -263,6 +266,7 @@ impl RefineState {
     /// Refine by one more column: two stable counting scatters. After the
     /// call, `rows` is ordered by (previous runs, `col`) and `runs` holds
     /// the new, finer run ids.
+    // lint: allow(panic-reachability, rows hold row ids < m, codes are dense ranks < d, and both scatter tables are sized by their counting pass)
     fn refine_by(&mut self, rel: &Relation, col: ColumnId) {
         kernel_stats::bump_chained_refine();
         let m = self.rows.len();

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Diff ocdd-lint findings between two revisions.
+#
+#   scripts/lint_diff.sh             # HEAD vs the working tree
+#   scripts/lint_diff.sh OLD         # OLD vs the working tree
+#   scripts/lint_diff.sh OLD NEW     # OLD vs NEW (any git revisions)
+#
+# Each revision's tree is extracted with `git archive` and scanned by the
+# *current* linter binary (tool constant, corpus varies), the `--emit json`
+# documents are reduced to sorted "rule file:line" triples, and the two
+# sides are compared. Exit status: 0 when no finding was introduced, 1 when
+# the NEW side has findings absent from OLD — so the script doubles as a
+# review gate even while a nonzero baseline exists.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+old_rev="${1:-HEAD}"
+new_rev="${2:-}"
+
+cleanup_paths=()
+cleanup() {
+    rm -rf "${cleanup_paths[@]}"
+}
+trap cleanup EXIT
+
+# Print one "rule file:line" per finding of the workspace at $1, sorted.
+findings() {
+    local root="$1" json
+    json="$(mktemp)"
+    cleanup_paths+=("$json")
+    cargo run -q -p ocdd-lint -- "$root" --emit json >"$json" || true
+    sed -n 's/.*"rule": "\([^"]*\)", "file": "\([^"]*\)", "line": \([0-9]*\),.*/\1 \2:\3/p' \
+        "$json" | sort
+}
+
+# Extract revision $1 into a temp tree and echo the tree's path.
+extract() {
+    local rev="$1" dir
+    dir="$(mktemp -d)"
+    cleanup_paths+=("$dir")
+    git archive "$rev" | tar -x -C "$dir"
+    echo "$dir"
+}
+
+old_list="$(mktemp)"
+new_list="$(mktemp)"
+cleanup_paths+=("$old_list" "$new_list")
+
+findings "$(extract "$old_rev")" >"$old_list"
+if [[ -n "$new_rev" ]]; then
+    findings "$(extract "$new_rev")" >"$new_list"
+    new_label="$new_rev"
+else
+    findings "." >"$new_list"
+    new_label="working tree"
+fi
+
+fixed="$(comm -23 "$old_list" "$new_list")"
+introduced="$(comm -13 "$old_list" "$new_list")"
+
+if [[ -n "$fixed" ]]; then
+    echo "fixed since $old_rev:"
+    echo "$fixed" | sed 's/^/  - /'
+fi
+if [[ -n "$introduced" ]]; then
+    echo "introduced in $new_label:"
+    echo "$introduced" | sed 's/^/  + /'
+    exit 1
+fi
+echo "lint_diff: no findings introduced ($old_rev -> $new_label)"
