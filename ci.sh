@@ -54,6 +54,18 @@ echo "==> work-stealing differential suite (workers 1 and 4 vs Sequential)"
 cargo test -q --test parallel_determinism
 cargo test -q --test property_based workstealing
 
+if [[ "$(rustc -vV | sed -n 's/^host: //p')" == x86_64-* ]]; then
+    echo "==> simd scan-kernel lane (--features simd)"
+    # The explicit SSE2/AVX2 kernels replace the portable blockwise folds;
+    # the scan/check/partition differential suites re-run against them so
+    # the intrinsics are held to the same byte-identical-outcome bar
+    # (DESIGN.md §12).
+    cargo test -q -p ocdd-relation --features simd
+    cargo test -q -p ocdd-core --features simd
+else
+    echo "==> simd lane skipped (x86-64 only; host is $(rustc -vV | sed -n 's/^host: //p'))"
+fi
+
 if [[ "${OCDD_CI_LOOM:-0}" == "1" ]]; then
     echo "==> loom interleaving models (ocdd-core --features loom)"
     # Swaps the scheduler/epoch-cache primitives for the model-checking

@@ -148,16 +148,28 @@ pub enum Backend {
     /// Seed baseline: re-sort per candidate with the generic comparator
     /// sort (the pre-kernel code path, kept as the differential oracle).
     SeedComparator,
-    /// Re-sort per candidate with the rank-code distribution kernels.
+    /// Re-sort per candidate with the rank-code distribution kernels and
+    /// the per-pair scalar scan — pinned to the pre-blockwise scan path so
+    /// the config's history stays comparable across reports.
     ResortRadix,
+    /// Re-sort per candidate with the rank-code distribution kernels and
+    /// the dispatched blockwise/SIMD scan (the production `check_od`
+    /// path). The delta against [`Backend::ResortRadix`] isolates the
+    /// scan-kernel speedup at identical sort cost.
+    ResortRadixBlock,
     /// Worker-private sorted-index prefix cache.
     PrefixCache,
     /// Sorted-index prefix cache backed by an epoch-published shared
     /// store ([`EpochPrefixCache`]): snapshot reads, publish per level —
     /// the work-stealing mode's cache design.
     PrefixCacheEpoch,
-    /// Worker-private sorted partitions (§5.3.1).
+    /// Worker-private sorted partitions (§5.3.1) with the dispatched
+    /// blockwise/SIMD class walk.
     SortedPartitions,
+    /// Worker-private sorted partitions pinned to the scalar class walk —
+    /// the ablation partner of [`Backend::SortedPartitions`]: the pair
+    /// isolates the blockwise-walk speedup at identical partition cost.
+    SortedPartitionsScalar,
     /// Sorted partitions backed by an epoch-published shared store.
     SortedPartitionsEpoch,
 }
@@ -203,6 +215,26 @@ pub const DEFAULT_SPECS: &[RunSpec] = &[
         workers: 8,
     },
     RunSpec {
+        name: "resort_radix_block_x1",
+        backend: Backend::ResortRadixBlock,
+        workers: 1,
+    },
+    RunSpec {
+        name: "resort_radix_block_x2",
+        backend: Backend::ResortRadixBlock,
+        workers: 2,
+    },
+    RunSpec {
+        name: "resort_radix_block_x4",
+        backend: Backend::ResortRadixBlock,
+        workers: 4,
+    },
+    RunSpec {
+        name: "resort_radix_block_x8",
+        backend: Backend::ResortRadixBlock,
+        workers: 8,
+    },
+    RunSpec {
         name: "prefix_cache_private",
         backend: Backend::PrefixCache,
         workers: 1,
@@ -230,6 +262,11 @@ pub const DEFAULT_SPECS: &[RunSpec] = &[
     RunSpec {
         name: "sorted_partitions_private",
         backend: Backend::SortedPartitions,
+        workers: 1,
+    },
+    RunSpec {
+        name: "sorted_partitions_scalar_x1",
+        backend: Backend::SortedPartitionsScalar,
         workers: 1,
     },
     RunSpec {
@@ -308,8 +345,10 @@ fn check_od_comparator(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> bool {
 enum WorkerChecker<'r> {
     Comparator(&'r Relation),
     Radix(&'r Relation),
+    RadixBlock(&'r Relation),
     Sort(Box<SortCache<'r>>),
     Parts(Box<PartitionChecker<'r>>),
+    PartsScalar(&'r Relation, Box<PartitionChecker<'r>>),
 }
 
 impl<'r> WorkerChecker<'r> {
@@ -317,6 +356,7 @@ impl<'r> WorkerChecker<'r> {
         match self {
             WorkerChecker::Sort(c) => c.begin_level(),
             WorkerChecker::Parts(c) => c.begin_level(),
+            WorkerChecker::PartsScalar(_, c) => c.begin_level(),
             _ => {}
         }
     }
@@ -325,6 +365,7 @@ impl<'r> WorkerChecker<'r> {
         match self {
             WorkerChecker::Sort(c) => c.publish_pending(),
             WorkerChecker::Parts(c) => c.publish_pending(),
+            WorkerChecker::PartsScalar(_, c) => c.publish_pending(),
             _ => {}
         }
     }
@@ -332,9 +373,16 @@ impl<'r> WorkerChecker<'r> {
     fn check(&mut self, lhs: &AttrList, rhs: &AttrList) -> bool {
         match self {
             WorkerChecker::Comparator(rel) => check_od_comparator(rel, lhs, rhs),
-            WorkerChecker::Radix(rel) => ocdd_core::check::check_od(rel, lhs, rhs).is_valid(),
+            WorkerChecker::Radix(rel) => {
+                ocdd_core::check::check_od_scalar(rel, lhs, rhs).is_valid()
+            }
+            WorkerChecker::RadixBlock(rel) => ocdd_core::check::check_od(rel, lhs, rhs).is_valid(),
             WorkerChecker::Sort(c) => c.check_od(lhs, rhs).is_valid(),
             WorkerChecker::Parts(c) => c.check_od(lhs, rhs).is_valid(),
+            WorkerChecker::PartsScalar(rel, c) => c
+                .partition_for(lhs.as_slice())
+                .check_od_scalar(rel, rhs)
+                .is_valid(),
         }
     }
 }
@@ -370,6 +418,7 @@ pub fn run_spec(
         .map(|_| match spec.backend {
             Backend::SeedComparator => WorkerChecker::Comparator(rel),
             Backend::ResortRadix => WorkerChecker::Radix(rel),
+            Backend::ResortRadixBlock => WorkerChecker::RadixBlock(rel),
             Backend::PrefixCache => WorkerChecker::Sort(Box::new(SortCache::new(rel))),
             Backend::PrefixCacheEpoch => {
                 let shared = sort_epoch
@@ -377,6 +426,9 @@ pub fn run_spec(
                 WorkerChecker::Sort(Box::new(SortCache::with_epoch(rel, Arc::clone(shared))))
             }
             Backend::SortedPartitions => WorkerChecker::Parts(Box::new(PartitionChecker::new(rel))),
+            Backend::SortedPartitionsScalar => {
+                WorkerChecker::PartsScalar(rel, Box::new(PartitionChecker::new(rel)))
+            }
             Backend::SortedPartitionsEpoch => {
                 let shared = parts_epoch
                     .get_or_insert_with(|| Arc::new(EpochPrefixCache::new(cache_budget_bytes)));
@@ -469,6 +521,67 @@ pub fn run_matrix(
     results
 }
 
+/// CPU feature flags the scan kernels care about, as detected on this
+/// host. Empty on non-x86-64 targets.
+#[cfg(target_arch = "x86_64")]
+fn detected_cpu_features() -> Vec<&'static str> {
+    let mut out = Vec::new();
+    for (name, on) in [
+        ("sse2", is_x86_feature_detected!("sse2")),
+        ("sse4.2", is_x86_feature_detected!("sse4.2")),
+        ("avx", is_x86_feature_detected!("avx")),
+        ("avx2", is_x86_feature_detected!("avx2")),
+    ] {
+        if on {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// CPU feature flags the scan kernels care about. Empty on non-x86-64
+/// targets (the explicit kernels only exist for x86-64).
+#[cfg(not(target_arch = "x86_64"))]
+fn detected_cpu_features() -> Vec<&'static str> {
+    Vec::new()
+}
+
+/// Snapshot of the toolchain and host CPU the matrix ran on, as a JSON
+/// object — embedded in `BENCH_check.json` so throughput numbers stay
+/// interpretable across machines and compiler upgrades.
+///
+/// Fields: `rustc` (from `rustc --version`, `"unknown"` if unavailable),
+/// `cpu_features` (detected x86-64 flags the kernels dispatch on),
+/// `simd_feature` (whether the `simd` cargo feature was compiled in) and
+/// `block_kernel` (which large-scan kernel [`ocdd_relation::scan`]
+/// selects in this build: `"block"` or `"simd"`).
+pub fn environment_json() -> String {
+    let rustc =
+        std::process::Command::new(std::env::var_os("RUSTC").unwrap_or_else(|| "rustc".into()))
+            .arg("--version")
+            .output()
+            .ok()
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().replace(['"', '\\'], "_"))
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_owned());
+    let features: Vec<String> = detected_cpu_features()
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect();
+    let block = match ocdd_relation::scan::block_kernel() {
+        ocdd_relation::scan::ScanKernel::Simd => "simd",
+        _ => "block",
+    };
+    format!(
+        "{{\"rustc\": \"{}\", \"cpu_features\": [{}], \"simd_feature\": {}, \"block_kernel\": \"{}\"}}",
+        rustc,
+        features.join(", "),
+        cfg!(feature = "simd"),
+        block,
+    )
+}
+
 /// The same-backend single-worker baseline for `r`, if the matrix has one.
 fn one_worker_baseline<'a>(results: &'a [RunResult], r: &RunResult) -> Option<&'a RunResult> {
     results
@@ -482,6 +595,8 @@ fn one_worker_baseline<'a>(results: &'a [RunResult], r: &RunResult) -> Option<&'
 /// {
 ///   "rows": 100000, "columns": 12, "candidates": 262, "checks_per_candidate": 3,
 ///   "parallel_model": "level_synchronous_critical_path",
+///   "environment": {"rustc": "rustc 1.95.0 (...)", "cpu_features": ["sse2", "avx2"],
+///                   "simd_feature": false, "block_kernel": "block"},
 ///   "configs": [
 ///     {"name": "prefix_cache_epoch_x4", "workers": 4, "checks": 786,
 ///      "elapsed_ms": 1234.5, "wall_ms": 4800.2, "checks_per_sec": 636.7,
@@ -501,11 +616,12 @@ pub fn matrix_to_json(rel: &Relation, candidates_len: usize, results: &[RunResul
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\n  \"rows\": {}, \"columns\": {}, \"candidates\": {}, \"checks_per_candidate\": {},\n  \"parallel_model\": \"level_synchronous_critical_path\",\n  \"configs\": [",
+        "{{\n  \"rows\": {}, \"columns\": {}, \"candidates\": {}, \"checks_per_candidate\": {},\n  \"parallel_model\": \"level_synchronous_critical_path\",\n  \"environment\": {},\n  \"configs\": [",
         rel.num_rows(),
         rel.num_columns(),
         candidates_len,
         CHECKS_PER_CANDIDATE,
+        environment_json(),
     );
     for (i, r) in results.iter().enumerate() {
         let cache = match &r.cache {
@@ -570,12 +686,19 @@ mod tests {
             "\"columns\": 12",
             "\"parallel_model\": \"level_synchronous_critical_path\"",
             "seed_resort_comparator",
+            "resort_radix_block_x1",
             "prefix_cache_epoch_x4",
+            "sorted_partitions_scalar_x1",
             "sorted_partitions_epoch_x8",
             "\"speedup_vs_seed\"",
             "\"speedup_vs_1worker\"",
             "\"wall_ms\"",
             "\"resident_bytes\"",
+            "\"environment\"",
+            "\"rustc\"",
+            "\"cpu_features\"",
+            "\"simd_feature\"",
+            "\"block_kernel\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -21,6 +21,7 @@
 
 use crate::deps::AttrList;
 use crate::shared_cache::{EpochPrefixCache, EpochSnapshot, SharedPrefixCache};
+use ocdd_relation::scan;
 use ocdd_relation::sort::{cmp_rows, refine_index, sort_index_by};
 use ocdd_relation::{ColumnId, Relation};
 use std::cmp::Ordering;
@@ -59,39 +60,45 @@ impl CheckOutcome {
     }
 }
 
-/// Classify adjacent pairs of `index` (pre-sorted by `lhs`) against `rhs`.
-// lint: allow(panic-reachability, w[0]/w[1] index length-2 slices produced by windows(2))
-fn scan_sorted(rel: &Relation, lhs: &[ColumnId], rhs: &[ColumnId], index: &[u32]) -> CheckOutcome {
-    for w in index.windows(2) {
-        let (p, q) = (w[0] as usize, w[1] as usize);
-        match cmp_rows(rel, rhs, p, q) {
-            Ordering::Less => {
-                // Y strictly increases; only fine if X strictly increased too.
-                if cmp_rows(rel, lhs, p, q) == Ordering::Equal {
-                    return CheckOutcome::Split {
-                        row_a: w[0],
-                        row_b: w[1],
-                    };
-                }
-            }
-            Ordering::Greater => {
-                // Y strictly decreases: split if X tied, swap otherwise.
-                return if cmp_rows(rel, lhs, p, q) == Ordering::Equal {
-                    CheckOutcome::Split {
-                        row_a: w[0],
-                        row_b: w[1],
-                    }
-                } else {
-                    CheckOutcome::Swap {
-                        row_a: w[0],
-                        row_b: w[1],
-                    }
-                };
-            }
-            Ordering::Equal => {}
-        }
+/// Classify the violating adjacent pair `(row_a, row_b)` that a scan
+/// kernel found: the index is `lhs`-sorted, so `lhs` compares `Equal`
+/// (split) or `Less` (the `rhs` must have decreased — swap).
+fn classify_violation(rel: &Relation, lhs: &[ColumnId], row_a: u32, row_b: u32) -> CheckOutcome {
+    if cmp_rows(rel, lhs, row_a as usize, row_b as usize) == Ordering::Equal {
+        CheckOutcome::Split { row_a, row_b }
+    } else {
+        CheckOutcome::Swap { row_a, row_b }
     }
-    CheckOutcome::Valid
+}
+
+/// Classify adjacent pairs of `index` (pre-sorted by `lhs`) against `rhs`,
+/// dispatching to the width-adaptive scan kernels ([`scan::od_scan`]):
+/// blockwise branchless compares over the narrowed code mirrors, scalar
+/// below one block. The kernel reports the first violating pair position;
+/// classification into split/swap is one extra `lhs` comparison.
+// lint: allow(panic-reachability, od_scan returns i < index.len() - 1, so index[i] and index[i + 1] are in bounds)
+fn scan_sorted(rel: &Relation, lhs: &[ColumnId], rhs: &[ColumnId], index: &[u32]) -> CheckOutcome {
+    match scan::od_scan(rel, lhs, rhs, index) {
+        None => CheckOutcome::Valid,
+        Some(i) => classify_violation(rel, lhs, index[i], index[i + 1]),
+    }
+}
+
+/// Scalar oracle for `scan_sorted`: the per-pair `cmp_rows` walk
+/// ([`scan::od_scan_scalar`]), kept public for differential tests and the
+/// pinned-scalar bench configs. Identical `CheckOutcome` — including
+/// witness rows — to the dispatched kernels on every input.
+// lint: allow(panic-reachability, od_scan_scalar returns i < index.len() - 1, so index[i] and index[i + 1] are in bounds)
+pub fn scan_sorted_scalar(
+    rel: &Relation,
+    lhs: &[ColumnId],
+    rhs: &[ColumnId],
+    index: &[u32],
+) -> CheckOutcome {
+    match scan::od_scan_scalar(rel, lhs, rhs, index) {
+        None => CheckOutcome::Valid,
+        Some(i) => classify_violation(rel, lhs, index[i], index[i + 1]),
+    }
 }
 
 /// Split-only early-exit scan over `index` (pre-sorted by `lhs`): false
@@ -99,29 +106,40 @@ fn scan_sorted(rel: &Relation, lhs: &[ColumnId], rhs: &[ColumnId], index: &[u32]
 /// suffice — the index groups `lhs`-ties contiguously, and if every
 /// adjacent pair inside a tie group agrees on `rhs`, all rows of the group
 /// do. Sound as a *full* OD check only when a swap is impossible; see
-/// [`check_od_after_ocd`].
-// lint: allow(panic-reachability, w[0]/w[1] index length-2 slices produced by windows(2))
+/// [`check_od_after_ocd`]. Dispatches like [`scan_sorted`].
 fn scan_sorted_splits_only(
     rel: &Relation,
     lhs: &[ColumnId],
     rhs: &[ColumnId],
     index: &[u32],
 ) -> bool {
-    for w in index.windows(2) {
-        let (p, q) = (w[0] as usize, w[1] as usize);
-        if cmp_rows(rel, lhs, p, q) == Ordering::Equal
-            && cmp_rows(rel, rhs, p, q) != Ordering::Equal
-        {
-            return false;
-        }
-    }
-    true
+    scan::split_scan(rel, lhs, rhs, index).is_none()
+}
+
+/// Scalar oracle for the splits-only scan (`scan_sorted_splits_only`,
+/// i.e. [`scan::split_scan_scalar`] plus outcome mapping), public for
+/// differential tests and the pinned-scalar bench configs.
+pub fn scan_sorted_splits_only_scalar(
+    rel: &Relation,
+    lhs: &[ColumnId],
+    rhs: &[ColumnId],
+    index: &[u32],
+) -> bool {
+    scan::split_scan_scalar(rel, lhs, rhs, index).is_none()
 }
 
 /// Check the OD candidate `lhs → rhs` by index sort + adjacent scan.
 pub fn check_od(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> CheckOutcome {
     let index = sort_index_by(rel, lhs.as_slice());
     scan_sorted(rel, lhs.as_slice(), rhs.as_slice(), &index)
+}
+
+/// [`check_od`] pinned to the scalar scan kernel: the historical per-pair
+/// checker, kept as the differential oracle and the `resort_radix`
+/// bench backend's fixed semantics.
+pub fn check_od_scalar(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> CheckOutcome {
+    let index = sort_index_by(rel, lhs.as_slice());
+    scan_sorted_scalar(rel, lhs.as_slice(), rhs.as_slice(), &index)
 }
 
 /// Fused direction check: decide the OD `lhs → rhs` **given that the OCD
@@ -710,6 +728,62 @@ mod tests {
         let r = rel(&[("a", &[3]), ("b", &[9])]);
         assert!(check_od_pairwise(&r, &l(&[0]), &l(&[1])));
         assert!(check_od_pairwise(&r, &l(&[1]), &l(&[0])));
+    }
+
+    /// Deterministic pseudo-random integer columns (xorshift).
+    fn random_columns(cols: usize, rows: usize, domains: &[i64], seed: u64) -> Relation {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        Relation::from_columns(
+            (0..cols)
+                .map(|c| {
+                    let d = domains[c % domains.len()];
+                    (
+                        format!("c{c}"),
+                        (0..rows)
+                            .map(|_| Value::Int((next() % d as u64) as i64))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    // Inputs beyond one block force the blockwise (or SIMD) path; the
+    // full CheckOutcome — including witness rows — must be byte-identical
+    // to the pinned scalar oracle, and the fused split-only scan must
+    // agree with its oracle on the same index.
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn dispatched_kernels_match_scalar_oracle_with_witnesses(
+            seed in 0u64..1 << 32,
+            rows in 2usize..260,
+        ) {
+            use proptest::prop_assert_eq;
+            let r = random_columns(3, rows, &[3, 40, 5000], seed);
+            for (x, y) in [
+                (l(&[0]), l(&[1])),
+                (l(&[1]), l(&[2])),
+                (l(&[2]), l(&[0])),
+                (l(&[0, 1]), l(&[2])),
+                (l(&[0, 1, 2]), l(&[2, 1, 0])),
+            ] {
+                prop_assert_eq!(check_od(&r, &x, &y), check_od_scalar(&r, &x, &y));
+                let index = sort_index_by(&r, x.as_slice());
+                prop_assert_eq!(
+                    scan_sorted_splits_only(&r, x.as_slice(), y.as_slice(), &index),
+                    scan_sorted_splits_only_scalar(&r, x.as_slice(), y.as_slice(), &index)
+                );
+            }
+        }
     }
 
     #[test]

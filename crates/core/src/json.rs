@@ -22,7 +22,11 @@
 //! seed pairs, as column names) and `"failure_message"`. A `WorkStealing`
 //! run carries `"scheduler": {"batches", "levels", "steals", "workers":
 //! [{"batches", "steals"}, ...]}` — scheduling observability, not part of
-//! the deterministic result.
+//! the deterministic result. Every run carries `"kernels": {"sorts":
+//! {"counting", "packed_radix", "chained_refine", "comparator"},
+//! "scans": {"scalar", "block", "simd"}}` — which sort/scan kernels the
+//! run's checks dispatched to (observability; the dependencies found are
+//! kernel-independent).
 
 use crate::deps::AttrList;
 use crate::results::DiscoveryResult;
@@ -95,6 +99,18 @@ pub fn result_to_json(result: &DiscoveryResult, rel: &Relation) -> String {
         "\"checks\":{},\"elapsed_ms\":{:.3},",
         result.checks,
         result.elapsed.as_secs_f64() * 1e3
+    );
+    let k = &result.kernels;
+    let _ = write!(
+        out,
+        "\"kernels\":{{\"sorts\":{{\"counting\":{},\"packed_radix\":{},\"chained_refine\":{},\"comparator\":{}}},\"scans\":{{\"scalar\":{},\"block\":{},\"simd\":{}}}}},",
+        k.counting,
+        k.packed_radix,
+        k.chained_refine,
+        k.comparator,
+        k.scan_scalar,
+        k.scan_block,
+        k.scan_simd,
     );
     if let Some(sched) = &result.scheduler {
         let workers: Vec<String> = sched
@@ -200,6 +216,8 @@ mod tests {
         );
         assert!(json.contains("\"complete\":true"));
         assert!(json.contains("\"termination\":\"complete\""));
+        assert!(json.contains("\"kernels\":{\"sorts\":{"), "{json}");
+        assert!(json.contains("\"scans\":{\"scalar\":"), "{json}");
     }
 
     #[test]

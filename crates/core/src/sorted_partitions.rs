@@ -24,6 +24,7 @@
 use crate::check::{CheckOutcome, EpochTier};
 use crate::deps::AttrList;
 use crate::shared_cache::{CacheWeight, EpochPrefixCache, SharedPrefixCache};
+use ocdd_relation::scan::{self, BlockEq, BlockLex, ScanKernel, BLOCK_PAIRS};
 use ocdd_relation::{ColumnId, Relation};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -142,8 +143,53 @@ impl SortedPartition {
 
     /// Check the OD `X → rhs` where `self` is the sorted partition of `X`:
     /// one linear pass classifying the outcome.
+    ///
+    /// Dispatches like the index scans ([`scan::select_kernel`]): beyond
+    /// one block the concatenated `rows` sequence is filtered blockwise —
+    /// a pair decreasing on `rhs` anywhere, or increasing inside a class,
+    /// is a violation — and the hit is classified by rescanning the
+    /// scalar class walk from one class before the hit, which reproduces
+    /// the scalar outcome (including its split-before-boundary event
+    /// order and witness rows) byte for byte.
     pub fn check_od(&self, rel: &Relation, rhs: &AttrList) -> CheckOutcome {
-        let rhs_cols = rhs.as_slice();
+        let pairs = self.rows.len().saturating_sub(1);
+        if scan::select_kernel(pairs) == ScanKernel::Scalar {
+            return self.check_od_scalar(rel, rhs);
+        }
+        scan::note_scan(scan::block_kernel());
+        match self.first_block_violation(rel, rhs.as_slice()) {
+            None => CheckOutcome::Valid,
+            Some(pos) => {
+                // Class of the pair's second row; every class strictly
+                // before it is constant on rhs with non-decreasing
+                // boundaries (no earlier pair violated), so the scalar
+                // walk restarted one class back — prev-less, re-proving
+                // that class constant before the boundary into the hit —
+                // sees exactly the events the full walk would.
+                let ci = self.offsets.partition_point(|&o| (o as usize) <= pos + 1) - 1;
+                self.scalar_walk(rel, rhs.as_slice(), ci.saturating_sub(1))
+            }
+        }
+    }
+
+    /// [`SortedPartition::check_od`] pinned to the scalar class walk —
+    /// the differential oracle and the pinned-scalar bench config.
+    pub fn check_od_scalar(&self, rel: &Relation, rhs: &AttrList) -> CheckOutcome {
+        scan::note_scan(ScanKernel::Scalar);
+        self.scalar_walk(rel, rhs.as_slice(), 0)
+    }
+
+    /// The scalar class walk from `from_class` onward, with no
+    /// previous-class context (the boundary into `from_class` itself is
+    /// not checked — callers start either at 0 or one class before a
+    /// known violation).
+    // lint: allow(panic-reachability, offsets is a monotone fence vector bounded by rows.len(), so every w[0]..w[1] range is in bounds)
+    fn scalar_walk(
+        &self,
+        rel: &Relation,
+        rhs_cols: &[ColumnId],
+        from_class: usize,
+    ) -> CheckOutcome {
         // Lexicographic compare of two rows on rhs via codes.
         let cmp = |a: u32, b: u32| {
             for &c in rhs_cols {
@@ -156,7 +202,8 @@ impl SortedPartition {
         };
 
         let mut prev_class_max: Option<u32> = None;
-        for class in self.classes() {
+        for w in self.offsets[from_class..].windows(2) {
+            let class = &self.rows[w[0] as usize..w[1] as usize];
             let Some((&first, rest)) = class.split_first() else {
                 continue;
             };
@@ -183,6 +230,55 @@ impl SortedPartition {
         CheckOutcome::Valid
     }
 
+    /// Blockwise violation filter over the concatenated `rows` sequence:
+    /// position of the first adjacent pair decreasing on `rhs`, or
+    /// changing on `rhs` inside one class. `None` iff the OD holds —
+    /// every class constant on `rhs` (no in-class change) and the class
+    /// sequence non-decreasing (no decrease anywhere).
+    // lint: allow(panic-reachability, offsets is a strictly increasing fence ending at rows.len(), so the cursor stays in bounds and every boundary k maps into the first n sel bytes)
+    fn first_block_violation(&self, rel: &Relation, rhs: &[ColumnId]) -> Option<usize> {
+        let total = self.rows.len() - 1;
+        let mut lex = BlockLex::default();
+        // Cursor over class boundaries: offsets[0] == 0 never forms a pair.
+        let mut ob = 1usize;
+        let mut start = 0usize;
+        while start < total {
+            let n = (total - start).min(BLOCK_PAIRS);
+            let ob_start = ob;
+            while (self.offsets[ob] as usize) <= start + n {
+                ob += 1;
+            }
+            let window = &self.rows[start..=start + n];
+            lex.reset(n);
+            for &c in rhs {
+                if rel.meta(c).is_constant() {
+                    continue; // folds all-Equal: a no-op on the state
+                }
+                lex.fold_column(rel, c, window);
+                if lex.closed() {
+                    break;
+                }
+            }
+            if lex.lt_any() || lex.gt_any() {
+                // Same-class selection mask: boundary pairs (offset k in
+                // this block => pair k - 1 - start) are deselected — an
+                // increase across classes is the valid case.
+                let mut sel = [0u8; BLOCK_PAIRS];
+                for s in sel.iter_mut().take(n) {
+                    *s = 0xFF;
+                }
+                for &k in &self.offsets[ob_start..ob] {
+                    sel[k as usize - 1 - start] = 0;
+                }
+                if let Some(i) = lex.first_od_violation(&sel) {
+                    return Some(start + i);
+                }
+            }
+            start += n;
+        }
+        None
+    }
+
     /// Split-only pass: true iff every class of `self` is constant on
     /// `rhs`. Sound as a *full* OD check only when a swap is impossible —
     /// i.e. after the corresponding OCD has been validated (see
@@ -190,7 +286,62 @@ impl SortedPartition {
     /// cross-class boundary comparison of [`SortedPartition::check_od`]
     /// entirely: one fewer `rhs` comparison per class, and classes of
     /// size 1 (the common case near key-like prefixes) cost nothing.
+    ///
+    /// Dispatches blockwise beyond one block; on key-like prefixes
+    /// (every pair of a block crossing a boundary) the `rhs` codes are
+    /// never even gathered.
+    // lint: allow(panic-reachability, offsets is a strictly increasing fence ending at rows.len(), so the cursor stays in bounds and every boundary k maps into the first n sel bytes)
     pub fn check_od_splits_only(&self, rel: &Relation, rhs: &AttrList) -> bool {
+        let pairs = self.rows.len().saturating_sub(1);
+        if scan::select_kernel(pairs) == ScanKernel::Scalar {
+            return self.check_od_splits_only_scalar(rel, rhs);
+        }
+        scan::note_scan(scan::block_kernel());
+        let rhs_cols = rhs.as_slice();
+        let total = self.rows.len() - 1;
+        let mut eq = BlockEq::default();
+        let mut ob = 1usize;
+        let mut start = 0usize;
+        while start < total {
+            let n = (total - start).min(BLOCK_PAIRS);
+            let ob_start = ob;
+            while (self.offsets[ob] as usize) <= start + n {
+                ob += 1;
+            }
+            // Key-like fast path: all pairs cross boundaries, nothing to
+            // compare.
+            if ob - ob_start < n {
+                let mut sel = [0u8; BLOCK_PAIRS];
+                for s in sel.iter_mut().take(n) {
+                    *s = 0xFF;
+                }
+                for &k in &self.offsets[ob_start..ob] {
+                    sel[k as usize - 1 - start] = 0;
+                }
+                let window = &self.rows[start..=start + n];
+                eq.reset(n);
+                for &c in rhs_cols {
+                    if rel.meta(c).is_constant() {
+                        continue;
+                    }
+                    eq.fold_column(rel, c, window);
+                    if eq.none() {
+                        break; // every pair already differs somewhere
+                    }
+                }
+                if eq.first_unequal(&sel).is_some() {
+                    return false;
+                }
+            }
+            start += n;
+        }
+        true
+    }
+
+    /// [`SortedPartition::check_od_splits_only`] pinned to the scalar
+    /// class walk — the differential oracle.
+    pub fn check_od_splits_only_scalar(&self, rel: &Relation, rhs: &AttrList) -> bool {
+        scan::note_scan(ScanKernel::Scalar);
         let rhs_cols = rhs.as_slice();
         for class in self.classes() {
             let Some((&first, rest)) = class.split_first() else {
@@ -646,6 +797,85 @@ mod tests {
             }
         }
         assert!(fused_cases > 500, "need OCD-valid cases ({fused_cases})");
+    }
+
+    /// Deterministic pseudo-random integer relation (xorshift).
+    fn random_relation(cols: usize, rows: usize, domains: &[i64], seed: u64) -> Relation {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        Relation::from_columns(
+            (0..cols)
+                .map(|c| {
+                    let d = domains[c % domains.len()];
+                    (
+                        format!("c{c}"),
+                        (0..rows)
+                            .map(|_| Value::Int((next() % d as u64) as i64))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    // Beyond one block the walk dispatches blockwise; outcome — including
+    // witness rows and the scalar's split-before-boundary event order —
+    // must be byte-identical to the pinned scalar walk.
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn blockwise_walk_matches_scalar_walk_with_witnesses(
+            seed in 0u64..1 << 32,
+            rows in 2usize..260,
+        ) {
+            use proptest::prop_assert_eq;
+            let r = random_relation(3, rows, &[3, 40, 5000], seed);
+            let mut checker = PartitionChecker::new(&r);
+            for (x, y) in [
+                (l(&[0]), l(&[1])),
+                (l(&[1]), l(&[2])),
+                (l(&[2]), l(&[0])),
+                (l(&[0, 1]), l(&[2])),
+                (l(&[2, 1]), l(&[0, 1])),
+            ] {
+                let p = checker.partition_for(x.as_slice());
+                prop_assert_eq!(p.check_od(&r, &y), p.check_od_scalar(&r, &y));
+                prop_assert_eq!(
+                    p.check_od_splits_only(&r, &y),
+                    p.check_od_splits_only_scalar(&r, &y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blockwise_walk_prefers_split_over_earlier_boundary_swap() {
+        // 100 rows, 10 classes of 10. Class 5 both swaps against class 4
+        // at the boundary (an earlier pair in row order) AND contains an
+        // internal split; the scalar walk checks a class's splits before
+        // the boundary into it, so the split must win — also blockwise.
+        let lhs: Vec<i64> = (0..100).map(|i| i / 10).collect();
+        let rhs: Vec<i64> = (0..100)
+            .map(|i| {
+                if (50..60).contains(&i) {
+                    10 + (i % 2) // below class 4's 40s: boundary swap; non-constant: split
+                } else {
+                    i
+                }
+            })
+            .collect();
+        let r = rel(&[("x", lhs.as_slice()), ("y", rhs.as_slice())]);
+        let p = SortedPartition::for_column(&r, 0);
+        let scalar = p.check_od_scalar(&r, &l(&[1]));
+        assert!(matches!(scalar, CheckOutcome::Split { .. }), "{scalar:?}");
+        assert_eq!(p.check_od(&r, &l(&[1])), scalar);
     }
 
     #[test]

@@ -9,6 +9,70 @@
 use crate::datatype::{infer_type, DataType};
 use crate::value::Value;
 
+/// Physical storage width of a column's rank codes.
+///
+/// Codes are always available at full `u32` width ([`Column::codes`]);
+/// when the distinct count fits a narrower integer the column *also*
+/// carries a narrowed mirror ([`NarrowCodes`]), so the blockwise scan
+/// kernels ([`crate::scan`]) read 4×/2× more codes per cache line on
+/// low-cardinality columns. The width is a storage property only — the
+/// dense ranks are identical at every width, so comparisons (and thus
+/// every check outcome) are width-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CodeWidth {
+    /// Distinct count ≤ 256: every code fits one byte.
+    U8,
+    /// Distinct count ≤ 65 536: every code fits two bytes.
+    U16,
+    /// Full-width codes only.
+    U32,
+}
+
+impl CodeWidth {
+    /// Short lowercase label (`"u8"` / `"u16"` / `"u32"`) for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CodeWidth::U8 => "u8",
+            CodeWidth::U16 => "u16",
+            CodeWidth::U32 => "u32",
+        }
+    }
+}
+
+/// Width-adaptive mirror of a column's rank codes (see [`CodeWidth`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NarrowCodes {
+    /// Byte-wide mirror: `narrow[r] == codes[r]` for every row.
+    U8(Vec<u8>),
+    /// Two-byte mirror: `narrow[r] == codes[r]` for every row.
+    U16(Vec<u16>),
+    /// No mirror — codes exist only at full width.
+    U32,
+}
+
+impl NarrowCodes {
+    /// Build the narrowest mirror that fits `distinct` dense ranks
+    /// (ranks are `0..distinct`, so `distinct ≤ 2^w` fits width `w`).
+    fn build(codes: &[u32], distinct: usize) -> NarrowCodes {
+        if distinct <= 1 << 8 {
+            NarrowCodes::U8(codes.iter().map(|&c| c as u8).collect())
+        } else if distinct <= 1 << 16 {
+            NarrowCodes::U16(codes.iter().map(|&c| c as u16).collect())
+        } else {
+            NarrowCodes::U32
+        }
+    }
+
+    /// The width this mirror stores.
+    pub fn width(&self) -> CodeWidth {
+        match self {
+            NarrowCodes::U8(_) => CodeWidth::U8,
+            NarrowCodes::U16(_) => CodeWidth::U16,
+            NarrowCodes::U32 => CodeWidth::U32,
+        }
+    }
+}
+
 /// Metadata describing one column of a relation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnMeta {
@@ -39,6 +103,10 @@ pub struct Column {
     pub codes: Vec<u32>,
     /// Sorted distinct values; `dictionary[code]` decodes a rank.
     pub dictionary: Vec<Value>,
+    /// Narrowed mirror of `codes` when the distinct count fits (see
+    /// [`CodeWidth`]); kept in sync by [`Column::encode`] and
+    /// [`Column::widen_code_width`].
+    pub narrow: NarrowCodes,
     /// Column metadata.
     pub meta: ColumnMeta,
 }
@@ -76,9 +144,11 @@ impl Column {
         }
 
         let distinct = dictionary.len();
+        let narrow = NarrowCodes::build(&codes, distinct);
         Column {
             codes,
             dictionary,
+            narrow,
             meta: ColumnMeta {
                 name: name.into(),
                 data_type,
@@ -86,6 +156,30 @@ impl Column {
                 has_nulls,
             },
         }
+    }
+
+    /// Storage width of this column's narrowest code mirror.
+    #[inline]
+    pub fn code_width(&self) -> CodeWidth {
+        self.narrow.width()
+    }
+
+    /// Widen the narrow mirror to at least `min` (no-op when the natural
+    /// width is already ≥ `min`); widening to [`CodeWidth::U32`] drops
+    /// the mirror entirely.
+    ///
+    /// Checks are width-independent by construction; this exists so the
+    /// determinism matrix and the kernel benches can sweep widths over
+    /// the *same* data.
+    pub fn widen_code_width(&mut self, min: CodeWidth) {
+        if self.narrow.width() >= min {
+            return;
+        }
+        self.narrow = match min {
+            CodeWidth::U8 => NarrowCodes::build(&self.codes, self.meta.distinct),
+            CodeWidth::U16 => NarrowCodes::U16(self.codes.iter().map(|&c| c as u16).collect()),
+            CodeWidth::U32 => NarrowCodes::U32,
+        };
     }
 
     /// Number of rows.
@@ -169,6 +263,49 @@ mod tests {
         for (i, v) in vals.iter().enumerate() {
             assert_eq!(col.value(i), v);
         }
+    }
+
+    #[test]
+    fn narrow_mirror_matches_full_width_codes() {
+        // 3 distinct -> u8 mirror.
+        let col = Column::encode("a", ints(&[30, 10, 20, 10]));
+        assert_eq!(col.code_width(), CodeWidth::U8);
+        match &col.narrow {
+            NarrowCodes::U8(n) => {
+                assert!(n.iter().zip(&col.codes).all(|(&a, &b)| a as u32 == b));
+            }
+            other => panic!("expected u8 mirror, got {other:?}"),
+        }
+        // 300 distinct -> u16 mirror.
+        let col = Column::encode("b", ints(&(0..300).collect::<Vec<i64>>()));
+        assert_eq!(col.code_width(), CodeWidth::U16);
+        match &col.narrow {
+            NarrowCodes::U16(n) => {
+                assert!(n.iter().zip(&col.codes).all(|(&a, &b)| a as u32 == b));
+            }
+            other => panic!("expected u16 mirror, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn width_boundaries_are_exact() {
+        let col = Column::encode("a", ints(&(0..256).collect::<Vec<i64>>()));
+        assert_eq!(col.code_width(), CodeWidth::U8, "256 distinct fits u8");
+        let col = Column::encode("a", ints(&(0..257).collect::<Vec<i64>>()));
+        assert_eq!(col.code_width(), CodeWidth::U16, "257 distinct needs u16");
+    }
+
+    #[test]
+    fn widen_code_width_only_widens() {
+        let mut col = Column::encode("a", ints(&[1, 2, 1]));
+        assert_eq!(col.code_width(), CodeWidth::U8);
+        col.widen_code_width(CodeWidth::U16);
+        assert_eq!(col.code_width(), CodeWidth::U16);
+        col.widen_code_width(CodeWidth::U8); // no-op: never narrows
+        assert_eq!(col.code_width(), CodeWidth::U16);
+        col.widen_code_width(CodeWidth::U32);
+        assert_eq!(col.code_width(), CodeWidth::U32);
+        assert_eq!(col.narrow, NarrowCodes::U32);
     }
 
     #[test]

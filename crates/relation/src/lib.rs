@@ -19,6 +19,10 @@
 //!   Shannon entropy of Definition 5.1.
 //! * Lexicographic index sorting ([`sort`]) — the `generateIndex` primitive
 //!   of Algorithm 2.
+//! * Blockwise, branchless adjacent-pair scan kernels ([`scan`]) — the
+//!   check hot loop, width-dispatched over the narrowed code mirrors
+//!   ([`CodeWidth`]) with an optional `simd` feature for explicit
+//!   SSE2/AVX2 paths.
 //!
 //! # Example
 //!
@@ -45,11 +49,12 @@ pub mod datatype;
 pub mod error;
 pub mod pretty;
 pub mod relation;
+pub mod scan;
 pub mod sort;
 pub mod stats;
 pub mod value;
 
-pub use column::{Column, ColumnMeta};
+pub use column::{CodeWidth, Column, ColumnMeta, NarrowCodes};
 pub use csv::{read_csv_path, read_csv_str, write_csv, CsvOptions};
 pub use datatype::{DataType, TypingMode};
 pub use error::{Error, Result};

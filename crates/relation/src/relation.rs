@@ -1,6 +1,6 @@
 //! The [`Relation`] type: an immutable, rank-encoded, column-major table.
 
-use crate::column::{Column, ColumnMeta};
+use crate::column::{CodeWidth, Column, ColumnMeta, NarrowCodes};
 use crate::datatype::{homogenize, TypingMode};
 use crate::error::{Error, Result};
 use crate::value::Value;
@@ -88,6 +88,29 @@ impl Relation {
     // lint: allow(panic-reachability, ColumnId contract: callers pass col < num_columns())
     pub fn codes(&self, col: ColumnId) -> &[u32] {
         &self.columns[col].codes
+    }
+
+    /// Storage width of column `col`'s narrowest code mirror.
+    #[inline]
+    pub fn code_width(&self, col: ColumnId) -> CodeWidth {
+        self.columns[col].code_width()
+    }
+
+    /// The narrowed code mirror of column `col` (see [`NarrowCodes`]) —
+    /// what the blockwise scan kernels gather from.
+    #[inline]
+    // lint: allow(panic-reachability, ColumnId contract: callers pass col < num_columns())
+    pub fn narrow_codes(&self, col: ColumnId) -> &NarrowCodes {
+        &self.columns[col].narrow
+    }
+
+    /// Widen every column's code mirror to at least `min` (see
+    /// [`Column::widen_code_width`]); checks are width-independent, so
+    /// this only changes which kernels run, never what they return.
+    pub fn widen_code_width(&mut self, min: CodeWidth) {
+        for c in &mut self.columns {
+            c.widen_code_width(min);
+        }
     }
 
     /// Decode the original value of cell `(row, col)`.
@@ -240,6 +263,28 @@ mod tests {
         // column c is constant -> all codes 0
         assert_eq!(r.codes(2), &[0, 0, 0]);
         assert!(r.meta(2).is_constant());
+    }
+
+    #[test]
+    fn code_width_accessors_mirror_columns() {
+        let r = sample();
+        // 3 distinct values everywhere -> u8 mirrors.
+        for c in 0..r.num_columns() {
+            assert_eq!(r.code_width(c), CodeWidth::U8);
+            match r.narrow_codes(c) {
+                NarrowCodes::U8(n) => {
+                    assert!(n.iter().zip(r.codes(c)).all(|(&a, &b)| a as u32 == b));
+                }
+                other => panic!("expected u8 mirror, got {other:?}"),
+            }
+        }
+        let mut wide = r.clone();
+        wide.widen_code_width(CodeWidth::U32);
+        for c in 0..wide.num_columns() {
+            assert_eq!(wide.code_width(c), CodeWidth::U32);
+            // Full-width codes are untouched by widening.
+            assert_eq!(wide.codes(c), r.codes(c));
+        }
     }
 
     #[test]

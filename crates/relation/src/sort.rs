@@ -56,6 +56,9 @@ pub mod kernel_stats {
     static PACKED_RADIX: AtomicU64 = AtomicU64::new(0);
     static CHAINED_REFINE: AtomicU64 = AtomicU64::new(0);
     static COMPARATOR: AtomicU64 = AtomicU64::new(0);
+    static SCAN_SCALAR: AtomicU64 = AtomicU64::new(0);
+    static SCAN_BLOCK: AtomicU64 = AtomicU64::new(0);
+    static SCAN_SIMD: AtomicU64 = AtomicU64::new(0);
 
     #[inline]
     pub(super) fn bump_counting() {
@@ -77,6 +80,21 @@ pub mod kernel_stats {
         // lint: allow(atomics-audit, monotone observability counter; reported in stats only, never on the result path)
         COMPARATOR.fetch_add(1, Ordering::Relaxed);
     }
+    #[inline]
+    pub(crate) fn bump_scan_scalar() {
+        // lint: allow(atomics-audit, monotone observability counter; reported in stats only, never on the result path)
+        SCAN_SCALAR.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub(crate) fn bump_scan_block() {
+        // lint: allow(atomics-audit, monotone observability counter; reported in stats only, never on the result path)
+        SCAN_BLOCK.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub(crate) fn bump_scan_simd() {
+        // lint: allow(atomics-audit, monotone observability counter; reported in stats only, never on the result path)
+        SCAN_SIMD.fetch_add(1, Ordering::Relaxed);
+    }
 
     /// Monotone totals since process start.
     #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -89,6 +107,14 @@ pub mod kernel_stats {
         pub chained_refine: u64,
         /// Comparator (oracle / fallback) sorts.
         pub comparator: u64,
+        /// Adjacent-pair scans run by the scalar kernel (small inputs
+        /// and the differential oracle).
+        pub scan_scalar: u64,
+        /// Adjacent-pair scans run by the portable blockwise kernels.
+        pub scan_block: u64,
+        /// Adjacent-pair scans run by the explicit SIMD kernels
+        /// (`simd` cargo feature).
+        pub scan_simd: u64,
     }
 
     impl KernelCounts {
@@ -99,12 +125,21 @@ pub mod kernel_stats {
                 packed_radix: self.packed_radix - earlier.packed_radix,
                 chained_refine: self.chained_refine - earlier.chained_refine,
                 comparator: self.comparator - earlier.comparator,
+                scan_scalar: self.scan_scalar - earlier.scan_scalar,
+                scan_block: self.scan_block - earlier.scan_block,
+                scan_simd: self.scan_simd - earlier.scan_simd,
             }
         }
 
-        /// Sum over all kernels.
+        /// Sum over all sort kernels (scans are counted separately —
+        /// one candidate check usually pairs one sort with one scan).
         pub fn total(&self) -> u64 {
             self.counting + self.packed_radix + self.chained_refine + self.comparator
+        }
+
+        /// Sum over all scan kernels.
+        pub fn total_scans(&self) -> u64 {
+            self.scan_scalar + self.scan_block + self.scan_simd
         }
     }
 
@@ -119,6 +154,12 @@ pub mod kernel_stats {
             chained_refine: CHAINED_REFINE.load(Ordering::Relaxed),
             // lint: allow(atomics-audit, observability snapshot; approximate totals are acceptable and never feed results)
             comparator: COMPARATOR.load(Ordering::Relaxed),
+            // lint: allow(atomics-audit, observability snapshot; approximate totals are acceptable and never feed results)
+            scan_scalar: SCAN_SCALAR.load(Ordering::Relaxed),
+            // lint: allow(atomics-audit, observability snapshot; approximate totals are acceptable and never feed results)
+            scan_block: SCAN_BLOCK.load(Ordering::Relaxed),
+            // lint: allow(atomics-audit, observability snapshot; approximate totals are acceptable and never feed results)
+            scan_simd: SCAN_SIMD.load(Ordering::Relaxed),
         }
     }
 }

@@ -197,6 +197,54 @@ fn mid_level_check_budget_truncates_identically_across_modes() {
     }
 }
 
+/// Rank-code storage width is a pure layout knob: widening every column's
+/// codes (u8 → u16 → u32 mirrors of the same ranks) must leave the whole
+/// discovery result untouched in every mode × backend combination — the
+/// scan kernels may dispatch differently per width, but the dependencies,
+/// check counts and witness-driven pruning they produce are identical.
+#[test]
+fn code_width_sweep_is_deterministic() {
+    use ocddiscover::relation::CodeWidth;
+
+    let natural = Dataset::Hepatitis.generate(RowScale::Rows(140));
+    let baseline = discover(&natural, &DiscoveryConfig::default());
+    assert!(baseline.complete());
+    for width in [CodeWidth::U8, CodeWidth::U16, CodeWidth::U32] {
+        let mut rel = natural.clone();
+        rel.widen_code_width(width);
+        for mode in [
+            ParallelMode::Sequential,
+            ParallelMode::StaticQueues(3),
+            ParallelMode::WorkStealing(3),
+        ] {
+            for backend in [
+                CheckerBackend::Resort,
+                CheckerBackend::PrefixCache,
+                CheckerBackend::SortedPartitions,
+            ] {
+                let run = discover(
+                    &rel,
+                    &DiscoveryConfig {
+                        mode,
+                        checker: backend,
+                        ..DiscoveryConfig::default()
+                    },
+                );
+                let tag = format!("{width:?}/{mode:?}/{backend:?}");
+                assert_eq!(baseline.ocds, run.ocds, "{tag}: OCDs differ");
+                assert_eq!(baseline.ods, run.ods, "{tag}: ODs differ");
+                assert_eq!(baseline.constants, run.constants, "{tag}");
+                assert_eq!(
+                    baseline.equivalence_classes, run.equivalence_classes,
+                    "{tag}"
+                );
+                assert_eq!(baseline.checks, run.checks, "{tag}: same candidate tree");
+                assert_eq!(baseline.levels, run.levels, "{tag}: level stats differ");
+            }
+        }
+    }
+}
+
 #[test]
 fn per_level_stats_agree_across_modes() {
     let rel = Dataset::Horse.generate(RowScale::Rows(200));
