@@ -15,7 +15,9 @@ echo "==> ocdd-lint (workspace invariant rules)"
 # results/ for revision-to-revision diffing (scripts/lint_diff.sh) and the
 # finding count is gated against the checked-in baseline.
 mkdir -p results
-cargo run -q -p ocdd-lint -- --emit json >results/lint_findings.json || true
+# --out writes atomically (tmp+fsync+rename) so a killed CI run never
+# leaves a truncated findings document behind.
+cargo run -q -p ocdd-lint -- --emit json --out results/lint_findings.json || true
 lint_count="$(sed -n 's/^  "count": \([0-9]*\),$/\1/p' results/lint_findings.json)"
 lint_baseline="$(cat results/lint_baseline.txt)"
 if [[ -z "$lint_count" ]]; then
@@ -53,6 +55,50 @@ echo "==> work-stealing differential suite (workers 1 and 4 vs Sequential)"
 # quarantine included; any divergence fails the run.
 cargo test -q --test parallel_determinism
 cargo test -q --test property_based workstealing
+
+echo "==> checkpoint/resume crash smoke (SIGKILL + ocdd --resume)"
+# A real child process is SIGKILLed mid-search and resumed from its newest
+# dump; the resumed JSON report must match an uninterrupted reference
+# byte-for-byte once the wall-clock/checkpoint-counter keys are stripped.
+# (The in-process kill-at-every-level sweeps live in parallel_determinism
+# and the core suite; tests/crash_resume.rs is the cargo-test twin of this
+# lane.)
+cargo build -q --features fault-injection
+OCDD_BIN=target/debug/ocdd
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$OCDD_BIN" dataset hepatitis --rows 150 >"$SMOKE_DIR/table.csv"
+"$OCDD_BIN" profile "$SMOKE_DIR/table.csv" --json --out "$SMOKE_DIR/ref.json" >/dev/null
+"$OCDD_BIN" profile "$SMOKE_DIR/table.csv" \
+    --checkpoint-dir "$SMOKE_DIR/ckpt" --checkpoint-keep 0 \
+    --check-delay-ms 3 --json --out "$SMOKE_DIR/crash.json" >/dev/null 2>&1 &
+SMOKE_PID=$!
+for _ in $(seq 1 600); do
+    if compgen -G "$SMOKE_DIR/ckpt/ckpt-*.json" >/dev/null; then break; fi
+    if ! kill -0 "$SMOKE_PID" 2>/dev/null; then
+        echo "resume smoke: checkpointed run finished before any dump was seen"
+        exit 1
+    fi
+    sleep 0.1
+done
+sleep 0.3 # let it get into the level so the kill lands mid-work
+kill -9 "$SMOKE_PID" 2>/dev/null || true
+wait "$SMOKE_PID" 2>/dev/null || true
+"$OCDD_BIN" profile "$SMOKE_DIR/table.csv" --resume "$SMOKE_DIR/ckpt" \
+    --json --out "$SMOKE_DIR/res.json" >/dev/null
+normalize='s/"elapsed_ms":[0-9.]*,//; s/"checkpoint":{[^}]*},//'
+sed "$normalize" "$SMOKE_DIR/ref.json" >"$SMOKE_DIR/ref.norm"
+sed "$normalize" "$SMOKE_DIR/res.json" >"$SMOKE_DIR/res.norm"
+diff "$SMOKE_DIR/ref.norm" "$SMOKE_DIR/res.norm" || {
+    echo "resume smoke: resumed report differs from the uninterrupted reference"
+    exit 1
+}
+"$OCDD_BIN" dump-dot "$SMOKE_DIR/ckpt" --csv "$SMOKE_DIR/table.csv" |
+    grep -q '^digraph ocdd_lattice {' || {
+    echo "resume smoke: dump-dot did not emit a DOT digraph"
+    exit 1
+}
+echo "resume smoke: SIGKILLed run resumed byte-identically; dump-dot ok"
 
 if [[ "$(rustc -vV | sed -n 's/^host: //p')" == x86_64-* ]]; then
     echo "==> simd scan-kernel lane (--features simd)"

@@ -95,7 +95,7 @@ fn main() {
     }
 
     let json = matrix_to_json(&rel, candidates.len(), &results);
-    if let Err(e) = std::fs::write(&out, &json) {
+    if let Err(e) = ocdd_iosafe::atomic_write_str(std::path::Path::new(&out), &json) {
         eprintln!("bench_check: writing {out}: {e}");
         std::process::exit(1);
     }

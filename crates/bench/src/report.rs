@@ -89,11 +89,11 @@ impl Report {
         out
     }
 
-    /// Write the TSV form to `dir/<slug>.tsv`.
+    /// Write the TSV form to `dir/<slug>.tsv` (atomic tmp+fsync+rename, so
+    /// a crashed bench run never leaves a half-written table behind).
     pub fn write_tsv(&self, dir: &Path, slug: &str) -> std::io::Result<std::path::PathBuf> {
-        std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{slug}.tsv"));
-        std::fs::write(&path, self.to_tsv())?;
+        ocdd_iosafe::atomic_write_str(&path, &self.to_tsv())?;
         Ok(path)
     }
 }

@@ -1,6 +1,7 @@
 //! Configuration for a discovery run.
 
 use crate::runtime::RunController;
+use crate::snapshot::CheckpointPolicy;
 use std::time::Duration;
 
 /// How the candidate tree is traversed (§4.2.2).
@@ -88,6 +89,12 @@ pub struct DiscoveryConfig {
     /// partial results ([`crate::TerminationReason::Cancelled`]). `None`
     /// (the default) means the run cannot be cancelled externally.
     pub controller: Option<RunController>,
+    /// Durable checkpointing: when set, the search dumps its frontier
+    /// state to `policy.dir` at level boundaries (atomic tmp+fsync+rename
+    /// writes), so an interrupted run can be resumed byte-identically with
+    /// [`crate::search::discover_resume`] / `ocdd --resume`. `None` (the
+    /// default) writes nothing. See [`crate::snapshot`] and DESIGN.md §13.
+    pub checkpoint: Option<CheckpointPolicy>,
     /// Fault-injection plan for the run — test/`fault-injection`-feature
     /// builds only. See [`crate::runtime::FaultPlan`].
     #[cfg(any(test, feature = "fault-injection"))]
@@ -107,6 +114,7 @@ impl Default for DiscoveryConfig {
             max_checks: None,
             time_budget: None,
             controller: None,
+            checkpoint: None,
             #[cfg(any(test, feature = "fault-injection"))]
             fault: None,
         }
@@ -149,6 +157,7 @@ mod tests {
             c.controller.is_none(),
             "no external cancellation by default"
         );
+        assert!(c.checkpoint.is_none(), "checkpointing is opt-in");
     }
 
     #[test]

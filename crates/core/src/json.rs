@@ -26,7 +26,9 @@
 //! {"counting", "packed_radix", "chained_refine", "comparator"},
 //! "scans": {"scalar", "block", "simd"}}` — which sort/scan kernels the
 //! run's checks dispatched to (observability; the dependencies found are
-//! kernel-independent).
+//! kernel-independent). A checkpointed run carries `"checkpoint":
+//! {"snapshots_written", "files_deleted", "write_errors", "last_level"}` —
+//! again observability only.
 
 use crate::deps::AttrList;
 use crate::results::DiscoveryResult;
@@ -125,6 +127,13 @@ pub fn result_to_json(result: &DiscoveryResult, rel: &Relation) -> String {
             sched.levels,
             sched.steals(),
             workers.join(",")
+        );
+    }
+    if let Some(ckpt) = &result.checkpoint {
+        let _ = write!(
+            out,
+            "\"checkpoint\":{{\"snapshots_written\":{},\"files_deleted\":{},\"write_errors\":{},\"last_level\":{}}},",
+            ckpt.snapshots_written, ckpt.files_deleted, ckpt.write_errors, ckpt.last_level,
         );
     }
 

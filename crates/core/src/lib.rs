@@ -64,8 +64,10 @@ pub mod runtime;
 pub mod scheduler;
 pub mod search;
 pub mod shared_cache;
+pub mod snapshot;
 pub mod sorted_partitions;
 pub(crate) mod sync_shim;
+pub mod visualize;
 
 pub use check::{check_ocd, check_od, check_od_after_ocd, CheckOutcome, SortCache};
 pub use config::{CheckerBackend, DiscoveryConfig, ParallelMode};
@@ -74,5 +76,10 @@ pub use reduction::{columns_reduction, Reduction};
 pub use results::{DiscoveryResult, LevelStats};
 pub use runtime::{FaultPlan, RunController, TerminationReason, DEADLINE_CHECK_INTERVAL};
 pub use scheduler::{SchedulerStats, WorkerSchedStats};
-pub use search::{discover, profile_branches, BranchCost};
+pub use search::{discover, discover_resume, profile_branches, BranchCost};
 pub use shared_cache::{CacheStats, EpochPrefixCache, EpochSnapshot, SharedPrefixCache};
+pub use snapshot::{
+    latest_snapshot, list_snapshots, parse_snapshot, read_snapshot, snapshot_to_json,
+    CheckpointPolicy, CheckpointStats, SearchSnapshot, SnapshotError, SNAPSHOT_VERSION,
+};
+pub use visualize::snapshot_to_dot;

@@ -326,6 +326,16 @@ pub struct FaultPlan {
 
 #[cfg(any(test, feature = "fault-injection"))]
 impl FaultPlan {
+    /// A plan that only slows every checker call down by `delay` — the
+    /// crash harness's knob for making a run long enough to SIGKILL
+    /// mid-level (`ocdd --check-delay-ms`).
+    pub fn delay_checks(delay: Duration) -> FaultPlan {
+        FaultPlan {
+            check_delay: Some(delay),
+            ..FaultPlan::default()
+        }
+    }
+
     /// Worker hook: called once per candidate, before it is checked.
     /// Panics according to the plan.
     pub(crate) fn before_candidate(&self, branch: (ColumnId, ColumnId)) {

@@ -46,6 +46,10 @@ use crate::results::{DiscoveryResult, LevelStats};
 use crate::runtime::{panic_message, Budget, StopCause, TerminationReason};
 use crate::scheduler::{SchedulerStats, StealQueues, WorkerSchedStats};
 use crate::shared_cache::{CacheStats, EpochPrefixCache, SharedPrefixCache};
+use crate::snapshot::{
+    CandidatePair, CheckpointRecorder, SearchSnapshot, SnapshotBranch, SnapshotError,
+    SnapshotFailure, SNAPSHOT_VERSION,
+};
 use crate::sorted_partitions::{PartitionChecker, SortedPartition};
 use ocdd_relation::sort::kernel_stats;
 use ocdd_relation::{ColumnId, Relation};
@@ -599,6 +603,7 @@ fn absorb_level_outcomes(
     failures: &mut Vec<BranchFailure>,
     next: &mut Vec<Candidate>,
     next_parts: &mut Vec<((ColumnId, ColumnId), Vec<Candidate>)>,
+    mut recorder: Option<&mut CheckpointRecorder>,
 ) {
     let mut stats = LevelStats {
         level: level_no,
@@ -633,6 +638,13 @@ fn absorb_level_outcomes(
                 stats.candidates += 1;
                 stats.valid_ocds += em.ocds.len() as u64;
                 stats.valid_ods += em.ods.len() as u64;
+                if em.ocds.is_empty() {
+                    // Invalid candidate: the subtree is pruned (Theorem
+                    // 3.7). Recorded for the dump's lattice verdicts.
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        rec.push_pruned(cand.x.as_slice(), cand.y.as_slice());
+                    }
+                }
                 acc.ocds.extend(em.ocds);
                 acc.ods.extend(em.ods);
                 acc.generated += em.generated;
@@ -652,6 +664,236 @@ fn absorb_level_outcomes(
     }
 }
 
+/// Position of a level-synchronous driver in the search: the per-branch
+/// allowance bookkeeping plus the current frontier. Built either from the
+/// level-2 seed queue (fresh run) or from a [`SearchSnapshot`] (resume) —
+/// the two are indistinguishable to the drivers, which is exactly what
+/// makes `resume == uninterrupted` hold.
+struct LevelCursor {
+    states: HashMap<(ColumnId, ColumnId), BranchState>,
+    level: Vec<Candidate>,
+    level_no: usize,
+}
+
+impl LevelCursor {
+    fn from_queue(queue: Vec<(Candidate, u64)>) -> LevelCursor {
+        let states = branch_states(&queue);
+        let level = queue.into_iter().map(|(seed, _)| seed).collect();
+        LevelCursor {
+            states,
+            level,
+            level_no: 2,
+        }
+    }
+
+    fn from_snapshot(snap: &SearchSnapshot) -> LevelCursor {
+        let states = snap
+            .branches
+            .iter()
+            .map(|b| {
+                (
+                    b.branch,
+                    BranchState {
+                        allowance: b.allowance,
+                        spent: b.spent,
+                        stopped: b.stopped,
+                        failed: b.failed,
+                    },
+                )
+            })
+            .collect();
+        let level = snap
+            .frontier
+            .iter()
+            .map(|p| Candidate {
+                x: AttrList::from_slice(&p.x),
+                y: AttrList::from_slice(&p.y),
+            })
+            .collect();
+        LevelCursor {
+            states,
+            level,
+            level_no: snap.level,
+        }
+    }
+}
+
+fn pair_of(x: &AttrList, y: &AttrList) -> CandidatePair {
+    CandidatePair {
+        x: x.as_slice().to_vec(),
+        y: y.as_slice().to_vec(),
+    }
+}
+
+/// Dump the boundary entering `level_no` if the recorder's interval wants
+/// it: the frontier, the per-branch accounting (sorted — `states` is a
+/// `HashMap`), the accumulated results, and the budget/kernel counters
+/// that make a resumed run's observability continue seamlessly. Panic-free
+/// and IO-error-swallowing by the recorder's contract — a checkpoint
+/// failure must never kill the search.
+#[allow(clippy::too_many_arguments)]
+fn record_checkpoint(
+    rec: &mut CheckpointRecorder,
+    level_no: usize,
+    level: &[Candidate],
+    states: &HashMap<(ColumnId, ColumnId), BranchState>,
+    acc: &SearchAccumulator,
+    failures: &[BranchFailure],
+    budget: &Budget,
+    shared: &SharedCaches,
+) {
+    if !rec.wants(level_no) {
+        return;
+    }
+    let mut branches: Vec<SnapshotBranch> = states
+        .iter()
+        .map(|(&branch, s)| SnapshotBranch {
+            branch,
+            allowance: s.allowance,
+            spent: s.spent,
+            stopped: s.stopped,
+            failed: s.failed,
+        })
+        .collect();
+    branches.sort_by_key(|b| b.branch);
+    let snap = SearchSnapshot {
+        version: SNAPSHOT_VERSION,
+        manifest: rec.manifest(),
+        config: rec.fingerprint(),
+        level: level_no,
+        frontier: level.iter().map(|c| pair_of(&c.x, &c.y)).collect(),
+        branches,
+        failures: failures
+            .iter()
+            .map(|f| SnapshotFailure {
+                branch: f.branch,
+                message: f.message.clone(),
+            })
+            .collect(),
+        ocds: acc.ocds.iter().map(|o| pair_of(&o.lhs, &o.rhs)).collect(),
+        ods: acc.ods.iter().map(|o| pair_of(&o.lhs, &o.rhs)).collect(),
+        generated: acc.generated,
+        levels: acc.levels.clone(),
+        level_capped: acc.level_capped,
+        check_budget_hit: acc.check_budget_hit,
+        checks: budget.checks(),
+        elapsed_ms: rec.elapsed_ms(),
+        kernels: rec.kernels_now(),
+        cache: rec.cache_meta(shared.stats()),
+        pruned: rec.pruned_pairs(),
+        termination: None,
+    };
+    rec.write_boundary(snap);
+}
+
+/// Level-synchronous sequential driver, used by `Sequential` (and
+/// `StaticQueues`, which has no global frontier to dump) whenever a
+/// checkpoint recorder is installed or a run is resumed. One checker
+/// processes the whole level in candidate order and the outcomes go
+/// through the same input-ordered post-filter as the parallel drivers
+/// ([`absorb_level_outcomes`]) — which is the existing proof that its
+/// results are byte-identical to `run_queue`'s depth-first-by-branch
+/// traversal. Candidate panics are isolated exactly as in the `Rayon`
+/// driver: caught per candidate, the possibly-inconsistent checker
+/// rebuilt, the branch quarantined by the post-filter.
+#[allow(clippy::too_many_arguments)]
+fn run_sequential_levels(
+    rel: &Relation,
+    universe: &[ColumnId],
+    cursor: LevelCursor,
+    config: &DiscoveryConfig,
+    budget: &Budget,
+    shared: &SharedCaches,
+    acc: &mut SearchAccumulator,
+    failures: &mut Vec<BranchFailure>,
+    mut recorder: Option<&mut CheckpointRecorder>,
+) {
+    let LevelCursor {
+        mut states,
+        mut level,
+        mut level_no,
+    } = cursor;
+    let mut next: Vec<Candidate> = Vec::new();
+    let mut next_parts: Vec<((ColumnId, ColumnId), Vec<Candidate>)> = Vec::new();
+    let mut checker = Checker::new(rel, config, shared);
+    // Initial boundary: a kill at any point during the first level already
+    // has a resume point.
+    if let Some(rec) = recorder.as_deref_mut() {
+        record_checkpoint(
+            rec, level_no, &level, &states, acc, failures, budget, shared,
+        );
+    }
+    while !level.is_empty() && !budget.is_stopped() {
+        if config.max_level.is_some_and(|max| level_no > max) {
+            acc.level_capped = true;
+            break;
+        }
+        checker.begin_level();
+        let mut results: Vec<SpecOutcome> = Vec::with_capacity(level.len());
+        for cand in &level {
+            let skip = budget.is_stopped()
+                || states
+                    .get(&cand.branch())
+                    .is_none_or(|s| s.stopped || s.failed);
+            if skip {
+                // The post-filter ignores the outcome of a stopped or
+                // failed branch, so the check can be elided entirely.
+                results.push(SpecOutcome::Skipped);
+                continue;
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(any(test, feature = "fault-injection"))]
+                if let Some(plan) = &config.fault {
+                    plan.before_candidate(cand.branch());
+                }
+                let mut em = Emission::default();
+                process_candidate(universe, cand, &mut checker, &mut em);
+                em
+            }));
+            match outcome {
+                Ok(em) => {
+                    budget.probe();
+                    results.push(SpecOutcome::Done(em));
+                }
+                Err(payload) => {
+                    // Quarantine the possibly-inconsistent checker state
+                    // before the next candidate.
+                    checker = Checker::new(rel, config, shared);
+                    checker.begin_level();
+                    results.push(SpecOutcome::Panicked(panic_message(payload.as_ref())));
+                }
+            }
+        }
+        absorb_level_outcomes(
+            &level,
+            results,
+            &mut states,
+            level_no,
+            config,
+            budget,
+            acc,
+            failures,
+            &mut next,
+            &mut next_parts,
+            recorder.as_deref_mut(),
+        );
+        checker.publish_pending();
+        std::mem::swap(&mut level, &mut next);
+        level_no += 1;
+        // Dump the completed boundary — but not a level cut short by the
+        // global time budget or cancellation, whose skipped candidates
+        // would be silently lost on resume. The previous boundary stays
+        // the resume point in that case.
+        if !budget.is_stopped() {
+            if let Some(rec) = recorder.as_deref_mut() {
+                record_checkpoint(
+                    rec, level_no, &level, &states, acc, failures, budget, shared,
+                );
+            }
+        }
+    }
+}
+
 /// The `Rayon` mode driver: per-level `par_iter` over *all* branches'
 /// candidates, then a single-threaded, input-ordered post-filter that
 /// replays the per-branch allowance accounting. Because the rayon shim's
@@ -667,19 +909,27 @@ fn absorb_level_outcomes(
 fn run_rayon_levels(
     rel: &Relation,
     universe: &[ColumnId],
-    queue: Vec<(Candidate, u64)>,
+    cursor: LevelCursor,
     config: &DiscoveryConfig,
     budget: &Budget,
     shared: &SharedCaches,
     acc: &mut SearchAccumulator,
     failures: &mut Vec<BranchFailure>,
+    mut recorder: Option<&mut CheckpointRecorder>,
 ) {
-    let mut states = branch_states(&queue);
-    let mut level: Vec<Candidate> = queue.into_iter().map(|(seed, _)| seed).collect();
+    let LevelCursor {
+        mut states,
+        mut level,
+        mut level_no,
+    } = cursor;
     // Reused level-to-level, see `absorb_level_outcomes`.
     let mut next: Vec<Candidate> = Vec::new();
     let mut next_parts: Vec<((ColumnId, ColumnId), Vec<Candidate>)> = Vec::new();
-    let mut level_no = 2usize;
+    if let Some(rec) = recorder.as_deref_mut() {
+        record_checkpoint(
+            rec, level_no, &level, &states, acc, failures, budget, shared,
+        );
+    }
     while !level.is_empty() && !budget.is_stopped() {
         if config.max_level.is_some_and(|max| level_no > max) {
             acc.level_capped = true;
@@ -729,9 +979,17 @@ fn run_rayon_levels(
             failures,
             &mut next,
             &mut next_parts,
+            recorder.as_deref_mut(),
         );
         std::mem::swap(&mut level, &mut next);
         level_no += 1;
+        if !budget.is_stopped() {
+            if let Some(rec) = recorder.as_deref_mut() {
+                record_checkpoint(
+                    rec, level_no, &level, &states, acc, failures, budget, shared,
+                );
+            }
+        }
     }
 }
 
@@ -857,17 +1115,21 @@ fn run_batch<'r>(
 fn run_workstealing_levels(
     rel: &Relation,
     universe: &[ColumnId],
-    queue: Vec<(Candidate, u64)>,
+    cursor: LevelCursor,
     workers: usize,
     config: &DiscoveryConfig,
     budget: &Budget,
     shared: &SharedCaches,
     acc: &mut SearchAccumulator,
     failures: &mut Vec<BranchFailure>,
+    mut recorder: Option<&mut CheckpointRecorder>,
 ) -> SchedulerStats {
     let k = workers.max(1);
-    let mut states = branch_states(&queue);
-    let mut level: Vec<Candidate> = queue.into_iter().map(|(seed, _)| seed).collect();
+    let LevelCursor {
+        mut states,
+        mut level,
+        mut level_no,
+    } = cursor;
     let mut next: Vec<Candidate> = Vec::new();
     let mut next_parts: Vec<((ColumnId, ColumnId), Vec<Candidate>)> = Vec::new();
     let mut checkers: Vec<Checker<'_>> =
@@ -877,7 +1139,11 @@ fn run_workstealing_levels(
         levels: 0,
         workers: vec![WorkerSchedStats::default(); k],
     };
-    let mut level_no = 2usize;
+    if let Some(rec) = recorder.as_deref_mut() {
+        record_checkpoint(
+            rec, level_no, &level, &states, acc, failures, budget, shared,
+        );
+    }
     while !level.is_empty() && !budget.is_stopped() {
         if config.max_level.is_some_and(|max| level_no > max) {
             acc.level_capped = true;
@@ -958,6 +1224,7 @@ fn run_workstealing_levels(
             failures,
             &mut next,
             &mut next_parts,
+            recorder.as_deref_mut(),
         );
         // Publish buffered cache inserts in worker order: deterministic
         // epoch stamps for the next level's snapshot.
@@ -966,6 +1233,13 @@ fn run_workstealing_levels(
         }
         std::mem::swap(&mut level, &mut next);
         level_no += 1;
+        if !budget.is_stopped() {
+            if let Some(rec) = recorder.as_deref_mut() {
+                record_checkpoint(
+                    rec, level_no, &level, &states, acc, failures, budget, shared,
+                );
+            }
+        }
     }
     sched
 }
@@ -1104,20 +1378,11 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     let start = crate::runtime::now();
     let kernels_before = kernel_stats::snapshot();
 
-    let reduction_threads = match config.mode {
-        ParallelMode::Sequential => 1,
-        ParallelMode::StaticQueues(k) | ParallelMode::Rayon(k) | ParallelMode::WorkStealing(k) => {
-            k.max(1)
-        }
-    };
-    let reduction = if config.column_reduction {
-        crate::reduction::columns_reduction_with_threads(rel, reduction_threads)
-    } else {
-        Reduction {
-            attributes: (0..rel.num_columns()).collect(),
-            ..Reduction::default()
-        }
-    };
+    let reduction = run_reduction(rel, config);
+    let mut recorder = config
+        .checkpoint
+        .clone()
+        .map(|policy| CheckpointRecorder::new(policy, rel, config, start, kernels_before));
 
     let budget = Budget::new(config, start, reduction.checks);
     let shared = SharedCaches::from_config(config);
@@ -1130,6 +1395,25 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     let mut failures: Vec<BranchFailure> = Vec::new();
     let mut scheduler: Option<SchedulerStats> = None;
     match config.mode {
+        // With a checkpoint recorder installed, the branch-sequential
+        // modes switch to the level-synchronous sequential driver — it is
+        // the only traversal with a global frontier to dump, and its
+        // results are byte-identical by the post-filter argument
+        // (`StaticQueues`' round-robin partition changes nothing about
+        // what is checked, only on which thread).
+        ParallelMode::Sequential | ParallelMode::StaticQueues(_) if recorder.is_some() => {
+            run_sequential_levels(
+                rel,
+                universe,
+                LevelCursor::from_queue(queue),
+                config,
+                &budget,
+                &shared,
+                &mut acc,
+                &mut failures,
+                recorder.as_mut(),
+            );
+        }
         ParallelMode::Sequential => {
             let (a, f) = run_queue(rel, universe, queue, config, &budget, &shared);
             acc.merge(a);
@@ -1188,16 +1472,30 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
                     run_rayon_levels(
                         rel,
                         universe,
-                        queue,
+                        LevelCursor::from_queue(queue),
                         config,
                         &budget,
                         &shared,
                         &mut acc,
                         &mut failures,
+                        recorder.as_mut(),
                     );
                 }),
-                // No pool — degrade to the sequential path instead of
+                // No pool — degrade to a sequential path instead of
                 // aborting; results are identical by construction.
+                Err(_) if recorder.is_some() => {
+                    run_sequential_levels(
+                        rel,
+                        universe,
+                        LevelCursor::from_queue(queue),
+                        config,
+                        &budget,
+                        &shared,
+                        &mut acc,
+                        &mut failures,
+                        recorder.as_mut(),
+                    );
+                }
                 Err(_) => {
                     let (a, f) = run_queue(rel, universe, queue, config, &budget, &shared);
                     acc.merge(a);
@@ -1209,17 +1507,217 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
             scheduler = Some(run_workstealing_levels(
                 rel,
                 universe,
-                queue,
+                LevelCursor::from_queue(queue),
                 k,
                 config,
                 &budget,
                 &shared,
                 &mut acc,
                 &mut failures,
+                recorder.as_mut(),
             ));
         }
     }
 
+    finalize_result(
+        reduction,
+        acc,
+        failures,
+        &budget,
+        &shared,
+        scheduler,
+        start.elapsed(),
+        kernel_stats::snapshot().since(&kernels_before),
+        recorder.as_mut(),
+    )
+}
+
+/// Resume a checkpointed run from a [`SearchSnapshot`] (see
+/// [`crate::snapshot`]): validate the dump against `rel` and `config`
+/// (version, manifest hash, semantic config fingerprint), rebuild the
+/// frontier and per-branch accounting, and replay the remaining levels.
+///
+/// The result is **byte-identical** to what the uninterrupted run would
+/// have produced — the same OCDs/ODs/constants/equivalence classes, the
+/// same `checks`, `candidates_generated`, per-level stats, and termination
+/// reason — across every [`ParallelMode`] and cache configuration, because
+/// the level drivers cannot distinguish a snapshot-built `LevelCursor`
+/// from a fresh one. (`StaticQueues` resumes on the level-synchronous
+/// sequential driver, which checks the same candidates on one thread.)
+/// Wall-clock `elapsed` and kernel counters continue cumulatively from the
+/// dump; the time budget, if any, restarts at the resume (timing is not
+/// part of the deterministic result).
+///
+/// When `config.checkpoint` is also set, the resumed run keeps dumping at
+/// level boundaries, so a resume can itself be killed and resumed.
+pub fn discover_resume(
+    rel: &Relation,
+    config: &DiscoveryConfig,
+    snap: &SearchSnapshot,
+) -> Result<DiscoveryResult, SnapshotError> {
+    snap.validate(rel, config)?;
+    let start = crate::runtime::now();
+
+    let reduction = run_reduction(rel, config);
+    // Kernel counters are snapshotted *after* the reduction recompute: the
+    // dump's counters already include the original run's reduction, so
+    // counting the recompute again would double it.
+    let kernels_before = kernel_stats::snapshot();
+    let mut recorder = config
+        .checkpoint
+        .clone()
+        .map(|policy| CheckpointRecorder::resuming(policy, snap, config, start, kernels_before));
+
+    // Seed the budget with the dump's cumulative counter — it already
+    // includes the reduction checks, so the resumed run's `checks` column
+    // continues exactly where the interrupted run left off.
+    let budget = Budget::new(config, start, snap.checks);
+    let shared = SharedCaches::from_config(config);
+    let universe = &reduction.attributes;
+
+    let mut acc = SearchAccumulator {
+        ocds: snap
+            .ocds
+            .iter()
+            .map(|p| Ocd::new(AttrList::from_slice(&p.x), AttrList::from_slice(&p.y)))
+            .collect(),
+        ods: snap
+            .ods
+            .iter()
+            .map(|p| Od::new(AttrList::from_slice(&p.x), AttrList::from_slice(&p.y)))
+            .collect(),
+        generated: snap.generated,
+        levels: snap.levels.clone(),
+        level_capped: snap.level_capped,
+        check_budget_hit: snap.check_budget_hit,
+    };
+    let mut failures: Vec<BranchFailure> = snap
+        .failures
+        .iter()
+        .map(|f| BranchFailure {
+            branch: f.branch,
+            message: f.message.clone(),
+        })
+        .collect();
+    let cursor = LevelCursor::from_snapshot(snap);
+
+    let mut scheduler: Option<SchedulerStats> = None;
+    match config.mode {
+        ParallelMode::Sequential | ParallelMode::StaticQueues(_) => {
+            run_sequential_levels(
+                rel,
+                universe,
+                cursor,
+                config,
+                &budget,
+                &shared,
+                &mut acc,
+                &mut failures,
+                recorder.as_mut(),
+            );
+        }
+        ParallelMode::Rayon(k) => {
+            match rayon::ThreadPoolBuilder::new()
+                .num_threads(k.max(1))
+                .build()
+            {
+                Ok(pool) => pool.install(|| {
+                    run_rayon_levels(
+                        rel,
+                        universe,
+                        cursor,
+                        config,
+                        &budget,
+                        &shared,
+                        &mut acc,
+                        &mut failures,
+                        recorder.as_mut(),
+                    );
+                }),
+                Err(_) => {
+                    run_sequential_levels(
+                        rel,
+                        universe,
+                        cursor,
+                        config,
+                        &budget,
+                        &shared,
+                        &mut acc,
+                        &mut failures,
+                        recorder.as_mut(),
+                    );
+                }
+            }
+        }
+        ParallelMode::WorkStealing(k) => {
+            scheduler = Some(run_workstealing_levels(
+                rel,
+                universe,
+                cursor,
+                k,
+                config,
+                &budget,
+                &shared,
+                &mut acc,
+                &mut failures,
+                recorder.as_mut(),
+            ));
+        }
+    }
+
+    let elapsed = std::time::Duration::from_millis(snap.elapsed_ms).saturating_add(start.elapsed());
+    let kernels = kernel_stats::snapshot()
+        .since(&kernels_before)
+        .plus(&snap.kernels);
+    Ok(finalize_result(
+        reduction,
+        acc,
+        failures,
+        &budget,
+        &shared,
+        scheduler,
+        elapsed,
+        kernels,
+        recorder.as_mut(),
+    ))
+}
+
+/// The column-reduction preprocessing of a run, threaded by mode (shared
+/// by [`discover`] and [`discover_resume`] — reduction is deterministic,
+/// so a resume recomputes the same facts the dump's run saw).
+fn run_reduction(rel: &Relation, config: &DiscoveryConfig) -> Reduction {
+    let reduction_threads = match config.mode {
+        ParallelMode::Sequential => 1,
+        ParallelMode::StaticQueues(k) | ParallelMode::Rayon(k) | ParallelMode::WorkStealing(k) => {
+            k.max(1)
+        }
+    };
+    if config.column_reduction {
+        crate::reduction::columns_reduction_with_threads(rel, reduction_threads)
+    } else {
+        Reduction {
+            attributes: (0..rel.num_columns()).collect(),
+            ..Reduction::default()
+        }
+    }
+}
+
+/// The shared tail of [`discover`] and [`discover_resume`]: quarantine
+/// filtering, termination classification, canonical ordering, the
+/// checkpoint recorder's end-of-run GC, and the result assembly.
+#[allow(clippy::too_many_arguments)]
+fn finalize_result(
+    reduction: Reduction,
+    acc: SearchAccumulator,
+    failures: Vec<BranchFailure>,
+    budget: &Budget,
+    shared: &SharedCaches,
+    scheduler: Option<SchedulerStats>,
+    elapsed: std::time::Duration,
+    kernels: kernel_stats::KernelCounts,
+    recorder: Option<&mut CheckpointRecorder>,
+) -> DiscoveryResult {
+    let mut acc = acc;
     // Quarantine filter: drop the dependencies rooted in failed branches.
     // The branch-sequential paths already lost them with the branch's
     // accumulator; under `Rayon` (and a dead StaticQueues worker) emissions
@@ -1255,6 +1753,13 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
         }
     };
 
+    // End-of-run checkpoint bookkeeping: GC the dumps of a complete run,
+    // or persist a `-final` dump carrying the termination of an early stop.
+    let checkpoint = recorder.map(|rec| {
+        rec.finish(&termination);
+        rec.stats()
+    });
+
     // Canonical ordering: shorter dependencies first (the BFS guarantee),
     // then lexicographic — identical across all execution modes.
     let mut ocds = acc.ocds;
@@ -1285,15 +1790,15 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
         constants: reduction.constants,
         equivalence_classes: reduction.equivalence_classes,
         reduced_attributes: reduction.attributes,
-        // lint: allow(determinism-taint, budget and start are clock-seeded handles, but the fields read here — the checks counter and the elapsed duration — are observability values excluded from byte-identity comparisons across backends)
         checks: budget.checks(),
         candidates_generated: acc.generated,
         levels,
-        elapsed: start.elapsed(),
+        elapsed,
         termination,
         cache: shared.stats(),
         scheduler,
-        kernels: kernel_stats::snapshot().since(&kernels_before),
+        kernels,
+        checkpoint,
     }
 }
 
@@ -2058,5 +2563,153 @@ mod tests {
         for ocd in &result.ocds {
             assert!(ocd.is_syntactically_minimal());
         }
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ocdd-search-ckpt-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// The deterministic result fields two runs must agree on byte-for-byte
+    /// (elapsed/kernels/cache/scheduler/checkpoint are observability).
+    fn assert_same_result(a: &DiscoveryResult, b: &DiscoveryResult, label: &str) {
+        assert_eq!(a.ocds, b.ocds, "{label}: ocds");
+        assert_eq!(a.ods, b.ods, "{label}: ods");
+        assert_eq!(a.constants, b.constants, "{label}: constants");
+        assert_eq!(
+            a.equivalence_classes, b.equivalence_classes,
+            "{label}: classes"
+        );
+        assert_eq!(a.checks, b.checks, "{label}: checks");
+        assert_eq!(
+            a.candidates_generated, b.candidates_generated,
+            "{label}: generated"
+        );
+        assert_eq!(a.levels, b.levels, "{label}: levels");
+        assert_eq!(a.termination, b.termination, "{label}: termination");
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_dumps_boundaries() {
+        use crate::snapshot::{list_snapshots, CheckpointPolicy};
+        let r = staircase(4, 40);
+        let plain = discover(&r, &DiscoveryConfig::default());
+        let dir = ckpt_dir("plain");
+        let policy = CheckpointPolicy {
+            keep_last: 0,
+            delete_on_complete: false,
+            ..CheckpointPolicy::new(&dir)
+        };
+        for mode in [
+            ParallelMode::Sequential,
+            ParallelMode::StaticQueues(3),
+            ParallelMode::Rayon(3),
+            ParallelMode::WorkStealing(3),
+        ] {
+            let ck = discover(
+                &r,
+                &DiscoveryConfig {
+                    mode,
+                    checkpoint: Some(policy.clone()),
+                    ..DiscoveryConfig::default()
+                },
+            );
+            assert_same_result(&plain, &ck, &format!("{mode:?}"));
+            let stats = ck.checkpoint.expect("checkpoint stats present");
+            assert!(stats.snapshots_written > 0, "{mode:?}");
+            assert_eq!(stats.write_errors, 0, "{mode:?}");
+        }
+        assert!(!list_snapshots(&dir, None).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_from_every_boundary_matches_uninterrupted() {
+        use crate::snapshot::{list_snapshots, read_snapshot, CheckpointPolicy};
+        let r = staircase(5, 60);
+        let full = discover(&r, &DiscoveryConfig::default());
+        assert!(full.complete());
+
+        // One checkpointed reference run keeping every boundary dump.
+        let dir = ckpt_dir("resume");
+        let config = DiscoveryConfig {
+            checkpoint: Some(CheckpointPolicy {
+                keep_last: 0,
+                delete_on_complete: false,
+                ..CheckpointPolicy::new(&dir)
+            }),
+            ..DiscoveryConfig::default()
+        };
+        let ck = discover(&r, &config);
+        assert_same_result(&full, &ck, "checkpointed reference");
+
+        // Resuming from every retained boundary — i.e. as if the process
+        // had been killed at any level — reproduces the uninterrupted
+        // result under every backend.
+        let dumps = list_snapshots(&dir, None).unwrap();
+        assert!(dumps.len() >= 2, "expected several boundaries: {dumps:?}");
+        for dump in &dumps {
+            let snap = read_snapshot(dump).unwrap();
+            for mode in [
+                ParallelMode::Sequential,
+                ParallelMode::StaticQueues(3),
+                ParallelMode::Rayon(2),
+                ParallelMode::WorkStealing(3),
+            ] {
+                let resumed = discover_resume(
+                    &r,
+                    &DiscoveryConfig {
+                        mode,
+                        ..DiscoveryConfig::default()
+                    },
+                    &snap,
+                )
+                .unwrap();
+                assert_same_result(
+                    &full,
+                    &resumed,
+                    &format!("{mode:?} from {}", dump.display()),
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_continues_a_check_budget_stop() {
+        use crate::snapshot::{latest_snapshot, read_snapshot, CheckpointPolicy};
+        let r = staircase(5, 40);
+        let full = discover(&r, &DiscoveryConfig::default());
+        let capped = DiscoveryConfig {
+            max_checks: Some(30),
+            ..DiscoveryConfig::default()
+        };
+        let dir = ckpt_dir("budget");
+        let stopped = discover(
+            &r,
+            &DiscoveryConfig {
+                checkpoint: Some(CheckpointPolicy::new(&dir)),
+                ..capped.clone()
+            },
+        );
+        assert_eq!(stopped.termination, TerminationReason::CheckBudget);
+        // The early stop leaves a -final dump carrying the termination.
+        let last = latest_snapshot(&dir).unwrap();
+        assert!(last.to_string_lossy().contains("-final"), "{last:?}");
+        let snap = read_snapshot(&last).unwrap();
+        assert_eq!(snap.termination, Some(TerminationReason::CheckBudget));
+        // Resuming under the same (semantic) config replays the stop.
+        let resumed = discover_resume(&r, &capped, &snap).unwrap();
+        assert_same_result(&stopped, &resumed, "budget stop replay");
+        // And a config with a different budget is refused.
+        assert!(matches!(
+            discover_resume(&r, &DiscoveryConfig::default(), &snap),
+            Err(crate::snapshot::SnapshotError::ConfigMismatch("max_checks"))
+        ));
+        assert!(stopped.ocds.len() <= full.ocds.len());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,255 @@
+//! Dump/visualize split: render a [`SearchSnapshot`] as a GraphViz DOT
+//! lattice (`ocdd dump-dot`), modeled on OxiDD's `oxidd-dump` — the dump
+//! carries the raw search state, this module turns it into a picture,
+//! and neither needs the other to exist.
+//!
+//! The graph is the pruned candidate lattice at the dumped boundary:
+//!
+//! * **valid** nodes (solid) — candidates whose OCD check succeeded, with
+//!   the OD-direction verdicts (`X→Y`, `Y→X`) in the label;
+//! * **pruned** nodes (gray, dashed) — candidates checked and found
+//!   invalid, whose whole subtree Theorem 3.7 removed (present when the
+//!   dump was taken with [`crate::CheckpointPolicy::record_pruned`]);
+//! * **pending** nodes (blue, dotted) — the frontier, not yet checked;
+//! * edges connect each candidate to the parent it extends (one attribute
+//!   shorter on one side).
+//!
+//! The graph label carries the dump's termination annotation (or
+//! `running` for a live boundary), level, check counter, and manifest
+//! hash, so a rendered lattice is self-describing.
+
+use crate::snapshot::{CandidatePair, SearchSnapshot};
+use ocdd_relation::{ColumnId, Relation};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Escape a string for a double-quoted DOT string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one attribute list, as column names when `rel` is given and the
+/// ids are in range, as ids otherwise.
+fn attr_list(ids: &[ColumnId], rel: Option<&Relation>) -> String {
+    let parts: Vec<String> = ids
+        .iter()
+        .map(|&c| match rel {
+            Some(r) if c < r.num_columns() => escape(&r.meta(c).name),
+            _ => c.to_string(),
+        })
+        .collect();
+    format!("[{}]", parts.join(","))
+}
+
+/// Node verdict, in display order of severity.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Valid,
+    Pruned,
+    Pending,
+}
+
+/// Parents of a candidate in the lattice: drop the last attribute of
+/// either side (children only ever append, Algorithm 3).
+fn parents(pair: &CandidatePair) -> Vec<(Vec<ColumnId>, Vec<ColumnId>)> {
+    let mut out = Vec::new();
+    if pair.x.len() > 1 {
+        let mut x = pair.x.clone();
+        x.pop();
+        out.push((x, pair.y.clone()));
+    }
+    if pair.y.len() > 1 {
+        let mut y = pair.y.clone();
+        y.pop();
+        out.push((pair.x.clone(), y));
+    }
+    out
+}
+
+/// Render a dump as a GraphViz DOT digraph of the pruned candidate
+/// lattice; see the module docs for the node classes. Pass the original
+/// relation to resolve column ids to names (the CLI's `dump-dot --csv`);
+/// without it, nodes show raw ids.
+pub fn snapshot_to_dot(snap: &SearchSnapshot, rel: Option<&Relation>) -> String {
+    // Node order: valid OCDs, then pruned, then the pending frontier —
+    // first writer wins, so a candidate that is both emitted and on the
+    // frontier (impossible today, defensive anyway) renders once.
+    let mut index: HashMap<(&[ColumnId], &[ColumnId]), usize> = HashMap::new();
+    let mut nodes: Vec<(&CandidatePair, Verdict)> = Vec::new();
+    let classes: [(&[CandidatePair], Verdict); 3] = [
+        (&snap.ocds, Verdict::Valid),
+        (&snap.pruned, Verdict::Pruned),
+        (&snap.frontier, Verdict::Pending),
+    ];
+    for (pairs, verdict) in classes {
+        for pair in pairs {
+            index.entry((&pair.x, &pair.y)).or_insert_with(|| {
+                nodes.push((pair, verdict));
+                nodes.len() - 1
+            });
+        }
+    }
+    // OD directions of the valid nodes, for the per-node verdict label.
+    let ods: HashMap<(&[ColumnId], &[ColumnId]), ()> = snap
+        .ods
+        .iter()
+        .map(|p| ((p.x.as_slice(), p.y.as_slice()), ()))
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("digraph ocdd_lattice {\n");
+    out.push_str("  rankdir=BT;\n");
+    out.push_str("  node [shape=box, fontname=\"monospace\"];\n");
+    let termination = snap
+        .termination
+        .as_ref()
+        .map_or_else(|| "running".to_string(), |t| t.label().to_string());
+    let _ = writeln!(
+        out,
+        "  label=\"ocdd checkpoint: level {}, {} checks, termination {}, manifest {:016x}\";",
+        snap.level, snap.checks, termination, snap.manifest
+    );
+    out.push_str("  labelloc=top;\n");
+
+    for (i, (pair, verdict)) in nodes.iter().enumerate() {
+        let title = format!("{} ~ {}", attr_list(&pair.x, rel), attr_list(&pair.y, rel));
+        let (annot, style) = match verdict {
+            Verdict::Valid => {
+                let fwd = ods.contains_key(&(pair.x.as_slice(), pair.y.as_slice()));
+                let back = ods.contains_key(&(pair.y.as_slice(), pair.x.as_slice()));
+                let annot = match (fwd, back) {
+                    (true, true) => "ocd, od both ways",
+                    (true, false) => "ocd, od X->Y",
+                    (false, true) => "ocd, od Y->X",
+                    (false, false) => "ocd",
+                };
+                (annot, "style=solid")
+            }
+            Verdict::Pruned => ("pruned", "style=dashed, color=gray50, fontcolor=gray50"),
+            Verdict::Pending => ("pending", "style=dotted, color=blue3, fontcolor=blue3"),
+        };
+        let _ = writeln!(out, "  n{i} [label=\"{title}\\n{annot}\", {style}];");
+    }
+
+    for (i, (pair, _)) in nodes.iter().enumerate() {
+        for (px, py) in parents(pair) {
+            if let Some(&p) = index.get(&(px.as_slice(), py.as_slice())) {
+                let _ = writeln!(out, "  n{p} -> n{i};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::TerminationReason;
+    use crate::snapshot::{SnapshotConfig, SNAPSHOT_VERSION};
+    use ocdd_relation::sort::kernel_stats::KernelCounts;
+
+    fn pair(x: &[usize], y: &[usize]) -> CandidatePair {
+        CandidatePair {
+            x: x.to_vec(),
+            y: y.to_vec(),
+        }
+    }
+
+    fn snap() -> SearchSnapshot {
+        SearchSnapshot {
+            version: SNAPSHOT_VERSION,
+            manifest: 0xfeed,
+            config: SnapshotConfig {
+                max_checks: None,
+                max_level: None,
+                dedup_candidates: true,
+                column_reduction: true,
+            },
+            level: 3,
+            frontier: vec![pair(&[0, 2], &[1])],
+            branches: Vec::new(),
+            failures: Vec::new(),
+            ocds: vec![pair(&[0], &[1]), pair(&[0], &[2])],
+            ods: vec![pair(&[0], &[2])],
+            generated: 4,
+            levels: Vec::new(),
+            level_capped: false,
+            check_budget_hit: false,
+            checks: 9,
+            elapsed_ms: 1,
+            kernels: KernelCounts::default(),
+            cache: None,
+            pruned: vec![pair(&[1], &[2])],
+            termination: Some(TerminationReason::CheckBudget),
+        }
+    }
+
+    fn assert_balanced(dot: &str) {
+        let mut depth = 0i32;
+        for c in dot.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn emits_a_valid_digraph_with_all_node_classes() {
+        let dot = snapshot_to_dot(&snap(), None);
+        assert!(dot.starts_with("digraph ocdd_lattice {"), "{dot}");
+        assert!(dot.ends_with("}\n"));
+        assert_balanced(&dot);
+        assert!(dot.contains("ocd, od X->Y"), "{dot}");
+        assert!(dot.contains("pruned"), "{dot}");
+        assert!(dot.contains("pending"), "{dot}");
+        assert!(dot.contains("termination check_budget"), "{dot}");
+        assert!(dot.contains("level 3"), "{dot}");
+    }
+
+    #[test]
+    fn frontier_nodes_link_to_their_parents() {
+        let dot = snapshot_to_dot(&snap(), None);
+        // [0,2] ~ [1] extends [0] ~ [1] (node 0); the frontier candidate is
+        // the fourth node written (ocds 0-1, pruned 2, frontier 3).
+        assert!(dot.contains("n0 -> n3;"), "{dot}");
+    }
+
+    #[test]
+    fn names_resolve_through_the_relation() {
+        use ocdd_relation::{RelationBuilder, Value};
+        let mut b = RelationBuilder::new(vec!["inco\"me", "bracket", "tax"]);
+        b.push_row(vec![Value::Int(1), Value::Int(1), Value::Int(1)])
+            .unwrap();
+        let rel = b.finish();
+        let dot = snapshot_to_dot(&snap(), Some(&rel));
+        assert!(dot.contains("inco\\\"me"), "escaped name: {dot}");
+        assert!(dot.contains("bracket"), "{dot}");
+        // Out-of-range ids fall back to numbers rather than panicking.
+        let mut wide = snap();
+        wide.frontier.push(pair(&[7], &[8]));
+        let dot = snapshot_to_dot(&wide, Some(&rel));
+        assert!(dot.contains("[7] ~ [8]"), "{dot}");
+    }
+
+    #[test]
+    fn live_boundary_is_labelled_running() {
+        let mut s = snap();
+        s.termination = None;
+        let dot = snapshot_to_dot(&s, None);
+        assert!(dot.contains("termination running"), "{dot}");
+    }
+}

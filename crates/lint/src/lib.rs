@@ -310,7 +310,7 @@ pub fn fix_allows(root: &Path, apply: bool) -> std::io::Result<Vec<StaleAllow>> 
         if had_trailing_newline {
             rewritten.push('\n');
         }
-        std::fs::write(&abs, rewritten)?;
+        ocdd_iosafe::atomic_write_str(&abs, &rewritten)?;
     }
     Ok(analysis.stale_allows)
 }

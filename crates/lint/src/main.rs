@@ -9,6 +9,9 @@
 //!   (schema: rule, file, line, message, chain); same exit-code contract.
 //!   ci.sh uploads this to `results/lint_findings.json` and gates the
 //!   count against `results/lint_baseline.txt`.
+//! * `--out FILE` — with `--emit json`, write the document to FILE via an
+//!   atomic tmp+fsync+rename instead of stdout, so a killed CI run never
+//!   leaves a truncated findings file.
 //! * `--explain <rule>` — print what a rule enforces and why, then exit 0.
 //! * `--fix-allows` — list stale `lint: allow` annotations (dry run);
 //!   add `--apply` to delete them in place.
@@ -16,12 +19,13 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: ocdd-lint [root] [--emit json] [--explain <rule>] \
+const USAGE: &str = "usage: ocdd-lint [root] [--emit json] [--out FILE] [--explain <rule>] \
                      [--fix-allows [--apply]]";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut emit_json = false;
+    let mut out_file: Option<PathBuf> = None;
     let mut explain_rule: Option<String> = None;
     let mut fix_allows = false;
     let mut apply = false;
@@ -43,6 +47,13 @@ fn main() -> ExitCode {
                 Some(rule) => explain_rule = Some(rule),
                 None => {
                     eprintln!("ocdd-lint: --explain needs a rule name\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(path) => out_file = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("ocdd-lint: --out needs a file path\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -81,6 +92,10 @@ fn main() -> ExitCode {
     }
     if apply && !fix_allows {
         eprintln!("ocdd-lint: --apply only makes sense with --fix-allows\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if out_file.is_some() && !emit_json {
+        eprintln!("ocdd-lint: --out only makes sense with --emit json\n{USAGE}");
         return ExitCode::FAILURE;
     }
 
@@ -130,7 +145,16 @@ fn main() -> ExitCode {
     match ocdd_lint::scan_workspace(&root) {
         Ok(analysis) => {
             if emit_json {
-                print!("{}", ocdd_lint::to_json(&analysis.diagnostics));
+                let json = ocdd_lint::to_json(&analysis.diagnostics);
+                match &out_file {
+                    Some(path) => {
+                        if let Err(e) = ocdd_iosafe::atomic_write_str(path, &json) {
+                            eprintln!("ocdd-lint: cannot write {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    None => print!("{json}"),
+                }
             } else {
                 for d in &analysis.diagnostics {
                     println!("{d}");

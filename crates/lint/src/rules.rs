@@ -29,6 +29,8 @@ pub const SPAWN_CONFINEMENT: &str = "spawn-confinement";
 pub const ATOMICS_AUDIT: &str = "atomics-audit";
 /// Rule identifier: `.lock().unwrap()` banned in favor of poison recovery.
 pub const LOCK_DISCIPLINE: &str = "lock-discipline";
+/// Rule identifier: file writes confined to the `ocdd-iosafe` helper.
+pub const IO_CONFINEMENT: &str = "io-confinement";
 /// Meta rule: an annotation that suppressed nothing.
 pub const UNUSED_ALLOW: &str = "unused-allow";
 /// Meta rule: an annotation naming a rule that does not exist.
@@ -43,6 +45,7 @@ pub const ALL_RULES: &[&str] = &[
     SPAWN_CONFINEMENT,
     ATOMICS_AUDIT,
     LOCK_DISCIPLINE,
+    IO_CONFINEMENT,
 ];
 
 /// Canonical rule id for an annotation's rule name. The pre-ISSUE-5 names
@@ -133,6 +136,18 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              `.lock().unwrap()` turns poisoning into a second panic; use\n\
              the poison-recovery idiom\n\
              `unwrap_or_else(PoisonError::into_inner)`."
+        }
+        IO_CONFINEMENT => {
+            "io-confinement\n\
+             \n\
+             Direct file writes (`fs::write`, `File::create`,\n\
+             `OpenOptions`) are confined to crates/iosafe: every artifact\n\
+             the workspace persists — checkpoint dumps, BENCH_check.json,\n\
+             lint findings, bench TSVs — must go through\n\
+             `ocdd_iosafe::atomic_write` (tmp + fsync + rename), so a\n\
+             crash or SIGKILL can truncate a private tmp file but never a\n\
+             published one. The checkpoint/resume contract (DESIGN.md §13)\n\
+             depends on dumps being whole-or-absent."
         }
         _ => return None,
     })
@@ -287,6 +302,22 @@ pub fn check_file(f: &SourceFile) -> (Vec<Diagnostic>, Vec<(usize, &'static str)
                 LOCK_DISCIPLINE,
                 "`.lock().unwrap()` propagates poisoning as a second panic — use the \
                  poison-recovery idiom (`unwrap_or_else(PoisonError::into_inner)`)"
+                    .to_owned(),
+            );
+        }
+
+        if !f.path.starts_with("crates/iosafe/src/")
+            && (masked.contains("fs::write(")
+                || masked.contains("File::create(")
+                || masked.contains("OpenOptions"))
+        {
+            finding(
+                &mut out,
+                &mut used,
+                i,
+                IO_CONFINEMENT,
+                "direct file write outside crates/iosafe — route it through \
+                 `ocdd_iosafe::atomic_write` so a crash never publishes a torn file"
                     .to_owned(),
             );
         }

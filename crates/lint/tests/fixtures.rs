@@ -158,6 +158,35 @@ fn atomics_fixture_exact_diagnostics() {
 }
 
 #[test]
+fn iosafe_fixture_exact_diagnostics() {
+    let diags = scan_content(
+        "crates/bench/src/report.rs",
+        include_str!("fixtures/iosafe.rs"),
+    );
+    assert_eq!(
+        shape(&diags),
+        vec![
+            (8, rules::IO_CONFINEMENT),
+            (12, rules::IO_CONFINEMENT),
+            (16, rules::IO_CONFINEMENT),
+        ],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn direct_writes_are_allowed_inside_iosafe() {
+    let diags = scan_content(
+        "crates/iosafe/src/lib.rs",
+        include_str!("fixtures/iosafe.rs"),
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == rules::IO_CONFINEMENT),
+        "{diags:#?}"
+    );
+}
+
+#[test]
 fn spawn_is_allowed_in_search_and_runtime() {
     for path in ["crates/core/src/search.rs", "crates/core/src/runtime.rs"] {
         let diags = scan_content(path, "pub fn go() {\n    std::thread::spawn(|| {});\n}\n");

@@ -1,0 +1,22 @@
+//! Fixture: direct file writes (findings), a justified one (clean) —
+//! the same content is also scanned under crates/iosafe/src/, where the
+//! rule does not apply.
+
+use std::path::Path;
+
+pub fn dump(path: &Path, data: &str) -> std::io::Result<()> {
+    std::fs::write(path, data)
+}
+
+pub fn open(path: &Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(path)
+}
+
+pub fn append(path: &Path) -> std::io::Result<std::fs::File> {
+    std::fs::OpenOptions::new().append(true).open(path)
+}
+
+pub fn dump_justified(path: &Path, data: &str) -> std::io::Result<()> {
+    // lint: allow(io-confinement, fixture; pretend this is the helper's own internals)
+    std::fs::write(path, data)
+}

@@ -47,6 +47,7 @@ pub mod column;
 pub mod csv;
 pub mod datatype;
 pub mod error;
+pub mod manifest;
 pub mod pretty;
 pub mod relation;
 pub mod scan;
@@ -58,6 +59,7 @@ pub use column::{CodeWidth, Column, ColumnMeta, NarrowCodes};
 pub use csv::{read_csv_path, read_csv_str, write_csv, CsvOptions};
 pub use datatype::{DataType, TypingMode};
 pub use error::{Error, Result};
+pub use manifest::manifest_hash;
 pub use relation::{ColumnId, Relation, RelationBuilder};
 pub use sort::{sort_index_by, sort_index_by_single};
 pub use stats::{column_entropy, ColumnStats};

@@ -131,6 +131,22 @@ pub mod kernel_stats {
             }
         }
 
+        /// Field-wise sum — used by checkpoint resume to add the kernel
+        /// work recorded in a snapshot to the counters of the resuming
+        /// process, so `resumed == uninterrupted` holds for kernel totals
+        /// too.
+        pub fn plus(&self, other: &KernelCounts) -> KernelCounts {
+            KernelCounts {
+                counting: self.counting + other.counting,
+                packed_radix: self.packed_radix + other.packed_radix,
+                chained_refine: self.chained_refine + other.chained_refine,
+                comparator: self.comparator + other.comparator,
+                scan_scalar: self.scan_scalar + other.scan_scalar,
+                scan_block: self.scan_block + other.scan_block,
+                scan_simd: self.scan_simd + other.scan_simd,
+            }
+        }
+
         /// Sum over all sort kernels (scans are counted separately —
         /// one candidate check usually pairs one sort with one scan).
         pub fn total(&self) -> u64 {

@@ -4,10 +4,19 @@
 //! ocdd profile  <file.csv> [--algo ocdd|order|fastod|tane|bidi|approx]
 //!               [--threads N] [--lex] [--epsilon E] [--budget SECS]
 //!               [--top-k K] [--no-header] [--sep C] [--show-table] [--json]
+//!               [--out FILE] [--checkpoint-dir D] [--checkpoint-every N]
+//!               [--checkpoint-keep N] [--resume FILE|DIR]
+//! ocdd dump-dot <dump.json|DIR> [--csv file.csv] [--no-header] [--sep C]
 //! ocdd dataset  <name> [--rows N]         # emit a bundled dataset as CSV
 //! ocdd simplify <file.csv> --order-by a,b,c
 //! ocdd list                               # list bundled datasets
 //! ```
+//!
+//! `--checkpoint-dir` turns on durable checkpointing: the search dumps its
+//! frontier at every level boundary (atomic tmp+fsync+rename writes), and
+//! `--resume` rebuilds the frontier from a dump (or the newest dump in a
+//! directory) and continues — producing byte-identical results to an
+//! uninterrupted run. `dump-dot` renders a dump as a GraphViz lattice.
 
 use ocddiscover::baselines::{fastod, order_discover, tane, FastodConfig, OrderConfig, TaneConfig};
 use ocddiscover::core::approximate::discover_approximate;
@@ -17,7 +26,12 @@ use ocddiscover::core::rewrite::simplify_with_data;
 use ocddiscover::datasets::{Dataset, RowScale};
 use ocddiscover::relation::pretty::{render_summary, render_table};
 use ocddiscover::relation::{write_csv, TypingMode};
-use ocddiscover::{discover, read_csv_path, CsvOptions, DiscoveryConfig, ParallelMode, Relation};
+use ocddiscover::{
+    discover, discover_resume, latest_snapshot, manifest_hash, read_csv_path, read_snapshot,
+    snapshot_to_dot, CheckpointPolicy, CsvOptions, DiscoveryConfig, DiscoveryResult, ParallelMode,
+    Relation, SearchSnapshot,
+};
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -34,7 +48,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ocdd profile <file.csv> [--algo ocdd|order|fastod|tane|bidi|approx] \
          [--threads N] [--mode static|rayon|steal] [--lex] [--epsilon E] [--budget SECS] \
-         [--top-k K] [--no-header] [--sep C] [--show-table]\n  ocdd dataset <name> [--rows N]\n  \
+         [--top-k K] [--no-header] [--sep C] [--show-table] [--json] [--out FILE] \
+         [--checkpoint-dir D] [--checkpoint-every N] [--checkpoint-keep N] \
+         [--resume FILE|DIR]\n  \
+         ocdd dump-dot <dump.json|DIR> [--csv file.csv] [--no-header] [--sep C]\n  \
+         ocdd dataset <name> [--rows N]\n  \
          ocdd simplify <file.csv> --order-by a,b,c\n  ocdd list"
     );
     ExitCode::from(2)
@@ -49,6 +67,9 @@ struct ProfileArgs {
     top_k: Option<usize>,
     show_table: bool,
     json: bool,
+    out: Option<String>,
+    resume: Option<String>,
+    check_delay_ms: Option<u64>,
 }
 
 fn parse_profile(args: &[String]) -> Option<ProfileArgs> {
@@ -61,9 +82,15 @@ fn parse_profile(args: &[String]) -> Option<ProfileArgs> {
         top_k: None,
         show_table: false,
         json: false,
+        out: None,
+        resume: None,
+        check_delay_ms: None,
     };
     let mut threads: usize = 1;
     let mut mode = "static".to_owned();
+    let mut ckpt_dir: Option<String> = None;
+    let mut ckpt_every: Option<usize> = None;
+    let mut ckpt_keep: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -81,11 +108,32 @@ fn parse_profile(args: &[String]) -> Option<ProfileArgs> {
             "--sep" => out.csv.separator = iter.next()?.chars().next()?,
             "--show-table" => out.show_table = true,
             "--json" => out.json = true,
+            "--out" => out.out = Some(iter.next()?.clone()),
+            "--checkpoint-dir" => ckpt_dir = Some(iter.next()?.clone()),
+            "--checkpoint-every" => ckpt_every = Some(iter.next()?.parse().ok()?),
+            "--checkpoint-keep" => ckpt_keep = Some(iter.next()?.parse().ok()?),
+            "--resume" => out.resume = Some(iter.next()?.clone()),
+            "--check-delay-ms" => out.check_delay_ms = Some(iter.next()?.parse().ok()?),
             other if out.path.is_empty() && !other.starts_with('-') => {
                 out.path = other.to_owned();
             }
             _ => return None,
         }
+    }
+    if let Some(dir) = ckpt_dir {
+        let mut policy = CheckpointPolicy::new(dir);
+        if let Some(n) = ckpt_every {
+            policy.every_levels = n.max(1);
+        }
+        if let Some(n) = ckpt_keep {
+            policy.keep_last = n;
+        }
+        // A CLI run that checkpoints is one the operator may want to
+        // resume or inspect — keep the final dump around.
+        policy.delete_on_complete = false;
+        out.config.checkpoint = Some(policy);
+    } else if ckpt_every.is_some() || ckpt_keep.is_some() {
+        return None; // interval/retention without --checkpoint-dir
     }
     out.config.mode = if threads <= 1 && mode != "steal" {
         ParallelMode::Sequential
@@ -98,6 +146,33 @@ fn parse_profile(args: &[String]) -> Option<ProfileArgs> {
         }
     };
     (!out.path.is_empty()).then_some(out)
+}
+
+/// Resolve a `--resume`/`dump-dot` operand: a file is read directly, a
+/// directory means "the newest checkpoint in there".
+fn load_snapshot(spec: &str) -> Result<SearchSnapshot, String> {
+    let path = Path::new(spec);
+    let file = if path.is_dir() {
+        latest_snapshot(path).map_err(|e| e.to_string())?
+    } else {
+        path.to_path_buf()
+    };
+    read_snapshot(&file).map_err(|e| format!("{}: {e}", file.display()))
+}
+
+/// Install the fault-injection check delay used by the crash harness, or
+/// explain why the flag is unavailable in this build.
+#[cfg(feature = "fault-injection")]
+fn apply_check_delay(config: &mut DiscoveryConfig, ms: u64) -> bool {
+    let plan = ocddiscover::FaultPlan::delay_checks(Duration::from_millis(ms));
+    config.fault = Some(std::sync::Arc::new(plan));
+    true
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn apply_check_delay(_config: &mut DiscoveryConfig, _ms: u64) -> bool {
+    eprintln!("ocdd: --check-delay-ms requires a build with --features fault-injection");
+    false
 }
 
 fn print_discovery(rel: &Relation, result: &ocddiscover::DiscoveryResult) {
@@ -120,10 +195,36 @@ fn print_discovery(rel: &Relation, result: &ocddiscover::DiscoveryResult) {
     );
 }
 
+/// Report a discovery run: JSON to `--out` (atomic write), JSON to stdout
+/// under `--json`, the human listing otherwise.
+fn emit_result(rel: &Relation, result: &DiscoveryResult, p: &ProfileArgs) -> ExitCode {
+    if p.json || p.out.is_some() {
+        let json = ocddiscover::core::json::result_to_json(result, rel);
+        if let Some(path) = &p.out {
+            if let Err(e) = ocdd_iosafe::atomic_write_str(Path::new(path), &json) {
+                eprintln!("ocdd: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if p.json {
+            println!("{json}");
+        }
+    }
+    if !p.json {
+        print_discovery(rel, result);
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_profile(args: &[String]) -> ExitCode {
-    let Some(p) = parse_profile(args) else {
+    let Some(mut p) = parse_profile(args) else {
         return usage();
     };
+    if let Some(ms) = p.check_delay_ms {
+        if !apply_check_delay(&mut p.config, ms) {
+            return ExitCode::FAILURE;
+        }
+    }
     let rel = match read_csv_path(&p.path, &p.csv) {
         Ok(r) => r,
         Err(e) => {
@@ -138,28 +239,43 @@ fn cmd_profile(args: &[String]) -> ExitCode {
         }
     }
 
+    if p.algo != "ocdd" && (p.resume.is_some() || p.out.is_some() || p.config.checkpoint.is_some())
+    {
+        eprintln!("ocdd: --resume/--out/--checkpoint-dir are only supported with --algo ocdd");
+        return ExitCode::FAILURE;
+    }
     match p.algo.as_str() {
         "ocdd" => {
+            if let Some(spec) = &p.resume {
+                if p.top_k.is_some() {
+                    eprintln!("ocdd: --resume cannot be combined with --top-k");
+                    return ExitCode::FAILURE;
+                }
+                let snap = match load_snapshot(spec) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("ocdd: cannot resume: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                return match discover_resume(&rel, &p.config, &snap) {
+                    Ok(result) => emit_result(&rel, &result, &p),
+                    Err(e) => {
+                        eprintln!("ocdd: cannot resume: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             if let Some(k) = p.top_k {
                 let guided = discover_top_k(&rel, k, &p.config).expect("k within range");
                 let projected = rel.project(&guided.selected).expect("valid projection");
-                if p.json {
-                    println!(
-                        "{}",
-                        ocddiscover::core::json::result_to_json(&guided.result, &projected)
-                    );
-                } else {
+                if !p.json {
                     println!("(profiling the {k} most diverse columns)");
-                    print_discovery(&projected, &guided.result);
                 }
-            } else {
-                let result = discover(&rel, &p.config);
-                if p.json {
-                    println!("{}", ocddiscover::core::json::result_to_json(&result, &rel));
-                } else {
-                    print_discovery(&rel, &result);
-                }
+                return emit_result(&projected, &guided.result, &p);
             }
+            let result = discover(&rel, &p.config);
+            return emit_result(&rel, &result, &p);
         }
         "order" => {
             let res = order_discover(
@@ -249,6 +365,62 @@ fn cmd_profile(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_dump_dot(args: &[String]) -> ExitCode {
+    let mut spec: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut csv = CsvOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--csv" => match iter.next() {
+                Some(v) => csv_path = Some(v.clone()),
+                None => return usage(),
+            },
+            "--no-header" => csv.has_header = false,
+            "--sep" => match iter.next().and_then(|v| v.chars().next()) {
+                Some(c) => csv.separator = c,
+                None => return usage(),
+            },
+            other if spec.is_none() && !other.starts_with('-') => spec = Some(other.to_owned()),
+            _ => return usage(),
+        }
+    }
+    let Some(spec) = spec else {
+        return usage();
+    };
+    let snap = match load_snapshot(&spec) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ocdd: cannot read dump: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rel = match csv_path {
+        Some(path) => match read_csv_path(&path, &csv) {
+            Ok(rel) => {
+                // Refuse to label the lattice with columns from a different
+                // table than the one the dump was taken from.
+                let have = manifest_hash(&rel);
+                if have != snap.manifest {
+                    eprintln!(
+                        "ocdd: {path} does not match the dump (manifest {have:016x}, dump has {:016x})",
+                        snap.manifest
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Some(rel)
+            }
+            Err(e) => {
+                eprintln!("ocdd: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    print!("{}", snapshot_to_dot(&snap, rel.as_ref()));
+    ExitCode::SUCCESS
+}
+
 fn cmd_dataset(args: &[String]) -> ExitCode {
     let Some(name) = args.first() else {
         return usage();
@@ -328,6 +500,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("profile") => cmd_profile(&args[1..]),
+        Some("dump-dot") => cmd_dump_dot(&args[1..]),
         Some("dataset") => cmd_dataset(&args[1..]),
         Some("simplify") => cmd_simplify(&args[1..]),
         Some("list") => {

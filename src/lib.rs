@@ -29,8 +29,10 @@ pub use ocdd_datasets as datasets;
 pub use ocdd_relation as relation;
 
 pub use ocdd_core::{
-    check_ocd, check_od, check_od_after_ocd, columns_reduction, discover, AttrList, CheckOutcome,
-    CheckerBackend, DiscoveryConfig, DiscoveryResult, FaultPlan, Ocd, Od, OrderEquivalence,
-    ParallelMode, RunController, SchedulerStats, TerminationReason, WorkerSchedStats,
+    check_ocd, check_od, check_od_after_ocd, columns_reduction, discover, discover_resume,
+    latest_snapshot, read_snapshot, snapshot_to_dot, AttrList, CheckOutcome, CheckerBackend,
+    CheckpointPolicy, DiscoveryConfig, DiscoveryResult, FaultPlan, Ocd, Od, OrderEquivalence,
+    ParallelMode, RunController, SchedulerStats, SearchSnapshot, SnapshotError, TerminationReason,
+    WorkerSchedStats,
 };
-pub use ocdd_relation::{read_csv_path, read_csv_str, CsvOptions, Relation, Value};
+pub use ocdd_relation::{manifest_hash, read_csv_path, read_csv_str, CsvOptions, Relation, Value};

@@ -245,6 +245,118 @@ fn code_width_sweep_is_deterministic() {
     }
 }
 
+/// Strip the observability-only keys (`elapsed_ms`, `kernels`,
+/// `scheduler`, `checkpoint`) from a JSON report, leaving exactly the
+/// deterministic result fields. Each key's value is a number or a complete
+/// object followed by a comma.
+fn strip_observability(json: &str) -> String {
+    let mut out = json.to_owned();
+    for key in [
+        "\"elapsed_ms\":",
+        "\"kernels\":",
+        "\"scheduler\":",
+        "\"checkpoint\":",
+    ] {
+        while let Some(start) = out.find(key) {
+            let rest = &out[start + key.len()..];
+            let mut depth = 0i32;
+            let mut end = rest.len();
+            for (i, c) in rest.char_indices() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    ',' if depth == 0 => {
+                        end = i + 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            out.replace_range(start..start + key.len() + end, "");
+        }
+    }
+    out
+}
+
+/// Checkpoint/resume sweep: dump every level boundary of a run, then for
+/// every boundary k pretend the process died right after it — resuming
+/// from the level-k dump must reproduce the uninterrupted run exactly, in
+/// every execution mode and both shared-cache settings, down to the JSON
+/// report (modulo the observability keys, which track wall-clock and
+/// scheduling). The real SIGKILL version of this sweep lives in
+/// tests/crash_resume.rs; this one covers the full mode × cache matrix.
+#[test]
+fn resume_from_every_level_boundary_matches_uninterrupted() {
+    use ocddiscover::core::json::result_to_json;
+    use ocddiscover::core::list_snapshots;
+    use ocddiscover::{discover_resume, read_snapshot, CheckpointPolicy};
+
+    let rel = Dataset::Hepatitis.generate(RowScale::Rows(130));
+    let dir = std::env::temp_dir().join(format!("ocdd-resume-sweep-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut policy = CheckpointPolicy::new(&dir);
+    policy.keep_last = 0; // retain every boundary for the sweep
+    policy.delete_on_complete = false;
+    let ckpt = discover(
+        &rel,
+        &DiscoveryConfig {
+            checkpoint: Some(policy),
+            ..DiscoveryConfig::default()
+        },
+    );
+    assert!(ckpt.complete());
+    assert!(
+        ckpt.checkpoint
+            .as_ref()
+            .is_some_and(|s| s.write_errors == 0),
+        "dumps must all land: {:?}",
+        ckpt.checkpoint
+    );
+
+    let dumps = list_snapshots(&dir, None).expect("list dumps");
+    assert!(dumps.len() >= 2, "expected several level boundaries");
+    for dump in &dumps {
+        let snap = read_snapshot(dump).expect("read dump");
+        for mode in [
+            ParallelMode::Sequential,
+            ParallelMode::Rayon(3),
+            ParallelMode::WorkStealing(4),
+        ] {
+            for shared_cache in [false, true] {
+                let config = DiscoveryConfig {
+                    mode,
+                    shared_cache,
+                    ..DiscoveryConfig::default()
+                };
+                let tag = format!("level {}/{mode:?}/shared={shared_cache}", snap.level);
+                let full = discover(&rel, &config);
+                let resumed = discover_resume(&rel, &config, &snap).expect("resume");
+                assert_eq!(full.ocds, resumed.ocds, "{tag}: OCDs differ");
+                assert_eq!(full.ods, resumed.ods, "{tag}: ODs differ");
+                assert_eq!(full.constants, resumed.constants, "{tag}");
+                assert_eq!(
+                    full.equivalence_classes, resumed.equivalence_classes,
+                    "{tag}"
+                );
+                assert_eq!(full.checks, resumed.checks, "{tag}: same candidate tree");
+                assert_eq!(
+                    full.candidates_generated, resumed.candidates_generated,
+                    "{tag}"
+                );
+                assert_eq!(full.levels, resumed.levels, "{tag}: level stats differ");
+                assert_eq!(full.termination, resumed.termination, "{tag}");
+                assert_eq!(
+                    strip_observability(&result_to_json(&full, &rel)),
+                    strip_observability(&result_to_json(&resumed, &rel)),
+                    "{tag}: JSON reports differ"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn per_level_stats_agree_across_modes() {
     let rel = Dataset::Horse.generate(RowScale::Rows(200));

@@ -344,3 +344,71 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Checkpoint/resume differential (DESIGN.md §13): on arbitrary
+    /// relations, resuming from *any* level-boundary dump reproduces the
+    /// uninterrupted result exactly — dependencies, check counts, per-level
+    /// stats and termination — whether the resume runs sequentially or on
+    /// the work-stealing backend. Checkpointing itself must also leave the
+    /// discovered set untouched.
+    #[test]
+    fn resume_from_any_boundary_equals_uninterrupted(
+        rel in small_relation(4, 12),
+        workers in 1usize..4,
+    ) {
+        use ocddiscover::core::list_snapshots;
+        use ocddiscover::{discover_resume, read_snapshot, CheckpointPolicy};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("ocdd-resume-prop-{}-{case}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let mut policy = CheckpointPolicy::new(&dir);
+        policy.keep_last = 0; // retain every boundary
+        policy.delete_on_complete = false;
+
+        let full = discover(&rel, &DiscoveryConfig::default());
+        let ckpt = discover(&rel, &DiscoveryConfig {
+            checkpoint: Some(policy),
+            ..DiscoveryConfig::default()
+        });
+        prop_assert_eq!(&full.ods, &ckpt.ods, "checkpointing changed the result");
+        prop_assert_eq!(&full.ocds, &ckpt.ocds, "checkpointing changed the result");
+        prop_assert!(
+            ckpt.checkpoint.as_ref().is_some_and(|s| s.write_errors == 0),
+            "dumps must all land: {:?}", ckpt.checkpoint
+        );
+
+        let configs = [
+            DiscoveryConfig::default(),
+            DiscoveryConfig {
+                mode: ParallelMode::WorkStealing(workers),
+                ..DiscoveryConfig::default()
+            },
+        ];
+        for dump in list_snapshots(&dir, None).unwrap() {
+            let snap = read_snapshot(&dump).unwrap();
+            for config in &configs {
+                let resumed = discover_resume(&rel, config, &snap).unwrap();
+                let tag = format!("level {}/{:?}", snap.level, config.mode);
+                prop_assert_eq!(&full.ocds, &resumed.ocds, "{}: OCDs differ", tag);
+                prop_assert_eq!(&full.ods, &resumed.ods, "{}: ODs differ", tag);
+                prop_assert_eq!(&full.constants, &resumed.constants, "{}", tag);
+                prop_assert_eq!(
+                    &full.equivalence_classes, &resumed.equivalence_classes,
+                    "{}", tag
+                );
+                prop_assert_eq!(full.checks, resumed.checks, "{}: checks differ", tag);
+                prop_assert_eq!(&full.levels, &resumed.levels, "{}", tag);
+                prop_assert_eq!(&full.termination, &resumed.termination, "{}", tag);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
