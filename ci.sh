@@ -55,6 +55,7 @@ echo "==> work-stealing differential suite (workers 1 and 4 vs Sequential)"
 # quarantine included; any divergence fails the run.
 cargo test -q --test parallel_determinism
 cargo test -q --test property_based workstealing
+cargo test -q --test property_based sample
 
 echo "==> checkpoint/resume crash smoke (SIGKILL + ocdd --resume)"
 # A real child process is SIGKILLed mid-search and resumed from its newest
@@ -163,6 +164,22 @@ if [[ "${OCDD_CI_MIRI:-0}" == "1" ]]; then
 else
     echo "==> Miri lane skipped (set OCDD_CI_MIRI=1 to enable)"
 fi
+
+echo "==> sample-first triage smoke (bench_approx)"
+# A scaled-down run of the BENCH_approx.json comparison: the sampled
+# pipeline must still match the exhaustive baseline (F1) and save full
+# scans on the smoke workload. The document is written atomically
+# (ocdd_iosafe) into results/ next to the lint findings.
+cargo run -q -p ocdd-bench --bin bench_approx -- \
+    --rows 20000 --sample 2000 --out results/BENCH_approx.json
+grep -q '"headline":' results/BENCH_approx.json || {
+    echo "bench_approx smoke: no headline object in results/BENCH_approx.json"
+    exit 1
+}
+grep -q '"f1": 1.000000' results/BENCH_approx.json || {
+    echo "bench_approx smoke: sampled pipeline diverged from the exhaustive baseline"
+    exit 1
+}
 
 echo "==> criterion smoke (cargo bench -- --test)"
 cargo bench -p ocdd-bench -- --test

@@ -1,0 +1,373 @@
+//! Sample-first triage benchmark: the workload and metrics behind
+//! `bench_approx` / `BENCH_approx.json`.
+//!
+//! The workload is a wide synthetic relation mixing the three triage
+//! regimes the Hoeffding interval produces:
+//!
+//! * clean co-monotone columns — exact OCDs the sample *accepts*,
+//! * uniform random columns — gross violations the sample *rejects*,
+//! * "near-miss" columns whose true error sits within one interval
+//!   half-width of ε — the borderline candidates that *escalate* to
+//!   full-data checks.
+//!
+//! [`run_comparison`] runs the same ε over the exhaustive pipeline
+//! (`sample_rows: None` — every estimate is a full-data pass) and the
+//! sampled pipeline, then scores the sampled answer against the
+//! exhaustive one: precision/recall/F1 over the discovered dependency
+//! sets, and the full-data row-scan reduction the triage bought.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use ocdd_core::approximate::{discover_approximate_with, ApproxConfig, ApproximateResult};
+use ocdd_core::{DiscoveryConfig, ParallelMode};
+use ocdd_relation::{Relation, SampleStrategy, Value};
+
+/// SplitMix64 step — the same generator the sampler uses, kept local so
+/// the workload is reproducible from the seed alone.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Corruption rates of the two near-miss columns, as fractions of rows
+/// replaced with uniform noise. With ε = 0.01 and a 50k-row sample the
+/// Hoeffding half-width is ≈ 0.006: `NEAR_BELOW` lands inside the
+/// interval from below (true OCD, but the sample cannot accept it) and
+/// `NEAR_ABOVE` from above (true violation the sample cannot reject) —
+/// both must escalate.
+pub const NEAR_BELOW: f64 = 0.004;
+/// See [`NEAR_BELOW`].
+pub const NEAR_ABOVE: f64 = 0.012;
+
+/// Build the benchmark relation: 11 integer columns over `rows` rows.
+///
+/// | column    | structure                                 | triage regime      |
+/// |-----------|-------------------------------------------|--------------------|
+/// | `bb`      | sorted backbone, ≤ 50k distinct           | accepts vs family  |
+/// | `ord`     | coarsening of `bb` (monotone function)    | accept + OD `bb→ord` |
+/// | `co1-3`   | non-decreasing, independent tie structure | accepts (exact OCD) |
+/// | `rnd1/2`  | uniform random                            | clear rejects      |
+/// | `nbase1`  | uniform random                            | reject vs others   |
+/// | `near1`   | `nbase1` with [`NEAR_BELOW`] noise        | escalates vs `nbase1`, holds |
+/// | `nbase2`  | uniform random                            | reject vs others   |
+/// | `near2`   | `nbase2` with [`NEAR_ABOVE`] noise        | escalates vs `nbase2`, fails |
+///
+/// Each near-miss column shadows its *own* random base, so the
+/// borderline pairs are exactly `near1 ~ nbase1` / `near2 ~ nbase2`
+/// (plus their OD directions) — everything else the sample resolves
+/// alone, which is the regime the ≥5x scan-reduction headline measures.
+pub fn workload_relation(rows: usize, seed: u64) -> Relation {
+    let mut state = seed ^ 0x0cdd_bea7;
+    let distinct = 50_000usize.min(rows.max(1));
+    let bb: Vec<i64> = (0..rows)
+        .map(|i| (i * distinct / rows.max(1)) as i64)
+        .collect();
+    let ord: Vec<i64> = bb.iter().map(|v| v / 5).collect();
+
+    // Non-decreasing walks with their own tie structure: co-monotone
+    // with the backbone (swap error 0) without being a function of it.
+    let mut walk = |per_mille: u64| -> Vec<i64> {
+        let mut v = 0i64;
+        (0..rows)
+            .map(|_| {
+                if splitmix(&mut state) % 1000 < per_mille {
+                    v += 1;
+                }
+                v
+            })
+            .collect()
+    };
+    let co1 = walk(30);
+    let co2 = walk(7);
+    let co3 = walk(120);
+
+    let mut random_col = || -> Vec<i64> {
+        (0..rows)
+            .map(|_| (splitmix(&mut state) % distinct as u64) as i64)
+            .collect()
+    };
+    let rnd1 = random_col();
+    let rnd2 = random_col();
+    let nbase1 = random_col();
+    let nbase2 = random_col();
+
+    // A mostly-identical copy: ordering by the base orders the copy up
+    // to the corrupted rows, so the pair's g3 error ≈ the noise rate.
+    let mut noisy = |base: &[i64], rate: f64| -> Vec<i64> {
+        let cut = (rate * 1e6) as u64;
+        base.iter()
+            .map(|&v| {
+                if splitmix(&mut state) % 1_000_000 < cut {
+                    (splitmix(&mut state) % distinct as u64) as i64
+                } else {
+                    v
+                }
+            })
+            .collect()
+    };
+    let near1 = noisy(&nbase1, NEAR_BELOW);
+    let near2 = noisy(&nbase2, NEAR_ABOVE);
+
+    let named: Vec<(String, Vec<Value>)> = [
+        ("bb", bb),
+        ("ord", ord),
+        ("co1", co1),
+        ("co2", co2),
+        ("co3", co3),
+        ("rnd1", rnd1),
+        ("rnd2", rnd2),
+        ("nbase1", nbase1),
+        ("near1", near1),
+        ("nbase2", nbase2),
+        ("near2", near2),
+    ]
+    .into_iter()
+    .map(|(n, vals)| (n.to_owned(), vals.into_iter().map(Value::Int).collect()))
+    .collect();
+    // All eleven columns are built over 0..rows, so lengths agree.
+    Relation::from_columns(named).expect("equal-length columns")
+}
+
+/// One timed pipeline run.
+pub struct BenchRun {
+    /// `"exact"` or `"sampled"`.
+    pub name: &'static str,
+    /// The pipeline's answer (with its triage accounting).
+    pub result: ApproximateResult,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+}
+
+/// The scored exact-vs-sampled comparison.
+pub struct Comparison {
+    /// Exhaustive baseline (`sample_rows: None`).
+    pub exact: BenchRun,
+    /// Sampled pipeline at the same ε.
+    pub sampled: BenchRun,
+    /// Dependencies found by both pipelines.
+    pub agree: usize,
+    /// Found by the sampled pipeline only (false positives).
+    pub sampled_only: usize,
+    /// Found by the exhaustive pipeline only (false negatives).
+    pub exact_only: usize,
+}
+
+fn dependency_keys(r: &ApproximateResult) -> Vec<String> {
+    let mut keys: Vec<String> = r.ocds.iter().map(|a| format!("ocd {}", a.ocd)).collect();
+    keys.extend(r.ods.iter().map(|od| format!("od {od}")));
+    keys.sort();
+    keys
+}
+
+impl Comparison {
+    /// Fraction of the sampled answer that is correct.
+    pub fn precision(&self) -> f64 {
+        let found = self.agree + self.sampled_only;
+        if found == 0 {
+            1.0
+        } else {
+            self.agree as f64 / found as f64
+        }
+    }
+
+    /// Fraction of the exhaustive answer the sampled pipeline found.
+    pub fn recall(&self) -> f64 {
+        let truth = self.agree + self.exact_only;
+        if truth == 0 {
+            1.0
+        } else {
+            self.agree as f64 / truth as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Full-data row scans of the baseline over those of the sampled
+    /// run (the headline reduction; the sampled run's escalations are
+    /// its only full-data passes). A sampled run with zero full scans
+    /// reports the baseline count verbatim.
+    pub fn scan_reduction(&self) -> f64 {
+        let base = exact_full_scans(&self.exact.result);
+        let samp = exact_full_scans(&self.sampled.result).max(1);
+        base as f64 / samp as f64
+    }
+}
+
+fn exact_full_scans(r: &ApproximateResult) -> u64 {
+    r.approx.as_ref().map_or(0, |s| s.full_row_scans)
+}
+
+/// Run the exhaustive baseline and the sampled pipeline over `rel` at
+/// the same ε and score them against each other.
+pub fn run_comparison(rel: &Relation, cfg: &ApproxConfig) -> Comparison {
+    let exact_cfg = ApproxConfig {
+        base: cfg.base.clone(),
+        sample_rows: None,
+        ..*cfg
+    };
+    let timed = |name: &'static str, c: &ApproxConfig| -> BenchRun {
+        let start = Instant::now();
+        let result = discover_approximate_with(rel, c);
+        BenchRun {
+            name,
+            result,
+            wall: start.elapsed(),
+        }
+    };
+    let exact = timed("exact", &exact_cfg);
+    let sampled = timed("sampled", cfg);
+
+    let truth = dependency_keys(&exact.result);
+    let found = dependency_keys(&sampled.result);
+    let agree = found
+        .iter()
+        .filter(|k| truth.binary_search(k).is_ok())
+        .count();
+    Comparison {
+        sampled_only: found.len() - agree,
+        exact_only: truth.len() - agree,
+        agree,
+        exact,
+        sampled,
+    }
+}
+
+fn run_json(run: &BenchRun) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"wall_ms\": {:.3}, \"checks\": {}, \"ocds\": {}, \"ods\": {}",
+        run.wall.as_secs_f64() * 1e3,
+        run.result.checks,
+        run.result.ocds.len(),
+        run.result.ods.len(),
+    );
+    if let Some(s) = &run.result.approx {
+        let _ = write!(
+            out,
+            ", \"sample_rows\": {}, \"exhaustive\": {}, \"estimated\": {}, \
+             \"accepted_by_sample\": {}, \"rejected_by_sample\": {}, \"escalated\": {}, \
+             \"full_checks_saved\": {}, \"sample_row_scans\": {}, \"full_row_scans\": {}",
+            s.sample_rows,
+            s.exhaustive,
+            s.estimated,
+            s.accepted_by_sample,
+            s.rejected_by_sample,
+            s.escalated,
+            s.full_checks_saved,
+            s.sample_row_scans,
+            s.full_row_scans,
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// Render a comparison as the `BENCH_approx.json` document.
+pub fn comparison_to_json(rel: &Relation, cfg: &ApproxConfig, cmp: &Comparison) -> String {
+    let stratified = matches!(cfg.strategy, SampleStrategy::Stratified(_));
+    let workers = match cfg.base.mode {
+        ParallelMode::WorkStealing(n) => n,
+        _ => 1,
+    };
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"rows\": {}, \"columns\": {},\n  \
+         \"epsilon\": {}, \"confidence\": {}, \"seed\": {}, \"sample_rows\": {}, \
+         \"stratified\": {stratified}, \"escalation_workers\": {workers},\n  \
+         \"exact\": {},\n  \"sampled\": {},\n  \
+         \"agree\": {}, \"sampled_only\": {}, \"exact_only\": {},\n  \
+         \"precision\": {:.6}, \"recall\": {:.6}, \"f1\": {:.6},\n  \
+         \"full_scan_reduction\": {:.3},\n  \
+         \"headline\": {{\"target_reduction\": 5.0, \"target_f1\": 0.95, \"met\": {}}}\n}}\n",
+        rel.num_rows(),
+        rel.num_columns(),
+        cfg.epsilon,
+        cfg.confidence,
+        cfg.seed,
+        cfg.sample_spec(rel.num_rows()).rows,
+        run_json(&cmp.exact),
+        run_json(&cmp.sampled),
+        cmp.agree,
+        cmp.sampled_only,
+        cmp.exact_only,
+        cmp.precision(),
+        cmp.recall(),
+        cmp.f1(),
+        cmp.scan_reduction(),
+        cmp.scan_reduction() >= 5.0 && cmp.f1() >= 0.95,
+    );
+    out
+}
+
+/// The default benchmark configuration over `DiscoveryConfig::default()`:
+/// ε = 0.01 at 95% confidence, 50k-row sample, level cap 2 (the regime
+/// comparison needs only the pairwise + one composite level).
+pub fn default_config(sample: usize, threads: usize) -> ApproxConfig {
+    ApproxConfig {
+        base: DiscoveryConfig {
+            max_level: Some(2),
+            mode: if threads > 1 {
+                ParallelMode::WorkStealing(threads)
+            } else {
+                ParallelMode::Sequential
+            },
+            ..DiscoveryConfig::default()
+        },
+        sample_rows: Some(sample),
+        epsilon: 0.01,
+        ..ApproxConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_has_the_three_triage_regimes() {
+        let rel = workload_relation(4_000, 11);
+        assert_eq!(rel.num_columns(), 11);
+        assert_eq!(rel.num_rows(), 4_000);
+        let mut cfg = default_config(400, 1);
+        cfg.epsilon = 0.05; // wide enough for hw ≈ 0.068 at 400 rows
+        let cmp = run_comparison(&rel, &cfg);
+        let stats = cmp.sampled.result.approx.as_ref().expect("sampled stats");
+        assert!(!stats.exhaustive);
+        assert!(stats.rejected_by_sample > 0, "random columns must reject");
+        assert!(
+            stats.accepted_by_sample + stats.escalated > 0,
+            "clean/near-miss columns must accept or escalate"
+        );
+        let base = cmp.exact.result.approx.as_ref().expect("exact stats");
+        assert!(base.exhaustive);
+        assert!(base.full_row_scans > stats.full_row_scans);
+    }
+
+    #[test]
+    fn full_sample_comparison_is_a_fixed_point() {
+        let rel = workload_relation(600, 3);
+        let mut cfg = default_config(600, 1);
+        cfg.epsilon = 0.02;
+        let cmp = run_comparison(&rel, &cfg);
+        assert_eq!(cmp.sampled_only, 0, "full sample must match exact");
+        assert_eq!(cmp.exact_only, 0);
+        assert_eq!(cmp.f1(), 1.0);
+        let json = comparison_to_json(&rel, &cfg, &cmp);
+        assert!(json.contains("\"f1\": 1.000000"), "{json}");
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,114 @@
+//! `bench_approx` — score the sample-first triage pipeline against the
+//! exhaustive pipeline at the same ε and write `BENCH_approx.json`.
+//!
+//! ```text
+//! bench_approx [--rows N] [--sample N] [--epsilon E] [--confidence C]
+//!              [--seed S] [--threads N] [--out PATH]
+//! ```
+//!
+//! The headline the JSON records: full-data row scans of the exhaustive
+//! baseline over those of the sampled run (`full_scan_reduction`, target
+//! ≥ 5x) at an F1 of the sampled dependency set vs the exhaustive one
+//! (target ≥ 0.95).
+
+use ocdd_bench::approx_triage::{
+    comparison_to_json, default_config, run_comparison, workload_relation,
+};
+
+fn main() {
+    let mut rows: usize = 1_000_000;
+    let mut sample: usize = 50_000;
+    let mut epsilon: f64 = 0.01;
+    let mut confidence: f64 = 0.95;
+    let mut seed: u64 = 11;
+    let mut threads: usize = 4;
+    let mut out = "BENCH_approx.json".to_owned();
+
+    let usage = "usage: bench_approx [--rows N] [--sample N] [--epsilon E] \
+                 [--confidence C] [--seed S] [--threads N] [--out PATH]";
+    let die = |msg: String| -> ! {
+        eprintln!("bench_approx: {msg}\n{usage}");
+        std::process::exit(2);
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| die(format!("missing value after {}", args[i])))
+        };
+        macro_rules! parse {
+            () => {
+                need(i).parse().unwrap_or_else(|_| {
+                    die(format!(
+                        "{} expects a number, got {:?}",
+                        args[i],
+                        args[i + 1]
+                    ))
+                })
+            };
+        }
+        match args[i].as_str() {
+            "--rows" => rows = parse!(),
+            "--sample" => sample = parse!(),
+            "--epsilon" => epsilon = parse!(),
+            "--confidence" => confidence = parse!(),
+            "--seed" => seed = parse!(),
+            "--threads" => threads = parse!(),
+            "--out" => out = need(i).clone(),
+            "--help" | "-h" => {
+                eprintln!("{usage}");
+                return;
+            }
+            other => die(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+
+    eprintln!("[bench_approx] generating workload: {rows} rows");
+    let rel = workload_relation(rows, seed);
+    let mut cfg = default_config(sample, threads);
+    cfg.epsilon = epsilon;
+    cfg.confidence = confidence;
+    cfg.seed = seed;
+
+    eprintln!(
+        "[bench_approx] exhaustive baseline vs {sample}-row sample at ε = {epsilon} \
+         ({confidence:.0}% confidence, {threads} escalation workers)",
+        confidence = confidence * 100.0
+    );
+    let cmp = run_comparison(&rel, &cfg);
+    for run in [&cmp.exact, &cmp.sampled] {
+        let s = run.result.approx.as_ref();
+        eprintln!(
+            "[bench_approx] {:8} {:>8.1}ms  {} checks, {} ocds + {} ods, {} full row scans",
+            run.name,
+            run.wall.as_secs_f64() * 1e3,
+            run.result.checks,
+            run.result.ocds.len(),
+            run.result.ods.len(),
+            s.map_or(0, |s| s.full_row_scans),
+        );
+    }
+    if let Some(s) = cmp.sampled.result.approx.as_ref() {
+        eprintln!(
+            "[bench_approx] triage: {} accepted, {} rejected, {} escalated of {} estimates",
+            s.accepted_by_sample, s.rejected_by_sample, s.escalated, s.estimated
+        );
+    }
+    eprintln!(
+        "[bench_approx] full-scan reduction {:.2}x at F1 {:.4} \
+         (precision {:.4}, recall {:.4})",
+        cmp.scan_reduction(),
+        cmp.f1(),
+        cmp.precision(),
+        cmp.recall()
+    );
+
+    let json = comparison_to_json(&rel, &cfg, &cmp);
+    if let Err(e) = ocdd_iosafe::atomic_write_str(std::path::Path::new(&out), &json) {
+        eprintln!("bench_approx: writing {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[bench_approx] wrote {out}");
+}

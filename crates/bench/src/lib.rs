@@ -8,6 +8,7 @@
 //! table and writes a TSV next to it.
 
 #![warn(missing_docs)]
+pub mod approx_triage;
 pub mod check_throughput;
 pub mod experiments;
 pub mod report;

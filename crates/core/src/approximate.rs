@@ -1,5 +1,8 @@
 //! Approximate order dependencies: dependencies that hold after removing a
-//! bounded fraction of rows.
+//! bounded fraction of rows — discovered sample-first with full-data
+//! escalation.
+//!
+//! # Error measure
 //!
 //! The FD literature the paper builds on (§6) uses the `g3` error — the
 //! minimum fraction of tuples whose removal makes the dependency exact.
@@ -20,20 +23,55 @@
 //! reporting the two components separately is the standard practice and an
 //! upper bound of at most their sum.)
 //!
-//! [`discover_approximate`] runs the OCDDISCOVER traversal with the exact
-//! validity test replaced by the ε-test. Because an approximate dependency
-//! is *not* downward closed (a superset list can repair a violation by
-//! reordering ties), the Theorem 3.7 pruning becomes a heuristic here —
-//! the trade-off every approximate levelwise discoverer makes; the
-//! documentation and tests pin the behaviour down.
+//! # The sample-first pipeline
+//!
+//! [`discover_approximate_with`] runs the OCDDISCOVER traversal against a
+//! deterministic, seeded row sample ([`ocdd_relation::sample`], DESIGN.md
+//! §14) instead of the full relation. Per candidate it computes the
+//! swap/split error *estimate* on the sample, widens it by a
+//! Hoeffding-style confidence half-width ([`hoeffding_half_width`]) and
+//! triages ([`triage`]):
+//!
+//! * **Accept** — estimate + half-width ≤ ε: emitted on the sample's
+//!   evidence alone (heuristic: the full-data error could exceed ε with
+//!   probability ≤ 1 − confidence per component).
+//! * **Reject** — estimate − half-width > ε: the subtree is pruned
+//!   exactly as in the exact search. Theorem 3.7 pruning is *sound* here
+//!   in the same heuristic sense the fixed-threshold checker always had
+//!   (approximate ODs are not downward closed), and the rejection itself
+//!   errs on the side of pruning only clearly-bad candidates.
+//! * **Borderline** — the interval straddles ε: the candidate is
+//!   *escalated* to a full-data check, batched onto the work-stealing
+//!   scheduler with the blockwise scan kernels and epoch prefix caches
+//!   (`crate::search::run_escalations`). A full-data-exact OCD lets the
+//!   OD directions reuse the fused split-only `check_od_after_ocd` scan
+//!   instead of a fresh error decomposition.
+//!
+//! With `sample_rows >= rel.num_rows()` (or `None`) the sample is the
+//! relation itself, the half-width is zero, nothing is ever borderline,
+//! and the pipeline degenerates *byte-identically* to the fixed-threshold
+//! full-data checker of earlier revisions — [`discover_approximate`] is
+//! exactly that degenerate call. With `epsilon = 0` the run is exact and
+//! equivalent to [`crate::discover`]'s candidate tree.
+//!
+//! [`ApproxStats`] reports the triage outcome counts and a row-scan cost
+//! model (see [`ERR_PASSES`]) so benchmarks can quantify full-data checks
+//! saved.
 
 use crate::config::DiscoveryConfig;
 use crate::deps::{AttrList, Ocd, Od};
 use crate::runtime::{Budget, TerminationReason};
+use crate::search::{EscalationJob, EscalationKind, EscalationVerdict};
+use ocdd_relation::scan::{note_scan, select_kernel, BlockEq, ScanKernel, BLOCK_PAIRS};
 use ocdd_relation::sort::{cmp_rows, sort_index_by};
-use ocdd_relation::Relation;
-use std::collections::HashMap;
-use std::collections::HashSet;
+use ocdd_relation::{manifest_hash, Relation, Sample, SampleSpec, SampleStrategy};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Row passes one error decomposition costs: two projection-rank scans,
+/// the `(lhs, rhs)` sort and the LNDS — the documented cost model behind
+/// [`ApproxStats::sample_row_scans`] / [`ApproxStats::full_row_scans`]
+/// (one fused checker scan costs one pass).
+pub const ERR_PASSES: u64 = 4;
 
 /// Error decomposition of an OD candidate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,29 +129,101 @@ fn longest_nondecreasing_subsequence(seq: &[u64]) -> usize {
         let pos = tails.partition_point(|&t| t <= v);
         if pos == tails.len() {
             tails.push(v);
-        } else {
-            tails[pos] = v;
+        } else if let Some(t) = tails.get_mut(pos) {
+            *t = v;
         }
     }
     tails.len()
 }
 
+/// Rank lookup by permuted row id; `r` always comes from a permutation of
+/// `0..ranks.len()`, so the fallback is unreachable.
+#[inline]
+fn rank_at(ranks: &[u64], r: u32) -> u64 {
+    ranks.get(r as usize).copied().unwrap_or(0)
+}
+
 /// Rank of each row's `cols` projection as a single `u64` (dense rank over
 /// the lexicographic order of projections).
+///
+/// The adjacent-equality walk over the sorted index runs on the blockwise
+/// [`BlockEq`] kernels ([`select_kernel`] keeps sub-block inputs on the
+/// scalar oracle), so the estimate phase shares the PR 6 scan kernels with
+/// the exact checkers instead of per-pair [`cmp_rows`] calls.
 fn projection_ranks(rel: &Relation, cols: &AttrList) -> Vec<u64> {
     let index = sort_index_by(rel, cols.as_slice());
-    let mut ranks = vec![0u64; rel.num_rows()];
+    projection_ranks_on(rel, cols, &index)
+}
+
+/// [`projection_ranks`] over a pre-built sorted index.
+fn projection_ranks_on(rel: &Relation, cols: &AttrList, index: &[u32]) -> Vec<u64> {
+    let m = index.len();
+    let mut ranks = vec![0u64; m];
+    if m < 2 {
+        return ranks;
+    }
+    let pairs = m - 1;
+    let kernel = select_kernel(pairs);
+    note_scan(kernel);
+    if kernel == ScanKernel::Scalar {
+        return projection_ranks_scalar(rel, cols, index);
+    }
     let mut rank = 0u64;
-    for (pos, &row) in index.iter().enumerate() {
-        if pos > 0
-            && cmp_rows(rel, cols.as_slice(), index[pos - 1] as usize, row as usize)
-                != std::cmp::Ordering::Equal
-        {
-            rank += 1;
+    let mut eq = BlockEq::default();
+    let mut start = 0usize;
+    while start < pairs {
+        let n = (pairs - start).min(BLOCK_PAIRS);
+        let Some(window) = index.get(start..start + n + 1) else {
+            break;
+        };
+        eq.reset(n);
+        for &col in cols.as_slice() {
+            eq.fold_column(rel, col, window);
+            if eq.none() {
+                break;
+            }
         }
-        ranks[row as usize] = rank;
+        // A zero mask byte is a rank boundary: the pair's rows differ on
+        // some projection column.
+        for (j, &e) in eq.mask().iter().take(n).enumerate() {
+            rank += u64::from(e == 0);
+            if let Some(&row) = window.get(j + 1) {
+                if let Some(slot) = ranks.get_mut(row as usize) {
+                    *slot = rank;
+                }
+            }
+        }
+        start += n;
     }
     ranks
+}
+
+/// Scalar oracle for [`projection_ranks_on`]: the per-pair [`cmp_rows`]
+/// walk the blockwise path is differentially pinned against.
+fn projection_ranks_scalar(rel: &Relation, cols: &AttrList, index: &[u32]) -> Vec<u64> {
+    let mut ranks = vec![0u64; index.len()];
+    let mut rank = 0u64;
+    for (pos, &row) in index.iter().enumerate() {
+        if pos > 0 {
+            let prev = rank_at_u32(index, pos - 1);
+            if cmp_rows(rel, cols.as_slice(), prev as usize, row as usize)
+                != std::cmp::Ordering::Equal
+            {
+                rank += 1;
+            }
+        }
+        if let Some(slot) = ranks.get_mut(row as usize) {
+            *slot = rank;
+        }
+    }
+    ranks
+}
+
+/// Index lookup with an unreachable fallback (`pos` stays in bounds by the
+/// enumerate loop).
+#[inline]
+fn rank_at_u32(index: &[u32], pos: usize) -> u32 {
+    index.get(pos).copied().unwrap_or(0)
 }
 
 /// Compute the exact error decomposition of the OD `lhs → rhs`.
@@ -131,23 +241,32 @@ pub fn od_error(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> OdError {
 
     // Swap component: sort by (lhs, rhs), take LNDS of the rhs ranks.
     let mut order: Vec<u32> = (0..m as u32).collect();
-    order.sort_unstable_by_key(|&r| (lhs_rank[r as usize], rhs_rank[r as usize]));
-    let rhs_seq: Vec<u64> = order.iter().map(|&r| rhs_rank[r as usize]).collect();
+    order.sort_unstable_by_key(|&r| (rank_at(&lhs_rank, r), rank_at(&rhs_rank, r)));
+    let rhs_seq: Vec<u64> = order.iter().map(|&r| rank_at(&rhs_rank, r)).collect();
     let swap_removals = m - longest_nondecreasing_subsequence(&rhs_seq);
 
     // Split component: per lhs class, keep the plurality rhs projection.
-    let mut class_counts: HashMap<(u64, u64), usize> = HashMap::new();
-    let mut class_totals: HashMap<u64, usize> = HashMap::new();
-    for r in 0..m {
-        *class_counts.entry((lhs_rank[r], rhs_rank[r])).or_insert(0) += 1;
-        *class_totals.entry(lhs_rank[r]).or_insert(0) += 1;
+    // BTreeMap keeps the walk deterministic (and groups the (l, y) pairs
+    // by l for the single-pass plurality fold below).
+    let mut class_counts: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    for (&l, &y) in lhs_rank.iter().zip(rhs_rank.iter()) {
+        *class_counts.entry((l, y)).or_insert(0) += 1;
     }
-    let mut best: HashMap<u64, usize> = HashMap::new();
+    let mut split_removals = 0usize;
+    let mut cur: Option<u64> = None;
+    let mut total = 0usize;
+    let mut best = 0usize;
     for (&(l, _), &count) in &class_counts {
-        let entry = best.entry(l).or_insert(0);
-        *entry = (*entry).max(count);
+        if cur != Some(l) {
+            split_removals += total - best;
+            cur = Some(l);
+            total = 0;
+            best = 0;
+        }
+        total += count;
+        best = best.max(count);
     }
-    let split_removals = class_totals.iter().map(|(l, &total)| total - best[l]).sum();
+    split_removals += total - best;
 
     OdError {
         swap_removals,
@@ -183,39 +302,43 @@ pub fn removal_witnesses(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> Vec<
     // Swap side: patience sorting with predecessor links recovers one
     // longest non-decreasing subsequence; everything outside it goes.
     let mut order: Vec<u32> = (0..m as u32).collect();
-    order.sort_unstable_by_key(|&r| (lhs_rank[r as usize], rhs_rank[r as usize]));
-    let seq: Vec<u64> = order.iter().map(|&r| rhs_rank[r as usize]).collect();
+    order.sort_unstable_by_key(|&r| (rank_at(&lhs_rank, r), rank_at(&rhs_rank, r)));
+    let seq: Vec<u64> = order.iter().map(|&r| rank_at(&rhs_rank, r)).collect();
     let mut tails: Vec<usize> = Vec::new(); // positions into seq
     let mut prev: Vec<Option<usize>> = vec![None; seq.len()];
     for (pos, &v) in seq.iter().enumerate() {
-        let insert = tails.partition_point(|&t| seq[t] <= v);
+        let insert = tails.partition_point(|&t| seq.get(t).copied().unwrap_or(0) <= v);
         if insert > 0 {
-            prev[pos] = Some(tails[insert - 1]);
+            if let (Some(p), Some(&t)) = (prev.get_mut(pos), tails.get(insert - 1)) {
+                *p = Some(t);
+            }
         }
         if insert == tails.len() {
             tails.push(pos);
-        } else {
-            tails[insert] = pos;
+        } else if let Some(t) = tails.get_mut(insert) {
+            *t = pos;
         }
     }
     let mut keep = vec![false; seq.len()];
     let mut cursor = tails.last().copied();
     while let Some(p) = cursor {
-        keep[p] = true;
-        cursor = prev[p];
+        if let Some(k) = keep.get_mut(p) {
+            *k = true;
+        }
+        cursor = prev.get(p).copied().flatten();
     }
-    for (pos, &kept) in keep.iter().enumerate() {
+    for (&kept, &row) in keep.iter().zip(order.iter()) {
         if !kept {
-            witnesses.push(order[pos]);
+            witnesses.push(row);
         }
     }
 
     // Split side: rows disagreeing with their LHS class plurality.
-    let mut counts: HashMap<(u64, u64), usize> = HashMap::new();
-    for r in 0..m {
-        *counts.entry((lhs_rank[r], rhs_rank[r])).or_insert(0) += 1;
+    let mut counts: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    for (&l, &y) in lhs_rank.iter().zip(rhs_rank.iter()) {
+        *counts.entry((l, y)).or_insert(0) += 1;
     }
-    let mut best: HashMap<u64, (usize, u64)> = HashMap::new();
+    let mut best: BTreeMap<u64, (usize, u64)> = BTreeMap::new();
     for (&(l, y), &count) in &counts {
         let entry = best.entry(l).or_insert((0, 0));
         // Deterministic tie-break: prefer the smaller rhs rank.
@@ -223,8 +346,8 @@ pub fn removal_witnesses(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> Vec<
             *entry = (count, y);
         }
     }
-    for r in 0..m {
-        if best[&lhs_rank[r]].1 != rhs_rank[r] {
+    for (r, (&l, &y)) in lhs_rank.iter().zip(rhs_rank.iter()).enumerate() {
+        if best.get(&l).is_some_and(|&(_, by)| by != y) {
             witnesses.push(r as u32);
         }
     }
@@ -234,13 +357,156 @@ pub fn removal_witnesses(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> Vec<
     witnesses
 }
 
+/// Sample-phase verdict of one candidate validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Triage {
+    /// Clearly within tolerance on the sample's evidence.
+    Accept,
+    /// Clearly beyond tolerance; the subtree is pruned.
+    Reject,
+    /// The confidence interval straddles ε; escalate to full data.
+    Borderline,
+}
+
+/// Hoeffding-style confidence half-width for a mean of `sample_rows`
+/// bounded observations at the given two-sided confidence level:
+/// `sqrt(ln(2 / (1 − confidence)) / (2·s))`.
+///
+/// The per-row removal indicators of the `g3` components are not i.i.d.
+/// draws, so this is a calibrated heuristic width, not a proven bound —
+/// which is exactly why *accept* stays heuristic while *reject* prunes
+/// (see the module docs and DESIGN.md §14).
+pub fn hoeffding_half_width(sample_rows: usize, confidence: f64) -> f64 {
+    if sample_rows == 0 {
+        return 0.0;
+    }
+    let delta = (1.0 - confidence).clamp(1e-12, 1.0);
+    ((2.0 / delta).ln() / (2.0 * sample_rows as f64)).sqrt()
+}
+
+/// Classify a sample error estimate against tolerance `epsilon` with
+/// confidence half-width `half_width` (see [`Triage`]). A zero half-width
+/// (exhaustive sample) is always decisive.
+pub fn triage(estimate: f64, half_width: f64, epsilon: f64) -> Triage {
+    if estimate + half_width <= epsilon {
+        Triage::Accept
+    } else if estimate - half_width > epsilon {
+        Triage::Reject
+    } else {
+        Triage::Borderline
+    }
+}
+
+/// Configuration of the sample-first pipeline.
+#[derive(Debug, Clone)]
+pub struct ApproxConfig {
+    /// The underlying discovery configuration (budget, level cap, mode —
+    /// escalations parallelize under `ParallelMode::WorkStealing`,
+    /// checker/cache knobs are honored by the escalation checkers).
+    pub base: DiscoveryConfig,
+    /// Target sample size; `None` (or any value ≥ the relation's rows)
+    /// runs exhaustively on the full data.
+    pub sample_rows: Option<usize>,
+    /// Allowed row-removal fraction per error component.
+    pub epsilon: f64,
+    /// Two-sided confidence level of the triage interval (default 0.95).
+    pub confidence: f64,
+    /// Sampling seed (recorded in checkpoint dumps; resume validates it).
+    pub seed: u64,
+    /// Sampling strategy (uniform reservoir or per-column stratified).
+    pub strategy: SampleStrategy,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> ApproxConfig {
+        ApproxConfig {
+            base: DiscoveryConfig::default(),
+            sample_rows: None,
+            epsilon: 0.0,
+            confidence: 0.95,
+            seed: 0x0cdd_5eed,
+            strategy: SampleStrategy::Uniform,
+        }
+    }
+}
+
+impl ApproxConfig {
+    /// The [`SampleSpec`] this configuration draws for a relation of
+    /// `rows` rows.
+    pub fn sample_spec(&self, rows: usize) -> SampleSpec {
+        SampleSpec {
+            rows: self.sample_rows.unwrap_or(rows).min(rows),
+            seed: self.seed,
+            strategy: self.strategy,
+        }
+    }
+}
+
+/// Triage and escalation accounting of one pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ApproxStats {
+    /// Rows actually drawn into the sample.
+    pub sample_rows: usize,
+    /// Rows in the full relation.
+    pub total_rows: usize,
+    /// Sampling seed used.
+    pub seed: u64,
+    /// Manifest hash of the sample relation (provenance; equals the
+    /// parent's for an exhaustive run).
+    pub sample_manifest: u64,
+    /// True when the sample was the whole relation (degenerate exact
+    /// mode).
+    pub exhaustive: bool,
+    /// Candidate validations estimated on the sample (one per OCD test,
+    /// one per OD direction).
+    pub estimated: u64,
+    /// Validations resolved *accept* by the sample alone.
+    pub accepted_by_sample: u64,
+    /// Validations resolved *reject* by the sample alone.
+    pub rejected_by_sample: u64,
+    /// Validations escalated to full-data checks.
+    pub escalated: u64,
+    /// Full-data checks avoided: validations the sample resolved
+    /// (zero for an exhaustive run, where the "sample" is the full data).
+    pub full_checks_saved: u64,
+    /// Row passes over the sample (cost model: [`ERR_PASSES`] per error
+    /// decomposition).
+    pub sample_row_scans: u64,
+    /// Row passes over the full relation (estimate passes count here for
+    /// an exhaustive run; escalation checks always do).
+    pub full_row_scans: u64,
+}
+
 /// An OCD together with its measured error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ApproximateOcd {
     /// The dependency.
     pub ocd: Ocd,
-    /// Swap error in `[0, 1]`.
+    /// Swap error in `[0, 1]` — full-data when the candidate was
+    /// escalated, the sample estimate otherwise.
     pub error: f64,
+    /// Exact numerator of `error` (swap removals on the measured
+    /// instance) — the integer the checkpoint dumps round-trip.
+    pub removals: usize,
+    /// Exact denominator of `error` (rows of the measured instance).
+    pub rows: usize,
+}
+
+impl ApproximateOcd {
+    /// Build from the exact `(removals, rows)` rational.
+    pub fn from_parts(ocd: Ocd, removals: usize, rows: usize) -> ApproximateOcd {
+        let error = if rows == 0 {
+            0.0
+        } else {
+            removals as f64 / rows as f64
+        };
+        ApproximateOcd {
+            ocd,
+            error,
+            removals,
+            rows,
+        }
+    }
 }
 
 /// Output of an approximate discovery run.
@@ -255,6 +521,10 @@ pub struct ApproximateResult {
     /// Why the run stopped; anything but
     /// [`TerminationReason::Complete`] means partial results.
     pub termination: TerminationReason,
+    /// Sample/escalation accounting of the pipeline
+    /// ([`discover_approximate_with`]); `None` only on
+    /// default-constructed values.
+    pub approx: Option<ApproxStats>,
 }
 
 impl ApproximateResult {
@@ -264,8 +534,10 @@ impl ApproximateResult {
     }
 }
 
-/// OCDDISCOVER with the ε-tolerant validity test. `epsilon` is the allowed
-/// row-removal fraction per component.
+/// OCDDISCOVER with the ε-tolerant validity test on the full data —
+/// the degenerate (exhaustive-sample) call of
+/// [`discover_approximate_with`]. `epsilon` is the allowed row-removal
+/// fraction per component.
 ///
 /// Pruning caveat: levelwise pruning of failed candidates is heuristic for
 /// approximate dependencies (see module docs); with `epsilon = 0` the run
@@ -275,73 +547,470 @@ pub fn discover_approximate(
     config: &DiscoveryConfig,
     epsilon: f64,
 ) -> ApproximateResult {
+    discover_approximate_with(
+        rel,
+        &ApproxConfig {
+            base: config.clone(),
+            epsilon,
+            ..ApproxConfig::default()
+        },
+    )
+}
+
+/// Direction verdict of a pending (escalation-bearing) candidate.
+#[derive(Debug, Clone, Copy)]
+enum DirState {
+    /// Not yet evaluated (OCD still escalated).
+    Unknown,
+    /// Holds at ε.
+    Holds,
+    /// Fails at ε: extend the children.
+    Fails,
+    /// Escalated; index into the OD wave's job list.
+    Escalated(usize),
+}
+
+/// A candidate whose verdict needs a full-data escalation wave.
+struct Pending {
+    x: AttrList,
+    y: AttrList,
+    /// Index into the OCD wave's job list, when the OCD itself was
+    /// borderline.
+    ocd_job: Option<usize>,
+    /// Best-known OCD swap error as a `(removals, rows)` rational —
+    /// the sample estimate until a full-data verdict replaces it.
+    ocd_err: (usize, usize),
+    /// `[x → y, y → x]` verdicts.
+    dirs: [DirState; 2],
+    /// Dropped without budget spend (escalation skipped by a stopped
+    /// budget); mirrors the exact search dropping unprocessed candidates.
+    dropped: bool,
+    /// OCD escalation came back above tolerance: prune, spend 1.
+    rejected: bool,
+}
+
+/// Per-level working state the pipeline threads through its phases.
+struct LevelCtx<'a> {
+    sample_rel: &'a Relation,
+    hw: f64,
+    epsilon: f64,
+    exhaustive: bool,
+    sample_passes: u64,
+}
+
+impl LevelCtx<'_> {
+    /// Estimate both OD directions of an accepted OCD on the sample and
+    /// triage them; borderline directions queue an escalation job.
+    fn triage_directions(
+        &mut self,
+        x: &AttrList,
+        y: &AttrList,
+        ocd_exact: bool,
+        od_jobs: &mut Vec<EscalationJob>,
+        stats: &mut ApproxStats,
+    ) -> [DirState; 2] {
+        let mut dirs = [DirState::Unknown; 2];
+        for (d, dir) in dirs.iter_mut().enumerate() {
+            let forward = d == 0;
+            let (lhs, rhs) = if forward { (x, y) } else { (y, x) };
+            let est = od_error(self.sample_rel, lhs, rhs);
+            self.sample_passes += ERR_PASSES * est.rows as u64;
+            stats.estimated += 1;
+            let worst = est.swap_error().max(est.split_error());
+            let best_case = est.swap_error().min(est.split_error());
+            // Accept needs *both* components clearly within ε; reject
+            // needs *either* clearly beyond.
+            *dir = if worst + self.hw <= self.epsilon {
+                stats.accepted_by_sample += 1;
+                DirState::Holds
+            } else if best_case.max(worst) - self.hw > self.epsilon {
+                stats.rejected_by_sample += 1;
+                DirState::Fails
+            } else {
+                stats.escalated += 1;
+                let job = od_jobs.len();
+                od_jobs.push(EscalationJob {
+                    kind: EscalationKind::Od {
+                        x: x.clone(),
+                        y: y.clone(),
+                        forward,
+                        ocd_exact,
+                    },
+                    need_error: self.epsilon > 0.0,
+                });
+                DirState::Escalated(job)
+            };
+        }
+        dirs
+    }
+}
+
+/// The sample-first discovery pipeline (see the module docs).
+pub fn discover_approximate_with(rel: &Relation, cfg: &ApproxConfig) -> ApproximateResult {
+    run_pipeline(rel, cfg, None)
+}
+
+/// Resume an approximate run from a checkpoint dump.
+///
+/// Beyond the exact resume's version/manifest/config gates
+/// ([`crate::SearchSnapshot::validate`]), the dump's sampling metadata
+/// must match the resume configuration *and* the sample re-drawn from it
+/// must hash to the dumped sample manifest — the resumed levels are
+/// triaged against the very rows the interrupted run saw, so the combined
+/// run equals an uninterrupted one. Any mismatch is rejected with
+/// [`crate::SnapshotError::SampleMismatch`], mirroring the manifest-hash
+/// check on the parent relation.
+pub fn discover_approximate_resume(
+    rel: &Relation,
+    cfg: &ApproxConfig,
+    snap: &crate::snapshot::SearchSnapshot,
+) -> Result<ApproximateResult, crate::snapshot::SnapshotError> {
+    use crate::snapshot::{to_micros, SnapshotError};
+    snap.validate(rel, &cfg.base)?;
+    let Some(meta) = &snap.approx else {
+        return Err(SnapshotError::SampleMismatch("approx"));
+    };
+    if meta.seed != cfg.seed {
+        return Err(SnapshotError::SampleMismatch("seed"));
+    }
+    if meta.strategy != cfg.strategy.label() {
+        return Err(SnapshotError::SampleMismatch("strategy"));
+    }
+    if meta.strategy_column != cfg.strategy.column().map(|c| c as u64) {
+        return Err(SnapshotError::SampleMismatch("strategy_column"));
+    }
+    if meta.epsilon_micros != to_micros(cfg.epsilon) {
+        return Err(SnapshotError::SampleMismatch("epsilon"));
+    }
+    if meta.confidence_micros != to_micros(cfg.confidence) {
+        return Err(SnapshotError::SampleMismatch("confidence"));
+    }
+    let m = rel.num_rows();
+    let spec = cfg.sample_spec(m);
+    if meta.sample_rows != spec.rows as u64 || meta.total_rows != m as u64 {
+        return Err(SnapshotError::SampleMismatch("sample_rows"));
+    }
+    // Re-draw the sample and require the same bytes (manifest) the
+    // interrupted run triaged on.
+    let sample_manifest = if spec.rows >= m {
+        manifest_hash(rel)
+    } else {
+        Sample::build(rel, &spec).provenance.sample_manifest
+    };
+    if meta.sample_manifest != sample_manifest {
+        return Err(SnapshotError::SampleMismatch("sample_manifest"));
+    }
+    if meta.ocd_errors.len() != snap.ocds.len() {
+        return Err(SnapshotError::Parse(
+            "approx.ocd_errors must align with the ocds array".to_string(),
+        ));
+    }
+    let ocds = snap
+        .ocds
+        .iter()
+        .zip(&meta.ocd_errors)
+        .map(|(p, &(removals, rows))| {
+            ApproximateOcd::from_parts(
+                Ocd::new(AttrList::from_slice(&p.x), AttrList::from_slice(&p.y)),
+                removals as usize,
+                rows as usize,
+            )
+        })
+        .collect();
+    let ods = snap
+        .ods
+        .iter()
+        .map(|p| Od::new(AttrList::from_slice(&p.x), AttrList::from_slice(&p.y)))
+        .collect();
+    let level = snap
+        .frontier
+        .iter()
+        .map(|p| (AttrList::from_slice(&p.x), AttrList::from_slice(&p.y)))
+        .collect();
+    Ok(run_pipeline(
+        rel,
+        cfg,
+        Some(ApproxResumeState {
+            level_no: snap.level,
+            level,
+            ocds,
+            ods,
+            checks: snap.checks,
+        }),
+    ))
+}
+
+/// Resumed state handed to [`run_pipeline`] by
+/// [`crate::discover_approximate_resume`].
+pub(crate) struct ApproxResumeState {
+    /// Level number of the dumped frontier.
+    pub(crate) level_no: usize,
+    /// The dumped frontier.
+    pub(crate) level: Vec<(AttrList, AttrList)>,
+    /// Accumulated OCDs (with their error rationals).
+    pub(crate) ocds: Vec<ApproximateOcd>,
+    /// Accumulated ODs.
+    pub(crate) ods: Vec<Od>,
+    /// Checks spent before the dump.
+    pub(crate) checks: u64,
+}
+
+/// Pipeline driver, shared by the fresh and resumed entry points.
+pub(crate) fn run_pipeline(
+    rel: &Relation,
+    cfg: &ApproxConfig,
+    resume: Option<ApproxResumeState>,
+) -> ApproximateResult {
     let start = crate::runtime::now();
+    let m = rel.num_rows();
+    let spec = cfg.sample_spec(m);
+    let exhaustive = spec.rows >= m;
+    // The exhaustive "sample" is the relation itself — no copy, and the
+    // degenerate pipeline is byte-identical to full-data discovery.
+    let sample_store: Option<Sample> = if exhaustive {
+        None
+    } else {
+        Some(Sample::build(rel, &spec))
+    };
+    let sample_rel: &Relation = sample_store.as_ref().map_or(rel, |s| &s.relation);
+    let s = sample_rel.num_rows();
+    let mut stats = ApproxStats {
+        sample_rows: s,
+        total_rows: m,
+        seed: cfg.seed,
+        sample_manifest: sample_store
+            .as_ref()
+            .map_or_else(|| manifest_hash(rel), |smp| smp.provenance.sample_manifest),
+        exhaustive,
+        ..ApproxStats::default()
+    };
+    // Exhaustive estimates are exact (zero width); an empty sample of a
+    // non-empty relation can prove nothing, so everything escalates.
+    let hw = if exhaustive {
+        0.0
+    } else if s == 0 {
+        f64::INFINITY
+    } else {
+        hoeffding_half_width(s, cfg.confidence)
+    };
+
     // Same amortized budget as the exhaustive search; see
     // `discover_bidirectional` for the polling contract.
-    let budget = Budget::new(config, start, 0);
+    let initial_checks = resume.as_ref().map_or(0, |r| r.checks);
+    let budget = Budget::new(&cfg.base, start, initial_checks);
     let mut level_capped = false;
+    let mut out = ApproximateResult::default();
 
     // Approximate runs skip column reduction: near-constant columns are
     // precisely what ε-tolerance is for.
     let universe: Vec<usize> = (0..rel.num_columns()).collect();
-    let mut out = ApproximateResult::default();
-
-    let mut level: Vec<(AttrList, AttrList)> = Vec::new();
-    for (i, &a) in universe.iter().enumerate() {
-        for &b in &universe[i + 1..] {
-            level.push((AttrList::single(a), AttrList::single(b)));
+    let (mut level, mut level_no) = match resume {
+        Some(st) => {
+            out.ocds = st.ocds;
+            out.ods = st.ods;
+            (st.level, st.level_no)
         }
+        None => {
+            let mut seed_level: Vec<(AttrList, AttrList)> = Vec::new();
+            for (i, &a) in universe.iter().enumerate() {
+                for &b in &universe[i + 1..] {
+                    seed_level.push((AttrList::single(a), AttrList::single(b)));
+                }
+            }
+            (seed_level, 2usize)
+        }
+    };
+
+    let mut recorder = crate::snapshot::approx_recorder(rel, cfg, &stats);
+    if let Some(rec) = recorder.as_mut() {
+        rec.record_boundary(level_no, &level, &out, &budget);
     }
 
-    let mut level_no = 2usize;
     'outer: while !level.is_empty() {
-        if config.max_level.is_some_and(|max| level_no > max) {
+        if cfg.base.max_level.is_some_and(|max| level_no > max) {
             level_capped = true;
             break;
         }
-        let mut next = Vec::new();
+        let mut next: Vec<(AttrList, AttrList)> = Vec::new();
+        let mut ctx = LevelCtx {
+            sample_rel,
+            hw,
+            epsilon: cfg.epsilon,
+            exhaustive,
+            sample_passes: 0,
+        };
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut ocd_jobs: Vec<EscalationJob> = Vec::new();
+        let mut od_jobs: Vec<EscalationJob> = Vec::new();
+
+        // Phase A — estimate every candidate on the sample; candidates
+        // fully decided by the sample finalize inline (identical control
+        // flow, spends and emission order to the pre-pipeline checker in
+        // the exhaustive case); escalation-bearing ones go to `pending`.
         for (x, y) in &level {
             if !budget.probe() {
                 break 'outer;
             }
-            let mut spent = 1u64;
-            let err = ocd_error(rel, x, y);
-            if err.swap_error() > epsilon {
-                budget.spend(spent);
+            let est = ocd_error(sample_rel, x, y);
+            ctx.sample_passes += ERR_PASSES * est.rows as u64;
+            stats.estimated += 1;
+            match triage(est.swap_error(), hw, cfg.epsilon) {
+                Triage::Reject => {
+                    stats.rejected_by_sample += 1;
+                    budget.spend(1);
+                }
+                Triage::Accept => {
+                    stats.accepted_by_sample += 1;
+                    // A sample accept proves exactness only when the
+                    // sample is the full data.
+                    let ocd_exact = exhaustive && est.swap_removals == 0;
+                    let dirs = ctx.triage_directions(x, y, ocd_exact, &mut od_jobs, &mut stats);
+                    if dirs
+                        .iter()
+                        .any(|d| matches!(d, DirState::Escalated(_) | DirState::Unknown))
+                    {
+                        pending.push(Pending {
+                            x: x.clone(),
+                            y: y.clone(),
+                            ocd_job: None,
+                            ocd_err: (est.swap_removals, est.rows),
+                            dirs,
+                            dropped: false,
+                            rejected: false,
+                        });
+                    } else {
+                        finalize_candidate(
+                            x,
+                            y,
+                            (est.swap_removals, est.rows),
+                            &dirs,
+                            &universe,
+                            &mut out,
+                            &mut next,
+                        );
+                        budget.spend(3);
+                    }
+                }
+                Triage::Borderline => {
+                    stats.escalated += 1;
+                    let job = ocd_jobs.len();
+                    ocd_jobs.push(EscalationJob {
+                        kind: EscalationKind::Ocd {
+                            x: x.clone(),
+                            y: y.clone(),
+                        },
+                        need_error: cfg.epsilon > 0.0,
+                    });
+                    pending.push(Pending {
+                        x: x.clone(),
+                        y: y.clone(),
+                        ocd_job: Some(job),
+                        ocd_err: (est.swap_removals, est.rows),
+                        dirs: [DirState::Unknown; 2],
+                        dropped: false,
+                        rejected: false,
+                    });
+                }
+            }
+        }
+
+        // Phase B — OCD escalation wave on the full data; survivors get
+        // their OD directions estimated (possibly queueing OD jobs).
+        if !ocd_jobs.is_empty() {
+            let verdicts = crate::search::run_escalations(rel, &cfg.base, &ocd_jobs, &budget);
+            stats.full_row_scans += verdicts.iter().map(|v| v.rows_scanned).sum::<u64>();
+            for p in pending.iter_mut() {
+                let Some(job) = p.ocd_job else { continue };
+                let Some(v) = verdicts.get(job) else {
+                    p.dropped = true;
+                    continue;
+                };
+                if v.skipped {
+                    p.dropped = true;
+                    continue;
+                }
+                let holds = v.exact || v.error.is_some_and(|e| e.swap_error() <= cfg.epsilon);
+                if !holds {
+                    p.rejected = true;
+                    continue;
+                }
+                p.ocd_err = match v.error {
+                    Some(e) => (e.swap_removals, e.rows),
+                    None => (0, m),
+                };
+                if budget.is_stopped() {
+                    p.dropped = true;
+                    continue;
+                }
+                p.dirs = ctx.triage_directions(&p.x, &p.y, v.exact, &mut od_jobs, &mut stats);
+            }
+        }
+
+        // Phase C — OD escalation wave (directions from phases A and B).
+        let od_verdicts: Vec<EscalationVerdict> = if od_jobs.is_empty() {
+            Vec::new()
+        } else {
+            let verdicts = crate::search::run_escalations(rel, &cfg.base, &od_jobs, &budget);
+            stats.full_row_scans += verdicts.iter().map(|v| v.rows_scanned).sum::<u64>();
+            verdicts
+        };
+
+        // Phase D — finalize pending candidates in level order.
+        for p in &pending {
+            if p.dropped {
                 continue;
             }
-            out.ocds.push(ApproximateOcd {
-                ocd: Ocd::new(x.clone(), y.clone()),
-                error: err.swap_error(),
-            });
-
-            let unused: Vec<usize> = universe
-                .iter()
-                .copied()
-                .filter(|&a| !x.contains(a) && !y.contains(a))
-                .collect();
-            spent += 1;
-            if od_error(rel, x, y).holds_at(epsilon) {
-                out.ods.push(Od::new(x.clone(), y.clone()));
-            } else {
-                for &a in &unused {
-                    next.push((x.with_appended(a), y.clone()));
-                }
+            if p.rejected {
+                budget.spend(1);
+                continue;
             }
-            spent += 1;
-            if od_error(rel, y, x).holds_at(epsilon) {
-                out.ods.push(Od::new(y.clone(), x.clone()));
-            } else {
-                for &a in &unused {
-                    next.push((x.clone(), y.with_appended(a)));
-                }
+            let mut dirs = [DirState::Unknown; 2];
+            let mut dropped = false;
+            for (d, dir) in p.dirs.iter().enumerate() {
+                dirs[d] = match dir {
+                    DirState::Escalated(job) => match od_verdicts.get(*job) {
+                        Some(v) if !v.skipped => {
+                            let holds = v.exact || v.error.is_some_and(|e| e.holds_at(cfg.epsilon));
+                            if holds {
+                                DirState::Holds
+                            } else {
+                                DirState::Fails
+                            }
+                        }
+                        _ => {
+                            dropped = true;
+                            DirState::Unknown
+                        }
+                    },
+                    DirState::Unknown => {
+                        dropped = true;
+                        DirState::Unknown
+                    }
+                    other => *other,
+                };
             }
-            budget.spend(spent);
+            if dropped {
+                continue;
+            }
+            finalize_candidate(&p.x, &p.y, p.ocd_err, &dirs, &universe, &mut out, &mut next);
+            budget.spend(3);
         }
-        let mut seen: HashSet<(AttrList, AttrList)> = HashSet::with_capacity(next.len());
+
+        if ctx.exhaustive {
+            stats.full_row_scans += ctx.sample_passes;
+        } else {
+            stats.sample_row_scans += ctx.sample_passes;
+        }
+
+        let mut seen: BTreeSet<(AttrList, AttrList)> = BTreeSet::new();
         next.retain(|c| seen.insert(c.clone()));
         level = next;
         level_no += 1;
+        if !budget.is_stopped() {
+            if let Some(rec) = recorder.as_mut() {
+                rec.record_boundary(level_no, &level, &out, &budget);
+            }
+        }
     }
 
     out.checks = budget.checks();
@@ -350,9 +1019,56 @@ pub fn discover_approximate(
         None if level_capped => TerminationReason::LevelCap,
         None => TerminationReason::Complete,
     };
+    stats.full_checks_saved = if exhaustive {
+        0
+    } else {
+        stats.estimated.saturating_sub(stats.escalated)
+    };
     out.ocds.sort_by(|a, b| a.ocd.cmp(&b.ocd));
     out.ods.sort();
+    if let Some(rec) = recorder.as_mut() {
+        rec.finish(level_no, &level, &out, &budget, &stats);
+    }
+    out.approx = Some(stats);
     out
+}
+
+/// Emit a decided candidate: the OCD, each holding direction's OD, and
+/// the children of each failing direction — the exact emission and
+/// child-generation order of the pre-pipeline checker.
+fn finalize_candidate(
+    x: &AttrList,
+    y: &AttrList,
+    ocd_err: (usize, usize),
+    dirs: &[DirState; 2],
+    universe: &[usize],
+    out: &mut ApproximateResult,
+    next: &mut Vec<(AttrList, AttrList)>,
+) {
+    out.ocds.push(ApproximateOcd::from_parts(
+        Ocd::new(x.clone(), y.clone()),
+        ocd_err.0,
+        ocd_err.1,
+    ));
+    let unused: Vec<usize> = universe
+        .iter()
+        .copied()
+        .filter(|&a| !x.contains(a) && !y.contains(a))
+        .collect();
+    if matches!(dirs[0], DirState::Holds) {
+        out.ods.push(Od::new(x.clone(), y.clone()));
+    } else {
+        for &a in &unused {
+            next.push((x.with_appended(a), y.clone()));
+        }
+    }
+    if matches!(dirs[1], DirState::Holds) {
+        out.ods.push(Od::new(y.clone(), x.clone()));
+    } else {
+        for &a in &unused {
+            next.push((x.clone(), y.with_appended(a)));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +1143,32 @@ mod tests {
                     err.is_exact(),
                     check_od(&r, &x, &y).is_valid(),
                     "seed {seed}: error {err:?} vs checker on {x} -> {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projection_ranks_blockwise_matches_scalar_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        // Rows past BLOCK_PAIRS exercise the blockwise path, including
+        // ragged tails and block-boundary rank carries.
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rows = 64 + (seed as usize * 13) % 140;
+            let card = 1 + (seed as i64 % 5);
+            let va: Vec<i64> = (0..rows)
+                .map(|_| rng.random_range(0..card.max(2)))
+                .collect();
+            let vb: Vec<i64> = (0..rows).map(|_| rng.random_range(0..3)).collect();
+            let r = rel(&[("a", &va), ("b", &vb)]);
+            for cols in [l(&[0]), l(&[1]), l(&[0, 1]), l(&[1, 0])] {
+                let index = sort_index_by(&r, cols.as_slice());
+                assert_eq!(
+                    projection_ranks_on(&r, &cols, &index),
+                    projection_ranks_scalar(&r, &cols, &index),
+                    "seed {seed} cols {cols}"
                 );
             }
         }
@@ -606,5 +1348,281 @@ mod tests {
         let err = od_error(&r, &l(&[0]), &l(&[1]));
         assert!(err.is_exact());
         assert!(err.holds_at(0.0));
+    }
+
+    #[test]
+    fn triage_boundaries() {
+        assert_eq!(triage(0.01, 0.005, 0.02), Triage::Accept);
+        assert_eq!(triage(0.10, 0.005, 0.02), Triage::Reject);
+        assert_eq!(triage(0.02, 0.005, 0.02), Triage::Borderline);
+        // Zero half-width is always decisive.
+        assert_eq!(triage(0.02, 0.0, 0.02), Triage::Accept);
+        assert_eq!(triage(0.021, 0.0, 0.02), Triage::Reject);
+        // Infinite half-width never is.
+        assert_eq!(triage(0.0, f64::INFINITY, 0.5), Triage::Borderline);
+    }
+
+    #[test]
+    fn half_width_shrinks_with_sample_size() {
+        let w100 = hoeffding_half_width(100, 0.95);
+        let w10000 = hoeffding_half_width(10_000, 0.95);
+        assert!(w100 > w10000);
+        assert!((w100 / w10000 - 10.0).abs() < 1e-9, "1/sqrt(s) scaling");
+        assert_eq!(hoeffding_half_width(0, 0.95), 0.0);
+    }
+
+    fn sampled_cfg(sample: usize, epsilon: f64) -> ApproxConfig {
+        ApproxConfig {
+            sample_rows: Some(sample),
+            epsilon,
+            ..ApproxConfig::default()
+        }
+    }
+
+    /// A relation with a clean OD a -> b plus a noisy third column.
+    fn pipeline_rel(rows: usize) -> Relation {
+        let va: Vec<i64> = (0..rows as i64).collect();
+        let vb: Vec<i64> = (0..rows as i64).map(|i| i / 2).collect();
+        let vc: Vec<i64> = (0..rows as i64).map(|i| (i * 7919) % 53).collect();
+        rel(&[("a", &va), ("b", &vb), ("c", &vc)])
+    }
+
+    #[test]
+    fn exhaustive_pipeline_reports_stats() {
+        let r = pipeline_rel(40);
+        let res = discover_approximate(&r, &DiscoveryConfig::default(), 0.0);
+        let stats = res.approx.expect("pipeline always reports stats");
+        assert!(stats.exhaustive);
+        assert_eq!(stats.sample_rows, 40);
+        assert_eq!(stats.total_rows, 40);
+        assert_eq!(stats.escalated, 0, "exhaustive runs never escalate");
+        assert_eq!(stats.full_checks_saved, 0);
+        assert_eq!(stats.sample_row_scans, 0);
+        assert!(stats.full_row_scans > 0);
+    }
+
+    #[test]
+    fn sampled_epsilon_zero_escalates_everything_and_stays_exact() {
+        let r = pipeline_rel(200);
+        let exact = discover_approximate(&r, &DiscoveryConfig::default(), 0.0);
+        let sampled = discover_approximate_with(&r, &sampled_cfg(50, 0.0));
+        // ε = 0 with a real sample: accepts are impossible (est + hw > 0),
+        // so every surviving candidate is escalated and verified — results
+        // match the full-data run exactly.
+        let exact_ocds: Vec<&Ocd> = exact.ocds.iter().map(|a| &a.ocd).collect();
+        let sampled_ocds: Vec<&Ocd> = sampled.ocds.iter().map(|a| &a.ocd).collect();
+        assert_eq!(exact_ocds, sampled_ocds);
+        assert_eq!(exact.ods, sampled.ods);
+        let stats = sampled.approx.expect("stats");
+        assert!(!stats.exhaustive);
+        assert!(stats.escalated > 0);
+        assert_eq!(stats.accepted_by_sample, 0, "ε=0 can never sample-accept");
+    }
+
+    #[test]
+    fn sampled_pipeline_is_deterministic_for_a_fixed_seed() {
+        let r = pipeline_rel(300);
+        let cfg = sampled_cfg(60, 0.05);
+        let a = discover_approximate_with(&r, &cfg);
+        let b = discover_approximate_with(&r, &cfg);
+        assert_eq!(a.ocds, b.ocds);
+        assert_eq!(a.ods, b.ods);
+        assert_eq!(a.checks, b.checks);
+        assert_eq!(a.approx, b.approx);
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_both_carry_provenance() {
+        let r = pipeline_rel(300);
+        let mut cfg = sampled_cfg(60, 0.05);
+        let a = discover_approximate_with(&r, &cfg);
+        cfg.seed = 99;
+        let b = discover_approximate_with(&r, &cfg);
+        let (sa, sb) = (a.approx.expect("stats"), b.approx.expect("stats"));
+        assert_eq!(sa.seed, 0x0cdd_5eed);
+        assert_eq!(sb.seed, 99);
+        assert_ne!(sa.sample_manifest, 0);
+        assert_ne!(sb.sample_manifest, 0);
+    }
+
+    #[test]
+    fn sampled_pipeline_saves_full_checks_at_positive_epsilon() {
+        // Big margin: the clean OD has error 0, the noise column errors
+        // are far above ε, so the sample resolves everything and no
+        // full-data work happens at all.
+        let r = pipeline_rel(600);
+        let sampled = discover_approximate_with(&r, &sampled_cfg(150, 0.02));
+        let exhaustive = discover_approximate(&r, &DiscoveryConfig::default(), 0.02);
+        assert_eq!(
+            sampled
+                .ods
+                .iter()
+                .map(|od| format!("{od:?}"))
+                .collect::<Vec<_>>(),
+            exhaustive
+                .ods
+                .iter()
+                .map(|od| format!("{od:?}"))
+                .collect::<Vec<_>>(),
+        );
+        let stats = sampled.approx.expect("stats");
+        let full = exhaustive.approx.expect("stats");
+        assert!(stats.full_checks_saved > 0);
+        assert!(
+            stats.full_row_scans < full.full_row_scans,
+            "sampled {} vs exhaustive {}",
+            stats.full_row_scans,
+            full.full_row_scans
+        );
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ocdd-approx-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn checkpointed_cfg(dir: &std::path::Path, sample: usize, epsilon: f64) -> ApproxConfig {
+        use crate::snapshot::CheckpointPolicy;
+        ApproxConfig {
+            base: DiscoveryConfig {
+                checkpoint: Some(CheckpointPolicy {
+                    keep_last: 0,
+                    delete_on_complete: false,
+                    ..CheckpointPolicy::new(dir)
+                }),
+                ..DiscoveryConfig::default()
+            },
+            ..sampled_cfg(sample, epsilon)
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_replays_the_interrupted_run_exactly() {
+        use crate::snapshot::{list_snapshots, read_snapshot};
+        let r = pipeline_rel(300);
+        let dir = ckpt_dir("resume");
+        let cfg = checkpointed_cfg(&dir, 60, 0.05);
+        let full = discover_approximate_with(&r, &cfg);
+        assert!(full.complete());
+
+        // Resume from every boundary dump; each must reproduce the
+        // uninterrupted run's results and cumulative check count.
+        let dumps = list_snapshots(&dir, None).expect("dump dir");
+        assert!(!dumps.is_empty(), "boundary dumps were written");
+        let resume_cfg = ApproxConfig {
+            base: DiscoveryConfig::default(),
+            ..cfg.clone()
+        };
+        for dump in &dumps {
+            let snap = read_snapshot(dump).expect("readable dump");
+            assert!(snap.approx.is_some(), "approx dumps carry sampling meta");
+            let resumed =
+                discover_approximate_resume(&r, &resume_cfg, &snap).expect("valid resume");
+            assert_eq!(resumed.ocds, full.ocds, "dump {}", dump.display());
+            assert_eq!(resumed.ods, full.ods, "dump {}", dump.display());
+            assert_eq!(resumed.checks, full.checks, "dump {}", dump.display());
+            assert!(resumed.complete());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_sample_and_kind_mismatches() {
+        use crate::snapshot::{latest_snapshot, read_snapshot, SnapshotError};
+        let r = pipeline_rel(300);
+        let dir = ckpt_dir("mismatch");
+        let cfg = checkpointed_cfg(&dir, 60, 0.05);
+        let _ = discover_approximate_with(&r, &cfg);
+        let snap = read_snapshot(&latest_snapshot(&dir).expect("dump")).expect("readable");
+
+        let reject = |cfg: &ApproxConfig, field: &'static str| {
+            assert_eq!(
+                discover_approximate_resume(&r, cfg, &snap).expect_err("must reject"),
+                SnapshotError::SampleMismatch(field)
+            );
+        };
+        reject(
+            &ApproxConfig {
+                seed: 1234,
+                ..cfg.clone()
+            },
+            "seed",
+        );
+        reject(
+            &ApproxConfig {
+                epsilon: 0.06,
+                ..cfg.clone()
+            },
+            "epsilon",
+        );
+        reject(
+            &ApproxConfig {
+                confidence: 0.9,
+                ..cfg.clone()
+            },
+            "confidence",
+        );
+        reject(
+            &ApproxConfig {
+                strategy: SampleStrategy::Stratified(0),
+                ..cfg.clone()
+            },
+            "strategy",
+        );
+        reject(
+            &ApproxConfig {
+                sample_rows: Some(61),
+                ..cfg.clone()
+            },
+            "sample_rows",
+        );
+
+        // The exact resume path refuses approximate dumps outright.
+        assert_eq!(
+            crate::search::discover_resume(&r, &cfg.base, &snap).err(),
+            Some(SnapshotError::SampleMismatch("approx"))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn approximate_resume_rejects_exact_dumps() {
+        use crate::snapshot::{latest_snapshot, read_snapshot, CheckpointPolicy, SnapshotError};
+        let r = pipeline_rel(40);
+        let dir = ckpt_dir("exact-dump");
+        let exact_cfg = DiscoveryConfig {
+            checkpoint: Some(CheckpointPolicy {
+                keep_last: 0,
+                delete_on_complete: false,
+                ..CheckpointPolicy::new(&dir)
+            }),
+            ..DiscoveryConfig::default()
+        };
+        let _ = crate::search::discover(&r, &exact_cfg);
+        let snap = read_snapshot(&latest_snapshot(&dir).expect("dump")).expect("readable");
+        assert!(snap.approx.is_none());
+        let cfg = ApproxConfig {
+            base: exact_cfg,
+            ..ApproxConfig::default()
+        };
+        assert_eq!(
+            discover_approximate_resume(&r, &cfg, &snap).err(),
+            Some(SnapshotError::SampleMismatch("approx"))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escalation_modes_agree_on_sampled_runs() {
+        use crate::config::ParallelMode;
+        let r = pipeline_rel(260);
+        let mut cfg = sampled_cfg(64, 0.0); // everything escalates
+        let seq = discover_approximate_with(&r, &cfg);
+        cfg.base.mode = ParallelMode::WorkStealing(3);
+        let steal = discover_approximate_with(&r, &cfg);
+        assert_eq!(seq.ocds, steal.ocds);
+        assert_eq!(seq.ods, steal.ods);
+        assert_eq!(seq.checks, steal.checks);
     }
 }

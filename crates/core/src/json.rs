@@ -186,6 +186,78 @@ pub fn result_to_json(result: &DiscoveryResult, rel: &Relation) -> String {
     out
 }
 
+/// Serialize an [`ApproximateResult`](crate::ApproximateResult) to JSON.
+///
+/// Same envelope as [`result_to_json`] where the fields coincide
+/// (`rows`/`columns`/`complete`/`termination`/`checks`/`ocds`/`ods`) —
+/// OCDs additionally carry their measured `error` with its exact
+/// `removals`/`rows` rational — plus an `"approx"` object with the
+/// pipeline's triage accounting: `sample_rows`, `total_rows`, `seed`,
+/// `sample_manifest`, `exhaustive`, `estimated` (sample-phase
+/// validations), `accepted_by_sample`, `rejected_by_sample`, `escalated`
+/// (full-data verifications), `full_checks_saved`, and the
+/// `sample_row_scans`/`full_row_scans` cost model.
+pub fn approx_result_to_json(result: &crate::ApproximateResult, rel: &Relation) -> String {
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"rows\":{},\"columns\":{},\"complete\":{},\"termination\":\"{}\",\"checks\":{},",
+        rel.num_rows(),
+        rel.num_columns(),
+        result.complete(),
+        result.termination.label(),
+        result.checks,
+    );
+    if let Some(a) = &result.approx {
+        let _ = write!(
+            out,
+            "\"approx\":{{\"sample_rows\":{},\"total_rows\":{},\"seed\":{},\"sample_manifest\":\"{:016x}\",\"exhaustive\":{},\"estimated\":{},\"accepted_by_sample\":{},\"rejected_by_sample\":{},\"escalated\":{},\"full_checks_saved\":{},\"sample_row_scans\":{},\"full_row_scans\":{}}},",
+            a.sample_rows,
+            a.total_rows,
+            a.seed,
+            a.sample_manifest,
+            a.exhaustive,
+            a.estimated,
+            a.accepted_by_sample,
+            a.rejected_by_sample,
+            a.escalated,
+            a.full_checks_saved,
+            a.sample_row_scans,
+            a.full_row_scans,
+        );
+    }
+    let ocds: Vec<String> = result
+        .ocds
+        .iter()
+        .map(|o| {
+            format!(
+                "{{\"lhs\":{},\"rhs\":{},\"error\":{:.6},\"removals\":{},\"rows\":{}}}",
+                name_array(&o.ocd.lhs, rel),
+                name_array(&o.ocd.rhs, rel),
+                o.error,
+                o.removals,
+                o.rows,
+            )
+        })
+        .collect();
+    let _ = write!(out, "\"ocds\":[{}],", ocds.join(","));
+    let ods: Vec<String> = result
+        .ods
+        .iter()
+        .map(|o| {
+            format!(
+                "{{\"lhs\":{},\"rhs\":{}}}",
+                name_array(&o.lhs, rel),
+                name_array(&o.rhs, rel)
+            )
+        })
+        .collect();
+    let _ = write!(out, "\"ods\":[{}]", ods.join(","));
+    out.push('}');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +359,49 @@ mod tests {
         // Sequential runs must not carry the key.
         let seq = discover(&rel, &DiscoveryConfig::default());
         assert!(!result_to_json(&seq, &rel).contains("\"scheduler\""));
+    }
+
+    #[test]
+    fn approx_json_carries_triage_accounting_and_errors() {
+        let rel = Relation::from_columns(vec![
+            ("a".to_string(), (0..20).map(Value::Int).collect()),
+            (
+                "b".to_string(),
+                (0..20).map(|i| Value::Int(i / 2)).collect(),
+            ),
+        ])
+        .unwrap();
+        let res = crate::discover_approximate(&rel, &DiscoveryConfig::default(), 0.0);
+        let json = approx_result_to_json(&res, &rel);
+        assert!(json.contains("\"approx\":{\"sample_rows\":20"), "{json}");
+        assert!(json.contains("\"exhaustive\":true"), "{json}");
+        assert!(json.contains("\"full_checks_saved\":0"), "{json}");
+        assert!(json.contains("\"error\":0.000000"), "{json}");
+        assert!(json.contains("\"removals\":0"), "{json}");
+        // Structural balance, same validator as the exact export test.
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
     }
 
     #[test]

@@ -69,6 +69,11 @@ pub mod sorted_partitions;
 pub(crate) mod sync_shim;
 pub mod visualize;
 
+pub use approximate::{
+    discover_approximate, discover_approximate_resume, discover_approximate_with,
+    hoeffding_half_width, ocd_error, od_error, removal_witnesses, triage, ApproxConfig,
+    ApproxStats, ApproximateOcd, ApproximateResult, OdError, Triage, ERR_PASSES,
+};
 pub use check::{check_ocd, check_od, check_od_after_ocd, CheckOutcome, SortCache};
 pub use config::{CheckerBackend, DiscoveryConfig, ParallelMode};
 pub use deps::{AttrList, Ocd, Od, OrderEquivalence};
@@ -79,7 +84,7 @@ pub use scheduler::{SchedulerStats, WorkerSchedStats};
 pub use search::{discover, discover_resume, profile_branches, BranchCost};
 pub use shared_cache::{CacheStats, EpochPrefixCache, EpochSnapshot, SharedPrefixCache};
 pub use snapshot::{
-    latest_snapshot, list_snapshots, parse_snapshot, read_snapshot, snapshot_to_json,
+    latest_snapshot, list_snapshots, parse_snapshot, read_snapshot, snapshot_to_json, ApproxMeta,
     CheckpointPolicy, CheckpointStats, SearchSnapshot, SnapshotError, SNAPSHOT_VERSION,
 };
 pub use visualize::snapshot_to_dot;

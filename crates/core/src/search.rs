@@ -780,6 +780,7 @@ fn record_checkpoint(
         elapsed_ms: rec.elapsed_ms(),
         kernels: rec.kernels_now(),
         cache: rec.cache_meta(shared.stats()),
+        approx: None,
         pruned: rec.pruned_pairs(),
         termination: None,
     };
@@ -1244,6 +1245,329 @@ fn run_workstealing_levels(
     sched
 }
 
+/// One full-data check requested by the approximate pipeline for a
+/// borderline candidate (see `crate::approximate`).
+#[derive(Debug, Clone)]
+pub(crate) struct EscalationJob {
+    /// What to verify.
+    pub(crate) kind: EscalationKind,
+    /// Compute the exact error decomposition when the fast validity check
+    /// fails (ε > 0 runs need the removal counts; ε = 0 runs only need
+    /// the boolean).
+    pub(crate) need_error: bool,
+}
+
+/// The dependency shape of an [`EscalationJob`].
+#[derive(Debug, Clone)]
+pub(crate) enum EscalationKind {
+    /// Verify the OCD `x ~ y`.
+    Ocd {
+        /// Left side.
+        x: AttrList,
+        /// Right side.
+        y: AttrList,
+    },
+    /// Verify one OD direction of candidate `(x, y)`.
+    Od {
+        /// Candidate left side.
+        x: AttrList,
+        /// Candidate right side.
+        y: AttrList,
+        /// `true` checks `x → y`, `false` checks `y → x`.
+        forward: bool,
+        /// The enclosing OCD is exactly valid on the full data, enabling
+        /// the fused split-only `check_od_after_ocd` fast path.
+        ocd_exact: bool,
+    },
+}
+
+impl EscalationKind {
+    /// The sort-key prefix this job's first scan materializes — the batch
+    /// grouping key (mirrors [`level_batches`]).
+    fn prefix(&self) -> &AttrList {
+        match self {
+            EscalationKind::Ocd { x, .. } | EscalationKind::Od { x, .. } => x,
+        }
+    }
+}
+
+/// Outcome of one escalation job.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EscalationVerdict {
+    /// The job never ran (stopped budget or a panicking check); the
+    /// pipeline drops the candidate, mirroring how the exact search drops
+    /// unprocessed candidates on a stop.
+    pub(crate) skipped: bool,
+    /// The dependency is exactly valid on the full data.
+    pub(crate) exact: bool,
+    /// Exact error decomposition, when the fast check failed and the job
+    /// asked for it.
+    pub(crate) error: Option<crate::approximate::OdError>,
+    /// Row passes over the full relation this job cost (the
+    /// [`crate::approximate::ERR_PASSES`] cost model).
+    pub(crate) rows_scanned: u64,
+}
+
+/// Run one escalation job against the full relation on a warm [`Checker`].
+fn run_escalation_job(
+    rel: &Relation,
+    checker: &mut Checker<'_>,
+    job: &EscalationJob,
+) -> EscalationVerdict {
+    let m = rel.num_rows() as u64;
+    let mut v = EscalationVerdict::default();
+    match &job.kind {
+        EscalationKind::Ocd { x, y } => {
+            v.rows_scanned = m;
+            if checker.check_ocd(x, y) {
+                v.exact = true;
+            } else if job.need_error {
+                v.error = Some(crate::approximate::ocd_error(rel, x, y));
+                v.rows_scanned += crate::approximate::ERR_PASSES * m;
+            }
+        }
+        EscalationKind::Od {
+            x,
+            y,
+            forward,
+            ocd_exact,
+        } => {
+            let (lhs, rhs) = if *forward { (x, y) } else { (y, x) };
+            // The fused split-only scan is sound only right after the
+            // enclosing OCD validated on this checker, so re-establish it
+            // (warm: the x-prefix index/partition is cached).
+            if *ocd_exact && checker.check_ocd(x, y) {
+                v.rows_scanned = 2 * m;
+                if checker.check_od_after_ocd(lhs, rhs) {
+                    v.exact = true;
+                    return v;
+                }
+                if !job.need_error {
+                    return v;
+                }
+            }
+            v.error = Some(crate::approximate::od_error(rel, lhs, rhs));
+            v.rows_scanned += crate::approximate::ERR_PASSES * m;
+            if let Some(e) = v.error {
+                v.exact = e.is_exact();
+            }
+        }
+    }
+    v
+}
+
+/// Drain one batch of escalation jobs on a worker, catching per-job panics
+/// (a panicked job yields a `skipped` verdict and a rebuilt checker, the
+/// same quarantine-not-abort contract as [`run_batch`]).
+#[allow(clippy::too_many_arguments)]
+fn run_escalation_batch<'r>(
+    rel: &'r Relation,
+    members: &[usize],
+    jobs: &[EscalationJob],
+    checker: &mut Checker<'r>,
+    config: &DiscoveryConfig,
+    shared: &SharedCaches,
+    budget: &Budget,
+    out: &mut Vec<(usize, EscalationVerdict)>,
+) {
+    if !budget.probe_now() {
+        out.extend(members.iter().map(|&i| {
+            (
+                i,
+                EscalationVerdict {
+                    skipped: true,
+                    ..EscalationVerdict::default()
+                },
+            )
+        }));
+        return;
+    }
+    for &i in members {
+        let Some(job) = jobs.get(i) else { continue };
+        if budget.is_stopped() {
+            out.push((
+                i,
+                EscalationVerdict {
+                    skipped: true,
+                    ..EscalationVerdict::default()
+                },
+            ));
+            continue;
+        }
+        let verdict = {
+            let checker = &mut *checker;
+            catch_unwind(AssertUnwindSafe(move || {
+                run_escalation_job(rel, checker, job)
+            }))
+        };
+        match verdict {
+            Ok(v) => out.push((i, v)),
+            Err(_) => {
+                *checker = Checker::new(rel, config, shared);
+                checker.begin_level();
+                out.push((
+                    i,
+                    EscalationVerdict {
+                        skipped: true,
+                        ..EscalationVerdict::default()
+                    },
+                ));
+            }
+        }
+    }
+}
+
+/// Execute the approximate pipeline's full-data escalation wave.
+///
+/// Jobs are grouped into prefix batches (one per distinct `x` side, like
+/// [`level_batches`]) so a batch's first check materializes the shared
+/// sort prefix and the rest hit it warm. Under
+/// [`ParallelMode::WorkStealing`] the batches are dealt over
+/// [`StealQueues`] and drained by scoped workers with per-worker
+/// [`Checker`]s (epoch caches are published after the wave); every other
+/// mode drains them inline on one checker. Verdicts come back indexed by
+/// job — the result is deterministic regardless of mode or schedule.
+pub(crate) fn run_escalations(
+    rel: &Relation,
+    config: &DiscoveryConfig,
+    jobs: &[EscalationJob],
+    budget: &Budget,
+) -> Vec<EscalationVerdict> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let shared = SharedCaches::from_config(config);
+    // Prefix batches in order of first appearance (lookup map only — its
+    // iteration order is never observed).
+    let mut by_key: HashMap<&AttrList, usize> = HashMap::with_capacity(jobs.len());
+    let mut batches: Vec<Vec<usize>> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match by_key.get(job.kind.prefix()) {
+            Some(&b) => {
+                if let Some(batch) = batches.get_mut(b) {
+                    batch.push(i);
+                }
+            }
+            None => {
+                by_key.insert(job.kind.prefix(), batches.len());
+                batches.push(vec![i]);
+            }
+        }
+    }
+
+    let workers = match config.mode {
+        ParallelMode::WorkStealing(k) => k.max(1),
+        _ => 1,
+    };
+    let mut slots: Vec<Option<EscalationVerdict>> = Vec::with_capacity(jobs.len());
+    slots.resize_with(jobs.len(), || None);
+
+    if workers == 1 {
+        let mut checker = Checker::new(rel, config, &shared);
+        checker.begin_level();
+        let mut local: Vec<(usize, EscalationVerdict)> = Vec::new();
+        for members in &batches {
+            run_escalation_batch(
+                rel,
+                members,
+                jobs,
+                &mut checker,
+                config,
+                &shared,
+                budget,
+                &mut local,
+            );
+        }
+        checker.publish_pending();
+        for (i, v) in local {
+            if let Some(slot) = slots.get_mut(i) {
+                *slot = Some(v);
+            }
+        }
+    } else {
+        let mut checkers: Vec<Checker<'_>> = (0..workers)
+            .map(|_| Checker::new(rel, config, &shared))
+            .collect();
+        let queues = StealQueues::new(workers, batches.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = checkers
+                .iter_mut()
+                .enumerate()
+                .map(|(w, checker)| {
+                    let queues = &queues;
+                    let batches = &batches;
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        checker.begin_level();
+                        let mut local: Vec<(usize, EscalationVerdict)> = Vec::new();
+                        while let Some((b, _stolen)) = queues.pop(w) {
+                            let Some(members) = batches.get(b) else {
+                                continue;
+                            };
+                            run_escalation_batch(
+                                rel, members, jobs, checker, config, shared, budget, &mut local,
+                            );
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                if let Ok(local) = handle.join() {
+                    for (i, v) in local {
+                        if let Some(slot) = slots.get_mut(i) {
+                            *slot = Some(v);
+                        }
+                    }
+                }
+                // A dead worker loses its verdicts; the sequential retry
+                // below recomputes them deterministically.
+            }
+        });
+        for checker in &mut checkers {
+            checker.publish_pending();
+        }
+        // Retry lost slots inline (worker death / lost outcomes).
+        if slots.iter().any(Option::is_none) {
+            let mut checker = Checker::new(rel, config, &shared);
+            checker.begin_level();
+            let mut local: Vec<(usize, EscalationVerdict)> = Vec::new();
+            for (i, slot) in slots.iter().enumerate() {
+                if slot.is_none() {
+                    run_escalation_batch(
+                        rel,
+                        &[i],
+                        jobs,
+                        &mut checker,
+                        config,
+                        &shared,
+                        budget,
+                        &mut local,
+                    );
+                }
+            }
+            checker.publish_pending();
+            for (i, v) in local {
+                if let Some(slot) = slots.get_mut(i) {
+                    *slot = Some(v);
+                }
+            }
+        }
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or(EscalationVerdict {
+                skipped: true,
+                exact: false,
+                error: None,
+                rows_scanned: 0,
+            })
+        })
+        .collect()
+}
+
 /// Resume the search below a candidate whose OD direction `od.lhs → od.rhs`
 /// has just been invalidated (used by [`crate::incremental`]).
 ///
@@ -1556,6 +1880,13 @@ pub fn discover_resume(
     snap: &SearchSnapshot,
 ) -> Result<DiscoveryResult, SnapshotError> {
     snap.validate(rel, config)?;
+    // A dump of the approximate pipeline describes a sample-triaged
+    // frontier; replaying it through the exact search would silently
+    // change what the levels mean. `discover_approximate_resume` is the
+    // entry point for those dumps.
+    if snap.approx.is_some() {
+        return Err(SnapshotError::SampleMismatch("approx"));
+    }
     let start = crate::runtime::now();
 
     let reduction = run_reduction(rel, config);

@@ -185,6 +185,48 @@ pub struct CacheMeta {
     pub stats: CacheStats,
 }
 
+/// Sampling metadata of an approximate-pipeline dump (DESIGN.md §14).
+///
+/// A resume of an approximate run must rebuild *the same sample* the
+/// original run triaged on — otherwise the resumed half of the lattice is
+/// judged against different evidence and the combined result matches
+/// neither run. [`crate::discover_approximate_resume`] therefore re-draws
+/// the sample from this metadata and rejects on any mismatch
+/// ([`SnapshotError::SampleMismatch`]), mirroring the manifest-hash check
+/// on the parent relation.
+///
+/// Floats (`epsilon`, `confidence`) are stored as exact integer
+/// micro-units because the dump parser deliberately accepts only unsigned
+/// integers; OCD errors are stored as `(removals, rows)` rationals for the
+/// same reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApproxMeta {
+    /// Sampling seed of the run.
+    pub seed: u64,
+    /// Rows actually drawn into the sample.
+    pub sample_rows: u64,
+    /// Rows of the parent relation.
+    pub total_rows: u64,
+    /// Strategy label (`"uniform"` / `"stratified"`).
+    pub strategy: String,
+    /// Stratification column, when the strategy is stratified.
+    pub strategy_column: Option<u64>,
+    /// Manifest hash of the materialized sample relation.
+    pub sample_manifest: u64,
+    /// Tolerance ε in micro-units (`round(ε · 1e6)`).
+    pub epsilon_micros: u64,
+    /// Confidence level in micro-units (`round(confidence · 1e6)`).
+    pub confidence_micros: u64,
+    /// Per-OCD `(swap removals, rows)` error rationals, aligned with the
+    /// dump's `ocds` array.
+    pub ocd_errors: Vec<(u64, u64)>,
+}
+
+/// Convert a `[0, 1]` fraction to exact micro-units for a dump.
+pub fn to_micros(fraction: f64) -> u64 {
+    (fraction.clamp(0.0, 1.0) * 1_000_000.0).round() as u64
+}
+
 /// A versioned dump of the level-synchronous search state at one level
 /// boundary. See the module docs for the durability and identity
 /// guarantees; DESIGN.md §13 specifies the on-disk field layout.
@@ -229,6 +271,10 @@ pub struct SearchSnapshot {
     pub kernels: KernelCounts,
     /// Shared-cache metadata, when the run had a shared cache.
     pub cache: Option<CacheMeta>,
+    /// Sampling metadata when the dump came from the approximate
+    /// pipeline; `None` for exact-search dumps (and absent from their
+    /// serialized form, keeping them byte-identical to pre-§14 dumps).
+    pub approx: Option<ApproxMeta>,
     /// Candidates checked and found invalid (subtree pruned), recorded
     /// when [`CheckpointPolicy::record_pruned`] is on — the raw material
     /// of `ocdd dump-dot`'s per-node verdicts.
@@ -264,6 +310,11 @@ pub enum SnapshotError {
     /// A semantic configuration knob differs between the dump and the
     /// resume config (named knob).
     ConfigMismatch(&'static str),
+    /// An approximate-run dump's sampling metadata does not match the
+    /// resume configuration (named field), or an exact/approximate
+    /// resume was attempted on a dump of the other kind — the rebuilt
+    /// sample would not be the one the run triaged on.
+    SampleMismatch(&'static str),
     /// No dump file found (e.g. resuming from an empty directory).
     NoSnapshot(String),
 }
@@ -289,6 +340,12 @@ impl fmt::Display for SnapshotError {
                 f,
                 "config mismatch: `{knob}` differs from the checkpointed run \
                  (results would diverge; rerun from scratch instead)"
+            ),
+            SnapshotError::SampleMismatch(field) => write!(
+                f,
+                "sample mismatch: `{field}` differs from the checkpointed \
+                 approximate run (the resumed sample would not be the one \
+                 the run triaged on; rerun from scratch instead)"
             ),
             SnapshotError::NoSnapshot(m) => write!(f, "no snapshot found: {m}"),
         }
@@ -472,6 +529,26 @@ pub fn snapshot_to_json(snap: &SearchSnapshot) -> String {
             );
         }
     }
+    if let Some(a) = &snap.approx {
+        let errs: Vec<String> = a
+            .ocd_errors
+            .iter()
+            .map(|&(r, m)| format!("[{r},{m}]"))
+            .collect();
+        let _ = write!(
+            out,
+            "\"approx\":{{\"seed\":{},\"sample_rows\":{},\"total_rows\":{},\"strategy\":\"{}\",\"strategy_column\":{},\"sample_manifest\":\"{:016x}\",\"epsilon_micros\":{},\"confidence_micros\":{},\"ocd_errors\":[{}]}},",
+            a.seed,
+            a.sample_rows,
+            a.total_rows,
+            escape(&a.strategy),
+            opt_u64_json(a.strategy_column),
+            a.sample_manifest,
+            a.epsilon_micros,
+            a.confidence_micros,
+            errs.join(","),
+        );
+    }
     let _ = write!(out, "\"pruned\":{},", pair_array(&snap.pruned));
     match &snap.termination {
         None => out.push_str("\"termination\":null}"),
@@ -536,7 +613,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), String> {
+    fn require(&mut self, c: u8) -> Result<(), String> {
         if self.peek() == Some(c) {
             self.i += 1;
             Ok(())
@@ -598,7 +675,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.require(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.i;
@@ -668,7 +745,7 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     let key = self.string()?;
                     self.skip_ws();
-                    self.expect(b':')?;
+                    self.require(b':')?;
                     let val = self.value(depth + 1)?;
                     fields.push((key, val));
                     self.skip_ws();
@@ -938,6 +1015,46 @@ pub fn parse_snapshot(text: &str) -> Result<SearchSnapshot, SnapshotError> {
         v => Some(parse_termination_value(v)?),
     };
 
+    // Optional: absent (pre-§14 dump or exact-search dump) means `None`.
+    let approx = match get(obj, "approx") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let a = as_obj(v, "approx")?;
+            let sample_manifest_text =
+                as_str(req(a, "sample_manifest")?, "approx.sample_manifest")?;
+            let sample_manifest = u64::from_str_radix(sample_manifest_text, 16).map_err(|_| {
+                SnapshotError::Parse("`approx.sample_manifest` must be a hex string".to_string())
+            })?;
+            let ocd_errors = as_arr(req(a, "ocd_errors")?, "approx.ocd_errors")?
+                .iter()
+                .map(|pair| {
+                    let nums = as_arr(pair, "approx.ocd_errors")?;
+                    match nums {
+                        [r, m] => Ok((
+                            as_u64(r, "approx.ocd_errors")?,
+                            as_u64(m, "approx.ocd_errors")?,
+                        )),
+                        _ => perr("approx ocd_error must be a pair".to_string()),
+                    }
+                })
+                .collect::<Result<Vec<_>, SnapshotError>>()?;
+            Some(ApproxMeta {
+                seed: as_u64(req(a, "seed")?, "approx.seed")?,
+                sample_rows: as_u64(req(a, "sample_rows")?, "approx.sample_rows")?,
+                total_rows: as_u64(req(a, "total_rows")?, "approx.total_rows")?,
+                strategy: as_str(req(a, "strategy")?, "approx.strategy")?.to_string(),
+                strategy_column: opt_u64(req(a, "strategy_column")?, "approx.strategy_column")?,
+                sample_manifest,
+                epsilon_micros: as_u64(req(a, "epsilon_micros")?, "approx.epsilon_micros")?,
+                confidence_micros: as_u64(
+                    req(a, "confidence_micros")?,
+                    "approx.confidence_micros",
+                )?,
+                ocd_errors,
+            })
+        }
+    };
+
     Ok(SearchSnapshot {
         version: SNAPSHOT_VERSION,
         manifest,
@@ -956,6 +1073,7 @@ pub fn parse_snapshot(text: &str) -> Result<SearchSnapshot, SnapshotError> {
         elapsed_ms: as_u64(req(obj, "elapsed_ms")?, "elapsed_ms")?,
         kernels,
         cache,
+        approx,
         pruned: pair_list(req(obj, "pruned")?, "pruned")?,
         termination,
     })
@@ -1265,6 +1383,141 @@ impl CheckpointRecorder {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Approximate-pipeline recorder
+// ---------------------------------------------------------------------------
+
+/// Checkpoint writer of the approximate pipeline
+/// ([`crate::approximate::run_pipeline`]): wraps a [`CheckpointRecorder`]
+/// and stamps every dump with the run's [`ApproxMeta`] so a resume can
+/// re-draw and validate the very sample the run triaged on. Same
+/// swallow-IO-errors contract as the exact recorder.
+pub(crate) struct ApproxRecorder {
+    inner: CheckpointRecorder,
+    meta: ApproxMeta,
+}
+
+/// Build the sampling metadata a dump of this approximate run carries
+/// (the `ocd_errors` array is filled per dump from the accumulated OCDs).
+pub(crate) fn approx_meta(
+    cfg: &crate::approximate::ApproxConfig,
+    stats: &crate::approximate::ApproxStats,
+) -> ApproxMeta {
+    ApproxMeta {
+        seed: cfg.seed,
+        sample_rows: stats.sample_rows as u64,
+        total_rows: stats.total_rows as u64,
+        strategy: cfg.strategy.label().to_string(),
+        strategy_column: cfg.strategy.column().map(|c| c as u64),
+        sample_manifest: stats.sample_manifest,
+        epsilon_micros: to_micros(cfg.epsilon),
+        confidence_micros: to_micros(cfg.confidence),
+        ocd_errors: Vec::new(),
+    }
+}
+
+/// Recorder for an approximate run, when its base configuration installs
+/// a [`CheckpointPolicy`]; `None` otherwise.
+pub(crate) fn approx_recorder(
+    rel: &Relation,
+    cfg: &crate::approximate::ApproxConfig,
+    stats: &crate::approximate::ApproxStats,
+) -> Option<ApproxRecorder> {
+    let policy = cfg.base.checkpoint.clone()?;
+    Some(ApproxRecorder {
+        inner: CheckpointRecorder::new(
+            policy,
+            rel,
+            &cfg.base,
+            crate::runtime::now(),
+            ocdd_relation::sort::kernel_stats::snapshot(),
+        ),
+        meta: approx_meta(cfg, stats),
+    })
+}
+
+impl ApproxRecorder {
+    /// Build the dump of the boundary entering `level_no`.
+    fn build(
+        &self,
+        level_no: usize,
+        level: &[(crate::deps::AttrList, crate::deps::AttrList)],
+        out: &crate::approximate::ApproximateResult,
+        budget: &crate::runtime::Budget,
+    ) -> SearchSnapshot {
+        let mut meta = self.meta.clone();
+        meta.ocd_errors = out
+            .ocds
+            .iter()
+            .map(|o| (o.removals as u64, o.rows as u64))
+            .collect();
+        let pair = |x: &crate::deps::AttrList, y: &crate::deps::AttrList| CandidatePair {
+            x: x.as_slice().to_vec(),
+            y: y.as_slice().to_vec(),
+        };
+        SearchSnapshot {
+            version: SNAPSHOT_VERSION,
+            manifest: self.inner.manifest(),
+            config: self.inner.fingerprint(),
+            level: level_no,
+            frontier: level.iter().map(|(x, y)| pair(x, y)).collect(),
+            branches: Vec::new(),
+            failures: Vec::new(),
+            ocds: out
+                .ocds
+                .iter()
+                .map(|o| pair(&o.ocd.lhs, &o.ocd.rhs))
+                .collect(),
+            ods: out.ods.iter().map(|o| pair(&o.lhs, &o.rhs)).collect(),
+            generated: 0,
+            levels: Vec::new(),
+            level_capped: false,
+            check_budget_hit: false,
+            checks: budget.checks(),
+            elapsed_ms: self.inner.elapsed_ms(),
+            kernels: self.inner.kernels_now(),
+            cache: self.inner.cache_meta(None),
+            approx: Some(meta),
+            pruned: Vec::new(),
+            termination: None,
+        }
+    }
+
+    /// Dump the boundary entering `level_no` if the policy's interval
+    /// wants it.
+    pub(crate) fn record_boundary(
+        &mut self,
+        level_no: usize,
+        level: &[(crate::deps::AttrList, crate::deps::AttrList)],
+        out: &crate::approximate::ApproximateResult,
+        budget: &crate::runtime::Budget,
+    ) {
+        if !self.inner.wants(level_no) {
+            return;
+        }
+        let snap = self.build(level_no, level, out, budget);
+        self.inner.write_boundary(snap);
+    }
+
+    /// End-of-run hook: refresh the resume point with the final
+    /// accumulated state on an early stop, then apply the exact
+    /// recorder's completion/final-dump protocol.
+    pub(crate) fn finish(
+        &mut self,
+        level_no: usize,
+        level: &[(crate::deps::AttrList, crate::deps::AttrList)],
+        out: &crate::approximate::ApproximateResult,
+        budget: &crate::runtime::Budget,
+        _stats: &crate::approximate::ApproxStats,
+    ) {
+        if !out.termination.is_complete() {
+            let snap = self.build(level_no, level, out, budget);
+            self.inner.write_boundary(snap);
+        }
+        self.inner.finish(&out.termination);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1349,6 +1602,7 @@ mod tests {
                     entries: 2,
                 },
             }),
+            approx: None,
             pruned: vec![CandidatePair {
                 x: vec![2],
                 y: vec![3],
@@ -1365,6 +1619,38 @@ mod tests {
         assert_eq!(parsed, snap);
         // Serialization is canonical: re-serializing gives the same bytes.
         assert_eq!(snapshot_to_json(&parsed), json);
+    }
+
+    #[test]
+    fn approx_meta_is_optional_and_round_trips() {
+        let mut snap = sample_snapshot();
+        // Exact-search dumps never carry the key — their serialized form
+        // is byte-identical to pre-§14 dumps.
+        assert!(!snapshot_to_json(&snap).contains("\"approx\""));
+        snap.approx = Some(ApproxMeta {
+            seed: 7,
+            sample_rows: 100,
+            total_rows: 1000,
+            strategy: "stratified".to_string(),
+            strategy_column: Some(2),
+            sample_manifest: 0xabcd_ef01_2345_6789,
+            epsilon_micros: 50_000,
+            confidence_micros: 950_000,
+            ocd_errors: vec![(3, 100)],
+        });
+        let json = snapshot_to_json(&snap);
+        let parsed = parse_snapshot(&json).expect("round trip");
+        assert_eq!(parsed, snap);
+        assert_eq!(snapshot_to_json(&parsed), json);
+    }
+
+    #[test]
+    fn micros_conversion_is_exact_on_the_knob_grid() {
+        assert_eq!(to_micros(0.0), 0);
+        assert_eq!(to_micros(0.05), 50_000);
+        assert_eq!(to_micros(0.95), 950_000);
+        assert_eq!(to_micros(1.0), 1_000_000);
+        assert_eq!(to_micros(7.0), 1_000_000, "clamped");
     }
 
     #[test]
@@ -1548,6 +1834,7 @@ mod tests {
             elapsed_ms: 0,
             kernels: KernelCounts::default(),
             cache: None,
+            approx: None,
             pruned: Vec::new(),
             termination: None,
         }

@@ -189,6 +189,7 @@ mod tests {
             elapsed_ms: 1,
             kernels: KernelCounts::default(),
             cache: None,
+            approx: None,
             pruned: vec![pair(&[1], &[2])],
             termination: Some(TerminationReason::CheckBudget),
         }

@@ -103,8 +103,11 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              pushes, and is cleansed by sorting (`.sort*()`), by\n\
              order-insensitive folds (`.sum()`, `.count()`, `.min()`,\n\
              `.max()`, `.len()`), or by collecting into a BTreeMap/BTreeSet.\n\
-             Taint flowing into a DiscoveryResult or Emission constructor,\n\
-             or into json.rs at all, is a finding: byte-identical output\n\
+             Taint flowing into a DiscoveryResult, ApproximateResult or\n\
+             Emission constructor (the approximate pipeline of\n\
+             approximate.rs emits through the same deterministic-container\n\
+             contract), or into json.rs at all, is a finding:\n\
+             byte-identical output\n\
              across Sequential/Rayon/WorkStealing backends is the\n\
              determinism contract of DESIGN.md §9. Local HashMaps whose\n\
              contents are sorted before escape are fine — this rule\n\

@@ -152,7 +152,9 @@ pub fn determinism_taint(ws: &Workspace, uses: &mut AllowUses) -> Vec<Diagnostic
         for idx in b0..=b1.min(toks.len().saturating_sub(1)) {
             let t = &toks[idx];
             if t.kind == TokenKind::Ident
-                && (t.text == "DiscoveryResult" || t.text == "Emission")
+                && (t.text == "DiscoveryResult"
+                    || t.text == "Emission"
+                    || t.text == "ApproximateResult")
                 && toks.get(idx + 1).is_some_and(|t| t.is_punct("{"))
             {
                 let close = matching_close(toks, idx + 1);

@@ -140,6 +140,37 @@ fn determinism_fixture_exact_diagnostics() {
 }
 
 #[test]
+fn approximate_result_constructor_is_a_taint_sink() {
+    // The approximate pipeline shares the deterministic-container
+    // contract: hash-iteration order flowing into an
+    // `ApproximateResult` constructor is a finding too.
+    let content = "use std::collections::HashMap;\n\
+                   \n\
+                   pub fn leak(m: &HashMap<u32, u32>) -> ApproximateResult {\n\
+                   \x20   let mut ocds = Vec::new();\n\
+                   \x20   for (k, _) in m.iter() {\n\
+                   \x20       ocds.push(*k);\n\
+                   \x20   }\n\
+                   \x20   ApproximateResult { ocds }\n\
+                   }\n";
+    let diags = scan_content("crates/core/src/approximate.rs", content);
+    assert_eq!(
+        shape(&diags),
+        vec![(8, rules::DETERMINISM_TAINT)],
+        "{diags:#?}"
+    );
+    assert_eq!(
+        diags[0].chain,
+        vec![
+            "source: iteration of hash container `m` at crates/core/src/approximate.rs:5",
+            "loop binding `k` at crates/core/src/approximate.rs:5",
+            "absorbed by `ocds` at crates/core/src/approximate.rs:6",
+            "sink: `ApproximateResult` constructor at crates/core/src/approximate.rs:8",
+        ]
+    );
+}
+
+#[test]
 fn atomics_fixture_exact_diagnostics() {
     let diags = scan_content(
         "crates/core/src/scheduler.rs",

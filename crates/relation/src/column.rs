@@ -196,6 +196,7 @@ impl Column {
 
     /// Decode the value of row `row`.
     #[inline]
+    // lint: allow(panic-reachability, row contract: callers pass row < len(); codes index the dictionary by construction of encode)
     pub fn value(&self, row: usize) -> &Value {
         &self.dictionary[self.codes[row] as usize]
     }

@@ -23,6 +23,8 @@
 //!   check hot loop, width-dispatched over the narrowed code mirrors
 //!   ([`CodeWidth`]) with an optional `simd` feature for explicit
 //!   SSE2/AVX2 paths.
+//! * Deterministic, seeded row sampling ([`sample`]) — provenance-carrying
+//!   sample relations for the sample-first approximate discovery pipeline.
 //!
 //! # Example
 //!
@@ -50,6 +52,7 @@ pub mod error;
 pub mod manifest;
 pub mod pretty;
 pub mod relation;
+pub mod sample;
 pub mod scan;
 pub mod sort;
 pub mod stats;
@@ -61,6 +64,7 @@ pub use datatype::{DataType, TypingMode};
 pub use error::{Error, Result};
 pub use manifest::manifest_hash;
 pub use relation::{ColumnId, Relation, RelationBuilder};
+pub use sample::{Sample, SampleProvenance, SampleSpec, SampleStrategy};
 pub use sort::{sort_index_by, sort_index_by_single};
 pub use stats::{column_entropy, ColumnStats};
 pub use value::Value;

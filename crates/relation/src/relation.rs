@@ -115,6 +115,7 @@ impl Relation {
 
     /// Decode the original value of cell `(row, col)`.
     #[inline]
+    // lint: allow(panic-reachability, ColumnId contract: callers pass col < num_columns())
     pub fn value(&self, row: usize, col: ColumnId) -> &Value {
         self.columns[col].value(row)
     }
@@ -153,18 +154,33 @@ impl Relation {
     /// Columns are re-encoded so ranks stay dense. Used by the
     /// row-scalability experiments.
     pub fn head(&self, n: usize) -> Relation {
-        let n = n.min(self.num_rows);
+        let rows: Vec<u32> = (0..n.min(self.num_rows) as u32).collect();
+        self.select_rows(&rows)
+    }
+
+    /// A new relation containing exactly the rows of `rows` (parent row
+    /// ids, in the given order; ids past the last row are skipped).
+    /// Columns are re-encoded so ranks stay dense over the selected
+    /// subset — the invariant every checker and the manifest hash rely
+    /// on. This is the row-map materialization primitive of
+    /// [`crate::sample`].
+    pub fn select_rows(&self, rows: &[u32]) -> Relation {
+        let keep: Vec<usize> = rows
+            .iter()
+            .map(|&r| r as usize)
+            .filter(|&r| r < self.num_rows)
+            .collect();
         let columns = self
             .columns
             .iter()
             .map(|c| {
-                let vals: Vec<Value> = (0..n).map(|r| c.value(r).clone()).collect();
+                let vals: Vec<Value> = keep.iter().map(|&r| c.value(r).clone()).collect();
                 Column::encode(c.meta.name.clone(), vals)
             })
             .collect();
         Relation {
             columns,
-            num_rows: n,
+            num_rows: keep.len(),
         }
     }
 }

@@ -6,6 +6,7 @@
 //!               [--top-k K] [--no-header] [--sep C] [--show-table] [--json]
 //!               [--out FILE] [--checkpoint-dir D] [--checkpoint-every N]
 //!               [--checkpoint-keep N] [--resume FILE|DIR]
+//!               [--sample N] [--confidence C] [--seed S] [--stratify COL]
 //! ocdd dump-dot <dump.json|DIR> [--csv file.csv] [--no-header] [--sep C]
 //! ocdd dataset  <name> [--rows N]         # emit a bundled dataset as CSV
 //! ocdd simplify <file.csv> --order-by a,b,c
@@ -17,9 +18,18 @@
 //! `--resume` rebuilds the frontier from a dump (or the newest dump in a
 //! directory) and continues — producing byte-identical results to an
 //! uninterrupted run. `dump-dot` renders a dump as a GraphViz lattice.
+//!
+//! `--algo approx` runs the sample-first pipeline: `--sample N` triages
+//! candidates on a seeded N-row sample (uniform, or stratified by the
+//! `--stratify` column) with a Hoeffding interval at `--confidence`,
+//! escalating only borderline candidates to full-data checks. Checkpoint
+//! and `--resume` work here too: dumps record the sampling provenance and
+//! resume refuses a dump whose sample does not match the flags.
 
 use ocddiscover::baselines::{fastod, order_discover, tane, FastodConfig, OrderConfig, TaneConfig};
-use ocddiscover::core::approximate::discover_approximate;
+use ocddiscover::core::approximate::{
+    discover_approximate_resume, discover_approximate_with, ApproxConfig, ApproximateResult,
+};
 use ocddiscover::core::bidirectional::discover_bidirectional;
 use ocddiscover::core::entropy::discover_top_k;
 use ocddiscover::core::rewrite::simplify_with_data;
@@ -29,7 +39,7 @@ use ocddiscover::relation::{write_csv, TypingMode};
 use ocddiscover::{
     discover, discover_resume, latest_snapshot, manifest_hash, read_csv_path, read_snapshot,
     snapshot_to_dot, CheckpointPolicy, CsvOptions, DiscoveryConfig, DiscoveryResult, ParallelMode,
-    Relation, SearchSnapshot,
+    Relation, SampleStrategy, SearchSnapshot,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -50,7 +60,8 @@ fn usage() -> ExitCode {
          [--threads N] [--mode static|rayon|steal] [--lex] [--epsilon E] [--budget SECS] \
          [--top-k K] [--no-header] [--sep C] [--show-table] [--json] [--out FILE] \
          [--checkpoint-dir D] [--checkpoint-every N] [--checkpoint-keep N] \
-         [--resume FILE|DIR]\n  \
+         [--resume FILE|DIR] [--sample N] [--confidence C] [--seed S] \
+         [--stratify COL]\n  \
          ocdd dump-dot <dump.json|DIR> [--csv file.csv] [--no-header] [--sep C]\n  \
          ocdd dataset <name> [--rows N]\n  \
          ocdd simplify <file.csv> --order-by a,b,c\n  ocdd list"
@@ -64,6 +75,10 @@ struct ProfileArgs {
     config: DiscoveryConfig,
     csv: CsvOptions,
     epsilon: f64,
+    sample: Option<usize>,
+    confidence: Option<f64>,
+    seed: Option<u64>,
+    stratify: Option<String>,
     top_k: Option<usize>,
     show_table: bool,
     json: bool,
@@ -79,6 +94,10 @@ fn parse_profile(args: &[String]) -> Option<ProfileArgs> {
         config: DiscoveryConfig::default(),
         csv: CsvOptions::default(),
         epsilon: 0.01,
+        sample: None,
+        confidence: None,
+        seed: None,
+        stratify: None,
         top_k: None,
         show_table: false,
         json: false,
@@ -99,6 +118,10 @@ fn parse_profile(args: &[String]) -> Option<ProfileArgs> {
             "--mode" => mode = iter.next()?.clone(),
             "--lex" => out.csv.typing = TypingMode::ForceLexicographic,
             "--epsilon" => out.epsilon = iter.next()?.parse().ok()?,
+            "--sample" => out.sample = Some(iter.next()?.parse().ok()?),
+            "--confidence" => out.confidence = Some(iter.next()?.parse().ok()?),
+            "--seed" => out.seed = Some(iter.next()?.parse().ok()?),
+            "--stratify" => out.stratify = Some(iter.next()?.clone()),
             "--budget" => {
                 let secs: f64 = iter.next()?.parse().ok()?;
                 out.config.time_budget = Some(Duration::from_secs_f64(secs));
@@ -216,6 +239,54 @@ fn emit_result(rel: &Relation, result: &DiscoveryResult, p: &ProfileArgs) -> Exi
     ExitCode::SUCCESS
 }
 
+/// Report an approximate-pipeline run: JSON (with the triage accounting
+/// object) to `--out`/stdout, or a human listing with the sample stats.
+fn emit_approx_result(rel: &Relation, res: &ApproximateResult, p: &ProfileArgs) -> ExitCode {
+    if p.json || p.out.is_some() {
+        let json = ocddiscover::core::json::approx_result_to_json(res, rel);
+        if let Some(path) = &p.out {
+            if let Err(e) = ocdd_iosafe::atomic_write_str(Path::new(path), &json) {
+                eprintln!("ocdd: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if p.json {
+            println!("{json}");
+        }
+    }
+    if !p.json {
+        for aocd in &res.ocds {
+            println!("ocd (err {:.3})  {}", aocd.error, aocd.ocd.display(rel));
+        }
+        for od in &res.ods {
+            println!("od              {}", od.display(rel));
+        }
+        if let Some(st) = &res.approx {
+            if st.exhaustive {
+                println!("-- exhaustive run on all {} rows", st.total_rows);
+            } else {
+                println!(
+                    "-- sample {}/{} rows (seed {:#x}): {} accepted, {} rejected, \
+                     {} escalated of {} estimates; {} full checks saved",
+                    st.sample_rows,
+                    st.total_rows,
+                    st.seed,
+                    st.accepted_by_sample,
+                    st.rejected_by_sample,
+                    st.escalated,
+                    st.estimated,
+                    st.full_checks_saved
+                );
+            }
+        }
+        println!(
+            "-- ε = {}, {} checks, {}",
+            p.epsilon, res.checks, res.termination
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_profile(args: &[String]) -> ExitCode {
     let Some(mut p) = parse_profile(args) else {
         return usage();
@@ -239,9 +310,20 @@ fn cmd_profile(args: &[String]) -> ExitCode {
         }
     }
 
-    if p.algo != "ocdd" && (p.resume.is_some() || p.out.is_some() || p.config.checkpoint.is_some())
+    if p.algo != "ocdd"
+        && p.algo != "approx"
+        && (p.resume.is_some() || p.out.is_some() || p.config.checkpoint.is_some())
     {
-        eprintln!("ocdd: --resume/--out/--checkpoint-dir are only supported with --algo ocdd");
+        eprintln!("ocdd: --resume/--out/--checkpoint-dir require --algo ocdd or --algo approx");
+        return ExitCode::FAILURE;
+    }
+    if p.algo != "approx"
+        && (p.sample.is_some()
+            || p.confidence.is_some()
+            || p.seed.is_some()
+            || p.stratify.is_some())
+    {
+        eprintln!("ocdd: --sample/--confidence/--seed/--stratify require --algo approx");
         return ExitCode::FAILURE;
     }
     match p.algo.as_str() {
@@ -345,17 +427,46 @@ fn cmd_profile(args: &[String]) -> ExitCode {
             println!("-- {} checks, {}", res.checks, res.termination);
         }
         "approx" => {
-            let res = discover_approximate(&rel, &p.config, p.epsilon);
-            for aocd in &res.ocds {
-                println!("ocd (err {:.3})  {}", aocd.error, aocd.ocd);
+            let mut cfg = ApproxConfig {
+                base: p.config.clone(),
+                sample_rows: p.sample,
+                epsilon: p.epsilon,
+                ..ApproxConfig::default()
+            };
+            if let Some(c) = p.confidence {
+                cfg.confidence = c;
             }
-            for od in &res.ods {
-                println!("od              {od}");
+            if let Some(s) = p.seed {
+                cfg.seed = s;
             }
-            println!(
-                "-- ε = {}, {} checks, {}",
-                p.epsilon, res.checks, res.termination
-            );
+            if let Some(name) = &p.stratify {
+                match rel.column_id(name) {
+                    Ok(col) => cfg.strategy = SampleStrategy::Stratified(col),
+                    Err(e) => {
+                        eprintln!("ocdd: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let res = if let Some(spec) = &p.resume {
+                let snap = match load_snapshot(spec) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("ocdd: cannot resume: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match discover_approximate_resume(&rel, &cfg, &snap) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("ocdd: cannot resume: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                discover_approximate_with(&rel, &cfg)
+            };
+            return emit_approx_result(&rel, &res, &p);
         }
         other => {
             eprintln!("ocdd: unknown algorithm {other:?}");

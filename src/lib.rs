@@ -29,10 +29,14 @@ pub use ocdd_datasets as datasets;
 pub use ocdd_relation as relation;
 
 pub use ocdd_core::{
-    check_ocd, check_od, check_od_after_ocd, columns_reduction, discover, discover_resume,
-    latest_snapshot, read_snapshot, snapshot_to_dot, AttrList, CheckOutcome, CheckerBackend,
-    CheckpointPolicy, DiscoveryConfig, DiscoveryResult, FaultPlan, Ocd, Od, OrderEquivalence,
-    ParallelMode, RunController, SchedulerStats, SearchSnapshot, SnapshotError, TerminationReason,
-    WorkerSchedStats,
+    check_ocd, check_od, check_od_after_ocd, columns_reduction, discover, discover_approximate,
+    discover_approximate_resume, discover_approximate_with, discover_resume, latest_snapshot,
+    read_snapshot, snapshot_to_dot, ApproxConfig, ApproxStats, ApproximateResult, AttrList,
+    CheckOutcome, CheckerBackend, CheckpointPolicy, DiscoveryConfig, DiscoveryResult, FaultPlan,
+    Ocd, Od, OrderEquivalence, ParallelMode, RunController, SchedulerStats, SearchSnapshot,
+    SnapshotError, TerminationReason, WorkerSchedStats,
 };
-pub use ocdd_relation::{manifest_hash, read_csv_path, read_csv_str, CsvOptions, Relation, Value};
+pub use ocdd_relation::{
+    manifest_hash, read_csv_path, read_csv_str, CsvOptions, Relation, SampleSpec, SampleStrategy,
+    Value,
+};

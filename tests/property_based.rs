@@ -114,6 +114,81 @@ proptest! {
         prop_assert_eq!(&seq.termination, &ws.termination);
     }
 
+    /// Differential: with a sample covering the whole relation the
+    /// sample-first pipeline degenerates to exact discovery — the same
+    /// canonical OCD set under every escalation backend, with
+    /// byte-identical JSON across backends.
+    #[test]
+    fn full_sample_pipeline_equals_exact_discovery(rel in small_relation(3, 14), seed in 0u64..500) {
+        use ocddiscover::core::approximate::{discover_approximate_with, ApproxConfig};
+        use ocddiscover::core::json::approx_result_to_json;
+        use ocddiscover::Ocd;
+        use std::collections::HashSet;
+
+        let exact = discover(&rel, &DiscoveryConfig {
+            column_reduction: false,
+            ..DiscoveryConfig::default()
+        });
+        let exact_set: HashSet<Ocd> = exact.ocds.iter().map(Ocd::canonical).collect();
+        let mut json0: Option<String> = None;
+        for mode in [
+            ParallelMode::Sequential,
+            ParallelMode::Rayon(2),
+            ParallelMode::WorkStealing(3),
+        ] {
+            let cfg = ApproxConfig {
+                base: DiscoveryConfig { mode, ..DiscoveryConfig::default() },
+                sample_rows: Some(rel.num_rows() + 1), // ≥ rows → exhaustive
+                epsilon: 0.0,
+                seed,
+                ..ApproxConfig::default()
+            };
+            let approx = discover_approximate_with(&rel, &cfg);
+            let approx_set: HashSet<Ocd> =
+                approx.ocds.iter().map(|a| a.ocd.canonical()).collect();
+            prop_assert_eq!(&exact_set, &approx_set, "mode {:?}", mode);
+            prop_assert!(approx.approx.as_ref().is_some_and(|s| s.exhaustive));
+            let json = approx_result_to_json(&approx, &rel);
+            match &json0 {
+                None => json0 = Some(json),
+                Some(first) => prop_assert_eq!(first, &json, "JSON differs under {:?}", mode),
+            }
+        }
+    }
+
+    /// Differential: a genuinely sampled run (half the rows, ε = 0 so
+    /// every surviving candidate escalates) is deterministic for a fixed
+    /// seed — identical results and byte-identical JSON whichever
+    /// backend runs the escalation wave.
+    #[test]
+    fn sampled_escalations_deterministic_across_modes(
+        rel in small_relation(3, 20),
+        seed in 0u64..1000,
+    ) {
+        use ocddiscover::core::approximate::{discover_approximate_with, ApproxConfig};
+        use ocddiscover::core::json::approx_result_to_json;
+
+        let cfg = |mode| ApproxConfig {
+            base: DiscoveryConfig { mode, ..DiscoveryConfig::default() },
+            sample_rows: Some((rel.num_rows() / 2).max(1)),
+            epsilon: 0.0,
+            seed,
+            ..ApproxConfig::default()
+        };
+        let seq = discover_approximate_with(&rel, &cfg(ParallelMode::Sequential));
+        for mode in [ParallelMode::Rayon(2), ParallelMode::WorkStealing(3)] {
+            let par = discover_approximate_with(&rel, &cfg(mode));
+            prop_assert_eq!(&seq.ocds, &par.ocds, "mode {:?}", mode);
+            prop_assert_eq!(&seq.ods, &par.ods, "mode {:?}", mode);
+            prop_assert_eq!(seq.checks, par.checks, "mode {:?}", mode);
+            prop_assert_eq!(
+                approx_result_to_json(&seq, &rel),
+                approx_result_to_json(&par, &rel),
+                "JSON differs under {:?}", mode
+            );
+        }
+    }
+
     /// Differential under a random `max_checks` budget: the deterministic
     /// per-branch allowances make the truncated partial results identical
     /// between `Sequential` and `WorkStealing(n)` too.
