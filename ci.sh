@@ -8,28 +8,60 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> ocdd-lint fixture suite (exact-diagnostic self-tests)"
+# The linter's own tests run first: fixture files pinned to exact spans and
+# witnesses, the masking/tokenizer property differential, and the binary
+# e2e over throwaway mini-workspaces. A linter that drifted from its
+# fixtures must not gate the workspace.
+cargo test -q -p ocdd-lint
+
 echo "==> ocdd-lint (workspace invariant rules)"
 # Hard gate before clippy: panic-reachability over the call graph,
-# lock-order acyclicity, determinism taint, plus the line rules (see
-# DESIGN.md §10–§11). The stable JSON findings document is uploaded to
-# results/ for revision-to-revision diffing (scripts/lint_diff.sh) and the
-# finding count is gated against the checked-in baseline.
+# lock-order acyclicity, determinism taint, the loop-aware dataflow rules
+# (unprobed-loop, schema-parity, hot-loop-alloc — DESIGN.md §15), plus the
+# line rules (see DESIGN.md §10–§11). The stable JSON findings document is
+# uploaded to results/ for revision-to-revision diffing
+# (scripts/lint_diff.sh), a SARIF twin for code-review annotation UIs, and
+# the per-rule counts are gated against the checked-in baseline.
 mkdir -p results
 # --out writes atomically (tmp+fsync+rename) so a killed CI run never
 # leaves a truncated findings document behind.
 cargo run -q -p ocdd-lint -- --emit json --out results/lint_findings.json || true
-lint_count="$(sed -n 's/^  "count": \([0-9]*\),$/\1/p' results/lint_findings.json)"
-lint_baseline="$(cat results/lint_baseline.txt)"
-if [[ -z "$lint_count" ]]; then
-    echo "ocdd-lint: could not parse results/lint_findings.json"
+cargo run -q -p ocdd-lint -- --emit sarif --out results/lint_findings.sarif || true
+lint_rules="$(sed -n 's/^  "rules": {\(.*\)},$/\1/p' results/lint_findings.json)"
+if [[ -z "$lint_rules" ]]; then
+    echo "ocdd-lint: could not parse the per-rule counts in results/lint_findings.json"
     exit 1
 fi
-if [[ "$lint_count" -gt "$lint_baseline" ]]; then
+# The baseline is one "<rule> <count>" line per rule (LC_ALL=C sorted).
+# Gate each rule against it: a rule above its baseline — or a rule the
+# baseline has never heard of — fails the run.
+lint_regressed=0
+while read -r rule count; do
+    baseline="$(LC_ALL=C awk -v r="$rule" '$1 == r { print $2 }' results/lint_baseline.txt)"
+    if [[ -z "$baseline" ]]; then
+        echo "ocdd-lint: rule \`$rule\` is missing from results/lint_baseline.txt"
+        lint_regressed=1
+    elif [[ "$count" -gt "$baseline" ]]; then
+        echo "ocdd-lint: $rule has $count finding(s), baseline $baseline"
+        lint_regressed=1
+    fi
+done < <(echo "$lint_rules" | tr ',' '\n' | sed -n 's/^ *"\([a-z-]*\)": \([0-9]*\)$/\1 \2/p')
+if [[ "$lint_regressed" -ne 0 ]]; then
     cargo run -q -p ocdd-lint || true # re-run for the human-readable witnesses
-    echo "ocdd-lint: $lint_count finding(s) exceed the checked-in baseline ($lint_baseline)"
     exit 1
 fi
-echo "ocdd-lint: $lint_count finding(s) (baseline $lint_baseline)"
+echo "ocdd-lint: per-rule counts within baseline"
+
+echo "==> ocdd-lint --fix-allows (stale-annotation dry run)"
+# Allows whose findings were since fixed must not accumulate: the dry run
+# lists them; any hit fails the gate (run --fix-allows --apply to clean).
+stale_out="$(cargo run -q -p ocdd-lint -- --fix-allows)"
+echo "$stale_out"
+echo "$stale_out" | grep -q "^ocdd-lint: 0 stale allow(s) found" || {
+    echo "ocdd-lint: stale allows accumulate — run cargo run -q -p ocdd-lint -- --fix-allows --apply"
+    exit 1
+}
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

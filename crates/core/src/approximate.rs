@@ -123,6 +123,7 @@ fn longest_nondecreasing_subsequence(seq: &[u64]) -> usize {
     // tails[k] = smallest possible tail of a non-decreasing subsequence of
     // length k+1.
     let mut tails: Vec<u64> = Vec::new();
+    // lint: allow(unprobed-loop, patience pass over one estimate's sample sequence, bounded by the sample rows)
     for &v in seq {
         // First tail strictly greater than v gets replaced (non-decreasing,
         // so equal tails extend).
@@ -171,6 +172,7 @@ fn projection_ranks_on(rel: &Relation, cols: &AttrList, index: &[u32]) -> Vec<u6
     let mut rank = 0u64;
     let mut eq = BlockEq::default();
     let mut start = 0usize;
+    // lint: allow(unprobed-loop, blockwise walk over one projection's sample index, bounded by the sample pairs)
     while start < pairs {
         let n = (pairs - start).min(BLOCK_PAIRS);
         let Some(window) = index.get(start..start + n + 1) else {
@@ -203,6 +205,7 @@ fn projection_ranks_on(rel: &Relation, cols: &AttrList, index: &[u32]) -> Vec<u6
 fn projection_ranks_scalar(rel: &Relation, cols: &AttrList, index: &[u32]) -> Vec<u64> {
     let mut ranks = vec![0u64; index.len()];
     let mut rank = 0u64;
+    // lint: allow(unprobed-loop, scalar oracle walks one sample index, bounded by the sample rows)
     for (pos, &row) in index.iter().enumerate() {
         if pos > 0 {
             let prev = rank_at_u32(index, pos - 1);
@@ -249,6 +252,7 @@ pub fn od_error(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> OdError {
     // BTreeMap keeps the walk deterministic (and groups the (l, y) pairs
     // by l for the single-pass plurality fold below).
     let mut class_counts: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    // lint: allow(unprobed-loop, one pass over the sample-row rank pairs of a single estimate)
     for (&l, &y) in lhs_rank.iter().zip(rhs_rank.iter()) {
         *class_counts.entry((l, y)).or_insert(0) += 1;
     }
@@ -256,6 +260,7 @@ pub fn od_error(rel: &Relation, lhs: &AttrList, rhs: &AttrList) -> OdError {
     let mut cur: Option<u64> = None;
     let mut total = 0usize;
     let mut best = 0usize;
+    // lint: allow(unprobed-loop, plurality fold over the sample's equivalence classes, bounded by the sample rows)
     for (&(l, _), &count) in &class_counts {
         if cur != Some(l) {
             split_removals += total - best;
@@ -610,6 +615,7 @@ impl LevelCtx<'_> {
         stats: &mut ApproxStats,
     ) -> [DirState; 2] {
         let mut dirs = [DirState::Unknown; 2];
+        // lint: allow(unprobed-loop, exactly two iterations, one per OD direction)
         for (d, dir) in dirs.iter_mut().enumerate() {
             let forward = d == 0;
             let (lhs, rhs) = if forward { (x, y) } else { (y, x) };
@@ -812,6 +818,7 @@ pub(crate) fn run_pipeline(
         }
         None => {
             let mut seed_level: Vec<(AttrList, AttrList)> = Vec::new();
+            // lint: allow(unprobed-loop, level-2 seeding, bounded by the reduced universe width squared)
             for (i, &a) in universe.iter().enumerate() {
                 for &b in &universe[i + 1..] {
                     seed_level.push((AttrList::single(a), AttrList::single(b)));
@@ -919,6 +926,7 @@ pub(crate) fn run_pipeline(
         if !ocd_jobs.is_empty() {
             let verdicts = crate::search::run_escalations(rel, &cfg.base, &ocd_jobs, &budget);
             stats.full_row_scans += verdicts.iter().map(|v| v.rows_scanned).sum::<u64>();
+            // lint: allow(unprobed-loop, one pass over the level's pending candidates; the escalation waves around it poll the budget per job)
             for p in pending.iter_mut() {
                 let Some(job) = p.ocd_job else { continue };
                 let Some(v) = verdicts.get(job) else {
@@ -966,6 +974,7 @@ pub(crate) fn run_pipeline(
             }
             let mut dirs = [DirState::Unknown; 2];
             let mut dropped = false;
+            // lint: allow(unprobed-loop, exactly two iterations, one per OD direction)
             for (d, dir) in p.dirs.iter().enumerate() {
                 dirs[d] = match dir {
                     DirState::Escalated(job) => match od_verdicts.get(*job) {
@@ -1058,6 +1067,7 @@ fn finalize_candidate(
     if matches!(dirs[0], DirState::Holds) {
         out.ods.push(Od::new(x.clone(), y.clone()));
     } else {
+        // lint: allow(unprobed-loop, child generation bounded by the unused attributes of one candidate (schema width))
         for &a in &unused {
             next.push((x.with_appended(a), y.clone()));
         }
@@ -1065,6 +1075,7 @@ fn finalize_candidate(
     if matches!(dirs[1], DirState::Holds) {
         out.ods.push(Od::new(y.clone(), x.clone()));
     } else {
+        // lint: allow(unprobed-loop, child generation bounded by the unused attributes of one candidate (schema width))
         for &a in &unused {
             next.push((x.clone(), y.with_appended(a)));
         }

@@ -234,6 +234,7 @@ impl<V: crate::shared_cache::CacheWeight> EpochTier<V> {
     /// equal length.
     // lint: allow(panic-reachability, &key[..len] takes proper prefixes with len < key.len() from the loop range)
     pub(crate) fn longest_prefix(&self, key: &[ColumnId]) -> Option<(usize, Arc<V>)> {
+        // lint: allow(unprobed-loop, proper-prefix scan bounded by one candidate's attribute-list length)
         for len in (1..key.len()).rev() {
             if let Some(v) = self.pending.get(&key[..len]) {
                 return Some((len, Arc::clone(v)));
@@ -375,6 +376,7 @@ impl<'r> SortCache<'r> {
         }
         // Longest cached proper prefix.
         let mut best: usize = 0;
+        // lint: allow(unprobed-loop, proper-prefix scan bounded by one candidate's attribute-list length)
         for len in (1..cols.len()).rev() {
             if self.cache.contains_key(&cols[..len]) {
                 best = len;

@@ -70,6 +70,7 @@ impl StealQueues {
     pub(crate) fn new(workers: usize, batches: usize) -> StealQueues {
         let workers = workers.max(1);
         let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        // lint: allow(unprobed-loop, round-robin seeding, one push per level batch)
         for b in 0..batches {
             if let Some(q) = queues.get_mut(b % workers) {
                 q.push_back(b);
@@ -93,6 +94,7 @@ impl StealQueues {
             return Some((b, false));
         }
         let n = self.queues.len();
+        // lint: allow(unprobed-loop, victim scan bounded by the worker count; callers poll the budget at batch boundaries)
         for off in 1..n {
             let victim = (worker + off) % n;
             if let Some(b) = self

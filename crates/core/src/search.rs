@@ -307,6 +307,7 @@ fn process_candidate(
     if checker.check_od_after_ocd(&cand.x, &cand.y) {
         out.ods.push(Od::new(cand.x.clone(), cand.y.clone()));
     } else {
+        // lint: allow(unprobed-loop, child generation bounded by the unused attributes of one candidate (schema width))
         for &a in &unused {
             out.generated += 1;
             out.children.push(Candidate {
@@ -321,6 +322,7 @@ fn process_candidate(
     if checker.check_od_after_ocd(&cand.y, &cand.x) {
         out.ods.push(Od::new(cand.y.clone(), cand.x.clone()));
     } else {
+        // lint: allow(unprobed-loop, child generation bounded by the unused attributes of one candidate (schema width))
         for &a in &unused {
             out.generated += 1;
             out.children.push(Candidate {
@@ -473,6 +475,7 @@ impl SearchAccumulator {
         self.generated += other.generated;
         self.level_capped |= other.level_capped;
         self.check_budget_hit |= other.check_budget_hit;
+        // lint: allow(unprobed-loop, stats fold bounded by the number of search levels)
         for stat in other.levels {
             match self.levels.iter_mut().find(|s| s.level == stat.level) {
                 Some(mine) => {
@@ -613,6 +616,7 @@ fn absorb_level_outcomes(
     // branch stopping mid-level drops *all* its level children, exactly as
     // `run_subtree`'s early return does.
     next_parts.clear();
+    // lint: allow(unprobed-loop, one bookkeeping pass over the level's outcomes; the checks themselves ran under per-batch budget polls)
     for (cand, outcome) in level.iter().zip(outcomes) {
         let branch = cand.branch();
         let Some(state) = states.get_mut(&branch) else {
@@ -654,6 +658,7 @@ fn absorb_level_outcomes(
     }
     acc.levels.push(stats);
     next.clear();
+    // lint: allow(unprobed-loop, one pass over the level's surviving branches)
     for (branch, children) in next_parts.drain(..) {
         if states.get(&branch).is_some_and(|s| !s.stopped && !s.failed) {
             next.extend(children);
@@ -1004,6 +1009,7 @@ fn run_rayon_levels(
 fn level_batches(level: &[Candidate]) -> Vec<(AttrList, Vec<usize>)> {
     let mut by_key: HashMap<&AttrList, usize> = HashMap::with_capacity(level.len());
     let mut batches: Vec<(AttrList, Vec<usize>)> = Vec::new();
+    // lint: allow(unprobed-loop, batching pass, one iteration per level candidate)
     for (i, cand) in level.iter().enumerate() {
         match by_key.get(&cand.x) {
             Some(&b) => {
@@ -1185,6 +1191,7 @@ fn run_workstealing_levels(
                     })
                 })
                 .collect();
+            // lint: allow(unprobed-loop, join loop bounded by the worker count)
             for handle in handles {
                 match handle.join() {
                     Ok(local) => {
@@ -1229,6 +1236,7 @@ fn run_workstealing_levels(
         );
         // Publish buffered cache inserts in worker order: deterministic
         // epoch stamps for the next level's snapshot.
+        // lint: allow(unprobed-loop, publish loop bounded by the worker count)
         for checker in &mut checkers {
             checker.publish_pending();
         }
@@ -1382,6 +1390,7 @@ fn run_escalation_batch<'r>(
         }));
         return;
     }
+    // lint: allow(unprobed-loop, polls budget.is_stopped() every job; each verdict scan is one bounded full-table pass)
     for &i in members {
         let Some(job) = jobs.get(i) else { continue };
         if budget.is_stopped() {
@@ -1441,6 +1450,7 @@ pub(crate) fn run_escalations(
     // iteration order is never observed).
     let mut by_key: HashMap<&AttrList, usize> = HashMap::with_capacity(jobs.len());
     let mut batches: Vec<Vec<usize>> = Vec::new();
+    // lint: allow(unprobed-loop, batching pass bounded by the escalation job count)
     for (i, job) in jobs.iter().enumerate() {
         match by_key.get(job.kind.prefix()) {
             Some(&b) => {
@@ -1479,6 +1489,7 @@ pub(crate) fn run_escalations(
             );
         }
         checker.publish_pending();
+        // lint: allow(unprobed-loop, slot scatter, one move per computed verdict)
         for (i, v) in local {
             if let Some(slot) = slots.get_mut(i) {
                 *slot = Some(v);
@@ -1512,6 +1523,7 @@ pub(crate) fn run_escalations(
                     })
                 })
                 .collect();
+            // lint: allow(unprobed-loop, join loop bounded by the worker count)
             for handle in handles {
                 if let Ok(local) = handle.join() {
                     for (i, v) in local {
@@ -1524,6 +1536,7 @@ pub(crate) fn run_escalations(
                 // below recomputes them deterministically.
             }
         });
+        // lint: allow(unprobed-loop, publish loop bounded by the worker count)
         for checker in &mut checkers {
             checker.publish_pending();
         }
@@ -1547,6 +1560,7 @@ pub(crate) fn run_escalations(
                 }
             }
             checker.publish_pending();
+            // lint: allow(unprobed-loop, slot scatter, one move per computed verdict)
             for (i, v) in local {
                 if let Some(slot) = slots.get_mut(i) {
                     *slot = Some(v);
@@ -1681,6 +1695,7 @@ pub fn profile_branches(
 /// with `i < j` (OCDs are commutative, Algorithm 1 line 4).
 fn seed_candidates(universe: &[ColumnId]) -> Vec<Candidate> {
     let mut seeds = Vec::new();
+    // lint: allow(unprobed-loop, level-2 seeding, bounded by the reduced universe width squared)
     for (i, &a) in universe.iter().enumerate() {
         for &b in universe.iter().skip(i + 1) {
             seeds.push(Candidate {
@@ -1748,6 +1763,7 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
             // Round-robin partition of the level-2 branches (§4.2.2). Each
             // candidate's whole subtree stays within its seed's queue.
             let mut queues: Vec<Vec<(Candidate, u64)>> = (0..k).map(|_| Vec::new()).collect();
+            // lint: allow(unprobed-loop, round-robin partition of the level-2 seeds, one push per branch)
             for (i, entry) in queue.into_iter().enumerate() {
                 if let Some(q) = queues.get_mut(i % k) {
                     q.push(entry);
@@ -1767,6 +1783,7 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
                         (branches, handle)
                     })
                     .collect();
+                // lint: allow(unprobed-loop, join loop bounded by the worker count)
                 for (branches, handle) in handles {
                     match handle.join() {
                         Ok((a, f)) => {

@@ -220,6 +220,7 @@ impl<V: CacheWeight> SharedPrefixCache<V> {
                 let shard = recover(shard.lock());
                 if let Some((k, e)) = shard.iter().min_by_key(|(_, e)| e.last_touch) {
                     if victim.as_ref().is_none_or(|(_, _, t)| e.last_touch < *t) {
+                        // lint: allow(hot-loop-alloc, eviction slow path; the key clone must outlive the shard lock, which is released before removal)
                         victim = Some((s, k.clone(), e.last_touch));
                     }
                 }

@@ -1622,6 +1622,51 @@ mod tests {
     }
 
     #[test]
+    fn maximal_dump_round_trips_byte_identically() {
+        // Every optional field populated at once — approx provenance,
+        // `WorkerFailure` termination with its payload, shared-cache
+        // metadata, pruned verdicts, and non-zero counts in every kernel
+        // counter. This is the live oracle behind the static
+        // `schema-parity` lint rule: a serializer key the parser dropped
+        // (or vice versa) desyncs this equality before the linter's text
+        // pass ever runs.
+        let mut snap = sample_snapshot();
+        snap.kernels.scan_simd = 9;
+        snap.approx = Some(ApproxMeta {
+            seed: 0xfeed_f00d,
+            sample_rows: 2_000,
+            total_rows: 150_000,
+            strategy: "stratified".to_string(),
+            strategy_column: Some(4),
+            sample_manifest: 0x0123_4567_89ab_cdef,
+            epsilon_micros: 10_000,
+            confidence_micros: 990_000,
+            ocd_errors: vec![(0, 2_000), (17, 2_000)],
+        });
+        snap.termination = Some(TerminationReason::WorkerFailure {
+            branches: vec![(1, 2), (3, 4)],
+            message: "worker panicked: index out of bounds \"len 0\"".to_string(),
+        });
+        let json = snapshot_to_json(&snap);
+        let parsed = parse_snapshot(&json).expect("maximal round trip");
+        assert_eq!(parsed, snap);
+        assert_eq!(
+            snapshot_to_json(&parsed),
+            json,
+            "re-serialization must be byte-identical"
+        );
+        for key in [
+            "\"approx\":",
+            "\"termination\":{\"kind\":\"worker_failure\"",
+            "\"scan_simd\":9",
+            "\"strategy\":\"stratified\"",
+            "\"ocd_errors\":[[0,2000],[17,2000]]",
+        ] {
+            assert!(json.contains(key), "maximal dump must carry {key}: {json}");
+        }
+    }
+
+    #[test]
     fn approx_meta_is_optional_and_round_trips() {
         let mut snap = sample_snapshot();
         // Exact-search dumps never carry the key — their serialized form

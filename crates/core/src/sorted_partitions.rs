@@ -499,6 +499,7 @@ impl<'r> PartitionChecker<'r> {
                 }
                 part = Arc::new(part.refined(self.rel, cols[len]));
                 len += 1;
+                // lint: allow(hot-loop-alloc, the vec is the cache key retained by the epoch tier — one per prefix build, not per row)
                 tier.buffer(cols[..len].to_vec(), Arc::clone(&part));
             }
             return part;

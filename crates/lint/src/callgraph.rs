@@ -20,6 +20,7 @@
 //! Closure bodies belong to their enclosing fn, so worker closures spawned
 //! by the search are analyzed as part of it.
 
+use crate::loops::{extract_loops, LoopRegion};
 use crate::rules::{canonical_rule, Diagnostic, PANIC_REACHABILITY};
 use crate::source::SourceFile;
 use crate::tokens::{matching_close, tokenize, Token, TokenKind};
@@ -148,6 +149,9 @@ pub struct Workspace {
     /// Resolved call sites per fn: `(token index, callee fn id)` pairs in
     /// token order — the lock pass needs positions, not just edges.
     pub call_sites: Vec<Vec<(usize, usize)>>,
+    /// Loop regions per fn, in header-token order (outer before nested);
+    /// see [`crate::loops`].
+    pub loops: Vec<Vec<LoopRegion>>,
     /// Fn id by `(file, def_line)`.
     pub fn_of_file_line: HashMap<(usize, usize), usize>,
 }
@@ -271,6 +275,27 @@ impl Workspace {
             calls[id] = list;
         }
 
+        // Loop regions, attributed to the innermost fn: a nested fn's
+        // loops belong to the nested item, not the enclosing one.
+        let mut loops: Vec<Vec<LoopRegion>> = Vec::with_capacity(fns.len());
+        for f in &fns {
+            let model = &models[f.file];
+            let mut ls = extract_loops(model, f);
+            if let Some((b0, b1)) = f.body {
+                let nested: Vec<(usize, usize)> = fns
+                    .iter()
+                    .filter(|g| g.file == f.file && g.sig_start > b0 && g.sig_start < b1)
+                    .map(|g| (g.sig_start, g.body.map_or(g.sig_start, |(_, e)| e)))
+                    .collect();
+                ls.retain(|l| {
+                    !nested
+                        .iter()
+                        .any(|&(s, e)| l.head_tok >= s && l.head_tok <= e)
+                });
+            }
+            loops.push(ls);
+        }
+
         let mut fn_of_file_line = HashMap::new();
         for (id, f) in fns.iter().enumerate() {
             fn_of_file_line.insert((f.file, f.def_line), id);
@@ -282,6 +307,7 @@ impl Workspace {
             calls,
             sources,
             call_sites,
+            loops,
             fn_of_file_line,
         }
     }
@@ -361,7 +387,7 @@ fn module_path(path: &str) -> String {
 /// Skip a generic-argument list starting at the `<` token, returning the
 /// index one past the matching `>`. Counts `<`/`>` characters so the
 /// `>>`-as-one-token case closes two levels.
-fn skip_angles(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn skip_angles(tokens: &[Token], open: usize) -> usize {
     let mut depth: i64 = 0;
     let mut i = open;
     while i < tokens.len() {

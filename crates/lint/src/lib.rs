@@ -14,6 +14,9 @@
 //! | `panic-reachability` | semantic | no panic source reachable from the hot-path roots |
 //! | `lock-order` | semantic | the lock-order graph is acyclic (no AB/BA deadlock) |
 //! | `determinism-taint` | semantic | no hash-iteration/clock value flows into results |
+//! | `unprobed-loop` | semantic | every loop reachable from `discover*` probes the budget |
+//! | `schema-parity` | semantic | snapshot/JSON writer, parser, and doc key sets agree |
+//! | `hot-loop-alloc` | semantic | no allocation in loops reachable from the hot kernels |
 //! | `clock-confinement` | line | `Instant::now`/`SystemTime` only in `runtime.rs` |
 //! | `spawn-confinement` | line | thread spawns only in `search.rs`/`runtime.rs` |
 //! | `atomics-audit` | line | every `Ordering::Relaxed` justified or allowlisted |
@@ -34,8 +37,11 @@
 //! semantic passes and `--explain <rule>` for the rationale of each rule.
 
 pub mod callgraph;
+pub mod dataflow;
 pub mod locks;
+pub mod loops;
 pub mod rules;
+pub mod schema;
 pub mod source;
 pub mod taint;
 pub mod tokens;
@@ -142,6 +148,9 @@ pub fn analyze(files: Vec<(String, String)>) -> Analysis {
     diagnostics.extend(callgraph::panic_reachability(&ws, &mut uses));
     diagnostics.extend(locks::lock_order(&ws, &mut uses));
     diagnostics.extend(taint::determinism_taint(&ws, &mut uses));
+    diagnostics.extend(dataflow::unprobed_loops(&ws, &mut uses));
+    diagnostics.extend(dataflow::hot_loop_alloc(&ws, &mut uses));
+    diagnostics.extend(schema::schema_parity(&ws, &mut uses));
 
     // Annotation hygiene, after every pass has had its chance to consume
     // an allow. Allows targeting test-only lines are exempt: test code is
@@ -209,13 +218,40 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Analysis> {
     Ok(analyze(collect_files(root)?))
 }
 
-/// Render diagnostics as the stable `ocdd-lint/1` JSON schema consumed by
+/// JSON string escaping shared by [`to_json`] and [`to_sarif`].
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Every rule name a finding can carry, in the order the `rules` counts
+/// object is emitted: the annotatable rules, then the meta rules.
+fn emitted_rules() -> Vec<&'static str> {
+    let mut all: Vec<&'static str> = ALL_RULES.to_vec();
+    all.push(UNUSED_ALLOW);
+    all.push(UNKNOWN_ALLOW);
+    all
+}
+
+/// Render diagnostics as the stable `ocdd-lint/2` JSON schema consumed by
 /// ci.sh and `scripts/lint_diff.sh`:
 ///
 /// ```json
 /// {
-///   "schema": "ocdd-lint/1",
+///   "schema": "ocdd-lint/2",
 ///   "count": 1,
+///   "rules": {"panic-reachability": 1, "lock-order": 0, "...": 0},
 ///   "findings": [
 ///     {"rule": "...", "file": "...", "line": 1, "message": "...",
 ///      "chain": ["root (file:line)", "... at file:line"]}
@@ -223,27 +259,24 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Analysis> {
 /// }
 /// ```
 ///
+/// `/2` extends `/1` with the `rules` object: per-rule finding counts for
+/// *every* known rule (zeros included), so the ci.sh baseline gate and
+/// `scripts/lint_diff.sh` can diff per rule without parsing findings.
 /// `chain` is the call-chain / flow witness for semantic rules, outermost
 /// first; empty for line rules. Fields are emitted in exactly this order.
 pub fn to_json(diags: &[Diagnostic]) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                '\r' => out.push_str("\\r"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"ocdd-lint/1\",\n");
+    s.push_str("{\n  \"schema\": \"ocdd-lint/2\",\n");
     s.push_str(&format!("  \"count\": {},\n", diags.len()));
+    s.push_str("  \"rules\": {");
+    for (i, rule) in emitted_rules().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let n = diags.iter().filter(|d| d.rule == *rule).count();
+        s.push_str(&format!("\"{rule}\": {n}"));
+    }
+    s.push_str("},\n");
     s.push_str("  \"findings\": [");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
@@ -267,6 +300,53 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
         s.push_str("\n  ");
     }
     s.push_str("]\n}\n");
+    s
+}
+
+/// Render diagnostics as a minimal SARIF 2.1.0 document — a thin mapping
+/// from the `ocdd-lint/2` JSON schema so findings annotate code review
+/// directly. One run, one `ocdd-lint` driver carrying every known rule id,
+/// one `error`-level result per finding; the witness chain is appended to
+/// the message text (SARIF `codeFlows` would be overkill for a text pass).
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [{\n");
+    s.push_str("    \"tool\": {\"driver\": {\"name\": \"ocdd-lint\", \"rules\": [");
+    for (i, rule) in emitted_rules().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("{{\"id\": \"{rule}\"}}"));
+    }
+    s.push_str("]}},\n");
+    s.push_str("    \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let mut text = d.message.clone();
+        if !d.chain.is_empty() {
+            text.push_str("; witness: ");
+            text.push_str(&d.chain.join(" -> "));
+        }
+        s.push_str("\n      {");
+        s.push_str(&format!("\"ruleId\": \"{}\", ", esc(d.rule)));
+        s.push_str("\"level\": \"error\", ");
+        s.push_str(&format!("\"message\": {{\"text\": \"{}\"}}, ", esc(&text)));
+        s.push_str(&format!(
+            "\"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]",
+            esc(&d.path),
+            d.line
+        ));
+        s.push('}');
+    }
+    if !diags.is_empty() {
+        s.push_str("\n    ");
+    }
+    s.push_str("]\n  }]\n}\n");
     s
 }
 
@@ -385,13 +465,38 @@ mod tests {
             chain: vec!["root (a.rs:1)".into(), "`.unwrap()` at b.rs:2".into()],
         }];
         let json = to_json(&diags);
-        assert!(json.contains("\"schema\": \"ocdd-lint/1\""));
+        assert!(json.contains("\"schema\": \"ocdd-lint/2\""));
         assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"rules\": {\"panic-reachability\": 1, \"lock-order\": 0,"));
+        assert!(json.contains("\"unprobed-loop\": 0"));
+        assert!(json.contains("\"schema-parity\": 0"));
+        assert!(json.contains("\"hot-loop-alloc\": 0"));
+        assert!(json.contains("\"unknown-allow\": 0"));
         assert!(json.contains(
             "{\"rule\": \"panic-reachability\", \"file\": \"crates/core/src/x.rs\", \
              \"line\": 3, \"message\": \"a \\\"quoted\\\" message\", \
              \"chain\": [\"root (a.rs:1)\", \"`.unwrap()` at b.rs:2\"]}"
         ));
         assert!(to_json(&[]).contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn sarif_maps_findings_with_rule_location_and_witness() {
+        let diags = vec![Diagnostic {
+            path: "crates/core/src/x.rs".into(),
+            line: 3,
+            rule: "unprobed-loop",
+            message: "loop never probes".into(),
+            chain: vec!["root (a.rs:1)".into(), "`for` loop at x.rs:3".into()],
+        }];
+        let sarif = to_sarif(&diags);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"ocdd-lint\""));
+        assert!(sarif.contains("{\"id\": \"unprobed-loop\"}"));
+        assert!(sarif.contains("\"ruleId\": \"unprobed-loop\""));
+        assert!(sarif.contains("loop never probes; witness: root (a.rs:1) -> `for` loop at x.rs:3"));
+        assert!(sarif.contains("\"uri\": \"crates/core/src/x.rs\""));
+        assert!(sarif.contains("\"startLine\": 3"));
+        assert!(to_sarif(&[]).contains("\"results\": []"));
     }
 }

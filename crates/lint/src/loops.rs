@@ -1,0 +1,202 @@
+//! Loop-region extraction (ISSUE 9): brace-matched `for`/`while`/`loop`
+//! regions over the masked token stream, attached to the call graph's fn
+//! nodes so the dataflow passes ([`crate::dataflow`]) can reason about
+//! what happens *inside* a loop body versus merely inside a fn.
+//!
+//! A region is the loop keyword plus its brace-matched body. The header
+//! scan walks from the keyword to the first `{` at paren/bracket depth
+//! zero, which skips closure braces inside iterator adaptors
+//! (`for x in v.iter().map(|v| { .. }) {`) because those sit inside the
+//! adaptor's parentheses. `for<'a>` higher-ranked trait bounds are not
+//! loops and are skipped. Nested loops each get their own region; a
+//! region's token span contains every nested region's span, which is what
+//! lets the cancellation pass treat a probe in an inner loop as evidence
+//! for the enclosing one.
+
+use crate::callgraph::{FileModel, FnItem};
+use crate::tokens::{matching_close, TokenKind};
+
+/// Which looping construct heads the region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// `for <pat> in <expr> { .. }`
+    For,
+    /// `while <cond> { .. }` (including `while let`).
+    While,
+    /// `loop { .. }`
+    Loop,
+}
+
+impl LoopKind {
+    /// The source keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            LoopKind::For => "for",
+            LoopKind::While => "while",
+            LoopKind::Loop => "loop",
+        }
+    }
+}
+
+/// One brace-matched loop region inside a fn body.
+#[derive(Debug, Clone)]
+pub struct LoopRegion {
+    /// Looping construct.
+    pub kind: LoopKind,
+    /// Token index of the loop keyword.
+    pub head_tok: usize,
+    /// 0-based line of the loop keyword.
+    pub head_line: usize,
+    /// Token index range of the body including both braces.
+    pub body: (usize, usize),
+    /// 0-based line of the closing brace.
+    pub end_line: usize,
+}
+
+impl LoopRegion {
+    /// Whether token index `tok` sits inside this region's body.
+    pub fn contains(&self, tok: usize) -> bool {
+        tok >= self.body.0 && tok <= self.body.1
+    }
+}
+
+/// Extract every loop region of `f`'s body, in header-token order
+/// (outer regions precede the regions nested inside them).
+pub fn extract_loops(model: &FileModel, f: &FnItem) -> Vec<LoopRegion> {
+    let toks = &model.tokens;
+    let Some((b0, b1)) = f.body else {
+        return Vec::new();
+    };
+    let hi = b1.min(toks.len().saturating_sub(1));
+    let mut out = Vec::new();
+    let mut i = b0;
+    while i <= hi {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let kind = match t.text.as_str() {
+            "for" => Some(LoopKind::For),
+            "while" => Some(LoopKind::While),
+            "loop" => Some(LoopKind::Loop),
+            _ => None,
+        };
+        let Some(kind) = kind else {
+            i += 1;
+            continue;
+        };
+        // `for<'a>` is a higher-ranked bound, not a loop.
+        if kind == LoopKind::For && toks.get(i + 1).is_some_and(|n| n.is_punct("<")) {
+            i += 1;
+            continue;
+        }
+        // Find the body `{` at paren/bracket depth 0; a `;` first means
+        // this was not a loop header after all.
+        let mut depth: i64 = 0;
+        let mut open = None;
+        let mut j = i + 1;
+        while j <= hi {
+            let tj = &toks[j];
+            if tj.kind == TokenKind::Punct {
+                match tj.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if let Some(open) = open {
+            let close = matching_close(toks, open);
+            out.push(LoopRegion {
+                kind,
+                head_tok: i,
+                head_line: t.line,
+                body: (open, close),
+                end_line: toks.get(close).map_or(t.line, |c| c.line),
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::Workspace;
+
+    fn loops_of(content: &str) -> Vec<(LoopKind, usize, usize)> {
+        let ws = Workspace::build(vec![(
+            "crates/core/src/check.rs".to_owned(),
+            content.to_owned(),
+        )]);
+        assert_eq!(ws.fns.len(), 1, "fixture must define exactly one fn");
+        ws.loops[0]
+            .iter()
+            .map(|l| (l.kind, l.head_line, l.end_line))
+            .collect()
+    }
+
+    #[test]
+    fn all_three_constructs_are_extracted() {
+        let l = loops_of(
+            "pub fn f(v: &[u32]) {\n\
+                 for x in v {\n        let _ = x;\n    }\n\
+                 while v.len() > 0 {\n        break;\n    }\n\
+                 loop {\n        break;\n    }\n\
+             }\n",
+        );
+        assert_eq!(
+            l,
+            vec![
+                (LoopKind::For, 1, 3),
+                (LoopKind::While, 4, 6),
+                (LoopKind::Loop, 7, 9),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_loops_yield_nested_regions() {
+        let ws = Workspace::build(vec![(
+            "crates/core/src/check.rs".to_owned(),
+            "pub fn f(v: &[u32]) {\n    for x in v {\n        for y in v {\n            let _ = (x, y);\n        }\n    }\n}\n"
+                .to_owned(),
+        )]);
+        let loops = &ws.loops[0];
+        assert_eq!(loops.len(), 2);
+        let (outer, inner) = (&loops[0], &loops[1]);
+        assert!(outer.body.0 < inner.body.0 && inner.body.1 < outer.body.1);
+    }
+
+    #[test]
+    fn closure_braces_in_the_header_do_not_end_the_header() {
+        let l = loops_of(
+            "pub fn f(v: &[u32]) {\n    for x in v.iter().filter(|x| { **x > 0 }) {\n        let _ = x;\n    }\n}\n",
+        );
+        assert_eq!(l, vec![(LoopKind::For, 1, 3)]);
+    }
+
+    #[test]
+    fn hrtb_for_is_not_a_loop() {
+        let l = loops_of(
+            "pub fn f(v: &[u32]) {\n    let g: Box<dyn for<'a> Fn(&'a u32)> = Box::new(|_| {});\n    let _ = (g, v);\n}\n",
+        );
+        assert!(l.is_empty(), "{l:?}");
+    }
+
+    #[test]
+    fn while_let_is_a_loop() {
+        let l = loops_of(
+            "pub fn f(mut v: Vec<u32>) {\n    while let Some(x) = v.pop() {\n        let _ = x;\n    }\n}\n",
+        );
+        assert_eq!(l, vec![(LoopKind::While, 1, 3)]);
+    }
+}

@@ -5,11 +5,14 @@
 //! * default — scan the workspace, print human-readable findings (with
 //!   call-chain witnesses for the semantic rules), exit 1 on any finding.
 //!   ci.sh runs this as a hard gate before clippy.
-//! * `--emit json` — print the stable `ocdd-lint/1` JSON document instead
-//!   (schema: rule, file, line, message, chain); same exit-code contract.
-//!   ci.sh uploads this to `results/lint_findings.json` and gates the
-//!   count against `results/lint_baseline.txt`.
-//! * `--out FILE` — with `--emit json`, write the document to FILE via an
+//! * `--emit json` — print the stable `ocdd-lint/2` JSON document instead
+//!   (schema, count, per-rule counts, findings with rule, file, line,
+//!   message, chain); same exit-code contract. ci.sh uploads this to
+//!   `results/lint_findings.json` and gates the per-rule counts against
+//!   `results/lint_baseline.txt`.
+//! * `--emit sarif` — print a SARIF 2.1.0 document instead, for code
+//!   scanning UIs. ci.sh uploads this to `results/lint_findings.sarif`.
+//! * `--out FILE` — with `--emit`, write the document to FILE via an
 //!   atomic tmp+fsync+rename instead of stdout, so a killed CI run never
 //!   leaves a truncated findings file.
 //! * `--explain <rule>` — print what a rule enforces and why, then exit 0.
@@ -19,12 +22,20 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: ocdd-lint [root] [--emit json] [--out FILE] [--explain <rule>] \
+const USAGE: &str = "usage: ocdd-lint [root] [--emit json|sarif] [--out FILE] [--explain <rule>] \
                      [--fix-allows [--apply]]";
+
+/// Machine-readable output format selected by `--emit`.
+#[derive(Clone, Copy, PartialEq)]
+enum Emit {
+    Human,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
-    let mut emit_json = false;
+    let mut emit = Emit::Human;
     let mut out_file: Option<PathBuf> = None;
     let mut explain_rule: Option<String> = None;
     let mut fix_allows = false;
@@ -34,10 +45,11 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--emit" => match args.next().as_deref() {
-                Some("json") => emit_json = true,
+                Some("json") => emit = Emit::Json,
+                Some("sarif") => emit = Emit::Sarif,
                 other => {
                     eprintln!(
-                        "ocdd-lint: --emit supports only `json` (got {:?})\n{USAGE}",
+                        "ocdd-lint: --emit supports `json` or `sarif` (got {:?})\n{USAGE}",
                         other.unwrap_or("nothing")
                     );
                     return ExitCode::FAILURE;
@@ -94,8 +106,8 @@ fn main() -> ExitCode {
         eprintln!("ocdd-lint: --apply only makes sense with --fix-allows\n{USAGE}");
         return ExitCode::FAILURE;
     }
-    if out_file.is_some() && !emit_json {
-        eprintln!("ocdd-lint: --out only makes sense with --emit json\n{USAGE}");
+    if out_file.is_some() && emit == Emit::Human {
+        eprintln!("ocdd-lint: --out only makes sense with --emit json|sarif\n{USAGE}");
         return ExitCode::FAILURE;
     }
 
@@ -144,16 +156,20 @@ fn main() -> ExitCode {
 
     match ocdd_lint::scan_workspace(&root) {
         Ok(analysis) => {
-            if emit_json {
-                let json = ocdd_lint::to_json(&analysis.diagnostics);
+            let doc = match emit {
+                Emit::Json => Some(ocdd_lint::to_json(&analysis.diagnostics)),
+                Emit::Sarif => Some(ocdd_lint::to_sarif(&analysis.diagnostics)),
+                Emit::Human => None,
+            };
+            if let Some(doc) = doc {
                 match &out_file {
                     Some(path) => {
-                        if let Err(e) = ocdd_iosafe::atomic_write_str(path, &json) {
+                        if let Err(e) = ocdd_iosafe::atomic_write_str(path, &doc) {
                             eprintln!("ocdd-lint: cannot write {}: {e}", path.display());
                             return ExitCode::FAILURE;
                         }
                     }
-                    None => print!("{json}"),
+                    None => print!("{doc}"),
                 }
             } else {
                 for d in &analysis.diagnostics {

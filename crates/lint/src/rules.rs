@@ -31,6 +31,15 @@ pub const ATOMICS_AUDIT: &str = "atomics-audit";
 pub const LOCK_DISCIPLINE: &str = "lock-discipline";
 /// Rule identifier: file writes confined to the `ocdd-iosafe` helper.
 pub const IO_CONFINEMENT: &str = "io-confinement";
+/// Semantic rule (ISSUE 9): every loop reachable from the `discover*`
+/// entry points must probe the cancellation budget.
+pub const UNPROBED_LOOP: &str = "unprobed-loop";
+/// Semantic rule (ISSUE 9): snapshot/JSON writer, parser, and documented
+/// schema key sets must agree.
+pub const SCHEMA_PARITY: &str = "schema-parity";
+/// Semantic rule (ISSUE 9): no allocation inside loops reachable from the
+/// scan/check/sort hot-path roots.
+pub const HOT_LOOP_ALLOC: &str = "hot-loop-alloc";
 /// Meta rule: an annotation that suppressed nothing.
 pub const UNUSED_ALLOW: &str = "unused-allow";
 /// Meta rule: an annotation naming a rule that does not exist.
@@ -46,6 +55,9 @@ pub const ALL_RULES: &[&str] = &[
     ATOMICS_AUDIT,
     LOCK_DISCIPLINE,
     IO_CONFINEMENT,
+    UNPROBED_LOOP,
+    SCHEMA_PARITY,
+    HOT_LOOP_ALLOC,
 ];
 
 /// Canonical rule id for an annotation's rule name. The pre-ISSUE-5 names
@@ -151,6 +163,61 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              crash or SIGKILL can truncate a private tmp file but never a\n\
              published one. The checkpoint/resume contract (DESIGN.md §13)\n\
              depends on dumps being whole-or-absent."
+        }
+        UNPROBED_LOOP => {
+            "unprobed-loop\n\
+             \n\
+             Bounded cancellation latency (DESIGN.md §8): every loop in\n\
+             search.rs / scheduler.rs / check.rs / approximate.rs whose\n\
+             enclosing fn is reachable over the call graph from a\n\
+             `discover*` entry point must call `Budget::probe` /\n\
+             `probe_now` — directly in its body, or through a callee whose\n\
+             interprocedural summary probes. Otherwise a long run inside\n\
+             that loop ignores `RunController` cancellation and deadline\n\
+             budgets for unboundedly long. Only the outermost unsatisfied\n\
+             loop of a nest is reported (fixing it fixes the nest). The\n\
+             witness is the entry-point call chain plus the loop span.\n\
+             Suppress with `lint: allow(unprobed-loop, <bound>)` on the\n\
+             loop header or the fn when iteration is provably bounded\n\
+             (column count, fixed block width) — state the bound in the\n\
+             reason."
+        }
+        SCHEMA_PARITY => {
+            "schema-parity\n\
+             \n\
+             The snapshot dump (`ocdd-snapshot/1`, snapshot.rs) and the\n\
+             result report (json.rs) are hand-rolled writers; snapshot.rs\n\
+             also hand-rolls the parser that resume trusts. This rule\n\
+             extracts the string-literal key sets on each side — `\\\"k\\\":`\n\
+             emissions in writer fns, `req(obj, \"k\")` / `get(obj, \"k\")`\n\
+             lookups in parser fns — and diffs writer keys vs reader keys\n\
+             vs the documented schema tables (crates/lint/src/schema.rs).\n\
+             A key written but never parsed is silently dropped on resume\n\
+             (the PR 8 `approx`-object drift class); a key parsed but\n\
+             never written makes resume reject every dump; an undocumented\n\
+             key means the schema doc lies. Fix by updating whichever of\n\
+             the three legs drifted — including the documented table when\n\
+             the format genuinely grew."
+        }
+        HOT_LOOP_ALLOC => {
+            "hot-loop-alloc\n\
+             \n\
+             The scan/check/sort kernels are allocation-free by design\n\
+             (DESIGN.md §6): scratch buffers are reused across calls, and\n\
+             BENCH_check.json regressions historically trace back to an\n\
+             allocation creeping into a per-row or per-candidate loop.\n\
+             This rule flags allocation sites — `Vec::new` /\n\
+             `with_capacity` / `vec![..]`, `String` / `format!` /\n\
+             `.to_string()` / `.to_owned()`, `Box::new`, `.clone()`,\n\
+             `.to_vec()`, `.collect()` — inside loops whose enclosing fn\n\
+             is reachable from the hot-path roots (check.rs,\n\
+             sorted_partitions.rs, relation scan/sort kernels). Bare\n\
+             `.push(..)` is deliberately not flagged: pushing into a\n\
+             pre-sized or reused buffer is the documented idiom, and\n\
+             growth-by-allocation is caught at the buffer's constructor\n\
+             site instead. Suppress documented scratch-buffer reuse or\n\
+             setup-phase sites with\n\
+             `lint: allow(hot-loop-alloc, <why this is not per-row>)`."
         }
         _ => return None,
     })

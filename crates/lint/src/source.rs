@@ -66,7 +66,21 @@ impl SourceFile {
 
 /// Blank comment bodies and string/char-literal contents, preserving line
 /// structure and all other characters (so token offsets stay meaningful).
+///
+/// Blanking is *byte-length preserving*: a masked char is replaced by one
+/// space per UTF-8 byte, so token byte offsets computed on the masked text
+/// index directly into the raw text (rules slice `raw[t.start..t.end]`).
 fn mask(content: &str) -> String {
+    /// Blank `c`, keeping newlines and emitting `len_utf8` spaces otherwise.
+    fn blank(out: &mut String, c: char) {
+        if c == '\n' {
+            out.push('\n');
+        } else {
+            for _ in 0..c.len_utf8() {
+                out.push(' ');
+            }
+        }
+    }
     #[derive(PartialEq)]
     enum State {
         Code,
@@ -124,7 +138,7 @@ fn mask(content: &str) -> String {
                         out.push('\'');
                         i += 1;
                         while i < bytes.len() && bytes[i] != '\'' {
-                            out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
+                            blank(&mut out, bytes[i]);
                             i += 1;
                         }
                         if i < bytes.len() {
@@ -133,7 +147,7 @@ fn mask(content: &str) -> String {
                         }
                     } else if bytes.get(i + 2).copied() == Some('\'') {
                         out.push('\'');
-                        out.push(' ');
+                        blank(&mut out, bytes[i + 1]);
                         out.push('\'');
                         i += 3;
                     } else {
@@ -151,7 +165,7 @@ fn mask(content: &str) -> String {
                     state = State::Code;
                     out.push('\n');
                 } else {
-                    out.push(' ');
+                    blank(&mut out, c);
                 }
                 i += 1;
             }
@@ -171,15 +185,15 @@ fn mask(content: &str) -> String {
                     out.push(' ');
                     i += 2;
                 } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    blank(&mut out, c);
                     i += 1;
                 }
             }
             State::Str => {
                 if c == '\\' {
                     out.push(' ');
-                    if next.is_some() {
-                        out.push(if next == Some('\n') { '\n' } else { ' ' });
+                    if let Some(n) = next {
+                        blank(&mut out, n);
                         i += 2;
                     } else {
                         i += 1;
@@ -189,7 +203,7 @@ fn mask(content: &str) -> String {
                     out.push('"');
                     i += 1;
                 } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    blank(&mut out, c);
                     i += 1;
                 }
             }
@@ -213,11 +227,12 @@ fn mask(content: &str) -> String {
                         continue;
                     }
                 }
-                out.push(if c == '\n' { '\n' } else { ' ' });
+                blank(&mut out, c);
                 i += 1;
             }
         }
     }
+    debug_assert_eq!(out.len(), content.len());
     out
 }
 
@@ -351,6 +366,18 @@ mod tests {
         let f = SourceFile::parse("x.rs", src);
         assert!(!f.masked_lines[0].contains("panic"));
         assert!(f.masked_lines[2].contains("'static"));
+    }
+
+    #[test]
+    fn masking_preserves_byte_length_with_multibyte_chars() {
+        // Em dashes and accents in comments/strings must blank to one
+        // space per UTF-8 *byte*, or token offsets drift off the raw text.
+        let src = "// naïve — prose\nlet s = \"café — ok\";\nlet c = '—';\nfn f() {}";
+        let f = SourceFile::parse("x.rs", src);
+        for (raw, masked) in f.raw_lines.iter().zip(&f.masked_lines) {
+            assert_eq!(raw.len(), masked.len(), "byte length drifted: {raw:?}");
+        }
+        assert!(f.masked_lines[3].contains("fn f"));
     }
 
     #[test]

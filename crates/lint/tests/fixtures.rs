@@ -242,6 +242,125 @@ fn annotation_hygiene_fixture_exact_diagnostics() {
 }
 
 #[test]
+fn unprobed_fixture_exact_diagnostics() {
+    // scheduler.rs is in the cancellation scope; `discover` is the entry
+    // point. Only the dry helper loop is a finding — the directly probing
+    // loop, the probing-via-callee loop, and the annotated loop are clean.
+    let diags = scan_content(
+        "crates/core/src/scheduler.rs",
+        include_str!("fixtures/unprobed.rs"),
+    );
+    assert_eq!(
+        shape(&diags),
+        vec![(11, rules::UNPROBED_LOOP)],
+        "{diags:#?}"
+    );
+    assert_eq!(
+        diags[0].chain,
+        vec![
+            "core::scheduler::discover (crates/core/src/scheduler.rs:5)",
+            "core::scheduler::drive (crates/core/src/scheduler.rs:9)",
+            "`for` loop spanning crates/core/src/scheduler.rs:11-13",
+        ],
+        "the witness must walk entry point -> helper -> loop span"
+    );
+}
+
+#[test]
+fn unprobed_loops_outside_the_cancellation_scope_are_silent() {
+    // The same content in a file outside the cancellation scope has no
+    // findings — but the now-stale allow inside it is flagged.
+    let diags = scan_content(
+        "crates/core/src/reduction.rs",
+        include_str!("fixtures/unprobed.rs"),
+    );
+    assert_eq!(shape(&diags), vec![(43, rules::UNUSED_ALLOW)], "{diags:#?}");
+}
+
+#[test]
+fn hot_alloc_fixture_exact_diagnostics() {
+    // check.rs is a hot-allocation root: its fns are scan/check/sort
+    // roots. The hoisted with_capacity + in-loop push stay silent; the
+    // in-loop format! and clone are findings; the annotated clone is not.
+    let diags = scan_content(
+        "crates/core/src/check.rs",
+        include_str!("fixtures/hot_alloc.rs"),
+    );
+    assert_eq!(
+        shape(&diags),
+        vec![(8, rules::HOT_LOOP_ALLOC), (16, rules::HOT_LOOP_ALLOC)],
+        "{diags:#?}"
+    );
+    assert!(diags[0].message.contains("`format!`"), "{diags:#?}");
+    assert_eq!(
+        diags[0].chain,
+        vec![
+            "core::check::kernel (crates/core/src/check.rs:5)",
+            "`format!` inside a `for` loop at crates/core/src/check.rs:8",
+        ]
+    );
+    assert!(diags[1].message.contains("`.clone()`"), "{diags:#?}");
+}
+
+#[test]
+fn schema_drift_fixture_exact_diagnostics() {
+    // Injected drift against the documented ocdd-snapshot/1 table: an
+    // undocumented+unparsed written key, a parsed-but-never-written key
+    // (the resume-rejection class), and the aggregated documented-but-
+    // absent finding anchored at the first write site.
+    let diags = scan_content(
+        "crates/core/src/snapshot.rs",
+        include_str!("fixtures/schema_drift.rs"),
+    );
+    assert_eq!(
+        shape(&diags),
+        vec![
+            (9, rules::SCHEMA_PARITY),
+            (9, rules::SCHEMA_PARITY),
+            (9, rules::SCHEMA_PARITY),
+            (14, rules::SCHEMA_PARITY),
+        ],
+        "{diags:#?}"
+    );
+    let messages: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("`\"wormhole\"`") && m.contains("never parsed")),
+        "{diags:#?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("`\"wormhole\"`") && m.contains("not documented")),
+        "{diags:#?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("`\"checksum\"`") && m.contains("never written")),
+        "{diags:#?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("documented ocdd-snapshot/1 key") && m.contains("`\"frontier\"`")),
+        "{diags:#?}"
+    );
+    let drift = diags
+        .iter()
+        .find(|d| d.message.contains("never parsed"))
+        .expect("wormhole drift finding");
+    assert_eq!(
+        drift.chain,
+        vec![
+            "written at crates/core/src/snapshot.rs:9",
+            "no matching `req`/`get` lookup in the parser",
+        ]
+    );
+}
+
+#[test]
 fn test_regions_are_exempt() {
     let diags = scan_content(
         "crates/core/src/check.rs",
@@ -329,8 +448,12 @@ fn binary_emits_stable_json() {
     std::fs::remove_dir_all(&root).ok();
     assert!(!out.status.success(), "findings must still exit non-zero");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("\"schema\": \"ocdd-lint/1\""), "{stdout}");
+    assert!(stdout.contains("\"schema\": \"ocdd-lint/2\""), "{stdout}");
     assert!(stdout.contains("\"count\": 1"), "{stdout}");
+    assert!(
+        stdout.contains("\"panic-reachability\": 1") && stdout.contains("\"unprobed-loop\": 0"),
+        "the per-rule counts object must cover every rule:\n{stdout}"
+    );
     assert!(
         stdout.contains(
             "\"rule\": \"panic-reachability\", \"file\": \"crates/core/src/check.rs\", \"line\": 2"
@@ -339,6 +462,75 @@ fn binary_emits_stable_json() {
     );
     assert!(
         stdout.contains("\"chain\": [\"core::check::f (crates/core/src/check.rs:1)\""),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn binary_emits_sarif() {
+    let bin = env!("CARGO_BIN_EXE_ocdd-lint");
+    let root = mini_workspace(
+        "sarif",
+        &[(
+            "crates/core/src/check.rs",
+            "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+        )],
+    );
+    let out = std::process::Command::new(bin)
+        .args([root.to_str().expect("utf-8 temp path"), "--emit", "sarif"])
+        .output()
+        .expect("run ocdd-lint --emit sarif");
+    std::fs::remove_dir_all(&root).ok();
+    assert!(!out.status.success(), "findings must still exit non-zero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"version\": \"2.1.0\""), "{stdout}");
+    assert!(stdout.contains("\"name\": \"ocdd-lint\""), "{stdout}");
+    assert!(
+        stdout.contains("\"ruleId\": \"panic-reachability\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"uri\": \"crates/core/src/check.rs\"")
+            && stdout.contains("\"startLine\": 2"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn binary_fails_on_unprobed_loop_workspace() {
+    // End-to-end over the new semantic rules: a mini-workspace whose
+    // discover entry point drives a dry loop exits non-zero with the
+    // call-chain witness in the human output.
+    let bin = env!("CARGO_BIN_EXE_ocdd-lint");
+    let root = mini_workspace(
+        "unprobed",
+        &[(
+            "crates/core/src/search.rs",
+            "pub fn discover(v: &[u32]) -> u32 {\n\
+             \x20   drive(v)\n\
+             }\n\
+             fn drive(v: &[u32]) -> u32 {\n\
+             \x20   let mut acc = 0;\n\
+             \x20   for x in v {\n\
+             \x20       acc += *x;\n\
+             \x20   }\n\
+             \x20   acc\n\
+             }\n",
+        )],
+    );
+    let out = std::process::Command::new(bin)
+        .arg(&root)
+        .output()
+        .expect("run ocdd-lint on unprobed mini workspace");
+    std::fs::remove_dir_all(&root).ok();
+    assert!(!out.status.success(), "expected a non-zero exit");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/core/src/search.rs:6: unprobed-loop:"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("core::search::discover (crates/core/src/search.rs:1)"),
         "{stdout}"
     );
 }

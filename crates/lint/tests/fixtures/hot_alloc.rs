@@ -1,0 +1,30 @@
+//! Fixture: allocations inside loops reachable from a hot-path root. The
+//! hoisted buffer with in-loop pushes and the annotated scratch clone
+//! stay silent; the in-loop `format!` and `.clone()` are findings.
+
+pub fn kernel(v: &[u32]) -> Vec<String> {
+    let mut out = Vec::with_capacity(v.len());
+    for x in v {
+        out.push(format!("{x}"));
+    }
+    out
+}
+
+pub fn relabel(names: &[String]) -> u32 {
+    let mut n = 0;
+    for name in names {
+        let copy = name.clone();
+        n += copy.len() as u32;
+    }
+    n
+}
+
+pub fn scratch(names: &[String]) -> u32 {
+    let mut n = 0;
+    for name in names {
+        // lint: allow(hot-loop-alloc, fixture: documented scratch reuse)
+        let copy = name.clone();
+        n += copy.len() as u32;
+    }
+    n
+}

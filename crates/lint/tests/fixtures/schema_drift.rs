@@ -1,0 +1,16 @@
+//! Fixture: snapshot serializer/parser key drift. The writer emits
+//! `seed` (documented, parsed — clean) and `wormhole` (undocumented,
+//! unparsed — two findings); the parser requires `checksum`, which is
+//! never written (rejected-on-resume finding). The rest of the documented
+//! table is absent, which aggregates into one finding at the first write
+//! site.
+
+pub fn write(s: &S) -> String {
+    format!("{{\"seed\":{},\"wormhole\":{}}}", s.seed, s.wormhole)
+}
+
+pub fn parse(obj: &[(String, Json)]) -> Result<S, String> {
+    let seed = req(obj, "seed")?;
+    let checksum = req(obj, "checksum")?;
+    Ok(S { seed, checksum })
+}

@@ -1,0 +1,48 @@
+//! Fixture: a discover entry point reaching an unprobed loop through a
+//! helper. A directly probing loop, a loop probing via a callee, and an
+//! annotated loop all stay silent.
+
+pub fn discover(v: &[u32], b: &Budget) -> u32 {
+    drive(v) + probed(v, b) + via_callee(v, b) + allowed(v)
+}
+
+fn drive(v: &[u32]) -> u32 {
+    let mut acc = 0;
+    for x in v {
+        acc += *x;
+    }
+    acc
+}
+
+fn probed(v: &[u32], b: &Budget) -> u32 {
+    let mut acc = 0;
+    while acc < v.len() as u32 {
+        if !b.probe() {
+            break;
+        }
+        acc += 1;
+    }
+    acc
+}
+
+fn via_callee(v: &[u32], b: &Budget) -> u32 {
+    let mut acc = 0;
+    for x in v {
+        poll(b);
+        acc += *x;
+    }
+    acc
+}
+
+fn poll(b: &Budget) {
+    b.probe_now();
+}
+
+fn allowed(v: &[u32]) -> u32 {
+    let mut acc = 0;
+    // lint: allow(unprobed-loop, fixture: bounded by the fixture slice)
+    for x in v {
+        acc += *x;
+    }
+    acc
+}

@@ -132,11 +132,13 @@ impl Column {
         for (pos, &row) in order.iter().enumerate() {
             let v = &values[row as usize];
             if pos == 0 {
+                // lint: allow(hot-loop-alloc, load-time dictionary build; each clone is the dictionary's owned entry for a new distinct value)
                 dictionary.push(v.clone());
             } else {
                 let prev = &values[order[pos - 1] as usize];
                 if v != prev {
                     rank += 1;
+                    // lint: allow(hot-loop-alloc, load-time dictionary build; each clone is the dictionary's owned entry for a new distinct value)
                     dictionary.push(v.clone());
                 }
             }

@@ -11,7 +11,13 @@
 # sides are compared. Exit status: 0 when no finding was introduced, 1 when
 # the NEW side has findings absent from OLD — so the script doubles as a
 # review gate even while a nonzero baseline exists.
+#
+# All sorting and comparison run under LC_ALL=C: `comm` silently produces
+# garbage when its inputs were sorted under a different collation than its
+# own, and a locale-dependent order turns a mere findings reordering into
+# spurious "introduced" lines.
 set -euo pipefail
+export LC_ALL=C
 cd "$(dirname "$0")/.."
 
 old_rev="${1:-HEAD}"
@@ -30,7 +36,7 @@ findings() {
     cleanup_paths+=("$json")
     cargo run -q -p ocdd-lint -- "$root" --emit json >"$json" || true
     sed -n 's/.*"rule": "\([^"]*\)", "file": "\([^"]*\)", "line": \([0-9]*\),.*/\1 \2:\3/p' \
-        "$json" | sort
+        "$json" | sort -u
 }
 
 # Extract revision $1 into a temp tree and echo the tree's path.
